@@ -1,0 +1,171 @@
+(* Benchmark harness: regenerates every table and data-bearing figure
+   of the paper's evaluation (see DESIGN.md for the experiment index)
+   and runs bechamel micro-benchmarks of the kernels behind each one.
+
+     dune exec bench/main.exe                    # everything
+     dune exec bench/main.exe -- --table 3       # one table
+     dune exec bench/main.exe -- --no-micro      # tables only
+     dune exec bench/main.exe -- --scale 0.5 --timeout 60
+     dune exec bench/main.exe -- --train-episodes 40   # RL columns
+     dune exec bench/main.exe -- --ablations --table 0  # design-choice ablations *)
+
+let arg_flag name = Array.exists (( = ) name) Sys.argv
+
+let arg_value name conv default =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then default
+    else if Sys.argv.(i) = name then conv Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one kernel per table / figure. *)
+
+let micro_tests () =
+  let open Bechamel in
+  (* Shared inputs, prepared once. *)
+  let miter = Workloads.Lec.generate ~seed:4242 ~num_pis:16 ~num_ands:300 () in
+  let php = Workloads.Satcomp.pigeonhole ~pigeons:7 ~holes:6 in
+  let php_cnf2aig = Workloads.Satcomp.pigeonhole ~pigeons:6 ~holes:5 in
+  let env_cfg = Eda4sat.Env.default_config in
+  let agent = Rl.Dqn.create (Eda4sat.Trainer.dqn_config_for env_cfg) in
+  let state = Array.make (Eda4sat.Env.state_dim env_cfg) 0.1 in
+  let tts =
+    Array.init 64 (fun i -> Aig.Tt.of_int 4 ((i * 2654435761) land 0xFFFF))
+  in
+  [
+    Test.make ~name:"table1-tseitin-encode"
+      (Staged.stage (fun () -> ignore (Cnf.Tseitin.encode miter)));
+    Test.make ~name:"table2-solver-php(7,6)"
+      (Staged.stage (fun () -> ignore (Sat.Solver.solve php)));
+    Test.make ~name:"table3-resub-fraig"
+      (Staged.stage (fun () -> ignore (Synth.Resub.run miter)));
+    Test.make ~name:"table4-dqn-inference"
+      (Staged.stage (fun () -> ignore (Rl.Dqn.q_values agent state)));
+    Test.make ~name:"table5-lut-mapping"
+      (Staged.stage (fun () ->
+           ignore
+             (Lutmap.Mapper.run ~config:Lutmap.Mapper.cost_customized_config
+                miter)));
+    Test.make ~name:"table6-cnf2aig"
+      (Staged.stage (fun () -> ignore (Cnf.Cnf2aig.run php_cnf2aig)));
+    Test.make ~name:"table7-cut-enumeration"
+      (Staged.stage (fun () -> ignore (Aig.Cut.enumerate miter ~k:4 ~limit:8)));
+    Test.make ~name:"figure2-rewrite"
+      (Staged.stage (fun () -> ignore (Synth.Rewrite.run miter)));
+    Test.make ~name:"figure2-balance"
+      (Staged.stage (fun () -> ignore (Synth.Balance.run miter)));
+    Test.make ~name:"figure4-branching-cost"
+      (Staged.stage (fun () -> ignore (Array.map Lutmap.Cost.branching tts)));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  print_endline "== Micro-benchmarks (bechamel, monotonic clock) ==";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let grouped = Test.make_grouped ~name:"kernels" (micro_tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun _measure per_test ->
+      let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) per_test [] in
+      List.iter
+        (fun (name, result) ->
+          match Analyze.OLS.estimates result with
+          | Some [ ns ] ->
+            if ns > 1e6 then Printf.printf "%-36s %10.3f ms/run\n" name (ns /. 1e6)
+            else Printf.printf "%-36s %10.1f ns/run\n" name ns
+          | Some _ | None -> Printf.printf "%-36s (no estimate)\n" name)
+        (List.sort compare rows))
+    merged;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let scale = arg_value "--scale" float_of_string 1.0 in
+  let timeout = arg_value "--timeout" float_of_string 120.0 in
+  let table = arg_value "--table" (fun s -> Some (int_of_string s)) None in
+  let figure = arg_value "--figure" (fun s -> Some (int_of_string s)) None in
+  let episodes =
+    arg_value "--train-episodes" (fun s -> Some (int_of_string s)) None
+  in
+  let ctx =
+    {
+      Experiments.Tables.default_ctx with
+      Experiments.Tables.scale;
+      limits =
+        { Sat.Solver.no_limits with Sat.Solver.max_seconds = Some timeout };
+    }
+  in
+  let ctx =
+    match episodes with
+    | None -> ctx
+    | Some n ->
+      Printf.printf "training the RL agent for %d episodes...\n%!" n;
+      { ctx with
+        Experiments.Tables.agent =
+          Some (Experiments.Tables.train_agent ~episodes:n ctx) }
+  in
+  (match (table, figure) with
+   | Some n, _ ->
+     let t =
+       match n with
+       | 1 -> Experiments.Tables.table1 ctx
+       | 2 -> Experiments.Tables.table2 ctx
+       | 3 -> Experiments.Tables.table3 ctx
+       | 4 -> Experiments.Tables.table4 ctx
+       | 5 -> Experiments.Tables.table5 ctx
+       | 6 -> Experiments.Tables.table6 ctx
+       | 7 -> Experiments.Tables.table7 ctx
+       | _ -> failwith "tables are numbered 1..7"
+     in
+     print_string (Experiments.Table.render t)
+   | None, Some n ->
+     let t =
+       match n with
+       | 2 -> Experiments.Tables.figure2 ()
+       | 4 -> Experiments.Tables.figure4 ()
+       | _ -> failwith "data-bearing figures are 2 and 4"
+     in
+     print_string (Experiments.Table.render t)
+   | None, None ->
+     Printf.printf
+       "Regenerating all tables and figures (scale %.2f, timeout %.0f s)\n\n%!"
+       scale timeout;
+     (match arg_value "--csv" Option.some None with
+      | None -> print_string (Experiments.Tables.run_all ctx)
+      | Some dir ->
+        (* Write each table both to stdout and as CSV. *)
+        (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+        let emit name t =
+          print_string (Experiments.Table.render t);
+          let oc = open_out (Filename.concat dir (name ^ ".csv")) in
+          output_string oc (Experiments.Table.to_csv t);
+          close_out oc
+        in
+        emit "table1" (Experiments.Tables.table1 ctx);
+        emit "table2" (Experiments.Tables.table2 ctx);
+        emit "table3" (Experiments.Tables.table3 ctx);
+        emit "table4" (Experiments.Tables.table4 ctx);
+        emit "table5" (Experiments.Tables.table5 ctx);
+        emit "table6" (Experiments.Tables.table6 ctx);
+        emit "table7" (Experiments.Tables.table7 ctx);
+        emit "figure2" (Experiments.Tables.figure2 ());
+        emit "figure4" (Experiments.Tables.figure4 ())));
+  if arg_flag "--ablations" || (table = None && figure = None) then begin
+    print_endline "";
+    print_string (Experiments.Ablations.run_all ())
+  end;
+  if (not (arg_flag "--no-micro")) && table = None && figure = None then
+    run_micro ()

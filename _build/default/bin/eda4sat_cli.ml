@@ -1,0 +1,385 @@
+(* eda4sat — command-line front end of the EDA-driven SAT preprocessing
+   framework.
+
+     eda4sat solve      -i problem.cnf [--no-preprocess] [--timeout S]
+     eda4sat preprocess -i problem.cnf -o simplified.cnf [...]
+     eda4sat train      --episodes N --out agent.weights
+     eda4sat generate   --family php --out file.cnf [...]
+     eda4sat tables     [--table N] [--scale S] [--timeout S] [--agent F]
+
+   Inputs ending in .cnf/.dimacs are DIMACS; .aag files are ASCII
+   AIGER circuits. *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
+
+let read_instance path =
+  if Filename.check_suffix path ".aag" then
+    Eda4sat.Instance.of_circuit ~name:(Filename.basename path)
+      (Aig.Aiger_io.read_file path)
+  else
+    Eda4sat.Instance.of_cnf ~name:(Filename.basename path)
+      (Cnf.Dimacs.read_file path)
+
+let limits_of_timeout timeout =
+  { Sat.Solver.no_limits with Sat.Solver.max_seconds = Some timeout }
+
+let load_agent = function
+  | None -> None
+  | Some path ->
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    let agent =
+      Rl.Dqn.create
+        (Eda4sat.Trainer.dqn_config_for Eda4sat.Env.default_config)
+    in
+    Rl.Dqn.load_weights_string agent s;
+    Some agent
+
+let pipeline_config ~agent ~mapper ~recipe =
+  let base =
+    match recipe with
+    | Some r -> (
+      match Synth.Recipe.parse r with
+      | Ok ops ->
+        { (Eda4sat.Pipeline.ours ()) with
+          Eda4sat.Pipeline.recipe = Eda4sat.Pipeline.Fixed ops }
+      | Error e -> failwith e)
+    | None -> Eda4sat.Pipeline.ours ?agent ()
+  in
+  match mapper with
+  | "conventional" ->
+    { base with Eda4sat.Pipeline.mapper = Lutmap.Mapper.default_config }
+  | "branching" ->
+    { base with Eda4sat.Pipeline.mapper = Lutmap.Mapper.cost_customized_config }
+  | m -> failwith ("unknown mapper: " ^ m)
+
+(* --- common arguments ---------------------------------------------- *)
+
+let input_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Input instance (.cnf or .aag).")
+
+let timeout_arg =
+  Arg.(
+    value & opt float 300.0
+    & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Solver time budget.")
+
+let mapper_arg =
+  Arg.(
+    value & opt string "branching"
+    & info [ "mapper" ] ~docv:"KIND"
+        ~doc:"LUT mapper cost: 'branching' (cost-customized) or \
+              'conventional'.")
+
+let recipe_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "recipe" ] ~docv:"OPS"
+        ~doc:"Fixed synthesis recipe, e.g. 'rewrite;resub;balance'. \
+              Overrides the agent.")
+
+let agent_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "agent" ] ~docv:"FILE"
+        ~doc:"Trained agent weights (from 'eda4sat train').")
+
+(* --- solve ---------------------------------------------------------- *)
+
+let solve_cmd =
+  let run verbose input timeout no_preprocess cnf_simplify mapper recipe
+      agent_file =
+    setup_logs verbose;
+    let inst = read_instance input in
+    let limits = limits_of_timeout timeout in
+    let cfg =
+      if no_preprocess then Eda4sat.Pipeline.baseline
+      else
+        let agent = load_agent agent_file in
+        pipeline_config ~agent ~mapper ~recipe
+    in
+    if cnf_simplify then begin
+      (* The complementary CNF-level layer (paper §4.2 keeps Kissat's
+         default preprocessing on): circuit pipeline first, then
+         SatELite-style simplification, then solve. *)
+      let f, rep = Eda4sat.Pipeline.transform cfg inst in
+      Format.printf "%a@." Eda4sat.Pipeline.pp_report rep;
+      match Cnf.Simplify.run f with
+      | Cnf.Simplify.Proved_unsat ->
+        print_endline "c refuted during CNF simplification";
+        print_endline "s UNSATISFIABLE"
+      | Cnf.Simplify.Simplified simp ->
+        let f' = Cnf.Simplify.formula simp in
+        print_endline ("c " ^ Cnf.Simplify.stats simp);
+        Printf.printf "c simplified to %d vars, %d clauses
+"
+          f'.Cnf.Formula.num_vars (Cnf.Formula.num_clauses f');
+        let result, stats = Sat.Solver.solve ~limits f' in
+        (match result with
+         | Sat.Solver.Sat _ -> print_endline "s SATISFIABLE"
+         | Sat.Solver.Unsat -> print_endline "s UNSATISFIABLE"
+         | Sat.Solver.Unknown -> print_endline "s UNKNOWN");
+        Format.printf "c %a@." Sat.Solver.pp_stats stats
+    end
+    else begin
+      let report = Eda4sat.Pipeline.run ~limits cfg inst in
+      Format.printf "%a@." Eda4sat.Pipeline.pp_report report;
+      (match report.Eda4sat.Pipeline.result with
+       | Sat.Solver.Sat _ -> print_endline "s SATISFIABLE"
+       | Sat.Solver.Unsat -> print_endline "s UNSATISFIABLE"
+       | Sat.Solver.Unknown -> print_endline "s UNKNOWN");
+      Format.printf "c %a@." Sat.Solver.pp_stats
+        report.Eda4sat.Pipeline.solver_stats
+    end
+  in
+  let no_preprocess =
+    Arg.(
+      value & flag
+      & info [ "no-preprocess" ] ~doc:"Solve directly, skipping Algorithm 1.")
+  in
+  let cnf_simplify =
+    Arg.(
+      value & flag
+      & info [ "cnf-simplify" ]
+          ~doc:"Also run SatELite-style CNF simplification before solving.")
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Preprocess (by default) and solve an instance.")
+    Term.(
+      const run $ verbose_arg $ input_arg $ timeout_arg $ no_preprocess
+      $ cnf_simplify $ mapper_arg $ recipe_arg $ agent_arg)
+
+(* --- preprocess ------------------------------------------------------ *)
+
+let preprocess_cmd =
+  let run verbose input output mapper recipe agent_file =
+    setup_logs verbose;
+    let inst = read_instance input in
+    let agent = load_agent agent_file in
+    let f, report =
+      Eda4sat.Pipeline.transform (pipeline_config ~agent ~mapper ~recipe) inst
+    in
+    Cnf.Dimacs.write_file f output;
+    Format.printf "%a@." Eda4sat.Pipeline.pp_report report;
+    Printf.printf "recipe: %s\nwrote %s (%d vars, %d clauses)\n"
+      (Synth.Recipe.to_string report.Eda4sat.Pipeline.recipe_used)
+      output f.Cnf.Formula.num_vars
+      (Cnf.Formula.num_clauses f)
+  in
+  let output_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Simplified DIMACS output.")
+  in
+  Cmd.v
+    (Cmd.info "preprocess"
+       ~doc:"Run Algorithm 1 and write the simplified CNF for an external \
+             solver.")
+    Term.(const run $ verbose_arg $ input_arg $ output_arg $ mapper_arg
+          $ recipe_arg $ agent_arg)
+
+(* --- train ----------------------------------------------------------- *)
+
+let train_cmd =
+  let run episodes out scale count =
+    let instances = Workloads.Suites.training_set ~scale ~count () in
+    Printf.printf "training on %d generated LEC miters, %d episodes...\n%!"
+      count episodes;
+    let agent, history =
+      Eda4sat.Trainer.train instances ~episodes
+        ~on_episode:(fun p ->
+          if p.Eda4sat.Trainer.episode mod 10 = 0 then
+            Printf.printf "  episode %4d reward %+.3f\n%!"
+              p.Eda4sat.Trainer.episode p.Eda4sat.Trainer.reward)
+    in
+    Printf.printf "final 20-episode average reward: %+.3f\n"
+      (Eda4sat.Trainer.average_reward history 20);
+    let oc = open_out out in
+    output_string oc (Rl.Dqn.save_string agent);
+    close_out oc;
+    Printf.printf "weights written to %s\n" out
+  in
+  let episodes =
+    Arg.(value & opt int 200
+         & info [ "episodes" ] ~docv:"N" ~doc:"Training episodes.")
+  in
+  let out =
+    Arg.(value & opt string "agent.weights"
+         & info [ "out" ] ~docv:"FILE" ~doc:"Weight file to write.")
+  in
+  let scale =
+    Arg.(value & opt float 0.4
+         & info [ "scale" ] ~docv:"S" ~doc:"Training instance size scale.")
+  in
+  let count =
+    Arg.(value & opt int 24
+         & info [ "count" ] ~docv:"N" ~doc:"Training instance count.")
+  in
+  Cmd.v
+    (Cmd.info "train" ~doc:"Train the RL logic-synthesis agent (§3.2).")
+    Term.(const run $ episodes $ out $ scale $ count)
+
+(* --- generate -------------------------------------------------------- *)
+
+let generate_cmd =
+  let run family out seed size =
+    match family with
+    | "lec" ->
+      let g =
+        Workloads.Lec.generate ~seed ~num_pis:24 ~num_ands:size ()
+      in
+      Aig.Aiger_io.write_file g out;
+      Printf.printf "wrote LEC miter %s (%d ANDs)\n" out (Aig.Graph.num_ands g)
+    | "php" ->
+      Cnf.Dimacs.write_file
+        (Workloads.Satcomp.pigeonhole ~pigeons:size ~holes:(size - 1))
+        out;
+      Printf.printf "wrote php(%d,%d) to %s\n" size (size - 1) out
+    | "r3sat" ->
+      Cnf.Dimacs.write_file
+        (Workloads.Satcomp.random_ksat ~seed ~num_vars:size
+           ~num_clauses:(size * 9 / 2) ~k:3)
+        out;
+      Printf.printf "wrote random 3-SAT to %s\n" out
+    | "xor" ->
+      Cnf.Dimacs.write_file
+        (Workloads.Satcomp.xor_cnf ~seed ~num_vars:size
+           ~num_xors:(size * 19 / 20) ~width:4)
+        out;
+      Printf.printf "wrote CNF-XOR to %s\n" out
+    | "coloring" ->
+      Cnf.Dimacs.write_file
+        (Workloads.Satcomp.coloring ~seed ~vertices:size
+           ~edges:(size * 23 / 10) ~colors:3)
+        out;
+      Printf.printf "wrote 3-coloring to %s\n" out
+    | "roundrobin" ->
+      Cnf.Dimacs.write_file (Workloads.Satcomp.round_robin ~teams:size ()) out;
+      Printf.printf "wrote round-robin(%d) to %s\n" size out
+    | f -> failwith ("unknown family: " ^ f)
+  in
+  let family =
+    Arg.(
+      value & opt string "lec"
+      & info [ "family" ] ~docv:"NAME"
+          ~doc:"lec | php | r3sat | xor | coloring | roundrobin")
+  in
+  let out =
+    Arg.(value & opt string "instance.cnf"
+         & info [ "out" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+  in
+  let size =
+    Arg.(value & opt int 500
+         & info [ "size" ] ~docv:"N" ~doc:"Family-specific size parameter.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate benchmark instances to files.")
+    Term.(const run $ family $ out $ seed $ size)
+
+(* --- tables ----------------------------------------------------------- *)
+
+let tables_cmd =
+  let run table scale timeout agent_file episodes =
+    let ctx =
+      {
+        Experiments.Tables.default_ctx with
+        Experiments.Tables.scale;
+        limits = limits_of_timeout timeout;
+      }
+    in
+    let ctx =
+      match (load_agent agent_file, episodes) with
+      | Some a, _ -> { ctx with Experiments.Tables.agent = Some a }
+      | None, Some n ->
+        Printf.printf "training an agent for %d episodes...\n%!" n;
+        { ctx with
+          Experiments.Tables.agent =
+            Some (Experiments.Tables.train_agent ~episodes:n ctx) }
+      | None, None -> ctx
+    in
+    match table with
+    | None -> print_string (Experiments.Tables.run_all ctx)
+    | Some n ->
+      let t =
+        match n with
+        | 1 -> Experiments.Tables.table1 ctx
+        | 2 -> Experiments.Tables.table2 ctx
+        | 3 -> Experiments.Tables.table3 ctx
+        | 4 -> Experiments.Tables.table4 ctx
+        | 5 -> Experiments.Tables.table5 ctx
+        | 6 -> Experiments.Tables.table6 ctx
+        | 7 -> Experiments.Tables.table7 ctx
+        | _ -> failwith "tables are numbered 1..7"
+      in
+      print_string (Experiments.Table.render t)
+  in
+  let table =
+    Arg.(value & opt (some int) None
+         & info [ "table" ] ~docv:"N" ~doc:"Regenerate one table (1..7).")
+  in
+  let scale =
+    Arg.(value & opt float 1.0
+         & info [ "scale" ] ~docv:"S" ~doc:"Workload size scale.")
+  in
+  let episodes =
+    Arg.(value & opt (some int) None
+         & info [ "train-episodes" ] ~docv:"N"
+             ~doc:"Train a fresh agent for the RL columns.")
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Regenerate the paper's tables and figures.")
+    Term.(const run $ table $ scale $ timeout_arg $ agent_arg $ episodes)
+
+(* --- map --------------------------------------------------------------- *)
+
+let map_cmd =
+  let run input output mapper recipe agent_file =
+    let inst = read_instance input in
+    let agent = load_agent agent_file in
+    let cfg = pipeline_config ~agent ~mapper ~recipe in
+    let g0 = Eda4sat.Instance.to_aig inst in
+    let g =
+      match cfg.Eda4sat.Pipeline.recipe with
+      | Eda4sat.Pipeline.Fixed ops -> Synth.Recipe.apply_sequence ops g0
+      | _ -> Synth.Recipe.apply_sequence Synth.Recipe.compress2 g0
+    in
+    let nl = Lutmap.Mapper.run ~config:cfg.Eda4sat.Pipeline.mapper g in
+    Lutmap.Blif.write_file nl output;
+    Format.printf "mapped: %a -> %a; wrote %s@." Aig.Graph.pp_stats g0
+      Lutmap.Netlist.pp_stats nl output
+  in
+  let output_arg =
+    Arg.(
+      value & opt string "mapped.blif"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"BLIF output file.")
+  in
+  Cmd.v
+    (Cmd.info "map"
+       ~doc:"Synthesize and LUT-map an instance, writing a BLIF netlist.")
+    Term.(const run $ input_arg $ output_arg $ mapper_arg $ recipe_arg
+          $ agent_arg)
+
+let () =
+  let doc = "EDA-driven preprocessing for SAT solving" in
+  let info = Cmd.info "eda4sat" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+                    [ solve_cmd; preprocess_cmd; train_cmd; generate_cmd;
+                      tables_cmd; map_cmd ]))

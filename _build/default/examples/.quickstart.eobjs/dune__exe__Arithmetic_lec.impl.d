@@ -1,0 +1,1 @@
+examples/arithmetic_lec.ml: Aig Array Eda4sat Format Printf Sat Synth Sys Workloads

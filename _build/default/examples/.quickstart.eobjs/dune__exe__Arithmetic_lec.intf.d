@@ -1,0 +1,1 @@
+examples/arithmetic_lec.mli:

@@ -1,0 +1,1 @@
+examples/certified_unsat.ml: Array Cnf Eda4sat Printf Sat Sys Workloads

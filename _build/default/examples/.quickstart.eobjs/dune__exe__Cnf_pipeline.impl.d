@@ -1,0 +1,1 @@
+examples/cnf_pipeline.ml: Aig Array Cnf Eda4sat Filename Format Printf Sat Sys Workloads

@@ -1,0 +1,1 @@
+examples/cnf_pipeline.mli:

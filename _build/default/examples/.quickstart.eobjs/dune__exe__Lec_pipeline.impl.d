@@ -1,0 +1,1 @@
+examples/lec_pipeline.ml: Aig Array Eda4sat Format Printf Sat Sys Workloads

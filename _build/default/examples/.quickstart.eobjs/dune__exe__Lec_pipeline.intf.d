@@ -1,0 +1,1 @@
+examples/lec_pipeline.mli:

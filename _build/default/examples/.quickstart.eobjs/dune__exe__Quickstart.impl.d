@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aig Eda4sat Format List Printf Sat Synth Workloads

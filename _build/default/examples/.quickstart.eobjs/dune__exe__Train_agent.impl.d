@@ -1,0 +1,1 @@
+examples/train_agent.ml: Array Eda4sat Format Printf Rl Sat Synth Sys Workloads

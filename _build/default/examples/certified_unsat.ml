@@ -1,0 +1,47 @@
+(* Certified solving: preprocess a pigeonhole instance through the
+   EDA-driven pipeline, solve the simplified CNF with DRAT proof
+   logging, and independently validate the refutation with the RUP
+   checker.
+
+     dune exec examples/certified_unsat.exe -- [pigeons] *)
+
+let () =
+  let pigeons =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 7
+  in
+  let f = Workloads.Satcomp.pigeonhole ~pigeons ~holes:(pigeons - 1) in
+  Printf.printf "php(%d,%d): %d vars, %d clauses (unsatisfiable)\n%!" pigeons
+    (pigeons - 1) f.Cnf.Formula.num_vars (Cnf.Formula.num_clauses f);
+  let inst = Eda4sat.Instance.of_cnf ~name:"php" f in
+
+  (* 1. Certify the direct solve. *)
+  let proof = Sat.Proof.create () in
+  let t0 = Sys.time () in
+  (match fst (Sat.Solver.solve ~proof f) with
+   | Sat.Solver.Unsat -> ()
+   | _ -> failwith "expected UNSAT");
+  Printf.printf "direct solve: %.2fs, DRAT proof with %d steps\n%!"
+    (Sys.time () -. t0) (Sat.Proof.num_steps proof);
+  let t0 = Sys.time () in
+  let valid = Sat.Proof.check f proof in
+  Printf.printf "proof check: %s in %.2fs\n%!"
+    (if valid then "VALID" else "INVALID")
+    (Sys.time () -. t0);
+  assert valid;
+
+  (* 2. Preprocess first: the simplified CNF gets a much shorter
+     refutation, certified the same way. *)
+  let simplified, report =
+    Eda4sat.Pipeline.transform (Eda4sat.Pipeline.ours ()) inst
+  in
+  Printf.printf "preprocessed (t_trans %.2fs): %d vars, %d clauses\n%!"
+    report.Eda4sat.Pipeline.t_trans simplified.Cnf.Formula.num_vars
+    (Cnf.Formula.num_clauses simplified);
+  let proof2 = Sat.Proof.create () in
+  (match fst (Sat.Solver.solve ~proof:proof2 simplified) with
+   | Sat.Solver.Unsat -> ()
+   | _ -> failwith "expected UNSAT after preprocessing");
+  Printf.printf "preprocessed proof: %d steps (vs %d direct)\n%!"
+    (Sat.Proof.num_steps proof2) (Sat.Proof.num_steps proof);
+  assert (Sat.Proof.check simplified proof2);
+  print_endline "both refutations validated by reverse unit propagation"

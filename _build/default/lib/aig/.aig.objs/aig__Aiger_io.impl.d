@@ -1,0 +1,1 @@
+lib/aig/aiger_io.ml: Array Buffer Char Fun Graph Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/aig/cube.ml: Format List Tt

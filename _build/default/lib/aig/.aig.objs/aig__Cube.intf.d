@@ -1,0 +1,1 @@
+lib/aig/cube.mli: Format Tt

@@ -1,0 +1,1 @@
+lib/aig/cut.ml: Array Graph Int64 List Tt

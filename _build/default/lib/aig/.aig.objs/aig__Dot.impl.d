@@ -1,0 +1,1 @@
+lib/aig/dot.ml: Array Buffer Fun Graph Printf

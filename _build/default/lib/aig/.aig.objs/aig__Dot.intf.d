@@ -1,0 +1,1 @@
+lib/aig/dot.mli: Graph

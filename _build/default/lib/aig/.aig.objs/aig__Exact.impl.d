@@ -1,0 +1,1 @@
+lib/aig/exact.ml: Array Graph Lazy List Tt

@@ -1,0 +1,1 @@
+lib/aig/exact.mli: Graph Tt

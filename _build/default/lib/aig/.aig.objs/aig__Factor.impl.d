@@ -1,0 +1,1 @@
+lib/aig/factor.ml: Array Cube Exact Graph Hashtbl Isop List Option Tt

@@ -1,0 +1,1 @@
+lib/aig/factor.mli: Cube Graph Tt

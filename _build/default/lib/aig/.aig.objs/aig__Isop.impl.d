@@ -1,0 +1,1 @@
+lib/aig/isop.ml: Cube List Tt

@@ -1,0 +1,1 @@
+lib/aig/isop.mli: Cube Tt

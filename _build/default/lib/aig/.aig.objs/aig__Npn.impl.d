@@ -1,0 +1,1 @@
+lib/aig/npn.ml: Array Hashtbl List Tt

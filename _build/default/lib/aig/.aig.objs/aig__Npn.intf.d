@@ -1,0 +1,1 @@
+lib/aig/npn.mli: Tt

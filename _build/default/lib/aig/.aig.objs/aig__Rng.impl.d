@@ -1,0 +1,1 @@
+lib/aig/rng.ml: Array Float Int64

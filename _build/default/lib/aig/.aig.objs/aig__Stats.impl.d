@@ -1,0 +1,1 @@
+lib/aig/stats.ml: Array Format Graph

@@ -1,0 +1,1 @@
+lib/aig/tt.ml: Array Format Hashtbl Int64 List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/aig/tt.mli: Format

@@ -1,0 +1,256 @@
+exception Parse_error of string
+
+let write_buffer g buf =
+  let npis = Graph.num_pis g
+  and nands = Graph.num_ands g
+  and npos = Graph.num_pos g in
+  let m = npis + nands in
+  Buffer.add_string buf (Printf.sprintf "aag %d %d 0 %d %d\n" m npis npos nands);
+  for i = 0 to npis - 1 do
+    Buffer.add_string buf (Printf.sprintf "%d\n" (2 * (i + 1)))
+  done;
+  for i = 0 to npos - 1 do
+    Buffer.add_string buf (Printf.sprintf "%d\n" (Graph.po g i))
+  done;
+  Graph.iter_ands g (fun id ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d %d\n" (2 * id) (Graph.fanin0 g id)
+           (Graph.fanin1 g id)))
+
+let write_string g =
+  let buf = Buffer.create 4096 in
+  write_buffer g buf;
+  Buffer.contents buf
+
+let write_channel g oc = output_string oc (write_string g)
+
+let write_file g path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel g oc)
+
+
+(* --- binary ("aig") format ------------------------------------------ *)
+
+let write_varint buf x =
+  let x = ref x in
+  while !x >= 0x80 do
+    Buffer.add_char buf (Char.chr ((!x land 0x7F) lor 0x80));
+    x := !x lsr 7
+  done;
+  Buffer.add_char buf (Char.chr !x)
+
+let write_binary_string g =
+  let npis = Graph.num_pis g
+  and nands = Graph.num_ands g
+  and npos = Graph.num_pos g in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "aig %d %d 0 %d %d\n" (npis + nands) npis npos nands);
+  for i = 0 to npos - 1 do
+    Buffer.add_string buf (Printf.sprintf "%d\n" (Graph.po g i))
+  done;
+  Graph.iter_ands g (fun id ->
+      let lhs = 2 * id in
+      let a = Graph.fanin0 g id and b = Graph.fanin1 g id in
+      let rhs0 = max a b and rhs1 = min a b in
+      assert (lhs > rhs0 && rhs0 >= rhs1);
+      write_varint buf (lhs - rhs0);
+      write_varint buf (rhs0 - rhs1));
+  Buffer.contents buf
+
+let write_binary_file g path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (write_binary_string g))
+
+let read_binary_string s =
+  (* Header and output lines are newline-terminated ASCII; the AND
+     section is raw bytes. *)
+  let pos = ref 0 in
+  let len = String.length s in
+  let next_line () =
+    let start = !pos in
+    while !pos < len && s.[!pos] <> '\n' do
+      incr pos
+    done;
+    if !pos >= len then raise (Parse_error "truncated binary file");
+    let line = String.sub s start (!pos - start) in
+    incr pos;
+    line
+  in
+  let header = next_line () in
+  let m, i, l, o, a =
+    match String.split_on_char ' ' header with
+    | [ "aig"; m; i; l; o; a ] -> (
+      try
+        ( int_of_string m, int_of_string i, int_of_string l,
+          int_of_string o, int_of_string a )
+      with Failure _ -> raise (Parse_error "bad binary header"))
+    | _ -> raise (Parse_error "expected 'aig M I L O A' header")
+  in
+  if l <> 0 then raise (Parse_error "latches not supported");
+  if m <> i + a then raise (Parse_error "binary aig requires M = I + A");
+  let output_lits =
+    List.init o (fun _ ->
+        try int_of_string (String.trim (next_line ()))
+        with Failure _ -> raise (Parse_error "bad output line"))
+  in
+  let read_varint () =
+    let x = ref 0 and shift = ref 0 and continue = ref true in
+    while !continue do
+      if !pos >= len then raise (Parse_error "truncated AND section");
+      let byte = Char.code s.[!pos] in
+      incr pos;
+      x := !x lor ((byte land 0x7F) lsl !shift);
+      shift := !shift + 7;
+      if byte < 0x80 then continue := false
+    done;
+    !x
+  in
+  let g = Graph.create ~num_pis:i in
+  (* Map original literal -> graph literal (identity numbering modulo
+     strashing). *)
+  let map = Array.make (2 * (m + 1)) Graph.const_false in
+  map.(0) <- Graph.const_false;
+  map.(1) <- Graph.const_true;
+  for k = 0 to i - 1 do
+    map.((2 * (k + 1))) <- Graph.pi g k;
+    map.((2 * (k + 1)) + 1) <- Graph.lit_not (Graph.pi g k)
+  done;
+  for k = 0 to a - 1 do
+    let lhs = 2 * (i + 1 + k) in
+    let d0 = read_varint () in
+    let d1 = read_varint () in
+    let rhs0 = lhs - d0 in
+    let rhs1 = rhs0 - d1 in
+    if rhs0 < 0 || rhs1 < 0 || rhs0 >= lhs then
+      raise (Parse_error "bad AND deltas");
+    let lit = Graph.and_ g map.(rhs0) map.(rhs1) in
+    map.(lhs) <- lit;
+    map.(lhs + 1) <- Graph.lit_not lit
+  done;
+  List.iter
+    (fun x ->
+      if x < 0 || x >= Array.length map then
+        raise (Parse_error "output literal out of range");
+      Graph.add_po g map.(x))
+    output_lits;
+  g
+
+let read_ascii_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = 'c'))
+  in
+  let ints line =
+    try List.map int_of_string (String.split_on_char ' ' line)
+    with Failure _ -> raise (Parse_error ("bad line: " ^ line))
+  in
+  match lines with
+  | [] -> raise (Parse_error "empty input")
+  | header :: rest ->
+    let m, i, l, o, a =
+      match String.split_on_char ' ' header with
+      | [ "aag"; m; i; l; o; a ] -> (
+        try
+          ( int_of_string m,
+            int_of_string i,
+            int_of_string l,
+            int_of_string o,
+            int_of_string a )
+        with Failure _ -> raise (Parse_error "bad header"))
+      | _ -> raise (Parse_error "expected 'aag M I L O A' header")
+    in
+    if l <> 0 then raise (Parse_error "latches not supported");
+    if List.length rest < i + o + a then raise (Parse_error "truncated file");
+    let rec split n xs acc =
+      if n = 0 then (List.rev acc, xs)
+      else
+        match xs with
+        | [] -> raise (Parse_error "truncated file")
+        | x :: xs -> split (n - 1) xs (x :: acc)
+    in
+    let input_lines, rest = split i rest [] in
+    let output_lines, rest = split o rest [] in
+    let and_lines, _symbols = split a rest [] in
+    let input_lits =
+      List.map
+        (fun line ->
+          match ints line with
+          | [ x ] when x land 1 = 0 && x > 0 -> x
+          | _ -> raise (Parse_error ("bad input line: " ^ line)))
+        input_lines
+    in
+    let output_lits =
+      List.map
+        (fun line ->
+          match ints line with
+          | [ x ] -> x
+          | _ -> raise (Parse_error ("bad output line: " ^ line)))
+        output_lines
+    in
+    let and_defs = Hashtbl.create (2 * a) in
+    List.iter
+      (fun line ->
+        match ints line with
+        | [ lhs; rhs0; rhs1 ] when lhs land 1 = 0 && lhs > 0 ->
+          if Hashtbl.mem and_defs (lhs / 2) then
+            raise (Parse_error "duplicate AND definition");
+          Hashtbl.add and_defs (lhs / 2) (rhs0, rhs1)
+        | _ -> raise (Parse_error ("bad AND line: " ^ line)))
+      and_lines;
+    let g = Graph.create ~num_pis:i in
+    (* Map original variable index -> new literal. *)
+    let map = Hashtbl.create (2 * (m + 1)) in
+    Hashtbl.add map 0 Graph.const_false;
+    List.iteri (fun idx x -> Hashtbl.add map (x / 2) (Graph.pi g idx)) input_lits;
+    let building = Hashtbl.create 16 in
+    let rec lit_value x =
+      let v = x / 2 in
+      let base =
+        match Hashtbl.find_opt map v with
+        | Some nl -> nl
+        | None -> (
+          if Hashtbl.mem building v then
+            raise (Parse_error "cyclic AND definitions");
+          Hashtbl.add building v ();
+          match Hashtbl.find_opt and_defs v with
+          | None ->
+            raise (Parse_error (Printf.sprintf "undefined variable %d" v))
+          | Some (r0, r1) ->
+            let nl = Graph.and_ g (lit_value r0) (lit_value r1) in
+            Hashtbl.remove building v;
+            Hashtbl.add map v nl;
+            nl)
+      in
+      Graph.lit_not_cond base (x land 1 = 1)
+    in
+    (* Materialize every defined AND (even ones unreachable from the
+       outputs) so size statistics match the file.  Ascending variable
+       order keeps recursion shallow for topologically sorted files. *)
+    let vars = Hashtbl.fold (fun v _ acc -> v :: acc) and_defs [] in
+    List.iter
+      (fun v -> ignore (lit_value (2 * v)))
+      (List.sort compare vars);
+    List.iter (fun x -> Graph.add_po g (lit_value x)) output_lits;
+    g
+
+let read_string s =
+  if String.length s >= 4 && String.sub s 0 4 = "aig " then
+    read_binary_string s
+  else read_ascii_string s
+
+let read_channel ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  read_string (Buffer.contents buf)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_channel ic)

@@ -1,0 +1,128 @@
+type cut = { leaves : int array; tt : int64 }
+
+let trivial n = { leaves = [| n |]; tt = 2L (* f = x0 *) }
+
+let cut_tt c =
+  let k = Array.length c.leaves in
+  let t = ref (Tt.create_const k false) in
+  for m = 0 to (1 lsl k) - 1 do
+    if Int64.logand (Int64.shift_right_logical c.tt m) 1L = 1L then
+      t := Tt.set_bit !t m true
+  done;
+  !t
+
+let expand_tt tt leaves union =
+  let k = Array.length union in
+  (* Position of each leaf variable within the union. *)
+  let pos =
+    Array.map
+      (fun leaf ->
+        let rec find i =
+          if union.(i) = leaf then i else find (i + 1)
+        in
+        find 0)
+      leaves
+  in
+  let r = ref 0L in
+  for m = 0 to (1 lsl k) - 1 do
+    let child_m = ref 0 in
+    Array.iteri
+      (fun i p -> if m land (1 lsl p) <> 0 then child_m := !child_m lor (1 lsl i))
+      pos;
+    if Int64.logand (Int64.shift_right_logical tt !child_m) 1L = 1L then
+      r := Int64.logor !r (Int64.shift_left 1L m)
+  done;
+  !r
+
+let union_sorted a b k =
+  let la = Array.length a and lb = Array.length b in
+  let buf = Array.make (la + lb) 0 in
+  let rec loop i j n =
+    if n > k then None
+    else if i >= la && j >= lb then Some (Array.sub buf 0 n)
+    else if j >= lb || (i < la && a.(i) < b.(j)) then begin
+      buf.(n) <- a.(i);
+      loop (i + 1) j (n + 1)
+    end
+    else if i >= la || b.(j) < a.(i) then begin
+      buf.(n) <- b.(j);
+      loop i (j + 1) (n + 1)
+    end
+    else begin
+      buf.(n) <- a.(i);
+      loop (i + 1) (j + 1) (n + 1)
+    end
+  in
+  loop 0 0 0
+
+let full_mask k = Int64.sub (Int64.shift_left 1L (1 lsl k)) 1L
+
+let merge ~k ca ca_compl cb cb_compl =
+  match union_sorted ca.leaves cb.leaves k with
+  | None -> None
+  | Some union ->
+    let kk = Array.length union in
+    let ta = expand_tt ca.tt ca.leaves union in
+    let tb = expand_tt cb.tt cb.leaves union in
+    let ta = if ca_compl then Int64.logxor ta (full_mask kk) else ta in
+    let tb = if cb_compl then Int64.logxor tb (full_mask kk) else tb in
+    Some { leaves = union; tt = Int64.logand ta tb }
+
+let dominates a b =
+  let la = Array.length a.leaves and lb = Array.length b.leaves in
+  la <= lb
+  &&
+  let rec subset i j =
+    if i >= la then true
+    else if j >= lb then false
+    else if a.leaves.(i) = b.leaves.(j) then subset (i + 1) (j + 1)
+    else if a.leaves.(i) > b.leaves.(j) then subset i (j + 1)
+    else false
+  in
+  subset 0 0
+
+type sets = cut list array
+
+let enumerate g ~k ~limit =
+  if k < 2 || k > 6 then invalid_arg "Cut.enumerate: k must be in 2..6";
+  let sets = Array.make (Graph.num_nodes g) [] in
+  for i = 0 to Graph.num_pis g - 1 do
+    sets.(i + 1) <- [ trivial (i + 1) ]
+  done;
+  Graph.iter_ands g (fun id ->
+      let f0 = Graph.fanin0 g id and f1 = Graph.fanin1 g id in
+      let n0 = Graph.node_of_lit f0 and n1 = Graph.node_of_lit f1 in
+      let c0 = Graph.is_compl f0 and c1 = Graph.is_compl f1 in
+      let merged = ref [] in
+      List.iter
+        (fun ca ->
+          List.iter
+            (fun cb ->
+              match merge ~k ca c0 cb c1 with
+              | Some c -> merged := c :: !merged
+              | None -> ())
+            sets.(n1))
+        sets.(n0);
+      (* Remove duplicates and dominated cuts, keep the smallest. *)
+      let cmp a b =
+        let d = compare (Array.length a.leaves) (Array.length b.leaves) in
+        if d <> 0 then d else compare a.leaves b.leaves
+      in
+      let cs = List.sort_uniq cmp !merged in
+      let kept =
+        List.fold_left
+          (fun acc c ->
+            if List.exists (fun c' -> dominates c' c) acc then acc
+            else c :: acc)
+          [] cs
+        |> List.rev
+      in
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: rest -> x :: take (n - 1) rest
+      in
+      sets.(id) <- take limit kept @ [ trivial id ]);
+  sets
+
+let cuts sets id = sets.(id)

@@ -1,0 +1,45 @@
+let of_graph ?(name = "aig") g =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Buffer.add_string buf "  rankdir=BT;\n";
+  Buffer.add_string buf
+    "  node [shape=circle, fontsize=10, width=0.4, fixedsize=true];\n";
+  for i = 0 to Graph.num_pis g - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [shape=triangle, label=\"x%d\"];\n" (i + 1) i)
+  done;
+  Graph.iter_ands g (fun id ->
+      Buffer.add_string buf (Printf.sprintf "  n%d [label=\"∧\"];\n" id);
+      let edge l =
+        let src = Graph.node_of_lit l in
+        let style = if Graph.is_compl l then " [style=dashed]" else "" in
+        if src = 0 then
+          Buffer.add_string buf
+            (Printf.sprintf "  const [shape=box, label=\"0\"];\n  const -> n%d%s;\n"
+               id style)
+        else
+          Buffer.add_string buf (Printf.sprintf "  n%d -> n%d%s;\n" src id style)
+      in
+      edge (Graph.fanin0 g id);
+      edge (Graph.fanin1 g id));
+  Array.iteri
+    (fun i l ->
+      Buffer.add_string buf
+        (Printf.sprintf "  o%d [shape=invtriangle, label=\"y%d\"];\n" i i);
+      let src = Graph.node_of_lit l in
+      let style = if Graph.is_compl l then " [style=dashed]" else "" in
+      if src = 0 then
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  const [shape=box, label=\"0\"];\n  const -> o%d%s;\n" i style)
+      else
+        Buffer.add_string buf (Printf.sprintf "  n%d -> o%d%s;\n" src i style))
+    (Graph.pos g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_file ?name g path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (of_graph ?name g))

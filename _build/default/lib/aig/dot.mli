@@ -1,0 +1,7 @@
+(** Graphviz export of AIGs (complemented edges drawn dashed) — handy
+    for debugging synthesis passes and for documentation figures. *)
+
+val of_graph : ?name:string -> Graph.t -> string
+(** DOT source; render with [dot -Tsvg]. *)
+
+val to_file : ?name:string -> Graph.t -> string -> unit

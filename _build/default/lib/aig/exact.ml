@@ -1,0 +1,124 @@
+type expr =
+  | Const_true
+  | Var of int
+  | And of expr * bool * expr * bool
+
+let rec size = function
+  | Const_true | Var _ -> 0
+  | And (a, _, b, _) -> 1 + size a + size b
+
+(* The table maps each 8-bit truth table (3 variables, minterm order)
+   to a minimal tree.  Output complementation is free, so the DP works
+   on complement classes: table.(f) and table.(f lxor 0xFF) always hold
+   the same size. *)
+
+let full = 0xFF
+
+(* Evaluate an expr as an 8-bit truth table. *)
+let rec eval = function
+  | Const_true -> full
+  | Var i -> [| 0xAA; 0xCC; 0xF0 |].(i)
+  | And (a, ca, b, cb) ->
+    let ta = eval a and tb = eval b in
+    let ta = if ca then ta lxor full else ta in
+    let tb = if cb then tb lxor full else tb in
+    ta land tb
+
+let table =
+  lazy
+    (let best : (int * expr) option array = Array.make 256 None in
+     let put f sz e =
+       match best.(f) with
+       | Some (old, _) when old <= sz -> false
+       | Some _ | None ->
+         best.(f) <- Some (sz, e);
+         true
+     in
+     (* Size 0: constants and variables. *)
+     ignore (put full 0 Const_true);
+     ignore (put 0x00 0 Const_true);
+     (* 0x00 realized as complement of Const_true *)
+     let vars = [| 0xAA; 0xCC; 0xF0 |] in
+     Array.iteri
+       (fun i tt ->
+         ignore (put tt 0 (Var i));
+         ignore (put (tt lxor full) 0 (Var i)))
+       vars;
+     (* The stored expr realizes either f or ~f; which one is decided at
+        lookup time by re-evaluating the expr.  During the DP we only
+        need one representative per complement pair, so normalize to the
+        smaller table value. *)
+     let changed = ref true in
+     while !changed do
+       changed := false;
+       (* Snapshot to iterate deterministically. *)
+       (* A stored expr may realize the complement of its index, so
+          recompute its true function before combining. *)
+       let snapshot =
+         Array.to_list best
+         |> List.filter_map (function
+                | Some (sz, e) -> Some (eval e, sz, e)
+                | None -> None)
+         |> List.sort_uniq compare
+       in
+       List.iter
+         (fun (fa, sa, ea) ->
+           List.iter
+             (fun (fb, sb, eb) ->
+               (* Four complementation combinations of the AND. *)
+               List.iter
+                 (fun (ca, cb) ->
+                   let ta = if ca then fa lxor full else fa in
+                   let tb = if cb then fb lxor full else fb in
+                   let h = ta land tb in
+                   let e = And (ea, ca, eb, cb) in
+                   let sz = 1 + sa + sb in
+                   if put h sz e then changed := true;
+                   if put (h lxor full) sz e then changed := true)
+                 [ (false, false); (false, true); (true, false); (true, true) ])
+             snapshot)
+         snapshot
+     done;
+     Array.map
+       (function
+         | Some (_, e) -> e
+         | None -> assert false (* every function is reachable *))
+       best)
+
+let to_bits f =
+  let n = Tt.num_vars f in
+  if n > 3 then invalid_arg "Exact: arity above 3";
+  (* Expand to 3 variables by repetition. *)
+  let bits = Tt.to_int f in
+  match n with
+  | 3 -> bits
+  | 2 -> bits lor (bits lsl 4)
+  | 1 -> let b = bits lor (bits lsl 2) in b lor (b lsl 4)
+  | _ -> if bits land 1 = 1 then full else 0
+
+let lookup f =
+  let bits = to_bits f in
+  let e = (Lazy.force table).(bits) in
+  let realized = eval e in
+  if realized = bits then (e, false)
+  else begin
+    assert (realized = bits lxor full);
+    (e, true)
+  end
+
+let optimal_size f = size (fst (lookup f))
+
+let build g ~leaves f =
+  let e, compl_ = lookup f in
+  let rec go = function
+    | Const_true -> Graph.const_true
+    | Var i ->
+      if i >= Array.length leaves then
+        invalid_arg "Exact.build: not enough leaves"
+      else leaves.(i)
+    | And (a, ca, b, cb) ->
+      Graph.and_ g
+        (Graph.lit_not_cond (go a) ca)
+        (Graph.lit_not_cond (go b) cb)
+  in
+  Graph.lit_not_cond (go e) compl_

@@ -1,0 +1,28 @@
+(** Exact tree synthesis of functions with up to 3 variables.
+
+    A one-time dynamic program enumerates, for all 256 3-variable
+    functions, a minimum-node AND/INV tree implementation (output
+    complementation is free in an AIG).  The rewriter consults this
+    instead of generic factoring for narrow cut functions — the same
+    role ABC's precomputed subgraph library plays for its rewriting. *)
+
+type expr =
+  | Const_true
+  | Var of int                       (** variable index 0..2 *)
+  | And of expr * bool * expr * bool (** children with complement flags *)
+
+val size : expr -> int
+(** AND-node count of the tree. *)
+
+val lookup : Tt.t -> expr * bool
+(** [lookup f] for [f] of up to 3 variables: a minimum-size tree and
+    whether its output must be complemented to realize [f].
+    @raise Invalid_argument above 3 variables. *)
+
+val optimal_size : Tt.t -> int
+(** Tree-node count of the optimal implementation. *)
+
+val build : Graph.t -> leaves:Graph.lit array -> Tt.t -> Graph.lit
+(** Materialize the optimal tree over the given leaf literals
+    (structural hashing may share nodes, so the realized cost can be
+    even lower). *)

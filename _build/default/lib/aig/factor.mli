@@ -1,0 +1,19 @@
+(** Building AIG structure from Boolean functions.
+
+    Converts a function (given as a truth table or an SOP cover over a
+    set of leaf literals) into AND/INV structure, using literal-division
+    factoring to share common subexpressions.  Used by the rewriter and
+    the refactoring pass to synthesize candidate replacements. *)
+
+val cube_to_aig : Graph.t -> leaves:Graph.lit array -> Cube.t -> Graph.lit
+
+val sop_to_aig : Graph.t -> leaves:Graph.lit array -> Cube.t list -> Graph.lit
+(** Factored realization of a cube cover: recursively divides the cover
+    by its most frequent literal, producing [l * quotient + remainder]
+    structure instead of a flat two-level network. *)
+
+val tt_to_aig : Graph.t -> leaves:Graph.lit array -> Tt.t -> Graph.lit
+(** Builds the function from whichever of ISOP(f) / ISOP(not f) has the
+    fewer literals, complementing the root in the latter case; for up
+    to 3 variables the exact minimal tree from {!Exact} is used
+    instead.  The truth table arity must equal [Array.length leaves]. *)

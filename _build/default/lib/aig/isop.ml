@@ -1,0 +1,57 @@
+(* Minato-Morreale ISOP: recursive decomposition on the top variable of
+   the interval [l, u] (l <= f <= u).  For completely specified functions
+   the initial call uses l = u = f.  Each recursive step computes the
+   cubes that must contain ~x, the cubes that must contain x, and a
+   shared remainder cover independent of x. *)
+
+let rec isop l u n =
+  if Tt.is_const_false l then ([], Tt.create_const n false)
+  else if Tt.is_const_true u then ([ Cube.full ], Tt.create_const n true)
+  else begin
+    let x =
+      match Tt.support u with
+      | v :: _ -> v
+      | [] -> (match Tt.support l with
+          | v :: _ -> v
+          | [] ->
+            (* l nonconstant is impossible here: no support means const. *)
+            assert false)
+    in
+    let l0 = Tt.cofactor l x false and l1 = Tt.cofactor l x true in
+    let u0 = Tt.cofactor u x false and u1 = Tt.cofactor u x true in
+    (* Cubes needed specifically on the x=0 side. *)
+    let c0, g0 = isop (Tt.and_ l0 (Tt.not_ u1)) u0 n in
+    (* Cubes needed specifically on the x=1 side. *)
+    let c1, g1 = isop (Tt.and_ l1 (Tt.not_ u0)) u1 n in
+    let lnew =
+      Tt.or_ (Tt.and_ l0 (Tt.not_ g0)) (Tt.and_ l1 (Tt.not_ g1))
+    in
+    let cs, gs = isop lnew (Tt.and_ u0 u1) n in
+    let vx = Tt.var n x in
+    let cover =
+      Tt.or_ gs
+        (Tt.or_ (Tt.and_ (Tt.not_ vx) g0) (Tt.and_ vx g1))
+    in
+    let cubes =
+      List.map (fun c -> Cube.add_neg c x) c0
+      @ List.map (fun c -> Cube.add_pos c x) c1
+      @ cs
+    in
+    (cubes, cover)
+  end
+
+let compute f =
+  let n = Tt.num_vars f in
+  let cubes, cover = isop f f n in
+  assert (Tt.equal cover f);
+  cubes
+
+let cover_tt n cubes =
+  List.fold_left
+    (fun acc c -> Tt.or_ acc (Cube.to_tt n c))
+    (Tt.create_const n false) cubes
+
+let verify f cubes = Tt.equal f (cover_tt (Tt.num_vars f) cubes)
+let num_cubes f = List.length (compute f)
+let literal_count cubes =
+  List.fold_left (fun acc c -> acc + Cube.num_literals c) 0 cubes

@@ -1,0 +1,23 @@
+(** Irredundant sum-of-products covers (Minato–Morreale ISOP).
+
+    Computes a prime, irredundant cover of a completely specified Boolean
+    function given as a truth table.  The cover is the basis for both the
+    LUT-to-CNF encoding and the branching-complexity cost metric of the
+    cost-customized mapper (C(L) = |ISOP(f)| + |ISOP(not f)|). *)
+
+val compute : Tt.t -> Cube.t list
+(** [compute f] returns an irredundant prime cover of [f].  The constant
+    false function yields the empty cover; constant true yields the
+    single full cube. *)
+
+val cover_tt : int -> Cube.t list -> Tt.t
+(** [cover_tt n cubes] is the disjunction of the cubes over [n] vars. *)
+
+val verify : Tt.t -> Cube.t list -> bool
+(** [verify f cubes] checks that the cover computes exactly [f]. *)
+
+val num_cubes : Tt.t -> int
+(** [num_cubes f] = [List.length (compute f)]. *)
+
+val literal_count : Cube.t list -> int
+(** Total number of literals in the cover. *)

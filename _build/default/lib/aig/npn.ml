@@ -1,0 +1,128 @@
+type transform = { perm : int array; input_neg : int; output_neg : bool }
+
+let identity n =
+  { perm = Array.init n (fun i -> i); input_neg = 0; output_neg = false }
+
+let apply f tr =
+  let n = Tt.num_vars f in
+  let t = ref f in
+  for i = 0 to n - 1 do
+    if tr.input_neg land (1 lsl i) <> 0 then t := Tt.flip !t i
+  done;
+  let t = Tt.permute !t tr.perm in
+  if tr.output_neg then Tt.not_ t else t
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y <> x) xs in
+        List.map (fun p -> x :: p) (permutations rest))
+      xs
+
+let all_transforms n =
+  let perms =
+    permutations (List.init n (fun i -> i)) |> List.map Array.of_list
+  in
+  List.concat_map
+    (fun perm ->
+      List.concat_map
+        (fun output_neg ->
+          List.init (1 lsl n) (fun input_neg -> { perm; input_neg; output_neg }))
+        [ false; true ])
+    perms
+
+(* Fast path for n <= 4: truth tables fit in an int; precompute, for
+   every (perm, input_neg) pair, the minterm remapping, so canonical
+   search is a table walk instead of repeated Tt surgery. *)
+
+type compiled = { tr : transform; minterm_map : int array }
+
+let compile n tr =
+  let size = 1 lsl n in
+  let minterm_map =
+    Array.init size (fun m ->
+        let m = m lxor tr.input_neg in
+        let m' = ref 0 in
+        for i = 0 to n - 1 do
+          if m land (1 lsl i) <> 0 then m' := !m' lor (1 lsl tr.perm.(i))
+        done;
+        !m')
+  in
+  { tr; minterm_map }
+
+let compiled_table = Hashtbl.create 7
+
+let compiled_transforms n =
+  match Hashtbl.find_opt compiled_table n with
+  | Some c -> c
+  | None ->
+    let c = List.map (compile n) (all_transforms n) |> Array.of_list in
+    Hashtbl.add compiled_table n c;
+    c
+
+let apply_compiled n bits c out_neg =
+  let size = 1 lsl n in
+  let r = ref 0 in
+  for m = 0 to size - 1 do
+    if bits land (1 lsl m) <> 0 then r := !r lor (1 lsl c.minterm_map.(m))
+  done;
+  if out_neg then !r lxor ((1 lsl size) - 1) else !r
+
+let canonicalize f =
+  let n = Tt.num_vars f in
+  if n > 4 then invalid_arg "Npn.canonicalize: arity above 4";
+  let bits = Tt.to_int f in
+  let best = ref max_int and best_tr = ref (identity n) in
+  let cs = compiled_transforms n in
+  Array.iter
+    (fun c ->
+      if not c.tr.output_neg then begin
+        let pos = apply_compiled n bits c false in
+        let neg = pos lxor ((1 lsl (1 lsl n)) - 1) in
+        if pos < !best then begin
+          best := pos;
+          best_tr := c.tr
+        end;
+        if neg < !best then begin
+          best := neg;
+          best_tr := { c.tr with output_neg = true }
+        end
+      end)
+    cs;
+  (Tt.of_int n !best, !best_tr)
+
+let class_table = Hashtbl.create 7
+
+let classes n =
+  match Hashtbl.find_opt class_table n with
+  | Some reps -> reps
+  | None ->
+    if n > 4 then invalid_arg "Npn.classes: arity above 4";
+    let size = 1 lsl n in
+    let canon_of = Array.make (1 lsl size) (-1) in
+    let cs = compiled_transforms n in
+    for bits = 0 to (1 lsl size) - 1 do
+      if canon_of.(bits) < 0 then begin
+        (* bits is the smallest member of a fresh class: mark the orbit. *)
+        Array.iter
+          (fun c ->
+            if not c.tr.output_neg then begin
+              let pos = apply_compiled n bits c false in
+              if canon_of.(pos) < 0 then canon_of.(pos) <- bits;
+              let neg = pos lxor ((1 lsl size) - 1) in
+              if canon_of.(neg) < 0 then canon_of.(neg) <- bits
+            end)
+          cs
+      end
+    done;
+    let reps = ref [] in
+    for bits = (1 lsl size) - 1 downto 0 do
+      if canon_of.(bits) = bits then reps := Tt.of_int n bits :: !reps
+    done;
+    Hashtbl.add class_table n !reps;
+    !reps
+
+let num_classes n = List.length (classes n)
+let all_class_representatives n = classes n

@@ -1,0 +1,31 @@
+(** NPN canonicalization of small Boolean functions.
+
+    Two functions are NPN-equivalent when one can be obtained from the
+    other by negating inputs (N), permuting inputs (P) and negating the
+    output (N).  Canonicalization maps every function of up to 4
+    variables to the lexicographically smallest truth table in its class;
+    the rewrite library and the branching-cost tables are indexed by this
+    canonical form. *)
+
+type transform = {
+  perm : int array;      (** new position of each input variable *)
+  input_neg : int;       (** bitmask of negated inputs *)
+  output_neg : bool;
+}
+
+val identity : int -> transform
+
+val apply : Tt.t -> transform -> Tt.t
+
+val canonicalize : Tt.t -> Tt.t * transform
+(** [canonicalize f] returns the canonical representative and a
+    transform [tr] such that [apply f tr] equals the representative.
+    Exhaustive over all [2^(n+1) * n!] transforms; intended for n <= 4. *)
+
+val num_classes : int -> int
+(** Number of distinct NPN classes among all functions of exactly [n]
+    variables (n <= 4); 222 for n = 4 counting all 2^16 functions. *)
+
+val all_class_representatives : int -> Tt.t list
+(** Canonical representatives of every class of [n]-variable functions
+    (including those with smaller true support), n <= 4. *)

@@ -1,0 +1,34 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next64 r =
+  r.state <- Int64.add r.state 0x9E3779B97F4A7C15L;
+  let z = r.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int r bound =
+  if bound <= 0 then invalid_arg "Rng.int: nonpositive bound";
+  (* Keep 62 bits so the OCaml int stays nonnegative. *)
+  let x = Int64.to_int (Int64.shift_right_logical (next64 r) 2) in
+  x mod bound
+
+let float r =
+  let x = Int64.to_float (Int64.shift_right_logical (next64 r) 11) in
+  x /. 9007199254740992.0 (* 2^53 *)
+
+let bool r = Int64.logand (next64 r) 1L = 1L
+
+let gaussian r =
+  let u1 = max 1e-12 (float r) and u2 = float r in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let shuffle r a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int r (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,22 @@
+(** Deterministic splitmix64 pseudo-random generator.
+
+    All stochastic components (simulation, workload generation, frozen
+    embedding weights, RL exploration) draw from this generator so runs
+    are reproducible from a seed. *)
+
+type t
+
+val create : int -> t
+val next64 : t -> int64
+val int : t -> int -> int
+(** [int r bound] is uniform in [0, bound). *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+
+val gaussian : t -> float
+(** Standard normal via Box-Muller. *)
+
+val shuffle : t -> 'a array -> unit

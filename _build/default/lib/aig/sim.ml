@@ -1,0 +1,71 @@
+type signatures = int64 array array
+
+let random_inputs g ~words ~seed =
+  let r = Rng.create seed in
+  Array.init (Graph.num_pis g) (fun _ ->
+      Array.init words (fun _ -> Rng.next64 r))
+
+let run g ~inputs =
+  let npis = Graph.num_pis g in
+  if Array.length inputs <> npis then invalid_arg "Sim.run: wrong PI count";
+  let words = if npis = 0 then 1 else Array.length inputs.(0) in
+  let sigs = Array.make (Graph.num_nodes g) [||] in
+  sigs.(0) <- Array.make words 0L;
+  for i = 0 to npis - 1 do
+    sigs.(i + 1) <- inputs.(i)
+  done;
+  let value l =
+    let row = sigs.(Graph.node_of_lit l) in
+    if Graph.is_compl l then Array.map Int64.lognot row else row
+  in
+  Graph.iter_ands g (fun id ->
+      let a = value (Graph.fanin0 g id) and b = value (Graph.fanin1 g id) in
+      sigs.(id) <- Array.init words (fun w -> Int64.logand a.(w) b.(w)));
+  sigs
+
+let random g ~words ~seed = run g ~inputs:(random_inputs g ~words ~seed)
+
+let lit_row sigs l =
+  let row = sigs.(Graph.node_of_lit l) in
+  if Graph.is_compl l then Array.map Int64.lognot row else row
+
+let output_rows g sigs = Array.map (lit_row sigs) (Graph.pos g)
+
+let prob_one row =
+  let total = 64 * Array.length row in
+  let ones =
+    Array.fold_left
+      (fun acc x ->
+        let rec pop x acc =
+          if x = 0L then acc
+          else pop (Int64.logand x (Int64.sub x 1L)) (acc + 1)
+        in
+        pop x acc)
+      0 row
+  in
+  float_of_int ones /. float_of_int total
+
+let equal_outputs a b ~words ~seed =
+  if Graph.num_pis a <> Graph.num_pis b || Graph.num_pos a <> Graph.num_pos b
+  then false
+  else begin
+    let inputs = random_inputs a ~words ~seed in
+    let sa = run a ~inputs and sb = run b ~inputs in
+    let oa = output_rows a sa and ob = output_rows b sb in
+    let ok = ref true in
+    Array.iteri (fun i ra -> if ra <> ob.(i) then ok := false) oa;
+    !ok
+  end
+
+let eval g values =
+  if Array.length values <> Graph.num_pis g then
+    invalid_arg "Sim.eval: wrong PI count";
+  let v = Array.make (Graph.num_nodes g) false in
+  Array.iteri (fun i x -> v.(i + 1) <- x) values;
+  let value l =
+    let x = v.(Graph.node_of_lit l) in
+    if Graph.is_compl l then not x else x
+  in
+  Graph.iter_ands g (fun id ->
+      v.(id) <- value (Graph.fanin0 g id) && value (Graph.fanin1 g id));
+  Array.map value (Graph.pos g)

@@ -1,0 +1,34 @@
+(** Bit-parallel random simulation of AIGs.
+
+    Simulates 64 patterns per word.  Signatures drive the DeepGate-style
+    embedding, SAT sweeping candidate detection and the probabilistic
+    equivalence checks in the test-suite. *)
+
+type signatures = int64 array array
+(** [sigs.(node).(w)] — one row of [words] 64-bit words per node. *)
+
+val random_inputs : Graph.t -> words:int -> seed:int -> int64 array array
+(** Fresh random input patterns, one row per PI. *)
+
+val run : Graph.t -> inputs:int64 array array -> signatures
+(** Simulate with the given PI patterns; [inputs] has [num_pis] rows. *)
+
+val random : Graph.t -> words:int -> seed:int -> signatures
+(** [run] on [random_inputs]. *)
+
+val lit_row : signatures -> Graph.lit -> int64 array
+(** Signature of a literal (complementing the node row if needed). *)
+
+val output_rows : Graph.t -> signatures -> int64 array array
+(** Signatures of the primary outputs. *)
+
+val prob_one : int64 array -> float
+(** Fraction of simulated patterns on which the signature is 1. *)
+
+val equal_outputs : Graph.t -> Graph.t -> words:int -> seed:int -> bool
+(** Probabilistic output equivalence of two AIGs with identical PI
+    counts under shared random patterns.  [false] is definitive;
+    [true] may rarely be a false positive. *)
+
+val eval : Graph.t -> bool array -> bool array
+(** Single-pattern evaluation: PI values in, PO values out. *)

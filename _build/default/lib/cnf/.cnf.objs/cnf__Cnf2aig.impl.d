@@ -1,0 +1,1 @@
+lib/cnf/cnf2aig.ml: Aig Array Formula Hashtbl List Option Printf

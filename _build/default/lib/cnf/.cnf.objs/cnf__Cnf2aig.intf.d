@@ -1,0 +1,1 @@
+lib/cnf/cnf2aig.mli: Aig Formula

@@ -1,0 +1,1 @@
+lib/cnf/dimacs.ml: Array Buffer Formula Fun List Printf String

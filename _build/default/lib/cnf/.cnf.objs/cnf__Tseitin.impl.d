@@ -1,0 +1,1 @@
+lib/cnf/tseitin.ml: Aig Array Formula List

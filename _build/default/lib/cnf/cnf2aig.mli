@@ -1,0 +1,30 @@
+(** Circuit recovery from CNF (the [cnf2aig] substrate, after Seltner's
+    "Extracting hardware circuits from CNF formulas").
+
+    Scans the clause set for Tseitin-style gate definitions —
+    multi-input AND/OR/NAND/NOR patterns and 2-input XOR/XNOR patterns —
+    and rebuilds a DAG from them.  In the default mode a definition
+    [v = f(inputs)] is accepted only when every input variable is
+    numerically smaller than [v], which guarantees acyclicity (and
+    recovers everything for CNFs produced by {!Tseitin.encode}).  In
+    [advanced] mode — the improved transformation the paper's §4.6
+    calls for — candidates are accepted in decreasing-width order with
+    an explicit dependency-cycle check, so recovery survives arbitrary
+    variable renumbering.
+
+    Variables without an accepted definition become primary inputs;
+    clauses not absorbed by a definition become constraint cones,
+    chained into the single primary output (so the original formula is
+    satisfiable iff the circuit output can be driven to 1). *)
+
+type result = {
+  graph : Aig.Graph.t;
+  pi_vars : int array;        (** original variable of each PI *)
+  gates_recovered : int;
+  clauses_absorbed : int;
+}
+
+val run : ?advanced:bool -> Formula.t -> result
+
+val stats : result -> string
+(** Human-readable one-liner for logs. *)

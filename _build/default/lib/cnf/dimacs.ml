@@ -1,0 +1,72 @@
+exception Parse_error of string
+
+let write_string f =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" f.Formula.num_vars
+       (Formula.num_clauses f));
+  Array.iter
+    (fun c ->
+      Array.iter (fun l -> Buffer.add_string buf (string_of_int l);
+                   Buffer.add_char buf ' ')
+        c;
+      Buffer.add_string buf "0\n")
+    f.Formula.clauses;
+  Buffer.contents buf
+
+let write_file f path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (write_string f))
+
+let read_string s =
+  let tokens =
+    String.split_on_char '\n' s
+    |> List.filter (fun line ->
+           let line = String.trim line in
+           line = "" || (line.[0] <> 'c' && line.[0] <> '%'))
+    |> String.concat " "
+    |> String.split_on_char ' '
+    |> List.filter (fun t -> t <> "")
+  in
+  match tokens with
+  | "p" :: "cnf" :: nv :: nc :: rest ->
+    let num_vars, num_clauses =
+      try (int_of_string nv, int_of_string nc)
+      with Failure _ -> raise (Parse_error "bad p-line")
+    in
+    let lits =
+      List.map
+        (fun t ->
+          try int_of_string t
+          with Failure _ -> raise (Parse_error ("bad token: " ^ t)))
+        rest
+    in
+    let clauses = ref [] and current = ref [] in
+    List.iter
+      (fun l ->
+        if l = 0 then begin
+          clauses := Array.of_list (List.rev !current) :: !clauses;
+          current := []
+        end
+        else current := l :: !current)
+      lits;
+    if !current <> [] then raise (Parse_error "trailing unterminated clause");
+    let clauses = List.rev !clauses in
+    if List.length clauses <> num_clauses then
+      raise
+        (Parse_error
+           (Printf.sprintf "clause count mismatch: header %d, found %d"
+              num_clauses (List.length clauses)));
+    (try Formula.create ~num_vars clauses
+     with Invalid_argument m -> raise (Parse_error m))
+  | _ -> raise (Parse_error "missing 'p cnf' header")
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      read_string (really_input_string ic len))

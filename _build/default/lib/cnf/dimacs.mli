@@ -1,0 +1,12 @@
+(** DIMACS CNF reading and writing. *)
+
+exception Parse_error of string
+
+val write_string : Formula.t -> string
+val write_file : Formula.t -> string -> unit
+
+val read_string : string -> Formula.t
+(** Accepts comment lines, a ["p cnf"] header and zero-terminated
+    clauses possibly spanning lines.  @raise Parse_error otherwise. *)
+
+val read_file : string -> Formula.t

@@ -1,0 +1,375 @@
+(* SatELite-style preprocessing.  The working state is a mutable clause
+   store (None = deleted) plus an extension stack recording enough
+   information to lift models back to the original variables. *)
+
+type extension =
+  | Fixed of int * bool (* variable, value (units and pure literals) *)
+  | Eliminated of int * int array list
+    (* variable, the original clauses containing +v: the witness rule
+       sets v true iff one of them has all other literals false. *)
+
+type t = {
+  num_vars : int;
+  mutable store : int array option array;
+  mutable extensions : extension list; (* LIFO *)
+  (* statistics *)
+  mutable n_units : int;
+  mutable n_pures : int;
+  mutable n_subsumed : int;
+  mutable n_strengthened : int;
+  mutable n_eliminated : int;
+}
+
+type outcome = Simplified of t | Proved_unsat
+
+type config = {
+  max_bve_clauses : int;
+  max_clause_size : int;
+  rounds : int;
+}
+
+let default_config = { max_bve_clauses = 0; max_clause_size = 12; rounds = 3 }
+
+exception Unsat_found
+
+let live_clauses s =
+  Array.to_list s.store |> List.filter_map Fun.id
+
+let formula s =
+  { Formula.num_vars = s.num_vars; clauses = Array.of_list (live_clauses s) }
+
+(* --- assignment of a literal throughout the store ------------------- *)
+
+(* Set lit true: delete satisfied clauses, shrink clauses containing
+   the negation.  Detects emptied clauses. *)
+let assign_literal s lit =
+  Array.iteri
+    (fun i c ->
+      match c with
+      | None -> ()
+      | Some clause ->
+        if Array.exists (( = ) lit) clause then s.store.(i) <- None
+        else if Array.exists (( = ) (-lit)) clause then begin
+          let shrunk = Array.of_list
+              (List.filter (( <> ) (-lit)) (Array.to_list clause))
+          in
+          if Array.length shrunk = 0 then raise Unsat_found;
+          s.store.(i) <- Some shrunk
+        end)
+    s.store
+
+(* --- techniques ------------------------------------------------------ *)
+
+let propagate_units s =
+  let changed = ref false in
+  let continue = ref true in
+  while !continue do
+    continue := false;
+    Array.iter
+      (function
+        | Some [| l |] ->
+          s.n_units <- s.n_units + 1;
+          s.extensions <- Fixed (abs l, l > 0) :: s.extensions;
+          assign_literal s l;
+          changed := true;
+          continue := true
+        | Some _ | None -> ())
+      s.store
+  done;
+  !changed
+
+let pure_literals s =
+  let pos = Array.make (s.num_vars + 1) false in
+  let neg = Array.make (s.num_vars + 1) false in
+  Array.iter
+    (function
+      | None -> ()
+      | Some c ->
+        Array.iter
+          (fun l -> if l > 0 then pos.(l) <- true else neg.(-l) <- true)
+          c)
+    s.store;
+  let changed = ref false in
+  for v = 1 to s.num_vars do
+    if pos.(v) && not neg.(v) then begin
+      s.n_pures <- s.n_pures + 1;
+      s.extensions <- Fixed (v, true) :: s.extensions;
+      assign_literal s v;
+      changed := true
+    end
+    else if neg.(v) && not pos.(v) then begin
+      s.n_pures <- s.n_pures + 1;
+      s.extensions <- Fixed (v, false) :: s.extensions;
+      assign_literal s (-v);
+      changed := true
+    end
+  done;
+  !changed
+
+(* Sorted-array subset test. *)
+let subset small big =
+  let ls = Array.length small and lb = Array.length big in
+  let rec go i j =
+    if i >= ls then true
+    else if j >= lb then false
+    else if small.(i) = big.(j) then go (i + 1) (j + 1)
+    else if small.(i) > big.(j) then go i (j + 1)
+    else false
+  in
+  ls <= lb && go 0 0
+
+let sorted c =
+  let c = Array.copy c in
+  Array.sort compare c;
+  c
+
+(* Occurrence lists: literal -> indices of live clauses containing it. *)
+let occurrences s =
+  let occ : (int, int list) Hashtbl.t = Hashtbl.create 1024 in
+  Array.iteri
+    (fun i c ->
+      match c with
+      | None -> ()
+      | Some clause ->
+        Array.iter
+          (fun l ->
+            Hashtbl.replace occ l
+              (i :: Option.value (Hashtbl.find_opt occ l) ~default:[]))
+          clause)
+    s.store;
+  occ
+
+let least_occurring occ clause =
+  Array.fold_left
+    (fun (best, n) l ->
+      let k = List.length (Option.value (Hashtbl.find_opt occ l) ~default:[]) in
+      if k < n then (l, k) else (best, n))
+    (clause.(0), max_int)
+    clause
+  |> fst
+
+let subsumption s =
+  let occ = occurrences s in
+  let changed = ref false in
+  Array.iteri
+    (fun i c ->
+      match c with
+      | None -> ()
+      | Some clause ->
+        if Array.length clause >= 1 then begin
+          let cs = sorted clause in
+          (* Candidates: clauses sharing the rarest literal. *)
+          let pivot = least_occurring occ clause in
+          List.iter
+            (fun j ->
+              if j <> i then
+                match s.store.(j) with
+                | None -> ()
+                | Some other ->
+                  if
+                    Array.length clause <= Array.length other
+                    && subset cs (sorted other)
+                  then begin
+                    s.store.(j) <- None;
+                    s.n_subsumed <- s.n_subsumed + 1;
+                    changed := true
+                  end)
+            (Option.value (Hashtbl.find_opt occ pivot) ~default:[])
+        end)
+    s.store;
+  !changed
+
+(* Self-subsuming resolution: if C = (l, rest) and D with (-l) satisfies
+   D \ {-l} subset-of rest, then C can drop l. *)
+let strengthen s =
+  let occ = occurrences s in
+  let changed = ref false in
+  Array.iteri
+    (fun i c ->
+      match c with
+      | None -> ()
+      | Some clause ->
+        let n = Array.length clause in
+        if n >= 2 then
+          Array.iter
+            (fun l ->
+              match s.store.(i) with
+              | None -> ()
+              | Some current when Array.exists (( = ) l) current ->
+                let rest =
+                  sorted
+                    (Array.of_list
+                       (List.filter (( <> ) l) (Array.to_list current)))
+                in
+                let ds =
+                  Option.value (Hashtbl.find_opt occ (-l)) ~default:[]
+                in
+                List.iter
+                  (fun j ->
+                    if j <> i then
+                      match (s.store.(i), s.store.(j)) with
+                      | Some cur, Some d when Array.exists (( = ) l) cur ->
+                        let d_rest =
+                          sorted
+                            (Array.of_list
+                               (List.filter (( <> ) (-l)) (Array.to_list d)))
+                        in
+                        if subset d_rest rest then begin
+                          s.store.(i) <-
+                            Some
+                              (Array.of_list
+                                 (List.filter (( <> ) l)
+                                    (Array.to_list cur)));
+                          s.n_strengthened <- s.n_strengthened + 1;
+                          changed := true;
+                          if
+                            Array.length (Option.get s.store.(i)) = 0
+                          then raise Unsat_found
+                        end
+                      | _ -> ())
+                  ds
+              | Some _ -> ())
+            clause)
+    s.store;
+  !changed
+
+let resolve_on v a b =
+  (* Resolvent of a (contains +v) and b (contains -v); None if
+     tautological. *)
+  let lits = Hashtbl.create 8 in
+  let taut = ref false in
+  let add l =
+    if l <> v && l <> -v then begin
+      if Hashtbl.mem lits (-l) then taut := true;
+      Hashtbl.replace lits l ()
+    end
+  in
+  Array.iter add a;
+  Array.iter add b;
+  if !taut then None
+  else Some (Array.of_list (Hashtbl.fold (fun l () acc -> l :: acc) lits []))
+
+let eliminate_variables cfg s =
+  let changed = ref false in
+  for v = 1 to s.num_vars do
+    let occ = ref [] and nocc = ref [] in
+    Array.iteri
+      (fun i c ->
+        match c with
+        | None -> ()
+        | Some clause ->
+          let has_pos = Array.exists (( = ) v) clause
+          and has_neg = Array.exists (( = ) (-v)) clause in
+          (* Both polarities = tautology w.r.t. v; never resolve on it. *)
+          if has_pos && not has_neg then occ := i :: !occ
+          else if has_neg && not has_pos then nocc := i :: !nocc)
+      s.store;
+    let np = List.length !occ and nn = List.length !nocc in
+    if (np > 0 || nn > 0) && np * nn <= 64 then begin
+      (* Build non-tautological resolvents; abort if too many/large. *)
+      let resolvents = ref [] and ok = ref true in
+      List.iter
+        (fun i ->
+          List.iter
+            (fun j ->
+              if !ok then
+                match (s.store.(i), s.store.(j)) with
+                | Some a, Some b -> (
+                  match resolve_on v a b with
+                  | None -> ()
+                  | Some r ->
+                    if Array.length r > cfg.max_clause_size then ok := false
+                    else resolvents := r :: !resolvents)
+                | _ -> ())
+            !nocc)
+        !occ;
+      if
+        !ok
+        && List.length !resolvents <= np + nn + cfg.max_bve_clauses
+        && np + nn > 0
+      then begin
+        (* Record the +v clauses for the reconstruction witness. *)
+        let pos_clauses =
+          List.filter_map (fun i -> s.store.(i)) !occ
+        in
+        List.iter (fun i -> s.store.(i) <- None) (!occ @ !nocc);
+        let fresh = Array.of_list (List.map Option.some !resolvents) in
+        s.store <- Array.append s.store fresh;
+        s.extensions <- Eliminated (v, pos_clauses) :: s.extensions;
+        s.n_eliminated <- s.n_eliminated + 1;
+        changed := true
+      end
+    end
+  done;
+  !changed
+
+(* Clauses containing a literal and its negation are always true. *)
+let remove_tautologies s =
+  Array.iteri
+    (fun i c ->
+      match c with
+      | None -> ()
+      | Some clause ->
+        let taut =
+          Array.exists
+            (fun l -> Array.exists (( = ) (-l)) clause)
+            clause
+        in
+        if taut then s.store.(i) <- None)
+    s.store
+
+let run ?(config = default_config) f =
+  let s =
+    {
+      num_vars = f.Formula.num_vars;
+      store = Array.map Option.some f.Formula.clauses;
+      extensions = [];
+      n_units = 0;
+      n_pures = 0;
+      n_subsumed = 0;
+      n_strengthened = 0;
+      n_eliminated = 0;
+    }
+  in
+  try
+    if Array.exists (fun c -> c = Some [||]) s.store then raise Unsat_found;
+    remove_tautologies s;
+    let continue = ref true and round = ref 0 in
+    while !continue && !round < config.rounds do
+      incr round;
+      let c1 = propagate_units s in
+      let c2 = pure_literals s in
+      let c3 = subsumption s in
+      let c4 = strengthen s in
+      let c5 = propagate_units s in
+      let c6 = eliminate_variables config s in
+      continue := c1 || c2 || c3 || c4 || c5 || c6
+    done;
+    Simplified s
+  with Unsat_found -> Proved_unsat
+
+let reconstruct s model =
+  let values = Array.make (s.num_vars + 1) false in
+  Array.iteri (fun i v -> if i < s.num_vars then values.(i + 1) <- v) model;
+  let lit_true l = if l > 0 then values.(l) else not values.(-l) in
+  List.iter
+    (fun ext ->
+      match ext with
+      | Fixed (v, value) -> values.(v) <- value
+      | Eliminated (v, pos_clauses) ->
+        let forced =
+          List.exists
+            (fun clause ->
+              Array.for_all
+                (fun l -> l = v || not (lit_true l))
+                clause)
+            pos_clauses
+        in
+        values.(v) <- forced)
+    s.extensions;
+  Array.init s.num_vars (fun i -> values.(i + 1))
+
+let stats s =
+  Printf.sprintf
+    "simplify: %d units, %d pures, %d subsumed, %d strengthened, %d eliminated"
+    s.n_units s.n_pures s.n_subsumed s.n_strengthened s.n_eliminated

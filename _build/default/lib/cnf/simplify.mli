@@ -1,0 +1,45 @@
+(** CNF-level preprocessing (SatELite-style, after Eén & Biere 2005 —
+    the paper's reference [14]).
+
+    The paper's framework is "not mutually exclusive with the existing
+    CNF-based preprocessing strategy" and keeps Kissat's default
+    preprocessing enabled; this module provides that layer for our
+    solver: unit propagation to fixpoint, pure-literal elimination,
+    duplicate/subsumed-clause removal, self-subsuming resolution
+    (clause strengthening) and bounded variable elimination.
+
+    Simplification is equisatisfiability-preserving; a {!reconstruct}
+    function lifts a model of the simplified formula back to the
+    original variables. *)
+
+type outcome =
+  | Simplified of t
+  | Proved_unsat
+(** Preprocessing can already refute the formula. *)
+
+and t
+
+val formula : t -> Formula.t
+(** The simplified clauses over the original variable numbering
+    (eliminated/fixed variables simply no longer occur). *)
+
+type config = {
+  max_bve_clauses : int;
+      (** eliminate a variable only if the resolvent count does not
+          exceed its occurrence count by more than this margin *)
+  max_clause_size : int;  (** skip resolvents longer than this *)
+  rounds : int;           (** fixpoint iterations over all techniques *)
+}
+
+val default_config : config
+
+val run : ?config:config -> Formula.t -> outcome
+
+val reconstruct : t -> bool array -> bool array
+(** [reconstruct s model] extends a model of [formula s] to a model of
+    the original formula (fixed units, pure literals and eliminated
+    variables are filled in). *)
+
+val stats : t -> string
+(** One-line summary: units, pures, subsumed, strengthened,
+    eliminated. *)

@@ -1,0 +1,1 @@
+lib/core/env.ml: Aig Array Deepgate Lutmap Rl Sat State Synth

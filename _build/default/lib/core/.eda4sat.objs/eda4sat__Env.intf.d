@@ -1,0 +1,1 @@
+lib/core/env.mli: Aig Deepgate Lutmap Rl Sat

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Aig Cnf Deepgate Format Instance List Logs Lutmap Rl Sat State Synth Sys

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Aig Cnf Deepgate Format Instance Lutmap Rl Sat Synth

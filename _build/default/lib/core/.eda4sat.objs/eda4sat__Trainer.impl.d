@@ -1,0 +1,1 @@
+lib/core/trainer.ml: Env List Rl Synth

@@ -1,0 +1,24 @@
+type payload = Cnf of Cnf.Formula.t | Circuit of Aig.Graph.t
+
+type t = { name : string; payload : payload }
+
+let of_cnf ~name f = { name; payload = Cnf f }
+let of_circuit ~name g = { name; payload = Circuit g }
+
+let to_aig ?(advanced = false) inst =
+  match inst.payload with
+  | Cnf f -> (Cnf.Cnf2aig.run ~advanced f).Cnf.Cnf2aig.graph
+  | Circuit g -> Aig.Graph.cleanup g
+
+let direct_formula inst =
+  match inst.payload with
+  | Cnf f -> f
+  | Circuit g -> (Cnf.Tseitin.encode ~assert_outputs:true g).Cnf.Tseitin.formula
+
+let num_vars inst = (direct_formula inst).Cnf.Formula.num_vars
+let num_clauses inst = Cnf.Formula.num_clauses (direct_formula inst)
+
+let num_gates inst =
+  match inst.payload with
+  | Cnf _ -> None
+  | Circuit g -> Some (Aig.Graph.num_ands g)

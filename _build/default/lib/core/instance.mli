@@ -1,0 +1,25 @@
+(** SAT instances: either a CNF formula or a circuit (Algorithm 1 takes
+    both). *)
+
+type payload = Cnf of Cnf.Formula.t | Circuit of Aig.Graph.t
+
+type t = { name : string; payload : payload }
+
+val of_cnf : name:string -> Cnf.Formula.t -> t
+val of_circuit : name:string -> Aig.Graph.t -> t
+
+val to_aig : ?advanced:bool -> t -> Aig.Graph.t
+(** The G^0 initialization of Algorithm 1 (lines 1-5): [cnf2aig] for
+    CNF instances, [aigmap] (a structural-hashing sweep) for circuits.
+    [advanced] (default false) selects the order-independent gate
+    recovery of {!Cnf.Cnf2aig.run}. *)
+
+val direct_formula : t -> Cnf.Formula.t
+(** The formula a solver would receive {e without} preprocessing: the
+    CNF itself, or the Tseitin encoding with outputs asserted. *)
+
+val num_vars : t -> int
+val num_clauses : t -> int
+val num_gates : t -> int option
+(** AND-gate count for circuit instances, [None] for CNF (the "N/A"
+    column of Table 2). *)

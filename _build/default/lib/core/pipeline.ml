@@ -1,0 +1,253 @@
+let log_src = Logs.Src.create "eda4sat.pipeline" ~doc:"Algorithm 1 pipeline"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type recipe_source =
+  | No_preprocessing
+  | Fixed of Synth.Recipe.op list
+  | Random_policy of { seed : int; steps : int }
+  | Agent of Rl.Dqn.t * int
+
+type config = {
+  recipe : recipe_source;
+  mapper : Lutmap.Mapper.config;
+  embed : Deepgate.Embedding.config;
+  advanced_recovery : bool;
+}
+
+type report = {
+  instance : string;
+  recipe_used : Synth.Recipe.op list;
+  vars : int;
+  clauses : int;
+  t_agent : float;
+  t_trans : float;
+  t_solve : float;
+  result : Sat.Solver.result;
+  solver_stats : Sat.Solver.stats;
+  aig_before : Aig.Stats.snapshot option;
+  aig_after : Aig.Stats.snapshot option;
+  netlist_luts : int;
+  netlist_levels : int;
+}
+
+let t_all r = r.t_agent +. r.t_trans +. r.t_solve
+
+let timed f =
+  let t0 = Sys.time () in
+  let x = f () in
+  (x, Sys.time () -. t0)
+
+let solve_direct ?(limits = Sat.Solver.no_limits) inst =
+  let f = Instance.direct_formula inst in
+  let (result, stats), t_solve =
+    timed (fun () -> Sat.Solver.solve ~limits f)
+  in
+  {
+    instance = inst.Instance.name;
+    recipe_used = [];
+    vars = f.Cnf.Formula.num_vars;
+    clauses = Cnf.Formula.num_clauses f;
+    t_agent = 0.0;
+    t_trans = 0.0;
+    t_solve;
+    result;
+    solver_stats = stats;
+    aig_before = None;
+    aig_after = None;
+    netlist_luts = 0;
+    netlist_levels = 0;
+  }
+
+(* Select the synthesis recipe, charging Q-network/embedding time to
+   t_agent and synthesis time to t_trans. *)
+let run_recipe config g0 =
+  match config.recipe with
+  | No_preprocessing -> (g0, [], 0.0, 0.0)
+  | Fixed ops ->
+    let g, t_synth = timed (fun () -> Synth.Recipe.apply_sequence ops g0) in
+    (g, ops, 0.0, t_synth)
+  | Random_policy { seed; steps } ->
+    let rng = Aig.Rng.create seed in
+    let ops =
+      List.init steps (fun _ ->
+          (* Random over the non-End operations, as in §4.3 (the random
+             agent always runs T operations). *)
+          Synth.Recipe.op_of_index (Aig.Rng.int rng 4))
+    in
+    let g, t_synth = timed (fun () -> Synth.Recipe.apply_sequence ops g0) in
+    (g, ops, 0.0, t_synth)
+  | Agent (agent, max_steps) ->
+    let st, t_embed =
+      timed (fun () -> State.of_initial ~embed_config:config.embed g0)
+    in
+    let t_agent = ref t_embed and t_synth = ref 0.0 in
+    let g = ref g0 and ops = ref [] in
+    (try
+       for _t = 1 to max_steps do
+         let action, t_sel =
+           timed (fun () ->
+               Rl.Dqn.select_action agent (State.observe st !g))
+         in
+         t_agent := !t_agent +. t_sel;
+         let op = Synth.Recipe.op_of_index action in
+         if op = Synth.Recipe.End then raise Exit;
+         ops := op :: !ops;
+         let g', t_op = timed (fun () -> Synth.Recipe.apply op !g) in
+         t_synth := !t_synth +. t_op;
+         g := g'
+       done
+     with Exit -> ());
+    (!g, List.rev !ops, !t_agent, !t_synth)
+
+let empty_stats =
+  {
+    Sat.Solver.decisions = 0;
+    conflicts = 0;
+    propagations = 0;
+    restarts = 0;
+    learned = 0;
+    max_decision_level = 0;
+    time = 0.0;
+  }
+
+let transform config inst =
+  match config.recipe with
+  | No_preprocessing ->
+    let f = Instance.direct_formula inst in
+    ( f,
+      {
+        instance = inst.Instance.name;
+        recipe_used = [];
+        vars = f.Cnf.Formula.num_vars;
+        clauses = Cnf.Formula.num_clauses f;
+        t_agent = 0.0;
+        t_trans = 0.0;
+        t_solve = 0.0;
+        result = Unknown;
+        solver_stats = empty_stats;
+        aig_before = None;
+        aig_after = None;
+        netlist_luts = 0;
+        netlist_levels = 0;
+      } )
+  | Fixed _ | Random_policy _ | Agent _ ->
+    let g0, t_to_aig =
+      timed (fun () -> Instance.to_aig ~advanced:config.advanced_recovery inst)
+    in
+    let before = Aig.Stats.snapshot g0 in
+    Log.debug (fun m ->
+        m "%s: G0 has %d ANDs, depth %d (to_aig %.3fs)" inst.Instance.name
+          before.Aig.Stats.area before.Aig.Stats.depth t_to_aig);
+    let g, recipe_used, t_agent, t_synth = run_recipe config g0 in
+    let after = Aig.Stats.snapshot g in
+    Log.debug (fun m ->
+        m "%s: recipe [%s] -> %d ANDs, depth %d (synth %.3fs)"
+          inst.Instance.name
+          (Synth.Recipe.to_string recipe_used)
+          after.Aig.Stats.area after.Aig.Stats.depth t_synth);
+    let nl, t_map =
+      timed (fun () -> Lutmap.Mapper.run ~config:config.mapper g)
+    in
+    let enc, t_enc = timed (fun () -> Lutmap.Encode.encode nl) in
+    let f = enc.Lutmap.Encode.formula in
+    Log.debug (fun m ->
+        m "%s: mapped to %d LUTs / %d levels; CNF %d vars, %d clauses \
+           (map %.3fs, encode %.3fs)"
+          inst.Instance.name
+          (Lutmap.Netlist.num_luts nl)
+          (Lutmap.Netlist.depth nl) f.Cnf.Formula.num_vars
+          (Cnf.Formula.num_clauses f) t_map t_enc);
+    ( f,
+      {
+        instance = inst.Instance.name;
+        recipe_used;
+        vars = f.Cnf.Formula.num_vars;
+        clauses = Cnf.Formula.num_clauses f;
+        t_agent;
+        t_trans = t_to_aig +. t_synth +. t_map +. t_enc;
+        t_solve = 0.0;
+        result = Unknown;
+        solver_stats = empty_stats;
+        aig_before = Some before;
+        aig_after = Some after;
+        netlist_luts = Lutmap.Netlist.num_luts nl;
+        netlist_levels = Lutmap.Netlist.depth nl;
+      } )
+
+let run ?(limits = Sat.Solver.no_limits) config inst =
+  match config.recipe with
+  | No_preprocessing -> solve_direct ~limits inst
+  | Fixed _ | Random_policy _ | Agent _ ->
+    let f, rep = transform config inst in
+    let (result, stats), t_solve =
+      timed (fun () -> Sat.Solver.solve ~limits f)
+    in
+    { rep with t_solve; result; solver_stats = stats }
+
+let default_embed = Deepgate.Embedding.default_config
+
+let baseline =
+  {
+    recipe = No_preprocessing;
+    mapper = Lutmap.Mapper.default_config;
+    embed = default_embed;
+    advanced_recovery = false;
+  }
+
+(* The flow of Eén, Mishchenko & Sörensson 2007: DAG-aware minimization
+   plus FRAIGing (our resub), then conventional minimum-area
+   technology mapping into CNF.  Differs from [ours] in both knobs the
+   paper ablates: no learned recipe, no branching-aware mapping. *)
+let een2007 =
+  {
+    recipe = Fixed (Synth.Recipe.compress2 @ [ Synth.Recipe.Resub ]);
+    mapper = Lutmap.Mapper.default_config;
+    embed = default_embed;
+    advanced_recovery = false;
+  }
+
+(* Without a trained agent, the framework's best fixed recipe.  Balance
+   first: CNF-recovered circuits arrive as deep constraint chains
+   (§4.6) and every later pass is dramatically cheaper on the balanced
+   form — the same signal the RL agent reads from the balance-ratio
+   feature.  Resub (FRAIG) is the big hammer on miters, bracketed by
+   rewriting. *)
+let default_recipe =
+  [ Synth.Recipe.Balance; Synth.Recipe.Rewrite; Synth.Recipe.Resub;
+    Synth.Recipe.Rewrite; Synth.Recipe.Balance ]
+
+let ours ?agent ?(max_steps = 10) () =
+  {
+    recipe =
+      (match agent with
+       | Some a -> Agent (a, max_steps)
+       | None -> Fixed default_recipe);
+    mapper = Lutmap.Mapper.cost_customized_config;
+    embed = default_embed;
+    advanced_recovery = false;
+  }
+
+let ours_without_rl ~seed =
+  {
+    recipe = Random_policy { seed; steps = 10 };
+    mapper = Lutmap.Mapper.cost_customized_config;
+    embed = default_embed;
+    advanced_recovery = false;
+  }
+
+let ours_conventional_mapper ?agent () =
+  { (ours ?agent ()) with mapper = Lutmap.Mapper.default_config }
+
+let reduction ~baseline r =
+  let tb = t_all baseline in
+  if tb <= 0.0 then 0.0 else 100.0 *. (tb -. t_all r) /. tb
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%s: vars=%d clauses=%d t_agent=%.3f t_trans=%.3f t_solve=%.3f t_all=%.3f %s"
+    r.instance r.vars r.clauses r.t_agent r.t_trans r.t_solve (t_all r)
+    (match r.result with
+     | Sat.Solver.Sat _ -> "SAT"
+     | Sat.Solver.Unsat -> "UNSAT"
+     | Sat.Solver.Unknown -> "UNKNOWN")

@@ -1,0 +1,78 @@
+(** The EDA-driven preprocessing pipeline (Algorithm 1) and the
+    experiment presets built on it.
+
+    Every run produces a {!report} carrying the timing decomposition of
+    the paper's tables: T_agent (embedding + Q-network inference),
+    T_trans (CNF-to-circuit recovery, logic synthesis, LUT mapping and
+    CNF re-encoding) and T_solve, with T_all their sum. *)
+
+type recipe_source =
+  | No_preprocessing
+      (** Solve the instance's direct formula — the Baseline columns. *)
+  | Fixed of Synth.Recipe.op list
+  | Random_policy of { seed : int; steps : int }
+      (** The "w/o RL" ablation of §4.3. *)
+  | Agent of Rl.Dqn.t * int
+      (** Trained agent and maximum step count T. *)
+
+type config = {
+  recipe : recipe_source;
+  mapper : Lutmap.Mapper.config;
+  embed : Deepgate.Embedding.config;
+  advanced_recovery : bool;
+      (** use the order-independent cnf2aig when the input is CNF *)
+}
+
+type report = {
+  instance : string;
+  recipe_used : Synth.Recipe.op list;
+  vars : int;
+  clauses : int;
+  t_agent : float;
+  t_trans : float;
+  t_solve : float;
+  result : Sat.Solver.result;
+  solver_stats : Sat.Solver.stats;
+  aig_before : Aig.Stats.snapshot option;
+  aig_after : Aig.Stats.snapshot option;
+  netlist_luts : int;
+  netlist_levels : int;
+}
+
+val t_all : report -> float
+
+val run : ?limits:Sat.Solver.limits -> config -> Instance.t -> report
+(** Full Algorithm 1 (or a direct solve for [No_preprocessing]). *)
+
+val transform : config -> Instance.t -> Cnf.Formula.t * report
+(** Algorithm 1 without the final solve: returns the simplified CNF
+    \phi_out for an external solver.  The report's solver fields are
+    zeroed and [result] is [Unknown].  With [No_preprocessing] the
+    instance's direct formula is returned unchanged. *)
+
+val solve_direct : ?limits:Sat.Solver.limits -> Instance.t -> report
+
+(** {1 Experiment presets} *)
+
+val baseline : config
+(** Solve directly, no preprocessing. *)
+
+val een2007 : config
+(** The comparison approach "[15]" (Eén, Mishchenko & Sörensson 2007):
+    synthesis for size (a compress2-style script) followed by
+    conventional minimum-area LUT mapping. *)
+
+val ours : ?agent:Rl.Dqn.t -> ?max_steps:int -> unit -> config
+(** The full framework: RL-guided recipe (or, without an agent, the
+    best fixed recipe) + cost-customized mapping. *)
+
+val ours_without_rl : seed:int -> config
+(** Random synthesis policy, cost-customized mapping (§4.3 ablation). *)
+
+val ours_conventional_mapper : ?agent:Rl.Dqn.t -> unit -> config
+(** RL recipe with the conventional mapper (§4.4 ablation). *)
+
+val reduction : baseline:report -> report -> float
+(** Percentage reduction of T_all versus the baseline ("Red." columns). *)
+
+val pp_report : Format.formatter -> report -> unit

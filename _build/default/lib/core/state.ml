@@ -1,0 +1,17 @@
+type t = {
+  initial : Aig.Stats.snapshot;
+  d0 : float array;
+  embed_config : Deepgate.Embedding.config;
+}
+
+let dim cfg = 6 + cfg.Deepgate.Embedding.dim
+
+let of_initial ?(embed_config = Deepgate.Embedding.default_config) g =
+  {
+    initial = Aig.Stats.snapshot g;
+    d0 = Deepgate.Embedding.po_embedding ~config:embed_config g;
+    embed_config;
+  }
+
+let observe st g =
+  Array.append (Aig.Stats.features ~initial:st.initial g) st.d0

@@ -1,0 +1,18 @@
+(** RL state construction (Eq. 2): the six netlist features of §3.2.2
+    concatenated with the DeepGate-style PO embedding of the initial
+    netlist. *)
+
+type t = {
+  initial : Aig.Stats.snapshot;
+  d0 : float array;           (** \mathcal{D}(G^0), fixed per episode *)
+  embed_config : Deepgate.Embedding.config;
+}
+
+val dim : Deepgate.Embedding.config -> int
+(** 6 + embedding dim. *)
+
+val of_initial :
+  ?embed_config:Deepgate.Embedding.config -> Aig.Graph.t -> t
+
+val observe : t -> Aig.Graph.t -> float array
+(** [observe st g_t] is the state vector s^t for the current netlist. *)

@@ -1,0 +1,44 @@
+type progress = { episode : int; reward : float; loss : float }
+
+let dqn_config_for env_cfg =
+  {
+    Rl.Dqn.default_config with
+    Rl.Dqn.state_dim = Env.state_dim env_cfg;
+    num_actions = Synth.Recipe.num_actions;
+    gamma = 0.98;
+    batch_size = 32;
+  }
+
+let train ?dqn_config ?(env_config = Env.default_config)
+    ?(on_episode = fun _ -> ()) instances ~episodes =
+  let dqn_config =
+    match dqn_config with
+    | Some c -> c
+    | None -> dqn_config_for env_config
+  in
+  if dqn_config.Rl.Dqn.state_dim <> Env.state_dim env_config then
+    invalid_arg "Trainer.train: state dimension mismatch";
+  let agent = Rl.Dqn.create dqn_config in
+  let env = Env.make env_config instances in
+  let history = ref [] in
+  for episode = 1 to episodes do
+    let reward =
+      Rl.Dqn.run_episode agent env ~max_steps:env_config.Env.max_steps
+        ~learn:true
+    in
+    let p = { episode; reward; loss = Rl.Dqn.last_loss agent } in
+    history := p :: !history;
+    on_episode p
+  done;
+  (agent, List.rev !history)
+
+let average_reward history n =
+  let tail =
+    let len = List.length history in
+    List.filteri (fun i _ -> i >= len - n) history
+  in
+  match tail with
+  | [] -> 0.0
+  | _ ->
+    List.fold_left (fun acc p -> acc +. p.reward) 0.0 tail
+    /. float_of_int (List.length tail)

@@ -1,0 +1,24 @@
+(** Training loop for the logic-synthesis agent (§4.1).
+
+    The paper trains for 10,000 episodes over 200 LEC instances with
+    gamma = 0.98, T = 10 and batch size 32; those knobs live in
+    {!Rl.Dqn.config} / {!Env.config} and default to a scaled-down but
+    shape-identical schedule (see DESIGN.md, Substitutions). *)
+
+type progress = { episode : int; reward : float; loss : float }
+
+val dqn_config_for : Env.config -> Rl.Dqn.config
+(** A DQN configuration whose state dimension matches the environment
+    (gamma 0.98, batch 32 as in the paper). *)
+
+val train :
+  ?dqn_config:Rl.Dqn.config ->
+  ?env_config:Env.config ->
+  ?on_episode:(progress -> unit) ->
+  Aig.Graph.t array ->
+  episodes:int ->
+  Rl.Dqn.t * progress list
+(** Returns the trained agent and the per-episode history (in order). *)
+
+val average_reward : progress list -> int -> float
+(** Mean reward over the last [n] episodes. *)

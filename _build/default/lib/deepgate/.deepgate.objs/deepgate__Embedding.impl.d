@@ -1,0 +1,1 @@
+lib/deepgate/embedding.ml: Aig Array

@@ -1,0 +1,1 @@
+lib/deepgate/embedding.mli: Aig

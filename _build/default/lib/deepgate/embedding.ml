@@ -1,0 +1,91 @@
+type config = { dim : int; rounds : int; sim_words : int; seed : int }
+
+let default_config = { dim = 16; rounds = 3; sim_words = 4; seed = 0xD33B }
+
+let num_input_features = 5
+
+(* Frozen Xavier-style random matrix. *)
+let frozen_matrix rng rows cols =
+  let scale = sqrt (2.0 /. float_of_int (rows + cols)) in
+  Array.init rows (fun _ ->
+      Array.init cols (fun _ -> scale *. Aig.Rng.gaussian rng))
+
+let matvec m v =
+  Array.map
+    (fun row ->
+      let acc = ref 0.0 in
+      Array.iteri (fun i x -> acc := !acc +. (x *. v.(i))) row;
+      !acc)
+    m
+
+let add3 a b c = Array.init (Array.length a) (fun i -> a.(i) +. b.(i) +. c.(i))
+let scale s v = Array.map (fun x -> s *. x) v
+
+let node_embeddings ?(config = default_config) g =
+  let n = Aig.Graph.num_nodes g in
+  let rng = Aig.Rng.create config.seed in
+  (* Frozen parameters; drawn in a fixed order so they do not depend on
+     the circuit. *)
+  let w_in = frozen_matrix rng config.dim num_input_features in
+  let w_self = frozen_matrix rng config.dim config.dim in
+  let w_fanin = frozen_matrix rng config.dim config.dim in
+  let sigs = Aig.Sim.random g ~words:config.sim_words ~seed:(config.seed + 1) in
+  let levels = Aig.Graph.levels g in
+  let refs = Aig.Graph.ref_counts g in
+  let max_level = float_of_int (max 1 (Array.fold_left max 0 levels)) in
+  let max_refs = float_of_int (max 1 (Array.fold_left max 0 refs)) in
+  let input_features id =
+    let prob = if id = 0 then 0.0 else Aig.Sim.prob_one sigs.(id) in
+    [|
+      prob;
+      float_of_int levels.(id) /. max_level;
+      float_of_int refs.(id) /. max_refs;
+      (if Aig.Graph.is_pi g id then 1.0 else 0.0);
+      (if Aig.Graph.is_and g id then 1.0 else 0.0);
+    |]
+  in
+  let h = Array.init n (fun id -> matvec w_in (input_features id)) in
+  let tanh_inplace v = Array.map tanh v in
+  for _round = 1 to config.rounds do
+    (* Topological order: fanins already updated this round, mirroring
+       DeepGate's directed propagation from PIs to POs. *)
+    Aig.Graph.iter_ands g (fun id ->
+        let f0 = Aig.Graph.fanin0 g id and f1 = Aig.Graph.fanin1 g id in
+        let msg l =
+          let v = h.(Aig.Graph.node_of_lit l) in
+          if Aig.Graph.is_compl l then scale (-1.0) v else v
+        in
+        let combined =
+          add3 (matvec w_self h.(id))
+            (matvec w_fanin (msg f0))
+            (matvec w_fanin (msg f1))
+        in
+        h.(id) <- tanh_inplace combined)
+  done;
+  h
+
+let po_embedding ?(config = default_config) g =
+  let h = node_embeddings ~config g in
+  let acc = Array.make config.dim 0.0 in
+  let count = ref 0 in
+  Array.iter
+    (fun l ->
+      let id = Aig.Graph.node_of_lit l in
+      if id <> 0 then begin
+        incr count;
+        let v = h.(id) in
+        let sign = if Aig.Graph.is_compl l then -1.0 else 1.0 in
+        Array.iteri (fun i x -> acc.(i) <- acc.(i) +. (sign *. x)) v
+      end)
+    (Aig.Graph.pos g);
+  if !count = 0 then acc
+  else Array.map (fun x -> x /. float_of_int !count) acc
+
+let distance a b =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let d = x -. b.(i) in
+      acc := !acc +. (d *. d))
+    a;
+  sqrt !acc

@@ -1,0 +1,34 @@
+(** Deterministic gate-level circuit embeddings — the DeepGate2
+    stand-in (see DESIGN.md, Substitutions).
+
+    DeepGate2 is a pretrained GNN producing per-gate vectors that mix
+    functional and structural information.  Without its weights we keep
+    the architecture and freeze the parameters: per-gate input features
+    come from bit-parallel random simulation (signature probability),
+    topology (level, fanout) and gate polarity; [rounds] of
+    topologically ordered message passing with fixed Xavier-initialized
+    projections (seeded PRNG) propagate them; the primary-output
+    embedding summarizes the instance for the RL state (Eq. 2 of the
+    paper).  The encoding is deterministic, differentiable-free and
+    sensitive to both structure and function, which is the role the RL
+    agent needs it to play. *)
+
+type config = {
+  dim : int;        (** embedding width (default 16) *)
+  rounds : int;     (** message-passing rounds (default 3) *)
+  sim_words : int;  (** 64-bit simulation words (default 4) *)
+  seed : int;       (** seed of the frozen weights and patterns *)
+}
+
+val default_config : config
+
+val node_embeddings : ?config:config -> Aig.Graph.t -> float array array
+(** One vector of length [dim] per node. *)
+
+val po_embedding : ?config:config -> Aig.Graph.t -> float array
+(** Mean over primary outputs of the driver embeddings, complement
+    encoded by sign flip; the \mathcal{D}(G^0) component of the RL
+    state.  All-zero for a circuit with only constant outputs. *)
+
+val distance : float array -> float array -> float
+(** Euclidean distance between embeddings. *)

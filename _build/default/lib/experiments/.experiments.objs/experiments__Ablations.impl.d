@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Aig List Lutmap Sat String Synth Sys Table Workloads

@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Aig Array Buffer Cnf Eda4sat List Lutmap Option Paper Printf Rl Sat Synth Table Workloads

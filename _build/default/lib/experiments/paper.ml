@@ -1,0 +1,117 @@
+type lec_row = {
+  case : string;
+  baseline_solve : float;
+  een_t_all : float;
+  een_reduction : float;
+  ours_t_all : float;
+  ours_reduction : float;
+}
+
+let table3 =
+  [
+    { case = "I1"; baseline_solve = 322.46; een_t_all = 56.80;
+      een_reduction = 82.39; ours_t_all = 18.34; ours_reduction = 94.31 };
+    { case = "I2"; baseline_solve = 708.97; een_t_all = 153.46;
+      een_reduction = 78.35; ours_t_all = 18.70; ours_reduction = 97.36 };
+    { case = "I3"; baseline_solve = 531.94; een_t_all = 115.10;
+      een_reduction = 78.36; ours_t_all = 16.42; ours_reduction = 96.91 };
+    { case = "I4"; baseline_solve = 289.89; een_t_all = 94.66;
+      een_reduction = 67.35; ours_t_all = 14.28; ours_reduction = 95.08 };
+    { case = "I5"; baseline_solve = 172.79; een_t_all = 42.67;
+      een_reduction = 75.30; ours_t_all = 10.39; ours_reduction = 93.99 };
+    { case = "Avg."; baseline_solve = 405.21; een_t_all = 92.54;
+      een_reduction = 77.16; ours_t_all = 15.63; ours_reduction = 96.14 };
+  ]
+
+type ablation_row = {
+  case : string;
+  without_rl_t_all : float;
+  with_rl_t_all : float;
+}
+
+let table4 =
+  [
+    { case = "I1"; without_rl_t_all = 49.79; with_rl_t_all = 18.34 };
+    { case = "I2"; without_rl_t_all = 77.04; with_rl_t_all = 18.70 };
+    { case = "I3"; without_rl_t_all = 61.41; with_rl_t_all = 16.42 };
+    { case = "I4"; without_rl_t_all = 50.19; with_rl_t_all = 14.28 };
+    { case = "I5"; without_rl_t_all = 31.46; with_rl_t_all = 10.39 };
+    { case = "Avg."; without_rl_t_all = 53.98; with_rl_t_all = 15.63 };
+  ]
+
+type mapper_row = {
+  case : string;
+  conventional_solve : float;
+  ours_solve : float;
+}
+
+let table5 =
+  [
+    { case = "I1"; conventional_solve = 4.43; ours_solve = 3.21 };
+    { case = "I2"; conventional_solve = 4.41; ours_solve = 2.20 };
+    { case = "I3"; conventional_solve = 2.91; ours_solve = 1.46 };
+    { case = "I4"; conventional_solve = 2.50; ours_solve = 1.77 };
+    { case = "I5"; conventional_solve = 1.10; ours_solve = 0.89 };
+    { case = "Avg."; conventional_solve = 3.07; ours_solve = 1.91 };
+  ]
+
+type cnf_row = {
+  case : string;
+  baseline_solve : float option;
+  een_t_all : float option;
+  een_reduction : float;
+  ours_t_all : float;
+  ours_reduction : float;
+}
+
+let table6 =
+  [
+    { case = "C1"; baseline_solve = Some 968.73; een_t_all = Some 833.76;
+      een_reduction = 13.93; ours_t_all = 270.05; ours_reduction = 72.12 };
+    { case = "C2"; baseline_solve = None; een_t_all = None;
+      een_reduction = 0.0; ours_t_all = 764.84; ours_reduction = 23.52 };
+    { case = "C3"; baseline_solve = Some 153.96; een_t_all = Some 124.91;
+      een_reduction = 18.87; ours_t_all = 117.13; ours_reduction = 23.92 };
+    { case = "C4"; baseline_solve = Some 190.79; een_t_all = Some 216.16;
+      een_reduction = -13.30; ours_t_all = 152.27; ours_reduction = 20.19 };
+    { case = "C5"; baseline_solve = Some 50.69; een_t_all = Some 47.29;
+      een_reduction = 6.72; ours_t_all = 35.60; ours_reduction = 29.77 };
+    { case = "C6"; baseline_solve = None; een_t_all = Some 592.56;
+      een_reduction = 40.74; ours_t_all = 386.51; ours_reduction = 61.35 };
+    { case = "C7"; baseline_solve = Some 118.47; een_t_all = Some 214.89;
+      een_reduction = -81.39; ours_t_all = 40.08; ours_reduction = 66.17 };
+    { case = "C8"; baseline_solve = Some 324.97; een_t_all = Some 151.79;
+      een_reduction = 53.29; ours_t_all = 45.26; ours_reduction = 86.07 };
+    { case = "Avg."; baseline_solve = Some 475.95; een_t_all = Some 397.67;
+      een_reduction = 16.45; ours_t_all = 226.47; ours_reduction = 52.42 };
+  ]
+
+type size_row = {
+  case : string;
+  gates_per_level_before : float;
+  luts_per_level_after : float;
+}
+
+let table7 =
+  [
+    { case = "I1"; gates_per_level_before = 226.11; luts_per_level_after = 77.09 };
+    { case = "I2"; gates_per_level_before = 234.34; luts_per_level_after = 88.00 };
+    { case = "I3"; gates_per_level_before = 228.26; luts_per_level_after = 87.83 };
+    { case = "I4"; gates_per_level_before = 211.63; luts_per_level_after = 80.66 };
+    { case = "I5"; gates_per_level_before = 186.53; luts_per_level_after = 63.07 };
+    { case = "C1"; gates_per_level_before = 3.78; luts_per_level_after = 2386.18 };
+    { case = "C2"; gates_per_level_before = 3.70; luts_per_level_after = 2513.65 };
+    { case = "C3"; gates_per_level_before = 2.08; luts_per_level_after = 508.50 };
+    { case = "C4"; gates_per_level_before = 2.48; luts_per_level_after = 622.19 };
+    { case = "C5"; gates_per_level_before = 2.85; luts_per_level_after = 129.50 };
+    { case = "C6"; gates_per_level_before = 2.85; luts_per_level_after = 150.73 };
+    { case = "C7"; gates_per_level_before = 2.33; luts_per_level_after = 786.31 };
+    { case = "C8"; gates_per_level_before = 2.80; luts_per_level_after = 724.38 };
+  ]
+
+let avg_reduction_lec_ours = 96.14
+let avg_reduction_lec_een = 77.16
+let avg_reduction_cnf_ours = 52.42
+let avg_reduction_cnf_een = 16.45
+let branching_and2 = 3
+let branching_xor2 = 4

@@ -1,0 +1,62 @@
+(** Reference numbers from the paper's evaluation section, embedded so
+    every regenerated table prints the published values alongside the
+    measured ones.  "TO" rows are encoded as [None] (the paper charges
+    them 1000 s). *)
+
+type lec_row = {
+  case : string;
+  baseline_solve : float;
+  een_t_all : float;
+  een_reduction : float;
+  ours_t_all : float;
+  ours_reduction : float;
+}
+
+val table3 : lec_row list
+(** I1-I5 plus the published averages (row "Avg."). *)
+
+type ablation_row = {
+  case : string;
+  without_rl_t_all : float;
+  with_rl_t_all : float;
+}
+
+val table4 : ablation_row list
+
+type mapper_row = {
+  case : string;
+  conventional_solve : float;
+  ours_solve : float;
+}
+
+val table5 : mapper_row list
+
+type cnf_row = {
+  case : string;
+  baseline_solve : float option; (** None = timeout (1000 s) *)
+  een_t_all : float option;
+  een_reduction : float;
+  ours_t_all : float;
+  ours_reduction : float;
+}
+
+val table6 : cnf_row list
+
+type size_row = {
+  case : string;
+  gates_per_level_before : float;
+  luts_per_level_after : float;
+}
+
+val table7 : size_row list
+
+(** Published averages: LEC reduction 96.14% (ours) / 77.16% ([15]);
+    CNF reduction 52.42% (ours) / 16.45% ([15]); Figure 4 branching
+    complexities AND = 3, XOR = 4. *)
+
+val avg_reduction_lec_ours : float
+val avg_reduction_lec_een : float
+val avg_reduction_cnf_ours : float
+val avg_reduction_cnf_een : float
+val branching_and2 : int
+val branching_xor2 : int

@@ -1,0 +1,53 @@
+type t = {
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let fmt_f x = Printf.sprintf "%.2f" x
+let fmt_pct x = Printf.sprintf "%.2f%%" x
+
+let render t =
+  let all = t.header :: t.rows in
+  let ncols =
+    List.fold_left (fun acc row -> max acc (List.length row)) 0 all
+  in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
+  let pad i cell = cell ^ String.make (widths.(i) - String.length cell) ' ' in
+  let line row =
+    String.concat "  " (List.mapi pad row) |> String.trim |> fun s ->
+    String.concat "  " (List.mapi pad row) |> fun full ->
+    ignore s;
+    (* Keep trailing alignment but drop rightmost spaces. *)
+    let rec rstrip n =
+      if n > 0 && full.[n - 1] = ' ' then rstrip (n - 1) else n
+    in
+    String.sub full 0 (rstrip (String.length full))
+  in
+  let sep =
+    String.concat "--"
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (line t.header ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (line row ^ "\n")) t.rows;
+  List.iter (fun n -> Buffer.add_string buf ("note: " ^ n ^ "\n")) t.notes;
+  Buffer.contents buf
+
+let csv_cell c =
+  if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') c then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' c) ^ "\""
+  else c
+
+let to_csv t =
+  let line row = String.concat "," (List.map csv_cell row) in
+  String.concat "\n" (List.map line (t.header :: t.rows)) ^ "\n"

@@ -1,0 +1,20 @@
+(** Plain-text table rendering for the experiment harness. *)
+
+type t = {
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val render : t -> string
+(** Column-aligned ASCII rendering with title and trailing notes. *)
+
+val to_csv : t -> string
+(** Header + rows as RFC-4180-ish CSV (cells quoted when needed). *)
+
+val fmt_f : float -> string
+(** Two-decimal float. *)
+
+val fmt_pct : float -> string
+(** Percentage with two decimals and a [%] sign. *)

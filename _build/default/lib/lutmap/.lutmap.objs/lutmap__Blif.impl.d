@@ -1,0 +1,1 @@
+lib/lutmap/blif.ml: Aig Array Buffer Fun Hashtbl List Netlist Printf String

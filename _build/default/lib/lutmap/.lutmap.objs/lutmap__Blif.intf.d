@@ -1,0 +1,1 @@
+lib/lutmap/blif.mli: Netlist

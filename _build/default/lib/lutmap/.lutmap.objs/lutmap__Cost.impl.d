@@ -1,0 +1,1 @@
+lib/lutmap/cost.ml: Aig Array Hashtbl List

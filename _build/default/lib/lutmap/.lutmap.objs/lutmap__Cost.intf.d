@@ -1,0 +1,1 @@
+lib/lutmap/cost.mli: Aig

@@ -1,0 +1,1 @@
+lib/lutmap/encode.ml: Aig Array Cnf List Netlist

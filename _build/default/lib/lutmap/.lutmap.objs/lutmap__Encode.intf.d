@@ -1,0 +1,1 @@
+lib/lutmap/encode.mli: Cnf Netlist

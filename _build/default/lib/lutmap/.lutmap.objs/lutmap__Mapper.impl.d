@@ -1,0 +1,1 @@
+lib/lutmap/mapper.ml: Aig Array Cost List Netlist

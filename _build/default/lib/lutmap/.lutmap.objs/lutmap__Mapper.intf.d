@@ -1,0 +1,1 @@
+lib/lutmap/mapper.mli: Aig Cost Netlist

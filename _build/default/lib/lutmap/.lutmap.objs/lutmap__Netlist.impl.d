@@ -1,0 +1,1 @@
+lib/lutmap/netlist.ml: Aig Array Format Printf

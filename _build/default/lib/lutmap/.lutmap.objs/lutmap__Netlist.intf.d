@@ -1,0 +1,1 @@
+lib/lutmap/netlist.mli: Aig Format

@@ -1,0 +1,1 @@
+lib/lutmap/verilog.ml: Aig Array Buffer Fun List Netlist Printf String

@@ -1,0 +1,1 @@
+lib/lutmap/verilog.mli: Netlist

@@ -1,0 +1,31 @@
+type t = Aig.Tt.t -> int
+
+let conventional _ = 1
+
+let memo : (int * int, int) Hashtbl.t = Hashtbl.create 4096
+
+let branching_raw f =
+  List.length (Aig.Isop.compute f)
+  + List.length (Aig.Isop.compute (Aig.Tt.not_ f))
+
+let branching f =
+  let n = Aig.Tt.num_vars f in
+  if n <= 6 then begin
+    let key = (n, Aig.Tt.to_int f) in
+    match Hashtbl.find_opt memo key with
+    | Some c -> c
+    | None ->
+      let c = branching_raw f in
+      Hashtbl.add memo key c;
+      c
+  end
+  else branching_raw f
+
+let branching_of_int64 ~nvars bits =
+  branching (Aig.Cut.cut_tt { Aig.Cut.leaves = Array.make nvars 0; tt = bits })
+
+let table_for_arity n =
+  if n > 4 then invalid_arg "Cost.table_for_arity: arity above 4";
+  List.map
+    (fun f -> (Aig.Tt.to_int f, branching f))
+    (Aig.Npn.all_class_representatives n)

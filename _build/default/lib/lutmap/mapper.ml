@@ -1,0 +1,182 @@
+type config = {
+  k : int;
+  cut_limit : int;
+  area_passes : int;
+  cost : Cost.t;
+}
+
+let default_config =
+  { k = 4; cut_limit = 8; area_passes = 2; cost = Cost.conventional }
+
+let cost_customized_config = { default_config with cost = Cost.branching }
+
+let cut_cost cfg c = cfg.cost (Aig.Cut.cut_tt c)
+
+let run ?(config = default_config) g =
+  let cfg = config in
+  let n = Aig.Graph.num_nodes g in
+  let sets = Aig.Cut.enumerate g ~k:cfg.k ~limit:cfg.cut_limit in
+  let refs = Aig.Graph.ref_counts g in
+  let reachable = Array.make n false in
+  let rec visit id =
+    if not reachable.(id) then begin
+      reachable.(id) <- true;
+      if Aig.Graph.is_and g id then begin
+        visit (Aig.Graph.node_of_lit (Aig.Graph.fanin0 g id));
+        visit (Aig.Graph.node_of_lit (Aig.Graph.fanin1 g id))
+      end
+    end
+  in
+  Array.iter
+    (fun l ->
+      let id = Aig.Graph.node_of_lit l in
+      if id <> 0 then visit id)
+    (Aig.Graph.pos g);
+  let arrival = Array.make n 0 in
+  let flow = Array.make n 0.0 in
+  let best : Aig.Cut.cut option array = Array.make n None in
+  let nontrivial id =
+    List.filter
+      (fun c -> not (Array.mem id c.Aig.Cut.leaves))
+      (Aig.Cut.cuts sets id)
+  in
+  let cut_arrival c =
+    Array.fold_left (fun acc leaf -> max acc arrival.(leaf)) 0 c.Aig.Cut.leaves
+    + 1
+  in
+  let cut_flow c =
+    float_of_int (cut_cost cfg c)
+    +. Array.fold_left
+         (fun acc leaf -> acc +. flow.(leaf))
+         0.0 c.Aig.Cut.leaves
+  in
+  (* Delay-optimal pass. *)
+  Aig.Graph.iter_ands g (fun id ->
+      if reachable.(id) then begin
+        let choose (ba, bf, bc) c =
+          let a = cut_arrival c and f = cut_flow c in
+          if a < ba || (a = ba && f < bf) then (a, f, Some c) else (ba, bf, bc)
+        in
+        let a, f, c =
+          List.fold_left choose (max_int, infinity, None) (nontrivial id)
+        in
+        (match c with
+         | Some _ ->
+           arrival.(id) <- a;
+           flow.(id) <- f /. float_of_int (max 1 refs.(id));
+           best.(id) <- c
+         | None -> assert false)
+      end);
+  (* Area-recovery passes under the delay constraint. *)
+  let required = Array.make n max_int in
+  for _pass = 1 to cfg.area_passes do
+    (* Backward required times over the current mapping. *)
+    Array.fill required 0 n max_int;
+    let target =
+      Array.fold_left
+        (fun acc l ->
+          let id = Aig.Graph.node_of_lit l in
+          if Aig.Graph.is_and g id then max acc arrival.(id) else acc)
+        0 (Aig.Graph.pos g)
+    in
+    Array.iter
+      (fun l ->
+        let id = Aig.Graph.node_of_lit l in
+        if Aig.Graph.is_and g id then required.(id) <- target)
+      (Aig.Graph.pos g);
+    for id = n - 1 downto 0 do
+      if reachable.(id) && Aig.Graph.is_and g id && required.(id) < max_int
+      then
+        match best.(id) with
+        | None -> ()
+        | Some c ->
+          Array.iter
+            (fun leaf ->
+              if Aig.Graph.is_and g leaf then
+                required.(leaf) <- min required.(leaf) (required.(id) - 1))
+            c.Aig.Cut.leaves
+    done;
+    (* Re-select cuts minimizing flow within the slack. *)
+    Aig.Graph.iter_ands g (fun id ->
+        if reachable.(id) then begin
+          let req = if required.(id) = max_int then target else required.(id) in
+          let feasible, infeasible =
+            List.partition (fun c -> cut_arrival c <= req) (nontrivial id)
+          in
+          let pick cuts ~by =
+            List.fold_left
+              (fun acc c ->
+                match acc with
+                | None -> Some c
+                | Some b -> if by c < by b then Some c else acc)
+              None cuts
+          in
+          let chosen =
+            match
+              pick feasible ~by:(fun c -> (cut_flow c, cut_arrival c))
+            with
+            | Some c -> Some c
+            | None ->
+              pick infeasible ~by:(fun c -> (cut_arrival c, cut_flow c))
+          in
+          match chosen with
+          | Some c ->
+            arrival.(id) <- cut_arrival c;
+            flow.(id) <- cut_flow c /. float_of_int (max 1 refs.(id));
+            best.(id) <- Some c
+          | None -> assert false
+        end)
+  done;
+  (* Derivation: collect the nodes actually used by the mapping. *)
+  let used = Array.make n false in
+  let rec need id =
+    if Aig.Graph.is_and g id && not used.(id) then begin
+      used.(id) <- true;
+      match best.(id) with
+      | None -> assert false
+      | Some c -> Array.iter need c.Aig.Cut.leaves
+    end
+  in
+  Array.iter
+    (fun l ->
+      let id = Aig.Graph.node_of_lit l in
+      if id <> 0 then need id)
+    (Aig.Graph.pos g);
+  let lut_index = Array.make n (-1) in
+  let luts = ref [] in
+  let count = ref 0 in
+  let source_of_node id =
+    if Aig.Graph.is_pi g id then Netlist.Input (id - 1)
+    else Netlist.Lut_out lut_index.(id)
+  in
+  Aig.Graph.iter_ands g (fun id ->
+      if used.(id) then begin
+        match best.(id) with
+        | None -> assert false
+        | Some c ->
+          let fanins = Array.map source_of_node c.Aig.Cut.leaves in
+          luts := { Netlist.tt = Aig.Cut.cut_tt c; fanins } :: !luts;
+          lut_index.(id) <- !count;
+          incr count
+      end);
+  let outputs =
+    Array.map
+      (fun l ->
+        let id = Aig.Graph.node_of_lit l in
+        let compl_ = Aig.Graph.is_compl l in
+        if id = 0 then (Netlist.Const compl_, false)
+        else (source_of_node id, compl_))
+      (Aig.Graph.pos g)
+  in
+  let nl =
+    {
+      Netlist.num_inputs = Aig.Graph.num_pis g;
+      luts = Array.of_list (List.rev !luts);
+      outputs;
+    }
+  in
+  Netlist.validate nl;
+  nl
+
+let total_cost cost nl =
+  Array.fold_left (fun acc l -> acc + cost l.Netlist.tt) 0 nl.Netlist.luts

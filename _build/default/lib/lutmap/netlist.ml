@@ -1,0 +1,99 @@
+type source = Input of int | Lut_out of int | Const of bool
+
+type lut = { tt : Aig.Tt.t; fanins : source array }
+
+type t = {
+  num_inputs : int;
+  luts : lut array;
+  outputs : (source * bool) array;
+}
+
+let validate nl =
+  Array.iteri
+    (fun i l ->
+      if Aig.Tt.num_vars l.tt <> Array.length l.fanins then
+        invalid_arg
+          (Printf.sprintf "Netlist: lut %d arity mismatch (%d vars, %d fanins)"
+             i (Aig.Tt.num_vars l.tt) (Array.length l.fanins));
+      Array.iter
+        (function
+          | Input j ->
+            if j < 0 || j >= nl.num_inputs then
+              invalid_arg (Printf.sprintf "Netlist: lut %d bad input %d" i j)
+          | Lut_out j ->
+            if j < 0 || j >= i then
+              invalid_arg
+                (Printf.sprintf "Netlist: lut %d not topological (ref %d)" i j)
+          | Const _ -> ())
+        l.fanins)
+    nl.luts;
+  Array.iter
+    (fun (src, _) ->
+      match src with
+      | Input j ->
+        if j < 0 || j >= nl.num_inputs then
+          invalid_arg "Netlist: output references bad input"
+      | Lut_out j ->
+        if j < 0 || j >= Array.length nl.luts then
+          invalid_arg "Netlist: output references bad LUT"
+      | Const _ -> ())
+    nl.outputs
+
+let num_luts nl = Array.length nl.luts
+
+let levels nl =
+  let lv = Array.make (Array.length nl.luts) 0 in
+  Array.iteri
+    (fun i l ->
+      let m = ref 0 in
+      Array.iter
+        (function
+          | Input _ | Const _ -> ()
+          | Lut_out j -> m := max !m lv.(j))
+        l.fanins;
+      lv.(i) <- 1 + !m)
+    nl.luts;
+  lv
+
+let depth nl =
+  let lv = levels nl in
+  Array.fold_left
+    (fun acc (src, _) ->
+      match src with
+      | Lut_out j -> max acc lv.(j)
+      | Input _ | Const _ -> acc)
+    0 nl.outputs
+
+let luts_per_level nl =
+  let d = depth nl in
+  if d = 0 then 0.0 else float_of_int (num_luts nl) /. float_of_int d
+
+let eval nl inputs =
+  if Array.length inputs <> nl.num_inputs then
+    invalid_arg "Netlist.eval: wrong input count";
+  let values = Array.make (Array.length nl.luts) false in
+  let source_value = function
+    | Input j -> inputs.(j)
+    | Lut_out j -> values.(j)
+    | Const b -> b
+  in
+  Array.iteri
+    (fun i l ->
+      let m = ref 0 in
+      Array.iteri
+        (fun k src -> if source_value src then m := !m lor (1 lsl k))
+        l.fanins;
+      values.(i) <- Aig.Tt.get_bit l.tt !m)
+    nl.luts;
+  Array.map
+    (fun (src, compl_) ->
+      let v = source_value src in
+      if compl_ then not v else v)
+    nl.outputs
+
+let max_fanin nl =
+  Array.fold_left (fun acc l -> max acc (Array.length l.fanins)) 0 nl.luts
+
+let pp_stats ppf nl =
+  Format.fprintf ppf "inputs=%d luts=%d depth=%d luts/level=%.2f"
+    nl.num_inputs (num_luts nl) (depth nl) (luts_per_level nl)

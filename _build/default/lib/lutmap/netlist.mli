@@ -1,0 +1,39 @@
+(** k-LUT netlists — the output of technology mapping.
+
+    LUTs are stored in topological order; every fanin refers to a
+    primary input or an earlier LUT.  Output polarities are explicit so
+    the netlist covers complemented AIG outputs without extra LUTs. *)
+
+type source = Input of int | Lut_out of int | Const of bool
+
+type lut = {
+  tt : Aig.Tt.t;           (** function of the fanins, arity = fanin count *)
+  fanins : source array;
+}
+
+type t = {
+  num_inputs : int;
+  luts : lut array;
+  outputs : (source * bool) array;  (** (driver, complemented) *)
+}
+
+val validate : t -> unit
+(** Checks topological order, fanin ranges and truth-table arities.
+    @raise Invalid_argument on a malformed netlist. *)
+
+val num_luts : t -> int
+
+val levels : t -> int array
+(** Per-LUT logic level (inputs are level 0). *)
+
+val depth : t -> int
+
+val luts_per_level : t -> float
+(** [num_luts / depth]; the flatness measure of Table 7. *)
+
+val eval : t -> bool array -> bool array
+(** Input values in, output values out. *)
+
+val max_fanin : t -> int
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,62 @@
+let source_name = function
+  | Netlist.Input i -> Printf.sprintf "i%d" i
+  | Netlist.Lut_out j -> Printf.sprintf "n%d" j
+  | Netlist.Const b -> if b then "1'b1" else "1'b0"
+
+let expr_of_lut lut =
+  let cubes = Aig.Isop.compute lut.Netlist.tt in
+  match cubes with
+  | [] -> "1'b0"
+  | _ ->
+    let cube_expr c =
+      match Aig.Cube.literals c with
+      | [] -> "1'b1"
+      | lits ->
+        String.concat " & "
+          (List.map
+             (fun (v, positive) ->
+               let name = source_name lut.Netlist.fanins.(v) in
+               if positive then name else "~" ^ name)
+             lits)
+    in
+    String.concat " | "
+      (List.map (fun c -> "(" ^ cube_expr c ^ ")") cubes)
+
+let write_string ?(module_name = "eda4sat") nl =
+  let buf = Buffer.create 4096 in
+  let inputs = List.init nl.Netlist.num_inputs (Printf.sprintf "i%d") in
+  let outputs =
+    List.init (Array.length nl.Netlist.outputs) (Printf.sprintf "o%d")
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "module %s(%s);\n" module_name
+       (String.concat ", " (inputs @ outputs)));
+  if inputs <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "  input %s;\n" (String.concat ", " inputs));
+  if outputs <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "  output %s;\n" (String.concat ", " outputs));
+  Array.iteri
+    (fun j _ -> Buffer.add_string buf (Printf.sprintf "  wire n%d;\n" j))
+    nl.Netlist.luts;
+  Array.iteri
+    (fun j lut ->
+      Buffer.add_string buf
+        (Printf.sprintf "  assign n%d = %s;\n" j (expr_of_lut lut)))
+    nl.Netlist.luts;
+  Array.iteri
+    (fun i (src, compl_) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  assign o%d = %s%s;\n" i
+           (if compl_ then "~" else "")
+           (source_name src)))
+    nl.Netlist.outputs;
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let write_file ?module_name nl path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (write_string ?module_name nl))

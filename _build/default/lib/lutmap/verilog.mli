@@ -1,0 +1,9 @@
+(** Structural Verilog emission of LUT netlists.
+
+    Each LUT becomes an [assign] of a sum-of-products expression (the
+    ISOP cover of its function), so the output is plain synthesizable
+    Verilog-2001 with no cell library — convenient for waveform-level
+    debugging and for feeding the mapped netlist to external tools. *)
+
+val write_string : ?module_name:string -> Netlist.t -> string
+val write_file : ?module_name:string -> Netlist.t -> string -> unit

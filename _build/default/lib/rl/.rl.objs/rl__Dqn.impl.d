@@ -1,0 +1,1 @@
+lib/rl/dqn.ml: Aig Array Mlp Replay

@@ -1,0 +1,1 @@
+lib/rl/dqn.mli: Replay

@@ -1,0 +1,1 @@
+lib/rl/mlp.ml: Aig Array Buffer List Printf String

@@ -1,0 +1,141 @@
+type config = {
+  state_dim : int;
+  num_actions : int;
+  hidden : int array;
+  gamma : float;
+  lr : float;
+  batch_size : int;
+  buffer_capacity : int;
+  target_sync : int;
+  eps_start : float;
+  eps_end : float;
+  eps_decay_steps : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    state_dim = 22;
+    num_actions = 5;
+    hidden = [| 64; 64 |];
+    gamma = 0.98;
+    lr = 1e-3;
+    batch_size = 32;
+    buffer_capacity = 10_000;
+    target_sync = 100;
+    eps_start = 1.0;
+    eps_end = 0.05;
+    eps_decay_steps = 2_000;
+    seed = 7;
+  }
+
+type t = {
+  cfg : config;
+  qnet : Mlp.t;
+  target : Mlp.t;
+  replay : Replay.t;
+  rng : Aig.Rng.t;
+  mutable action_count : int;
+  mutable train_count : int;
+  mutable loss : float;
+}
+
+let create cfg =
+  let sizes =
+    Array.concat [ [| cfg.state_dim |]; cfg.hidden; [| cfg.num_actions |] ]
+  in
+  let qnet = Mlp.create ~sizes ~seed:cfg.seed in
+  let target = Mlp.clone qnet in
+  {
+    cfg;
+    qnet;
+    target;
+    replay = Replay.create ~capacity:cfg.buffer_capacity ~seed:(cfg.seed + 1);
+    rng = Aig.Rng.create (cfg.seed + 2);
+    action_count = 0;
+    train_count = 0;
+    loss = 0.0;
+  }
+
+let config agent = agent.cfg
+let q_values agent state = Mlp.forward agent.qnet state
+let training_steps agent = agent.train_count
+let last_loss agent = agent.loss
+
+let argmax v =
+  let best = ref 0 in
+  Array.iteri (fun i x -> if x > v.(!best) then best := i) v;
+  !best
+
+let epsilon agent =
+  let cfg = agent.cfg in
+  let progress =
+    min 1.0 (float_of_int agent.action_count /. float_of_int cfg.eps_decay_steps)
+  in
+  cfg.eps_start +. ((cfg.eps_end -. cfg.eps_start) *. progress)
+
+let select_action agent ?(explore = false) state =
+  agent.action_count <- agent.action_count + 1;
+  if explore && Aig.Rng.float agent.rng < epsilon agent then
+    Aig.Rng.int agent.rng agent.cfg.num_actions
+  else argmax (q_values agent state)
+
+let train_step agent =
+  let cfg = agent.cfg in
+  let batch = Replay.sample agent.replay cfg.batch_size in
+  let samples =
+    Array.map
+      (fun tr ->
+        let target_value =
+          match tr.Replay.next_state with
+          | None -> tr.Replay.reward
+          | Some s' ->
+            let qs' = Mlp.forward agent.target s' in
+            tr.Replay.reward +. (cfg.gamma *. qs'.(argmax qs'))
+        in
+        (tr.Replay.state, tr.Replay.action, target_value))
+      batch
+  in
+  agent.loss <- Mlp.train_batch agent.qnet ~lr:cfg.lr samples;
+  agent.train_count <- agent.train_count + 1;
+  if agent.train_count mod cfg.target_sync = 0 then
+    Mlp.copy_weights ~src:agent.qnet ~dst:agent.target
+
+let observe agent tr =
+  Replay.push agent.replay tr;
+  if Replay.size agent.replay >= agent.cfg.batch_size then train_step agent
+
+type env = {
+  reset : unit -> float array;
+  step : int -> float array * float * bool;
+}
+
+let run_episode agent env ~max_steps ~learn =
+  let total = ref 0.0 in
+  let state = ref (env.reset ()) in
+  let steps = ref 0 in
+  let finished = ref false in
+  while (not !finished) && !steps < max_steps do
+    incr steps;
+    let a = select_action agent ~explore:learn !state in
+    let s', r, terminal = env.step a in
+    total := !total +. r;
+    if learn then
+      observe agent
+        {
+          Replay.state = !state;
+          action = a;
+          reward = r;
+          next_state = (if terminal then None else Some s');
+        };
+    state := s';
+    finished := terminal
+  done;
+  !total
+
+let save_string agent = Mlp.save_string agent.qnet
+
+let load_weights_string agent s =
+  let net = Mlp.load_string s in
+  Mlp.copy_weights ~src:net ~dst:agent.qnet;
+  Mlp.copy_weights ~src:net ~dst:agent.target

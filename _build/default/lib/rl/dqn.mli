@@ -1,0 +1,56 @@
+(** Deep Q-learning (§3.2.6, after Mnih et al. 2015).
+
+    An MLP estimates Q(s, a); the policy is greedy over actions (Eq. 4);
+    training minimizes the temporal-difference loss of Eq. (5) against
+    a periodically synchronized target network, with epsilon-greedy
+    exploration and experience replay. *)
+
+type config = {
+  state_dim : int;
+  num_actions : int;
+  hidden : int array;       (** hidden layer widths *)
+  gamma : float;            (** discount (paper: 0.98) *)
+  lr : float;
+  batch_size : int;         (** paper: 32 *)
+  buffer_capacity : int;
+  target_sync : int;        (** copy to target every k training steps *)
+  eps_start : float;
+  eps_end : float;
+  eps_decay_steps : int;
+  seed : int;
+}
+
+val default_config : config
+
+type t
+
+val create : config -> t
+val config : t -> config
+
+val q_values : t -> float array -> float array
+
+val select_action : t -> ?explore:bool -> float array -> int
+(** Greedy action; with [explore] (default false) epsilon-greedy, the
+    epsilon annealed linearly over [eps_decay_steps] action selections. *)
+
+val observe : t -> Replay.transition -> unit
+(** Store a transition and, once the buffer holds a batch, perform one
+    training step (and possibly a target sync). *)
+
+val training_steps : t -> int
+val last_loss : t -> float
+
+(** A generic episodic environment. *)
+type env = {
+  reset : unit -> float array;
+  step : int -> float array * float * bool;
+      (** [step a] returns (next state, reward, terminal). *)
+}
+
+val run_episode : t -> env -> max_steps:int -> learn:bool -> float
+(** Runs one episode, returning the cumulative reward.  With [learn]
+    the transitions are fed through {!observe}. *)
+
+val save_string : t -> string
+val load_weights_string : t -> string -> unit
+(** Restores Q-network weights into an agent of matching shape. *)

@@ -1,0 +1,252 @@
+(* Dense MLP with per-parameter Adam state.  Layer l maps dimension
+   sizes.(l) to sizes.(l+1); hidden layers apply ReLU, the final layer
+   is linear (Q-values are unbounded). *)
+
+type layer = {
+  w : float array array; (* out x in *)
+  b : float array;
+  (* Adam moments *)
+  mw : float array array;
+  vw : float array array;
+  mb : float array;
+  vb : float array;
+}
+
+type t = { sizes : int array; layers : layer array; mutable tstep : int }
+
+let create ~sizes ~seed =
+  if Array.length sizes < 2 then invalid_arg "Mlp.create: need >= 2 sizes";
+  Array.iter (fun s -> if s <= 0 then invalid_arg "Mlp.create: bad size") sizes;
+  let rng = Aig.Rng.create seed in
+  let layers =
+    Array.init
+      (Array.length sizes - 1)
+      (fun l ->
+        let nin = sizes.(l) and nout = sizes.(l + 1) in
+        let scale = sqrt (2.0 /. float_of_int (nin + nout)) in
+        {
+          w =
+            Array.init nout (fun _ ->
+                Array.init nin (fun _ -> scale *. Aig.Rng.gaussian rng));
+          b = Array.make nout 0.0;
+          mw = Array.init nout (fun _ -> Array.make nin 0.0);
+          vw = Array.init nout (fun _ -> Array.make nin 0.0);
+          mb = Array.make nout 0.0;
+          vb = Array.make nout 0.0;
+        })
+      ;
+  in
+  { sizes; layers; tstep = 0 }
+
+let input_dim net = net.sizes.(0)
+let output_dim net = net.sizes.(Array.length net.sizes - 1)
+
+let layer_forward layer v =
+  Array.mapi
+    (fun o row ->
+      let acc = ref layer.b.(o) in
+      Array.iteri (fun i x -> acc := !acc +. (x *. v.(i))) row;
+      !acc)
+    layer.w
+
+let relu v = Array.map (fun x -> if x > 0.0 then x else 0.0) v
+
+let forward net x =
+  if Array.length x <> input_dim net then
+    invalid_arg "Mlp.forward: input dimension mismatch";
+  let nlayers = Array.length net.layers in
+  let v = ref x in
+  Array.iteri
+    (fun l layer ->
+      let z = layer_forward layer !v in
+      v := if l = nlayers - 1 then z else relu z)
+    net.layers;
+  !v
+
+(* Forward with caches: returns (activations per layer incl. input,
+   pre-activations per layer). *)
+let forward_cached net x =
+  let nlayers = Array.length net.layers in
+  let acts = Array.make (nlayers + 1) [||] in
+  let pre = Array.make nlayers [||] in
+  acts.(0) <- x;
+  for l = 0 to nlayers - 1 do
+    let z = layer_forward net.layers.(l) acts.(l) in
+    pre.(l) <- z;
+    acts.(l + 1) <- (if l = nlayers - 1 then z else relu z)
+  done;
+  (acts, pre)
+
+let adam_update net ~lr grads_w grads_b =
+  let beta1 = 0.9 and beta2 = 0.999 and eps = 1e-8 in
+  net.tstep <- net.tstep + 1;
+  let t = float_of_int net.tstep in
+  let corr1 = 1.0 -. (beta1 ** t) and corr2 = 1.0 -. (beta2 ** t) in
+  Array.iteri
+    (fun l layer ->
+      let gw = grads_w.(l) and gb = grads_b.(l) in
+      Array.iteri
+        (fun o row ->
+          Array.iteri
+            (fun i g ->
+              layer.mw.(o).(i) <-
+                (beta1 *. layer.mw.(o).(i)) +. ((1.0 -. beta1) *. g);
+              layer.vw.(o).(i) <-
+                (beta2 *. layer.vw.(o).(i)) +. ((1.0 -. beta2) *. g *. g);
+              let mhat = layer.mw.(o).(i) /. corr1
+              and vhat = layer.vw.(o).(i) /. corr2 in
+              row.(i) <- row.(i) -. (lr *. mhat /. (sqrt vhat +. eps)))
+            gw.(o);
+          let g = gb.(o) in
+          layer.mb.(o) <- (beta1 *. layer.mb.(o)) +. ((1.0 -. beta1) *. g);
+          layer.vb.(o) <- (beta2 *. layer.vb.(o)) +. ((1.0 -. beta2) *. g *. g);
+          let mhat = layer.mb.(o) /. corr1 and vhat = layer.vb.(o) /. corr2 in
+          layer.b.(o) <- layer.b.(o) -. (lr *. mhat /. (sqrt vhat +. eps)))
+        layer.w)
+    net.layers
+
+let train_batch net ~lr batch =
+  let nlayers = Array.length net.layers in
+  if Array.length batch = 0 then 0.0
+  else begin
+    (* Zero gradients. *)
+    let grads_w =
+      Array.map
+        (fun layer ->
+          Array.init (Array.length layer.w) (fun o ->
+              Array.make (Array.length layer.w.(o)) 0.0))
+        net.layers
+    and grads_b =
+      Array.map (fun layer -> Array.make (Array.length layer.b) 0.0) net.layers
+    in
+    let total_loss = ref 0.0 in
+    let bsize = float_of_int (Array.length batch) in
+    Array.iter
+      (fun (x, action, target) ->
+        let acts, pre = forward_cached net x in
+        let out = acts.(nlayers) in
+        let err = out.(action) -. target in
+        total_loss := !total_loss +. (0.5 *. err *. err);
+        (* Delta at the output layer: only the taken action. *)
+        let delta = ref (Array.make (Array.length out) 0.0) in
+        !delta.(action) <- err /. bsize;
+        for l = nlayers - 1 downto 0 do
+          let layer = net.layers.(l) in
+          let d = !delta in
+          (* Accumulate gradients for this layer. *)
+          Array.iteri
+            (fun o dout ->
+              if dout <> 0.0 then begin
+                grads_b.(l).(o) <- grads_b.(l).(o) +. dout;
+                let input = acts.(l) in
+                let gw = grads_w.(l).(o) in
+                Array.iteri
+                  (fun i xi -> gw.(i) <- gw.(i) +. (dout *. xi))
+                  input
+              end)
+            d;
+          (* Propagate to the previous layer. *)
+          if l > 0 then begin
+            let din = Array.make net.sizes.(l) 0.0 in
+            Array.iteri
+              (fun o dout ->
+                if dout <> 0.0 then
+                  Array.iteri
+                    (fun i wij -> din.(i) <- din.(i) +. (dout *. wij))
+                    layer.w.(o))
+              d;
+            (* Through the ReLU of layer l-1. *)
+            let z = pre.(l - 1) in
+            Array.iteri
+              (fun i zi -> if zi <= 0.0 then din.(i) <- 0.0)
+              z;
+            delta := din
+          end
+        done)
+      batch;
+    adam_update net ~lr grads_w grads_b;
+    !total_loss /. bsize
+  end
+
+let copy_weights ~src ~dst =
+  if src.sizes <> dst.sizes then
+    invalid_arg "Mlp.copy_weights: shape mismatch";
+  Array.iteri
+    (fun l layer ->
+      let s = src.layers.(l) in
+      Array.iteri (fun o row -> Array.blit s.w.(o) 0 row 0 (Array.length row))
+        layer.w;
+      Array.blit s.b 0 layer.b 0 (Array.length layer.b))
+    dst.layers
+
+let clone net =
+  let c = create ~sizes:net.sizes ~seed:0 in
+  copy_weights ~src:net ~dst:c;
+  c
+
+let parameter_count net =
+  Array.fold_left
+    (fun acc layer ->
+      acc
+      + Array.fold_left (fun a row -> a + Array.length row) 0 layer.w
+      + Array.length layer.b)
+    0 net.layers
+
+let save_string net =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (String.concat " " (Array.to_list (Array.map string_of_int net.sizes)));
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun layer ->
+      Array.iter
+        (fun row ->
+          Array.iter (fun x -> Buffer.add_string buf (Printf.sprintf "%.17g " x)) row;
+          Buffer.add_char buf '\n')
+        layer.w;
+      Array.iter (fun x -> Buffer.add_string buf (Printf.sprintf "%.17g " x))
+        layer.b;
+      Buffer.add_char buf '\n')
+    net.layers;
+  Buffer.contents buf
+
+let load_string s =
+  match String.split_on_char '\n' s with
+  | [] -> failwith "Mlp.load_string: empty"
+  | header :: rest ->
+    let sizes =
+      try
+        String.split_on_char ' ' (String.trim header)
+        |> List.filter (fun t -> t <> "")
+        |> List.map int_of_string
+        |> Array.of_list
+      with Failure _ -> failwith "Mlp.load_string: bad header"
+    in
+    let net = create ~sizes ~seed:0 in
+    let lines = ref rest in
+    let next_line () =
+      match !lines with
+      | [] -> failwith "Mlp.load_string: truncated"
+      | l :: tl ->
+        lines := tl;
+        l
+    in
+    let floats_of_line line n =
+      let parts =
+        String.split_on_char ' ' (String.trim line)
+        |> List.filter (fun t -> t <> "")
+      in
+      if List.length parts <> n then failwith "Mlp.load_string: bad row";
+      Array.of_list (List.map float_of_string parts)
+    in
+    Array.iter
+      (fun layer ->
+        Array.iteri
+          (fun o _ ->
+            let row = floats_of_line (next_line ()) (Array.length layer.w.(o)) in
+            Array.blit row 0 layer.w.(o) 0 (Array.length row))
+          layer.w;
+        let b = floats_of_line (next_line ()) (Array.length layer.b) in
+        Array.blit b 0 layer.b 0 (Array.length b))
+      net.layers;
+    net

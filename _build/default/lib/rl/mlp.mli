@@ -1,0 +1,35 @@
+(** Multilayer perceptrons with ReLU hidden layers and a linear output
+    layer, trained by Adam — the Q-network of Eq. (4).
+
+    The only loss needed by Deep Q-learning is the squared error on a
+    single output coordinate (the taken action), so training takes
+    [(input, output index, target)] triples. *)
+
+type t
+
+val create : sizes:int array -> seed:int -> t
+(** [create ~sizes] with [sizes = [| in; h1; ...; out |]],
+    Xavier-initialized.  @raise Invalid_argument on fewer than two
+    sizes. *)
+
+val forward : t -> float array -> float array
+
+val input_dim : t -> int
+val output_dim : t -> int
+
+val train_batch : t -> lr:float -> (float array * int * float) array -> float
+(** One Adam step on the mean of per-sample losses
+    [0.5 (forward x).(a) - target)^2]; returns the mean loss. *)
+
+val copy_weights : src:t -> dst:t -> unit
+(** Target-network synchronization.  Shapes must match. *)
+
+val clone : t -> t
+
+val parameter_count : t -> int
+
+val save_string : t -> string
+(** Text serialization (sizes + weights). *)
+
+val load_string : string -> t
+(** @raise Failure on malformed input. *)

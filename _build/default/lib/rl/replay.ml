@@ -1,0 +1,37 @@
+type transition = {
+  state : float array;
+  action : int;
+  reward : float;
+  next_state : float array option;
+}
+
+type t = {
+  data : transition option array;
+  mutable next : int;
+  mutable count : int;
+  rng : Aig.Rng.t;
+}
+
+let create ~capacity ~seed =
+  if capacity <= 0 then invalid_arg "Replay.create: capacity must be positive";
+  {
+    data = Array.make capacity None;
+    next = 0;
+    count = 0;
+    rng = Aig.Rng.create seed;
+  }
+
+let capacity buf = Array.length buf.data
+let size buf = buf.count
+
+let push buf tr =
+  buf.data.(buf.next) <- Some tr;
+  buf.next <- (buf.next + 1) mod capacity buf;
+  buf.count <- min (buf.count + 1) (capacity buf)
+
+let sample buf n =
+  if buf.count = 0 then invalid_arg "Replay.sample: empty buffer";
+  Array.init n (fun _ ->
+      match buf.data.(Aig.Rng.int buf.rng buf.count) with
+      | Some tr -> tr
+      | None -> assert false)

@@ -1,0 +1,21 @@
+(** Experience replay buffer for Deep Q-learning. *)
+
+type transition = {
+  state : float array;
+  action : int;
+  reward : float;
+  next_state : float array option;  (** [None] at episode end *)
+}
+
+type t
+
+val create : capacity:int -> seed:int -> t
+val push : t -> transition -> unit
+(** Overwrites the oldest entry when full. *)
+
+val size : t -> int
+val capacity : t -> int
+
+val sample : t -> int -> transition array
+(** [sample buf n] draws [n] uniform samples with replacement.
+    @raise Invalid_argument on an empty buffer. *)

@@ -1,0 +1,1 @@
+lib/sat/proof.ml: Array Buffer Cnf Hashtbl List String

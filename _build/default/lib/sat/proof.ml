@@ -1,0 +1,143 @@
+type step = Add of int array | Delete of int array
+
+type t = { mutable rev_steps : step list; mutable count : int }
+
+let create () = { rev_steps = []; count = 0 }
+
+let add p c =
+  p.rev_steps <- Add (Array.copy c) :: p.rev_steps;
+  p.count <- p.count + 1
+
+let delete p c =
+  p.rev_steps <- Delete (Array.copy c) :: p.rev_steps;
+  p.count <- p.count + 1
+
+let steps p = List.rev p.rev_steps
+let num_steps p = p.count
+
+let to_string p =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun s ->
+      let lits =
+        match s with
+        | Add c -> c
+        | Delete c ->
+          Buffer.add_string buf "d ";
+          c
+      in
+      Array.iter
+        (fun l ->
+          Buffer.add_string buf (string_of_int l);
+          Buffer.add_char buf ' ')
+        lits;
+      Buffer.add_string buf "0\n")
+    (steps p);
+  Buffer.contents buf
+
+let of_string s =
+  let p = create () in
+  String.split_on_char '\n' s
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if line <> "" then begin
+           let deletion = String.length line > 1 && line.[0] = 'd' in
+           let body =
+             if deletion then String.sub line 1 (String.length line - 1)
+             else line
+           in
+           let lits =
+             String.split_on_char ' ' body
+             |> List.filter (fun t -> t <> "")
+             |> List.map (fun t ->
+                    try int_of_string t
+                    with Failure _ -> failwith ("Proof.of_string: " ^ t))
+           in
+           match List.rev lits with
+           | 0 :: rest ->
+             let c = Array.of_list (List.rev rest) in
+             if deletion then delete p c else add p c
+           | _ -> failwith "Proof.of_string: missing terminating 0"
+         end);
+  p
+
+(* --- RUP checking ---------------------------------------------------- *)
+
+(* Assignment: 0 unassigned, 1 true, -1 false (indexed by variable). *)
+let lit_value assignment l =
+  let v = assignment.(abs l) in
+  if v = 0 then 0 else if l > 0 then v else -v
+
+let assign assignment l = assignment.(abs l) <- (if l > 0 then 1 else -1)
+
+(* Does unit propagation over [clauses] starting from the negation of
+   [c] derive a conflict? *)
+let rup clauses num_vars c =
+  let assignment = Array.make (num_vars + 1) 0 in
+  let conflict = ref false in
+  Array.iter
+    (fun l ->
+      match lit_value assignment (-l) with
+      | -1 -> conflict := true (* c contains complementary literals *)
+      | _ -> assign assignment (-l))
+    c;
+  let progress = ref true in
+  while !progress && not !conflict do
+    progress := false;
+    List.iter
+      (fun clause ->
+        if not !conflict then begin
+          let unassigned = ref [] and satisfied = ref false in
+          Array.iter
+            (fun l ->
+              match lit_value assignment l with
+              | 1 -> satisfied := true
+              | 0 -> unassigned := l :: !unassigned
+              | _ -> ())
+            clause;
+          if not !satisfied then
+            (* Duplicate literals within a clause must not hide a unit. *)
+            match List.sort_uniq compare !unassigned with
+            | [] -> conflict := true
+            | [ l ] ->
+              assign assignment l;
+              progress := true
+            | _ -> ()
+        end)
+      clauses
+  done;
+  !conflict
+
+let clause_key c =
+  let c = Array.copy c in
+  Array.sort compare c;
+  c
+
+let check f p =
+  let num_vars =
+    List.fold_left
+      (fun acc s ->
+        let c = match s with Add c | Delete c -> c in
+        Array.fold_left (fun acc l -> max acc (abs l)) acc c)
+      f.Cnf.Formula.num_vars (steps p)
+  in
+  let db : (int array, int array) Hashtbl.t = Hashtbl.create 1024 in
+  Array.iter (fun c -> Hashtbl.add db (clause_key c) c) f.Cnf.Formula.clauses;
+  let live () = Hashtbl.fold (fun _ c acc -> c :: acc) db [] in
+  let derived_empty = ref (Cnf.Formula.is_trivially_unsat f) in
+  let ok = ref true in
+  List.iter
+    (fun s ->
+      if !ok then
+        match s with
+        | Add c ->
+          if rup (live ()) num_vars c then begin
+            Hashtbl.add db (clause_key c) c;
+            if Array.length c = 0 then derived_empty := true
+          end
+          else ok := false
+        | Delete c ->
+          let k = clause_key c in
+          if Hashtbl.mem db k then Hashtbl.remove db k else ok := false)
+    (steps p);
+  !ok && !derived_empty

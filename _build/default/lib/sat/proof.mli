@@ -1,0 +1,34 @@
+(** DRAT proof logging and checking.
+
+    When given a recorder, the solver logs every learned clause
+    (addition) and every removed learned clause (deletion) in DIMACS
+    literals; an unsatisfiability result ends with the empty clause.
+    {!check} replays the proof against the original formula with a
+    reverse-unit-propagation (RUP) test per addition — CDCL learned
+    clauses are always RUP, so this validates our solver's refutations
+    end-to-end. *)
+
+type step = Add of int array | Delete of int array
+
+type t
+
+val create : unit -> t
+val add : t -> int array -> unit
+val delete : t -> int array -> unit
+val steps : t -> step list
+(** In emission order. *)
+
+val num_steps : t -> int
+
+val to_string : t -> string
+(** Standard DRAT text ("d" prefix for deletions, 0-terminated). *)
+
+val of_string : string -> t
+(** @raise Failure on malformed input. *)
+
+val check : Cnf.Formula.t -> t -> bool
+(** [check f proof] replays the proof: every added clause must be RUP
+    with respect to the current clause database, deletions must refer
+    to present clauses, and the proof must end having derived (or
+    added) the empty clause.  Intended for validation at test sizes —
+    the propagation is simple and unoptimized. *)

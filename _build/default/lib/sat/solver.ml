@@ -1,0 +1,885 @@
+(* CDCL solver.  Literal encoding: variable v (0-based) gives literals
+   2v (positive) and 2v+1 (negative); [neg l = l lxor 1].  The
+   implementation follows the MiniSat lineage: watch lists are rebuilt
+   in place during propagation, conflict analysis walks the trail
+   backwards to the first UIP, and learned clauses are minimized by
+   checking whether a literal is dominated by the rest of the clause in
+   the implication graph. *)
+
+type result = Sat of bool array | Unsat | Unknown
+
+type stats = {
+  decisions : int;
+  conflicts : int;
+  propagations : int;
+  restarts : int;
+  learned : int;
+  max_decision_level : int;
+  time : float;
+}
+
+type limits = {
+  max_conflicts : int option;
+  max_decisions : int option;
+  max_seconds : float option;
+}
+
+let no_limits = { max_conflicts = None; max_decisions = None; max_seconds = None }
+
+type clause = {
+  mutable lits : int array;
+  learnt : bool;
+  mutable activity : float;
+  mutable lbd : int;
+  mutable deleted : bool;
+}
+
+(* Growable int-keyed vector of clauses per literal. *)
+type 'a vec = { mutable data : 'a array; mutable size : int; dummy : 'a }
+
+let vec_create dummy = { data = Array.make 4 dummy; size = 0; dummy }
+
+let vec_push v x =
+  if v.size >= Array.length v.data then begin
+    let d = Array.make (2 * Array.length v.data) v.dummy in
+    Array.blit v.data 0 d 0 v.size;
+    v.data <- d
+  end;
+  v.data.(v.size) <- x;
+  v.size <- v.size + 1
+
+
+type t = {
+  mutable nvars : int;
+  (* Assignment: -1 unassigned, 0 false, 1 true; per variable. *)
+  mutable assigns : int array;
+  mutable level : int array;
+  mutable reason : clause option array;
+  (* Trail of assigned literals, with decision-level boundaries. *)
+  mutable trail : int array;
+  mutable trail_size : int;
+  mutable trail_lim : int array;
+  mutable ntrail_lim : int;
+  mutable qhead : int;
+  (* Watches, indexed by literal. *)
+  mutable watches : clause vec array;
+  (* Decision heuristic. *)
+  mutable var_activity : float array;
+  mutable var_inc : float;
+  mutable heap : int array;       (* binary max-heap of variables *)
+  mutable heap_pos : int array;   (* position in heap, -1 if absent *)
+  mutable heap_size : int;
+  mutable polarity : bool array;  (* saved phases *)
+  (* Clause database. *)
+  mutable learnts : clause list;
+  mutable num_learnts : int;
+  (* Conflict analysis scratch. *)
+  mutable seen : bool array;
+  (* Learning-rate branching (Liang et al. 2016) bookkeeping. *)
+  mutable lrb : bool;
+  mutable lrb_alpha : float;
+  mutable assigned_at : int array;   (* conflict counter at assignment *)
+  mutable participated : int array;
+  (* Statistics. *)
+  mutable st_decisions : int;
+  mutable st_conflicts : int;
+  mutable st_props : int;
+  mutable st_restarts : int;
+  mutable st_learned : int;
+  mutable st_max_level : int;
+}
+
+let dummy_clause =
+  { lits = [||]; learnt = false; activity = 0.0; lbd = 0; deleted = true }
+
+let var l = l lsr 1
+let neg l = l lxor 1
+let lit_of_var v sign = (v lsl 1) lor (if sign then 1 else 0)
+
+(* Value of a literal: -1 unassigned, 0 false, 1 true. *)
+let lit_value s l =
+  let a = s.assigns.(var l) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+let create nvars =
+  {
+    nvars;
+    assigns = Array.make nvars (-1);
+    level = Array.make nvars 0;
+    reason = Array.make nvars None;
+    trail = Array.make (max 1 nvars) 0;
+    trail_size = 0;
+    trail_lim = Array.make (max 1 nvars) 0;
+    ntrail_lim = 0;
+    qhead = 0;
+    watches = Array.init (2 * max 1 nvars) (fun _ -> vec_create dummy_clause);
+    var_activity = Array.make nvars 0.0;
+    var_inc = 1.0;
+    heap = Array.make (max 1 nvars) 0;
+    heap_pos = Array.make nvars (-1);
+    heap_size = 0;
+    polarity = Array.make nvars false;
+    lrb = false;
+    lrb_alpha = 0.4;
+    assigned_at = Array.make nvars 0;
+    participated = Array.make nvars 0;
+    learnts = [];
+    num_learnts = 0;
+    seen = Array.make nvars false;
+    st_decisions = 0;
+    st_conflicts = 0;
+    st_props = 0;
+    st_restarts = 0;
+    st_learned = 0;
+    st_max_level = 0;
+  }
+
+(* --- variable heap (max-heap on activity) ------------------------- *)
+
+let heap_less s a b = s.var_activity.(a) > s.var_activity.(b)
+
+let rec heap_sift_up s i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if heap_less s s.heap.(i) s.heap.(p) then begin
+      let tmp = s.heap.(i) in
+      s.heap.(i) <- s.heap.(p);
+      s.heap.(p) <- tmp;
+      s.heap_pos.(s.heap.(i)) <- i;
+      s.heap_pos.(s.heap.(p)) <- p;
+      heap_sift_up s p
+    end
+  end
+
+let rec heap_sift_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < s.heap_size && heap_less s s.heap.(l) s.heap.(!best) then best := l;
+  if r < s.heap_size && heap_less s s.heap.(r) s.heap.(!best) then best := r;
+  if !best <> i then begin
+    let tmp = s.heap.(i) in
+    s.heap.(i) <- s.heap.(!best);
+    s.heap.(!best) <- tmp;
+    s.heap_pos.(s.heap.(i)) <- i;
+    s.heap_pos.(s.heap.(!best)) <- !best;
+    heap_sift_down s !best
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    s.heap.(s.heap_size) <- v;
+    s.heap_pos.(v) <- s.heap_size;
+    s.heap_size <- s.heap_size + 1;
+    heap_sift_up s s.heap_pos.(v)
+  end
+
+let heap_pop s =
+  let v = s.heap.(0) in
+  s.heap_size <- s.heap_size - 1;
+  s.heap_pos.(v) <- -1;
+  if s.heap_size > 0 then begin
+    s.heap.(0) <- s.heap.(s.heap_size);
+    s.heap_pos.(s.heap.(0)) <- 0;
+    heap_sift_down s 0
+  end;
+  v
+
+let bump_var s v =
+  s.var_activity.(v) <- s.var_activity.(v) +. s.var_inc;
+  if s.var_activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.var_activity.(i) <- s.var_activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  if s.heap_pos.(v) >= 0 then heap_sift_up s s.heap_pos.(v)
+
+let decay_activities s =
+  if s.lrb then s.lrb_alpha <- max 0.06 (s.lrb_alpha -. 3e-6)
+  else s.var_inc <- s.var_inc /. 0.95
+
+(* --- assignment --------------------------------------------------- *)
+
+let decision_level s = s.ntrail_lim
+
+let enqueue s l reason =
+  let v = var l in
+  if s.lrb then begin
+    s.assigned_at.(v) <- s.st_conflicts;
+    s.participated.(v) <- 0
+  end;
+  s.assigns.(v) <- 1 - (l land 1);
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  s.polarity.(v) <- l land 1 = 0;
+  s.trail.(s.trail_size) <- l;
+  s.trail_size <- s.trail_size + 1
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = s.trail_lim.(lvl) in
+    for i = s.trail_size - 1 downto bound do
+      let v = var s.trail.(i) in
+      s.assigns.(v) <- -1;
+      s.reason.(v) <- None;
+      if s.lrb then begin
+        let interval = s.st_conflicts - s.assigned_at.(v) in
+        if interval > 0 then begin
+          let rate = float_of_int s.participated.(v) /. float_of_int interval in
+          s.var_activity.(v) <-
+            ((1.0 -. s.lrb_alpha) *. s.var_activity.(v))
+            +. (s.lrb_alpha *. rate)
+        end
+      end;
+      heap_insert s v
+    done;
+    s.trail_size <- bound;
+    s.qhead <- bound;
+    s.ntrail_lim <- lvl
+  end
+
+(* --- propagation --------------------------------------------------- *)
+
+exception Conflict of clause
+
+let attach_watch s l c = vec_push s.watches.(l) c
+
+let propagate s =
+  try
+    while s.qhead < s.trail_size do
+      let l = s.trail.(s.qhead) in
+      s.qhead <- s.qhead + 1;
+      s.st_props <- s.st_props + 1;
+      (* Clauses watching (neg l) must find a new watch or propagate. *)
+      let wl = s.watches.(l) in
+      let j = ref 0 in
+      (let i = ref 0 in
+       try
+         while !i < wl.size do
+           let c = wl.data.(!i) in
+           incr i;
+           if c.deleted then () (* drop lazily *)
+           else begin
+             let lits = c.lits in
+             let false_lit = neg l in
+             (* Ensure the false literal is at position 1. *)
+             if lits.(0) = false_lit then begin
+               lits.(0) <- lits.(1);
+               lits.(1) <- false_lit
+             end;
+             let first = lits.(0) in
+             if lit_value s first = 1 then begin
+               (* Clause satisfied; keep the watch. *)
+               wl.data.(!j) <- c;
+               incr j
+             end
+             else begin
+               (* Look for a new literal to watch. *)
+               let n = Array.length lits in
+               let k = ref 2 in
+               while !k < n && lit_value s lits.(!k) = 0 do
+                 incr k
+               done;
+               if !k < n then begin
+                 lits.(1) <- lits.(!k);
+                 lits.(!k) <- false_lit;
+                 attach_watch s (neg lits.(1)) c
+                 (* watch moved: do not keep in this list *)
+               end
+               else if lit_value s first = 0 then begin
+                 (* Conflict: restore the remaining watches. *)
+                 wl.data.(!j) <- c;
+                 incr j;
+                 while !i < wl.size do
+                   wl.data.(!j) <- wl.data.(!i);
+                   incr j;
+                   incr i
+                 done;
+                 wl.size <- !j;
+                 raise (Conflict c)
+               end
+               else begin
+                 (* Unit: propagate first. *)
+                 wl.data.(!j) <- c;
+                 incr j;
+                 enqueue s first (Some c)
+               end
+             end
+           end
+         done;
+         wl.size <- !j
+       with Conflict _ as e -> raise e)
+    done;
+    None
+  with Conflict c -> Some c
+
+(* --- conflict analysis --------------------------------------------- *)
+
+let clause_bump_activity s c =
+  c.activity <- c.activity +. 1.0;
+  ignore s
+
+let compute_lbd s lits =
+  let levels = Hashtbl.create 8 in
+  Array.iter (fun l -> Hashtbl.replace levels s.level.(var l) ()) lits;
+  Hashtbl.length levels
+
+(* Is l redundant given the current learned clause (seen marks)?  A
+   literal is redundant when its reason literals are all seen or
+   themselves redundant (bounded recursive minimization). *)
+let rec lit_redundant s depth l =
+  depth < 32
+  &&
+  match s.reason.(var l) with
+  | None -> false
+  | Some c ->
+    Array.for_all
+      (fun l' ->
+        var l' = var l
+        || s.level.(var l') = 0
+        || s.seen.(var l')
+        || lit_redundant s (depth + 1) l')
+      c.lits
+
+let analyze s confl =
+  let learnt = ref [] in
+  let path = ref 0 in
+  let p = ref (-1) in
+  let idx = ref (s.trail_size - 1) in
+  let confl = ref (Some confl) in
+  let continue = ref true in
+  while !continue do
+    (match !confl with
+     | None -> assert false
+     | Some c ->
+       if c.learnt then clause_bump_activity s c;
+       Array.iter
+         (fun q ->
+           let v = var q in
+           if (!p < 0 || q <> !p) && not s.seen.(v) && s.level.(v) > 0 then begin
+             s.seen.(v) <- true;
+             if s.lrb then
+               s.participated.(v) <- s.participated.(v) + 1
+             else bump_var s v;
+             if s.level.(v) >= decision_level s then incr path
+             else learnt := q :: !learnt
+           end)
+         c.lits);
+    (* Find the next seen literal on the trail. *)
+    while not s.seen.(var s.trail.(!idx)) do
+      decr idx
+    done;
+    let q = s.trail.(!idx) in
+    decr idx;
+    s.seen.(var q) <- false;
+    decr path;
+    if !path = 0 then begin
+      p := q;
+      continue := false
+    end
+    else begin
+      p := q;
+      confl := s.reason.(var q)
+    end
+  done;
+  let uip = neg !p in
+  (* Re-mark for minimization. *)
+  List.iter (fun l -> s.seen.(var l) <- true) !learnt;
+  let minimized =
+    List.filter (fun l -> not (lit_redundant s 0 l)) !learnt
+  in
+  List.iter (fun l -> s.seen.(var l) <- false) !learnt;
+  let lits = Array.of_list (uip :: minimized) in
+  (* Backtrack level: second highest level in the clause. *)
+  let blevel =
+    if Array.length lits = 1 then 0
+    else begin
+      (* Move the literal with the highest level (below the current) to
+         position 1. *)
+      let best = ref 1 in
+      for i = 2 to Array.length lits - 1 do
+        if s.level.(var lits.(i)) > s.level.(var lits.(!best)) then best := i
+      done;
+      let tmp = lits.(1) in
+      lits.(1) <- lits.(!best);
+      lits.(!best) <- tmp;
+      s.level.(var lits.(1))
+    end
+  in
+  (lits, blevel)
+
+(* Internal literal -> DIMACS literal. *)
+let dimacs_of_lit l =
+  let v = (l lsr 1) + 1 in
+  if l land 1 = 1 then -v else v
+
+let log_add proof lits =
+  match proof with
+  | None -> ()
+  | Some p -> Proof.add p (Array.map dimacs_of_lit lits)
+
+let log_delete proof lits =
+  match proof with
+  | None -> ()
+  | Some p -> Proof.delete p (Array.map dimacs_of_lit lits)
+
+(* --- clause management --------------------------------------------- *)
+
+let add_clause_internal s lits learnt =
+  let c = { lits; learnt; activity = 0.0; lbd = 0; deleted = false } in
+  if Array.length lits >= 2 then begin
+    attach_watch s (neg lits.(0)) c;
+    attach_watch s (neg lits.(1)) c
+  end;
+  if learnt then begin
+    c.lbd <- compute_lbd s lits;
+    s.learnts <- c :: s.learnts;
+    s.num_learnts <- s.num_learnts + 1;
+    s.st_learned <- s.st_learned + 1
+  end;
+  c
+
+let reduce_db ?proof s =
+  (* Keep binary and glue clauses; drop the less active half of the
+     rest. *)
+  let keep, candidates =
+    List.partition
+      (fun c -> Array.length c.lits <= 2 || c.lbd <= 2 || c.deleted)
+      s.learnts
+  in
+  let is_reason c =
+    (* A clause currently used as a reason must survive. *)
+    Array.exists
+      (fun l ->
+        match s.reason.(var l) with Some r -> r == c | None -> false)
+      c.lits
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+        let d = compare a.lbd b.lbd in
+        if d <> 0 then d else compare b.activity a.activity)
+      candidates
+  in
+  let n = List.length sorted in
+  let kept2 =
+    List.filteri
+      (fun i c ->
+        if i < n / 2 || is_reason c then true
+        else begin
+          c.deleted <- true;
+          log_delete proof c.lits;
+          false
+        end)
+      sorted
+  in
+  s.learnts <- keep @ kept2;
+  s.num_learnts <- List.length s.learnts
+
+(* --- top level ------------------------------------------------------ *)
+
+(* Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+let rec luby_simple i =
+  let rec find k = if (1 lsl k) - 1 >= i + 1 then k else find (k + 1) in
+  let k = find 1 in
+  if (1 lsl k) - 1 = i + 1 then 1 lsl (k - 1)
+  else luby_simple (i + 1 - (1 lsl (k - 1)))
+
+type prepared = Ready of t * int list (* units *) | Trivially_unsat
+
+let prepare f =
+  let nvars = f.Cnf.Formula.num_vars in
+  let s = create nvars in
+  let units = ref [] in
+  let ok = ref true in
+  Array.iter
+    (fun clause ->
+      if !ok then begin
+        (* Normalize: dedupe, detect tautology. *)
+        let lits =
+          Array.to_list clause
+          |> List.map (fun l ->
+                 let v = abs l - 1 in
+                 lit_of_var v (l < 0))
+          |> List.sort_uniq compare
+        in
+        let taut =
+          let rec check = function
+            | a :: (b :: _ as rest) -> (a lxor b) = 1 || check rest
+            | _ -> false
+          in
+          check lits
+        in
+        if not taut then
+          match lits with
+          | [] -> ok := false
+          | [ l ] -> units := l :: !units
+          | lits -> ignore (add_clause_internal s (Array.of_list lits) false)
+      end)
+    f.Cnf.Formula.clauses;
+  if !ok then Ready (s, !units) else Trivially_unsat
+
+let make_stats s time =
+  {
+    decisions = s.st_decisions;
+    conflicts = s.st_conflicts;
+    propagations = s.st_props;
+    restarts = s.st_restarts;
+    learned = s.st_learned;
+    max_decision_level = s.st_max_level;
+    time;
+  }
+
+let solve ?(limits = no_limits) ?proof ?(heuristic = `Evsids) f =
+  let t0 = Sys.time () in
+  match prepare f with
+  | Trivially_unsat ->
+    log_add proof [||];
+    (Unsat, make_stats (create 0) (Sys.time () -. t0))
+  | Ready (s, units) ->
+    s.lrb <- (heuristic = `Lrb);
+    let exception Done of result in
+    (try
+       (* Level-0 units. *)
+       List.iter
+         (fun l ->
+           match lit_value s l with
+           | 1 -> ()
+           | 0 ->
+             log_add proof [||];
+             raise (Done Unsat)
+           | _ -> enqueue s l None)
+         units;
+       if propagate s <> None then begin
+         log_add proof [||];
+         raise (Done Unsat)
+       end;
+       for v = 0 to s.nvars - 1 do
+         if s.assigns.(v) < 0 then heap_insert s v
+       done;
+       let conflicts_at_restart = ref 0 in
+       let restart_num = ref 0 in
+       let restart_limit = ref (100 * luby_simple 0) in
+       let reduce_limit = ref 2000 in
+       let out_of_budget () =
+         (match limits.max_conflicts with
+          | Some m when s.st_conflicts >= m -> true
+          | _ -> false)
+         || (match limits.max_decisions with
+             | Some m when s.st_decisions >= m -> true
+             | _ -> false)
+         ||
+         match limits.max_seconds with
+         | Some m when s.st_conflicts land 255 = 0 -> Sys.time () -. t0 > m
+         | _ -> false
+       in
+       while true do
+         match propagate s with
+         | Some confl ->
+           s.st_conflicts <- s.st_conflicts + 1;
+           incr conflicts_at_restart;
+           if decision_level s = 0 then begin
+             log_add proof [||];
+             raise (Done Unsat)
+           end;
+           let lits, blevel = analyze s confl in
+           log_add proof lits;
+           cancel_until s blevel;
+           if Array.length lits = 1 then enqueue s lits.(0) None
+           else begin
+             let c = add_clause_internal s lits true in
+             enqueue s lits.(0) (Some c)
+           end;
+           decay_activities s;
+           if out_of_budget () then raise (Done Unknown)
+         | None ->
+           if !conflicts_at_restart >= !restart_limit then begin
+             conflicts_at_restart := 0;
+             incr restart_num;
+             restart_limit := 100 * luby_simple !restart_num;
+             s.st_restarts <- s.st_restarts + 1;
+             cancel_until s 0
+           end
+           else begin
+             if s.num_learnts >= !reduce_limit then begin
+               reduce_db ?proof s;
+               reduce_limit := !reduce_limit + 512
+             end;
+             (* Pick a branching variable. *)
+             let v = ref (-1) in
+             while !v < 0 && s.heap_size > 0 do
+               let cand = heap_pop s in
+               if s.assigns.(cand) < 0 then v := cand
+             done;
+             if !v < 0 then begin
+               (* All variables assigned: model found. *)
+               let model = Array.init s.nvars (fun v -> s.assigns.(v) = 1) in
+               raise (Done (Sat model))
+             end;
+             s.st_decisions <- s.st_decisions + 1;
+             s.trail_lim.(s.ntrail_lim) <- s.trail_size;
+             s.ntrail_lim <- s.ntrail_lim + 1;
+             s.st_max_level <- max s.st_max_level s.ntrail_lim;
+             enqueue s (lit_of_var !v (not s.polarity.(!v))) None;
+             if out_of_budget () then raise (Done Unknown)
+           end
+       done;
+       assert false
+     with Done r -> (r, make_stats s (Sys.time () -. t0)))
+
+let decisions_or_max ?(limits = no_limits) f =
+  let result, st = solve ~limits f in
+  match (result, limits.max_decisions) with
+  | Unknown, Some m -> max st.decisions m
+  | _ -> st.decisions
+
+let pp_stats ppf st =
+  Format.fprintf ppf
+    "decisions=%d conflicts=%d propagations=%d restarts=%d learned=%d time=%.3fs"
+    st.decisions st.conflicts st.propagations st.restarts st.learned st.time
+
+(* ------------------------------------------------------------------ *)
+(* Incremental interface *)
+
+module Incremental = struct
+  type session = {
+    s : t;
+    mutable broken : bool;
+    mutable core : int array; (* DIMACS assumption core of the last
+                                 Unsat-under-assumptions answer *)
+  }
+
+  let grow_array a n default =
+    let a' = Array.make n default in
+    Array.blit a 0 a' 0 (Array.length a);
+    a'
+
+  let ensure_capacity session n =
+    let s = session.s in
+    if n > s.nvars then begin
+      let cap = Array.length s.assigns in
+      if n > cap then begin
+        let cap' = max n (2 * max 1 cap) in
+        s.assigns <- grow_array s.assigns cap' (-1);
+        s.level <- grow_array s.level cap' 0;
+        s.reason <- grow_array s.reason cap' None;
+        s.trail <- grow_array s.trail cap' 0;
+        s.trail_lim <- grow_array s.trail_lim cap' 0;
+        s.var_activity <- grow_array s.var_activity cap' 0.0;
+        s.heap <- grow_array s.heap cap' 0;
+        s.heap_pos <- grow_array s.heap_pos cap' (-1);
+        s.polarity <- grow_array s.polarity cap' false;
+        s.seen <- grow_array s.seen cap' false;
+        s.assigned_at <- grow_array s.assigned_at cap' 0;
+        s.participated <- grow_array s.participated cap' 0;
+        let w = Array.init (2 * cap') (fun i ->
+            if i < Array.length s.watches then s.watches.(i)
+            else vec_create dummy_clause)
+        in
+        s.watches <- w
+      end;
+      s.nvars <- n
+    end
+
+  let create () = { s = create 0; broken = false; core = [||] }
+
+  let last_core session = session.core
+
+  let num_vars session = session.s.nvars
+
+  let new_var session =
+    ensure_capacity session (session.s.nvars + 1);
+    session.s.nvars
+
+  (* Add a clause in DIMACS literals at decision level 0. *)
+  let add_clause session clause =
+    let s = session.s in
+    if not session.broken then begin
+      assert (s.ntrail_lim = 0);
+      Array.iter (fun l -> ensure_capacity session (abs l)) clause;
+      let lits =
+        Array.to_list clause
+        |> List.map (fun l -> lit_of_var (abs l - 1) (l < 0))
+        |> List.sort_uniq compare
+      in
+      let taut =
+        let rec chk = function
+          | a :: (b :: _ as rest) -> a lxor b = 1 || chk rest
+          | _ -> false
+        in
+        chk lits
+      in
+      if not taut then begin
+        (* Evaluate under the level-0 assignment. *)
+        let lits =
+          List.filter (fun l -> lit_value s l <> 0) lits
+        in
+        if List.exists (fun l -> lit_value s l = 1) lits then ()
+        else
+          match lits with
+          | [] -> session.broken <- true
+          | [ l ] ->
+            enqueue s l None;
+            if propagate s <> None then session.broken <- true
+          | lits -> ignore (add_clause_internal s (Array.of_list lits) false)
+      end
+    end
+
+  let add_formula session f =
+    Array.iter (add_clause session) f.Cnf.Formula.clauses
+
+  exception Done_incremental of result
+
+  let solve ?(limits = no_limits) ?(assumptions = [||]) session =
+    let t0 = Sys.time () in
+    let s = session.s in
+    let assumption_lits =
+      Array.map
+        (fun l ->
+          ensure_capacity session (abs l);
+          lit_of_var (abs l - 1) (l < 0))
+        assumptions
+    in
+    (* Assumption levels can be empty, so decision levels may exceed
+       the variable count; give the level stack headroom. *)
+    let needed = s.nvars + Array.length assumption_lits + 1 in
+    if Array.length s.trail_lim < needed then
+      s.trail_lim <- grow_array s.trail_lim needed 0;
+    let finish r =
+      cancel_until s 0;
+      (r, make_stats s (Sys.time () -. t0))
+    in
+    session.core <- [||];
+    if session.broken then finish Unsat
+    else begin
+      try
+        if propagate s <> None then begin
+          session.broken <- true;
+          raise (Done_incremental Unsat)
+        end;
+        for v = 0 to s.nvars - 1 do
+          if s.assigns.(v) < 0 then heap_insert s v
+        done;
+        let conflicts_at_restart = ref 0 in
+        let restart_num = ref 0 in
+        let restart_limit = ref (100 * luby_simple 0) in
+        let reduce_limit = ref (2000 + s.num_learnts) in
+        let out_of_budget () =
+          (match limits.max_conflicts with
+           | Some m when s.st_conflicts >= m -> true
+           | _ -> false)
+          || (match limits.max_decisions with
+              | Some m when s.st_decisions >= m -> true
+              | _ -> false)
+          ||
+          match limits.max_seconds with
+          | Some m when s.st_conflicts land 255 = 0 ->
+            Sys.time () -. t0 > m
+          | _ -> false
+        in
+        while true do
+          match propagate s with
+          | Some confl ->
+            s.st_conflicts <- s.st_conflicts + 1;
+            incr conflicts_at_restart;
+            if decision_level s = 0 then begin
+              session.broken <- true;
+              raise (Done_incremental Unsat)
+            end;
+            let lits, blevel = analyze s confl in
+            cancel_until s blevel;
+            if Array.length lits = 1 then begin
+              (* Asserting unit: if we are above level 0 because of
+                 assumptions, it still holds at its computed level. *)
+              if decision_level s = 0 then enqueue s lits.(0) None
+              else enqueue s lits.(0) None
+            end
+            else begin
+              let c = add_clause_internal s lits true in
+              enqueue s lits.(0) (Some c)
+            end;
+            decay_activities s;
+            if out_of_budget () then raise (Done_incremental Unknown)
+          | None ->
+            if !conflicts_at_restart >= !restart_limit then begin
+              conflicts_at_restart := 0;
+              incr restart_num;
+              restart_limit := 100 * luby_simple !restart_num;
+              s.st_restarts <- s.st_restarts + 1;
+              cancel_until s 0
+            end
+            else if decision_level s < Array.length assumption_lits then begin
+              (* Place the next assumption as a pseudo-decision. *)
+              let p = assumption_lits.(decision_level s) in
+              s.trail_lim.(s.ntrail_lim) <- s.trail_size;
+              s.ntrail_lim <- s.ntrail_lim + 1;
+              (match lit_value s p with
+               | 1 -> () (* already true: empty level *)
+               | 0 ->
+                 (* Conflicting assumption: extract the subset of
+                    assumptions that forces (not p) by walking the
+                    implication graph back to pseudo-decisions. *)
+                 let core = ref [ dimacs_of_lit p ] in
+                 let stack = ref [ var p ] in
+                 (try
+                    while !stack <> [] do
+                      match !stack with
+                      | [] -> ()
+                      | v :: rest ->
+                        stack := rest;
+                        if not s.seen.(v) && s.level.(v) > 0 then begin
+                          s.seen.(v) <- true;
+                          match s.reason.(v) with
+                          | None ->
+                            (* A pseudo-decision: an assumption. *)
+                            core :=
+                              dimacs_of_lit
+                                (lit_of_var v (s.assigns.(v) = 0))
+                              :: !core
+                          | Some c ->
+                            Array.iter
+                              (fun l ->
+                                if var l <> v then stack := var l :: !stack)
+                              c.lits
+                        end
+                    done
+                  with e ->
+                    Array.iter (fun l -> s.seen.(var l) <- false)
+                      s.trail;
+                    raise e);
+                 for i = 0 to s.trail_size - 1 do
+                   s.seen.(var s.trail.(i)) <- false
+                 done;
+                 s.seen.(var p) <- false;
+                 session.core <- Array.of_list !core;
+                 raise (Done_incremental Unsat)
+               | _ -> enqueue s p None)
+            end
+            else begin
+              if s.num_learnts >= !reduce_limit then begin
+                reduce_db s;
+                reduce_limit := !reduce_limit + 512
+              end;
+              let v = ref (-1) in
+              while !v < 0 && s.heap_size > 0 do
+                let cand = heap_pop s in
+                if s.assigns.(cand) < 0 then v := cand
+              done;
+              if !v < 0 then begin
+                let model =
+                  Array.init s.nvars (fun v -> s.assigns.(v) = 1)
+                in
+                raise (Done_incremental (Sat model))
+              end;
+              s.st_decisions <- s.st_decisions + 1;
+              s.trail_lim.(s.ntrail_lim) <- s.trail_size;
+              s.ntrail_lim <- s.ntrail_lim + 1;
+              s.st_max_level <- max s.st_max_level s.ntrail_lim;
+              enqueue s (lit_of_var !v (not s.polarity.(!v))) None;
+              if out_of_budget () then raise (Done_incremental Unknown)
+            end
+        done;
+        assert false
+      with Done_incremental r -> finish r
+    end
+end

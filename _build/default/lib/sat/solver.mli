@@ -1,0 +1,88 @@
+(** CDCL SAT solver (the Kissat stand-in of the reproduction).
+
+    Implements the standard modern architecture: two-watched-literal
+    propagation, EVSIDS decision heuristic with phase saving, first-UIP
+    clause learning with recursive minimization, Luby restarts and
+    LBD-driven learned-clause-database reduction.
+
+    The solver exposes its {e decision count} ("branching times"): the
+    paper's RL reward and LUT cost metric both approximate solving
+    complexity by the number of variable branching decisions (§3.2.5,
+    §3.3.1), so this counter is the central observable. *)
+
+type result =
+  | Sat of bool array  (** model, indexed by variable - 1 *)
+  | Unsat
+  | Unknown            (** a resource limit was hit *)
+
+type stats = {
+  decisions : int;     (** branching times *)
+  conflicts : int;
+  propagations : int;
+  restarts : int;
+  learned : int;
+  max_decision_level : int;
+  time : float;        (** CPU seconds *)
+}
+
+type limits = {
+  max_conflicts : int option;
+  max_decisions : int option;
+  max_seconds : float option;
+}
+
+val no_limits : limits
+
+val solve :
+  ?limits:limits -> ?proof:Proof.t -> ?heuristic:[ `Evsids | `Lrb ] ->
+  Cnf.Formula.t -> result * stats
+(** Solve a formula from scratch.  When the result is [Sat m], [m]
+    satisfies the formula (checked cheaply by the caller via
+    {!Cnf.Formula.eval} if desired).  With [proof], every learned
+    clause and every learned-clause deletion is logged in DRAT; an
+    [Unsat] answer ends the log with the empty clause, and the whole
+    log validates under {!Proof.check}.  [heuristic] selects the
+    branching scheme: exponential VSIDS (default) or the learning-rate
+    heuristic of Liang et al. 2016 — the paper's reference [23]. *)
+
+val decisions_or_max : ?limits:limits -> Cnf.Formula.t -> int
+(** Convenience for the RL reward: the decision count of a solve, or
+    the configured decision cap when the limit was hit. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** Incremental solving under assumptions: one persistent solver that
+    accumulates clauses across queries, so learned clauses are reused —
+    the mode SAT sweeping engines drive their solver in. *)
+module Incremental : sig
+  type session
+
+  val create : unit -> session
+  (** An empty session with no variables. *)
+
+  val num_vars : session -> int
+
+  val new_var : session -> int
+  (** Allocate the next variable; returns its (1-based) DIMACS index.
+      Variables are also allocated implicitly by {!add_clause}. *)
+
+  val add_clause : session -> int array -> unit
+  (** Add a clause (DIMACS literals) permanently.  Must not be called
+      while a solve is in progress. *)
+
+  val add_formula : session -> Cnf.Formula.t -> unit
+
+  val solve :
+    ?limits:limits -> ?assumptions:int array -> session -> result * stats
+  (** Solve the accumulated clauses under the given assumption
+      literals.  [Unsat] means unsatisfiable {e under the assumptions}
+      (permanently unsatisfiable once it occurs with none).  Models
+      cover all variables allocated so far.  Statistics are cumulative
+      across the session's queries. *)
+
+  val last_core : session -> int array
+  (** After an [Unsat] answer under assumptions: a subset of the
+      assumption literals sufficient for the contradiction (empty when
+      the formula is unsatisfiable outright or the last answer was not
+      [Unsat]). *)
+end

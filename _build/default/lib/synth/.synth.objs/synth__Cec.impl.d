@@ -1,0 +1,1 @@
+lib/synth/cec.ml: Aig Array Cnf Int64 Resub Sat

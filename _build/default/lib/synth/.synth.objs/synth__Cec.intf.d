@@ -1,0 +1,1 @@
+lib/synth/cec.mli: Aig Sat

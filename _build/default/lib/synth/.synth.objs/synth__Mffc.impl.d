@@ -1,0 +1,1 @@
+lib/synth/mffc.ml: Aig Array Hashtbl Option

@@ -1,0 +1,1 @@
+lib/synth/mffc.mli: Aig

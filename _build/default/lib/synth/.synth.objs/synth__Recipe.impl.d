@@ -1,0 +1,1 @@
+lib/synth/recipe.ml: Balance List Printf Refactor Resub Rewrite String

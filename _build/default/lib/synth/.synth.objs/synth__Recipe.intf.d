@@ -1,0 +1,1 @@
+lib/synth/recipe.mli: Aig Stdlib

@@ -1,0 +1,1 @@
+lib/synth/refactor.ml: Aig Array Hashtbl List Mffc

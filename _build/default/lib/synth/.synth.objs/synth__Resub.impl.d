@@ -1,0 +1,1 @@
+lib/synth/resub.ml: Aig Array Hashtbl Int64 List Sat

@@ -1,0 +1,1 @@
+lib/synth/resub_window.ml: Aig Array Hashtbl Int64 List Mffc Sat

@@ -1,0 +1,1 @@
+lib/synth/resub_window.mli: Aig

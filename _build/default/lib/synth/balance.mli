@@ -1,0 +1,9 @@
+(** AND-tree balancing (the [balance] operation).
+
+    Collects maximal multi-input conjunctions — chains of AND nodes used
+    once and without complementation — and rebuilds each as a
+    depth-minimal tree, combining the two shallowest operands first
+    (Huffman order).  Reduces logic depth without changing
+    functionality; node count can only shrink (sharing) or stay. *)
+
+val run : Aig.Graph.t -> Aig.Graph.t

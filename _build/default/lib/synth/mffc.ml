@@ -1,0 +1,38 @@
+(* Simulated dereferencing on a scratch delta of the reference counts. *)
+
+let walk g refs id ~stop ~visit =
+  let delta = Hashtbl.create 16 in
+  let remaining nid =
+    refs.(nid) - Option.value (Hashtbl.find_opt delta nid) ~default:0
+  in
+  let rec deref nid =
+    visit nid;
+    let fanin l =
+      let fid = Aig.Graph.node_of_lit l in
+      if Aig.Graph.is_and g fid && not (stop fid) then begin
+        Hashtbl.replace delta fid
+          (1 + Option.value (Hashtbl.find_opt delta fid) ~default:0);
+        if remaining fid = 0 then deref fid
+      end
+    in
+    fanin (Aig.Graph.fanin0 g nid);
+    fanin (Aig.Graph.fanin1 g nid)
+  in
+  deref id
+
+let size_above_cut g refs id leaves =
+  let leaf_set = Hashtbl.create 8 in
+  Array.iter (fun l -> Hashtbl.replace leaf_set l ()) leaves;
+  let count = ref 0 in
+  walk g refs id ~stop:(Hashtbl.mem leaf_set) ~visit:(fun _ -> incr count);
+  !count
+
+let size g refs id =
+  let count = ref 0 in
+  walk g refs id ~stop:(fun _ -> false) ~visit:(fun _ -> incr count);
+  !count
+
+let members g refs id =
+  let acc = ref [] in
+  walk g refs id ~stop:(fun _ -> false) ~visit:(fun nid -> acc := nid :: !acc);
+  !acc

@@ -1,0 +1,72 @@
+type op = Rewrite | Refactor | Balance | Resub | End
+
+let all_ops = [ Rewrite; Refactor; Balance; Resub; End ]
+let num_actions = List.length all_ops
+
+let index_of_op = function
+  | Rewrite -> 0
+  | Refactor -> 1
+  | Balance -> 2
+  | Resub -> 3
+  | End -> 4
+
+let op_of_index = function
+  | 0 -> Rewrite
+  | 1 -> Refactor
+  | 2 -> Balance
+  | 3 -> Resub
+  | 4 -> End
+  | i -> invalid_arg (Printf.sprintf "Recipe.op_of_index: %d" i)
+
+let op_to_string = function
+  | Rewrite -> "rewrite"
+  | Refactor -> "refactor"
+  | Balance -> "balance"
+  | Resub -> "resub"
+  | End -> "end"
+
+let op_of_string = function
+  | "rewrite" | "rw" -> Some Rewrite
+  | "refactor" | "rf" -> Some Refactor
+  | "balance" | "b" -> Some Balance
+  | "resub" | "rs" -> Some Resub
+  | "end" -> Some End
+  | _ -> None
+
+let apply op g =
+  match op with
+  | Rewrite -> Rewrite.run g
+  | Refactor -> Refactor.run g
+  | Balance -> Balance.run g
+  | Resub -> Resub.run g
+  | End -> g
+
+let apply_sequence ops g =
+  let rec go g = function
+    | [] -> g
+    | End :: _ -> g
+    | op :: rest -> go (apply op g) rest
+  in
+  go g ops
+
+let parse s =
+  let tokens =
+    String.split_on_char ';' s
+    |> List.concat_map (String.split_on_char ',')
+    |> List.map String.trim
+    |> List.filter (fun t -> t <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | t :: rest -> (
+      match op_of_string t with
+      | Some op -> go (op :: acc) rest
+      | None -> Error (Printf.sprintf "unknown operation %S" t))
+  in
+  go [] tokens
+
+let to_string ops = String.concat "; " (List.map op_to_string ops)
+
+let compress2 =
+  [ Balance; Rewrite; Refactor; Balance; Rewrite; Rewrite; Balance; Refactor;
+    Rewrite; Balance ]

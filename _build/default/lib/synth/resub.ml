@@ -1,0 +1,251 @@
+(* FRAIG-style functional reduction.  The new graph is built in
+   topological order; every created AND node carries a simulation row
+   and is encoded once into a persistent incremental SAT session.
+   Nodes whose rows match an existing representative (up to complement)
+   are candidate merges, decided by an assumption query on the shared
+   session (a fresh activation variable implies the two literals
+   differ; UNSAT under that assumption proves equivalence).
+   Counterexamples from failed proofs are batched and folded back into
+   the simulation as an extra word, which rebuilds the signature
+   table. *)
+
+type config = {
+  words : int;
+  seed : int;
+  conflict_limit : int;
+  max_cone : int; (* retained for compatibility; the incremental
+                     encoding covers the whole graph *)
+}
+
+let default_config =
+  { words = 4; seed = 0x5EED; conflict_limit = 1000; max_cone = 4000 }
+
+let last_stats = ref (0, 0, 0)
+let stats_last_run () = !last_stats
+
+(* Lexicographic canonicalization of a row w.r.t. complement: returns
+   (canonical_row, complemented). *)
+let canonical_row row =
+  let rec cmp i =
+    if i >= Array.length row then 0
+    else
+      let a = row.(i) and b = Int64.lognot row.(i) in
+      let c = Int64.unsigned_compare a b in
+      if c <> 0 then c else cmp (i + 1)
+  in
+  if cmp 0 <= 0 then (row, false) else (Array.map Int64.lognot row, true)
+
+let run ?(config = default_config) g =
+  let tried = ref 0 and proven = ref 0 and disproved = ref 0 in
+  let rng = Aig.Rng.create config.seed in
+  let n_old = Aig.Graph.num_nodes g in
+  let result =
+    Aig.Graph.compose g (fun g' new_pis ->
+        let npis = Array.length new_pis in
+        (* --- simulation rows for the new graph ---------------------- *)
+        let rows = ref (Array.make (max 16 (2 * npis)) [||]) in
+        let set_row id r =
+          if id >= Array.length !rows then begin
+            let d = Array.make (max (2 * Array.length !rows) (id + 1)) [||] in
+            Array.blit !rows 0 d 0 (Array.length !rows);
+            rows := d
+          end;
+          !rows.(id) <- r
+        in
+        let width = ref config.words in
+        set_row 0 (Array.make !width 0L);
+        Array.iter
+          (fun l ->
+            set_row (Aig.Graph.node_of_lit l)
+              (Array.init !width (fun _ -> Aig.Rng.next64 rng)))
+          new_pis;
+        let node_row id = !rows.(id) in
+        let lit_row l =
+          let r = node_row (Aig.Graph.node_of_lit l) in
+          if Aig.Graph.is_compl l then Array.map Int64.lognot r else r
+        in
+        (* --- one shared incremental SAT session --------------------- *)
+        let session = Sat.Solver.Incremental.create () in
+        (* node id -> CNF variable (0 = not encoded). *)
+        let cnf_var = ref (Array.make (max 16 (2 * npis)) 0) in
+        let set_var id v =
+          if id >= Array.length !cnf_var then begin
+            let d =
+              Array.make (max (2 * Array.length !cnf_var) (id + 1)) 0
+            in
+            Array.blit !cnf_var 0 d 0 (Array.length !cnf_var);
+            cnf_var := d
+          end;
+          !cnf_var.(id) <- v
+        in
+        Array.iter
+          (fun l ->
+            set_var (Aig.Graph.node_of_lit l)
+              (Sat.Solver.Incremental.new_var session))
+          new_pis;
+        let dimacs_of l =
+          let v = !cnf_var.(Aig.Graph.node_of_lit l) in
+          assert (v > 0);
+          if Aig.Graph.is_compl l then -v else v
+        in
+        let and_tracked a b =
+          let l = Aig.Graph.and_ g' a b in
+          let id = Aig.Graph.node_of_lit l in
+          if
+            Aig.Graph.is_and g' id
+            && (id >= Array.length !rows || !rows.(id) = [||])
+          then begin
+            let ra = lit_row (Aig.Graph.fanin0 g' id)
+            and rb = lit_row (Aig.Graph.fanin1 g' id) in
+            set_row id
+              (Array.init !width (fun w -> Int64.logand ra.(w) rb.(w)));
+            (* Encode the node once into the shared session. *)
+            let o = Sat.Solver.Incremental.new_var session in
+            set_var id o;
+            let da = dimacs_of (Aig.Graph.fanin0 g' id)
+            and db = dimacs_of (Aig.Graph.fanin1 g' id) in
+            Sat.Solver.Incremental.add_clause session [| -o; da |];
+            Sat.Solver.Incremental.add_clause session [| -o; db |];
+            Sat.Solver.Incremental.add_clause session [| o; -da; -db |]
+          end;
+          l
+        in
+        (* --- representative table ----------------------------------- *)
+        let reps : (int64 array, int) Hashtbl.t = Hashtbl.create 1024 in
+        let rep_nodes = ref [] in
+        let add_rep id =
+          let key, _ = canonical_row (node_row id) in
+          Hashtbl.replace reps (Array.copy key) id;
+          rep_nodes := id :: !rep_nodes
+        in
+        let find_candidate id =
+          let key, my_compl = canonical_row (node_row id) in
+          match Hashtbl.find_opt reps key with
+          | None -> None
+          | Some rep when rep = id -> None
+          | Some rep ->
+            let _, rep_compl = canonical_row (node_row rep) in
+            (* id's function = rep's function xor (my_compl xor rep_compl). *)
+            Some (Aig.Graph.lit_of_node rep (my_compl <> rep_compl))
+        in
+        (* --- counterexample refinement ------------------------------ *)
+        let cex_buffer = ref [] in
+        let refine () =
+          let cexes = Array.of_list !cex_buffer in
+          cex_buffer := [];
+          let extra_of_pi i =
+            let w = ref 0L in
+            Array.iteri
+              (fun j assignment ->
+                if i < Array.length assignment && assignment.(i) then
+                  w := Int64.logor !w (Int64.shift_left 1L j))
+              cexes;
+            !w
+          in
+          let append id w = set_row id (Array.append (node_row id) [| w |]) in
+          append 0 0L;
+          Array.iteri
+            (fun i l -> append (Aig.Graph.node_of_lit l) (extra_of_pi i))
+            new_pis;
+          Aig.Graph.iter_ands g' (fun id ->
+              if !rows.(id) <> [||] && Array.length !rows.(id) = !width then begin
+                let v l =
+                  let r = node_row (Aig.Graph.node_of_lit l) in
+                  let w = r.(!width) in
+                  if Aig.Graph.is_compl l then Int64.lognot w else w
+                in
+                append id
+                  (Int64.logand
+                     (v (Aig.Graph.fanin0 g' id))
+                     (v (Aig.Graph.fanin1 g' id)))
+              end);
+          incr width;
+          Hashtbl.reset reps;
+          List.iter
+            (fun id ->
+              let key, _ = canonical_row (node_row id) in
+              if not (Hashtbl.mem reps key) then
+                Hashtbl.replace reps (Array.copy key) id)
+            (List.rev !rep_nodes)
+        in
+        (* --- SAT equivalence proof via an assumption query ----------- *)
+        let prove_equal la lb =
+          let da = dimacs_of la and db = dimacs_of lb in
+          (* Activation variable: x -> (la <> lb). *)
+          let x = Sat.Solver.Incremental.new_var session in
+          Sat.Solver.Incremental.add_clause session [| -x; da; db |];
+          Sat.Solver.Incremental.add_clause session [| -x; -da; -db |];
+          let limits =
+            {
+              Sat.Solver.no_limits with
+              Sat.Solver.max_conflicts = Some config.conflict_limit;
+            }
+          in
+          match
+            fst
+              (Sat.Solver.Incremental.solve ~limits ~assumptions:[| x |]
+                 session)
+          with
+          | Sat.Solver.Unsat ->
+            (* Deactivate permanently so the clauses become vacuous. *)
+            Sat.Solver.Incremental.add_clause session [| -x |];
+            `Equal
+          | Sat.Solver.Unknown -> `Unknown
+          | Sat.Solver.Sat model ->
+            let assignment =
+              Array.init npis (fun i ->
+                  let v = !cnf_var.(Aig.Graph.node_of_lit new_pis.(i)) in
+                  v - 1 < Array.length model && model.(v - 1))
+            in
+            `Different assignment
+        in
+        (* --- main sweep ---------------------------------------------- *)
+        let map = Array.make n_old Aig.Graph.const_false in
+        for i = 0 to npis - 1 do
+          map.(i + 1) <- new_pis.(i)
+        done;
+        let map_lit l =
+          Aig.Graph.lit_not_cond
+            map.(Aig.Graph.node_of_lit l)
+            (Aig.Graph.is_compl l)
+        in
+        let rep_set = Hashtbl.create 1024 in
+        Aig.Graph.iter_ands g (fun id ->
+            let nl =
+              and_tracked
+                (map_lit (Aig.Graph.fanin0 g id))
+                (map_lit (Aig.Graph.fanin1 g id))
+            in
+            let nid = Aig.Graph.node_of_lit nl in
+            if not (Aig.Graph.is_and g' nid) then map.(id) <- nl
+            else if Hashtbl.mem rep_set nid then map.(id) <- nl
+            else begin
+              match find_candidate nid with
+              | None ->
+                add_rep nid;
+                Hashtbl.replace rep_set nid ();
+                map.(id) <- nl
+              | Some cand_lit ->
+                incr tried;
+                let target = Aig.Graph.lit_of_node nid false in
+                (match prove_equal target cand_lit with
+                 | `Equal ->
+                   incr proven;
+                   map.(id) <-
+                     Aig.Graph.lit_not_cond cand_lit (Aig.Graph.is_compl nl)
+                 | `Different assignment ->
+                   incr disproved;
+                   cex_buffer := assignment :: !cex_buffer;
+                   if List.length !cex_buffer >= 64 then refine ();
+                   add_rep nid;
+                   Hashtbl.replace rep_set nid ();
+                   map.(id) <- nl
+                 | `Unknown ->
+                   add_rep nid;
+                   Hashtbl.replace rep_set nid ();
+                   map.(id) <- nl)
+            end);
+        Array.map map_lit (Aig.Graph.pos g))
+  in
+  last_stats := (!tried, !proven, !disproved);
+  Aig.Graph.cleanup result

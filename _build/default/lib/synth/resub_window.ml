@@ -1,0 +1,244 @@
+(* 1-resubstitution.  The rebuild mirrors Resub: new-graph nodes carry
+   simulation rows; for every rebuilt node whose (old-graph) MFFC is at
+   least two nodes, we scan a window of recently created divisors for a
+   pair d1, d2 and polarities such that node = d1' AND d2' on the
+   simulated patterns, then ask the SAT solver to confirm it on the
+   whole input space. *)
+
+type config = {
+  words : int;
+  seed : int;
+  window : int;
+  conflict_limit : int;
+  max_cone : int;
+}
+
+let default_config =
+  { words = 4; seed = 0x135B; window = 48; conflict_limit = 500;
+    max_cone = 3000 }
+
+let last_stats = ref (0, 0)
+let stats_last_run () = !last_stats
+
+let run ?(config = default_config) g =
+  let tried = ref 0 and proven = ref 0 in
+  let rng = Aig.Rng.create config.seed in
+  let refs = Aig.Graph.ref_counts g in
+  let n_old = Aig.Graph.num_nodes g in
+  let result =
+    Aig.Graph.compose g (fun g' new_pis ->
+        let npis = Array.length new_pis in
+        let rows = ref (Array.make (max 16 (2 * npis)) [||]) in
+        let set_row id r =
+          if id >= Array.length !rows then begin
+            let d = Array.make (max (2 * Array.length !rows) (id + 1)) [||] in
+            Array.blit !rows 0 d 0 (Array.length !rows);
+            rows := d
+          end;
+          !rows.(id) <- r
+        in
+        set_row 0 (Array.make config.words 0L);
+        Array.iter
+          (fun l ->
+            set_row (Aig.Graph.node_of_lit l)
+              (Array.init config.words (fun _ -> Aig.Rng.next64 rng)))
+          new_pis;
+        let node_row id = !rows.(id) in
+        let lit_row l =
+          let r = node_row (Aig.Graph.node_of_lit l) in
+          if Aig.Graph.is_compl l then Array.map Int64.lognot r else r
+        in
+        (* Shared incremental SAT session: every node is encoded once,
+           equivalence queries are assumption probes. *)
+        let session = Sat.Solver.Incremental.create () in
+        let cnf_var = ref (Array.make (max 16 (2 * npis)) 0) in
+        let set_var id v =
+          if id >= Array.length !cnf_var then begin
+            let d = Array.make (max (2 * Array.length !cnf_var) (id + 1)) 0 in
+            Array.blit !cnf_var 0 d 0 (Array.length !cnf_var);
+            cnf_var := d
+          end;
+          !cnf_var.(id) <- v
+        in
+        Array.iter
+          (fun l ->
+            set_var (Aig.Graph.node_of_lit l)
+              (Sat.Solver.Incremental.new_var session))
+          new_pis;
+        let dimacs_of l =
+          let v = !cnf_var.(Aig.Graph.node_of_lit l) in
+          assert (v > 0);
+          if Aig.Graph.is_compl l then -v else v
+        in
+        let and_tracked a b =
+          let l = Aig.Graph.and_ g' a b in
+          let id = Aig.Graph.node_of_lit l in
+          if
+            Aig.Graph.is_and g' id
+            && (id >= Array.length !rows || !rows.(id) = [||])
+          then begin
+            let ra = lit_row (Aig.Graph.fanin0 g' id)
+            and rb = lit_row (Aig.Graph.fanin1 g' id) in
+            set_row id (Array.init config.words (fun w -> Int64.logand ra.(w) rb.(w)));
+            let o = Sat.Solver.Incremental.new_var session in
+            set_var id o;
+            let da = dimacs_of (Aig.Graph.fanin0 g' id)
+            and db = dimacs_of (Aig.Graph.fanin1 g' id) in
+            Sat.Solver.Incremental.add_clause session [| -o; da |];
+            Sat.Solver.Incremental.add_clause session [| -o; db |];
+            Sat.Solver.Incremental.add_clause session [| o; -da; -db |]
+          end;
+          l
+        in
+        (* Divisor window: node ids, most recent first. *)
+        let divisors = ref [] and ndivisors = ref 0 in
+        let push_divisor id =
+          divisors := id :: !divisors;
+          incr ndivisors;
+          if !ndivisors > config.window then begin
+            (* Drop the oldest (cheap approximation: truncate). *)
+            divisors := List.filteri (fun i _ -> i < config.window) !divisors;
+            ndivisors := config.window
+          end
+        in
+        Array.iter (fun l -> push_divisor (Aig.Graph.node_of_lit l)) new_pis;
+        (* SAT proof that target literal equals candidate literal:
+           an activation variable implies they differ; UNSAT under that
+           assumption proves equality. *)
+        let prove_equal la lb =
+          let da = dimacs_of la and db = dimacs_of lb in
+          let x = Sat.Solver.Incremental.new_var session in
+          Sat.Solver.Incremental.add_clause session [| -x; da; db |];
+          Sat.Solver.Incremental.add_clause session [| -x; -da; -db |];
+          let limits =
+            { Sat.Solver.no_limits with
+              Sat.Solver.max_conflicts = Some config.conflict_limit }
+          in
+          match
+            fst
+              (Sat.Solver.Incremental.solve ~limits ~assumptions:[| x |]
+                 session)
+          with
+          | Sat.Solver.Unsat ->
+            Sat.Solver.Incremental.add_clause session [| -x |];
+            true
+          | Sat.Solver.Sat _ | Sat.Solver.Unknown -> false
+        in
+        (* Find (d1', d2') with target = d1' AND d2' on the samples.
+           Divisors inside the node's own fanout-free cone are excluded:
+           a substitution through them keeps the cone alive and frees
+           nothing. *)
+        let find_candidate target_row nid ~excluded =
+          let rows_equal a b =
+            let ok = ref true in
+            Array.iteri (fun i x -> if x <> b.(i) then ok := false) a;
+            !ok
+          in
+          let lits_of id = [ Aig.Graph.lit_of_node id false;
+                             Aig.Graph.lit_of_node id true ] in
+          let covers l =
+            (* target => l on the samples (necessary for an AND). *)
+            let r = lit_row l in
+            let ok = ref true in
+            Array.iteri
+              (fun i x ->
+                if Int64.logand target_row.(i) (Int64.lognot x) <> 0L then
+                  ok := false)
+              r;
+            !ok
+          in
+          let cands =
+            List.concat_map
+              (fun d ->
+                if d = nid || Hashtbl.mem excluded d then [] else lits_of d)
+              !divisors
+            |> List.filter covers
+          in
+          (* All signature-matching pairs (bounded); the caller skips
+             those that reproduce the node's own decomposition. *)
+          let acc = ref [] in
+          let rec pairs = function
+            | [] -> ()
+            | l1 :: rest ->
+              let r1 = lit_row l1 in
+              List.iter
+                (fun l2 ->
+                  if List.length !acc < 8 then begin
+                    let r2 = lit_row l2 in
+                    if
+                      rows_equal target_row
+                        (Array.mapi (fun i x -> Int64.logand x r2.(i)) r1)
+                    then acc := (l1, l2) :: !acc
+                  end)
+                rest;
+              if List.length !acc < 8 then pairs rest
+          in
+          pairs cands;
+          List.rev !acc
+        in
+        let map = Array.make n_old Aig.Graph.const_false in
+        for i = 0 to npis - 1 do
+          map.(i + 1) <- new_pis.(i)
+        done;
+        let map_lit l =
+          Aig.Graph.lit_not_cond
+            map.(Aig.Graph.node_of_lit l)
+            (Aig.Graph.is_compl l)
+        in
+        Aig.Graph.iter_ands g (fun id ->
+            let nl =
+              and_tracked
+                (map_lit (Aig.Graph.fanin0 g id))
+                (map_lit (Aig.Graph.fanin1 g id))
+            in
+            let nid = Aig.Graph.node_of_lit nl in
+            let members =
+              if Aig.Graph.is_and g' nid && not (Aig.Graph.is_compl nl) then
+                Mffc.members g refs id
+              else []
+            in
+            let chosen =
+              if List.length members >= 2 then begin
+                (* New-graph images of the MFFC members. *)
+                let excluded = Hashtbl.create 8 in
+                List.iter
+                  (fun m ->
+                    if m < n_old && map.(m) <> Aig.Graph.const_false then
+                      Hashtbl.replace excluded
+                        (Aig.Graph.node_of_lit map.(m)) ())
+                  members;
+                Hashtbl.replace excluded nid ();
+                let rec try_pairs = function
+                  | [] -> nl
+                  | (l1, l2) :: rest ->
+                    let cand = and_tracked l1 l2 in
+                    (* Skip the node's own decomposition and degenerate
+                       constant results. *)
+                    if cand = nl || Aig.Graph.node_of_lit cand = 0 then
+                      try_pairs rest
+                    else begin
+                      incr tried;
+                      if prove_equal (Aig.Graph.lit_of_node nid false) cand
+                      then begin
+                        incr proven;
+                        cand
+                      end
+                      else try_pairs rest
+                    end
+                in
+                try_pairs (find_candidate (node_row nid) nid ~excluded)
+              end
+              else nl
+            in
+            (if Aig.Graph.is_and g' nid then push_divisor nid);
+            map.(id) <- chosen);
+        Array.map map_lit (Aig.Graph.pos g))
+  in
+  last_stats := (!tried, !proven);
+  let cleaned = Aig.Graph.cleanup result in
+  (* The old-graph MFFC is only an estimate of the new-graph gain
+     (structural hashing can keep "freed" members alive through other
+     references), so guard against a net size increase. *)
+  let original = Aig.Graph.cleanup g in
+  if Aig.Graph.num_ands cleaned <= Aig.Graph.num_ands original then cleaned
+  else original

@@ -1,0 +1,24 @@
+(** Windowed k-resubstitution (ABC's [resub], k = 1).
+
+    Where {!Resub} merges nodes that are equal to an existing divisor
+    (0-resubstitution), this pass re-expresses a node as a {e two-input
+    function of two existing divisors} when that frees more logic than
+    the one new node it costs.  Candidates are found by matching
+    bit-parallel simulation signatures over a sliding divisor window
+    and proven with a SAT call on the cone miter, so functionality is
+    preserved unconditionally. *)
+
+type config = {
+  words : int;            (** simulation words per node *)
+  seed : int;
+  window : int;           (** divisors considered per node *)
+  conflict_limit : int;   (** SAT budget per proof *)
+  max_cone : int;
+}
+
+val default_config : config
+
+val run : ?config:config -> Aig.Graph.t -> Aig.Graph.t
+
+val stats_last_run : unit -> int * int
+(** (candidates tried, substitutions proven) of the last {!run}. *)

@@ -1,0 +1,18 @@
+(** DAG-aware cut rewriting (the [rewrite] operation, after Mishchenko,
+    Chatterjee & Brayton, DAC'06).
+
+    Rebuilds the AIG bottom-up; for every AND node it enumerates
+    k-feasible cuts, synthesizes a factored-form candidate for each cut
+    function (via ISOP + literal factoring) and keeps the candidate that
+    materializes the fewest new nodes given everything already built —
+    structural hashing supplies the sharing that makes replacements
+    profitable.  Functionality is preserved by construction. *)
+
+val run :
+  ?k:int -> ?cut_limit:int -> ?use_mffc:bool -> Aig.Graph.t -> Aig.Graph.t
+(** [run g] returns a functionally equivalent AIG, usually smaller.
+    [k] (default 4) is the cut width, 2..6; [cut_limit] (default 8) the
+    number of cuts kept per node.  [use_mffc] (default true) credits a
+    replacement with the maximum fanout-free cone it frees; disabling
+    it reduces the pass to purely local (per-node) gain — the ablation
+    of DESIGN.md. *)

@@ -1,0 +1,1 @@
+lib/workloads/arith.ml: Aig Array Lec List

@@ -1,0 +1,1 @@
+lib/workloads/lec.ml: Aig Array List Synth

@@ -1,0 +1,1 @@
+lib/workloads/satcomp.ml: Aig Array Cnf Fun Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/workloads/satcomp.mli: Cnf

@@ -1,0 +1,1 @@
+lib/workloads/suites.ml: Aig Cnf Eda4sat Lec List Printf Satcomp

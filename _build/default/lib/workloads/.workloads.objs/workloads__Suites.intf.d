@@ -1,0 +1,1 @@
+lib/workloads/suites.mli: Aig Cnf Eda4sat

@@ -1,0 +1,104 @@
+let full_adder g a b c =
+  let sum = Aig.Graph.xor_ g (Aig.Graph.xor_ g a b) c in
+  let carry =
+    Aig.Graph.or_ g (Aig.Graph.and_ g a b)
+      (Aig.Graph.and_ g c (Aig.Graph.or_ g a b))
+  in
+  (sum, carry)
+
+let ripple_adder g xs ys =
+  let n = Array.length xs in
+  if Array.length ys <> n then invalid_arg "Arith.ripple_adder: width mismatch";
+  let out = Array.make (n + 1) Aig.Graph.const_false in
+  let carry = ref Aig.Graph.const_false in
+  for i = 0 to n - 1 do
+    let s, c = full_adder g xs.(i) ys.(i) !carry in
+    out.(i) <- s;
+    carry := c
+  done;
+  out.(n) <- !carry;
+  out
+
+(* Ripple addition with an explicit carry-in; returns (bits, carry). *)
+let ripple_with_cin g xs ys cin =
+  let n = Array.length xs in
+  let out = Array.make n Aig.Graph.const_false in
+  let carry = ref cin in
+  for i = 0 to n - 1 do
+    let s, c = full_adder g xs.(i) ys.(i) !carry in
+    out.(i) <- s;
+    carry := c
+  done;
+  (out, !carry)
+
+let carry_select_adder g xs ys =
+  let n = Array.length xs in
+  if Array.length ys <> n then
+    invalid_arg "Arith.carry_select_adder: width mismatch";
+  if n <= 1 then ripple_adder g xs ys
+  else begin
+    let half = n / 2 in
+    let lo x = Array.sub x 0 half and hi x = Array.sub x half (n - half) in
+    let lo_bits, lo_carry =
+      ripple_with_cin g (lo xs) (lo ys) Aig.Graph.const_false
+    in
+    (* Upper half computed for both carry-in values, then selected. *)
+    let hi0, c0 = ripple_with_cin g (hi xs) (hi ys) Aig.Graph.const_false in
+    let hi1, c1 = ripple_with_cin g (hi xs) (hi ys) Aig.Graph.const_true in
+    let sel = lo_carry in
+    let hi_bits = Array.map2 (fun a b -> Aig.Graph.mux_ g sel b a) hi0 hi1 in
+    let carry = Aig.Graph.mux_ g sel c1 c0 in
+    Array.concat [ lo_bits; hi_bits; [| carry |] ]
+  end
+
+let multiplier ?(reverse_accumulation = false) g xs ys =
+  let n = Array.length xs and m = Array.length ys in
+  let rows =
+    List.init n (fun i ->
+        Array.append
+          (Array.make i Aig.Graph.const_false)
+          (Array.map (fun y -> Aig.Graph.and_ g xs.(i) y) ys))
+  in
+  let rows = if reverse_accumulation then List.rev rows else rows in
+  let add_padded acc row =
+    let w = max (Array.length acc) (Array.length row) in
+    let pad v =
+      Array.append v (Array.make (w - Array.length v) Aig.Graph.const_false)
+    in
+    ripple_adder g (pad acc) (pad row)
+  in
+  let sum = List.fold_left add_padded [||] rows in
+  Array.sub sum 0 (min (Array.length sum) (n + m))
+
+let split_pis g bits =
+  let xs = Array.init bits (Aig.Graph.pi g) in
+  let ys = Array.init bits (fun i -> Aig.Graph.pi g (bits + i)) in
+  (xs, ys)
+
+let adder_circuit ~bits ~variant =
+  let g = Aig.Graph.create ~num_pis:(2 * bits) in
+  let xs, ys = split_pis g bits in
+  let out =
+    match variant with
+    | `Ripple -> ripple_adder g xs ys
+    | `Carry_select -> carry_select_adder g xs ys
+  in
+  Array.iter (Aig.Graph.add_po g) out;
+  g
+
+let multiplier_circuit ~bits ~reverse =
+  let g = Aig.Graph.create ~num_pis:(2 * bits) in
+  let xs, ys = split_pis g bits in
+  Array.iter (Aig.Graph.add_po g)
+    (multiplier ~reverse_accumulation:reverse g xs ys);
+  g
+
+let adder_miter ~bits =
+  Lec.miter
+    (adder_circuit ~bits ~variant:`Ripple)
+    (adder_circuit ~bits ~variant:`Carry_select)
+
+let multiplier_miter ~bits =
+  Lec.miter
+    (multiplier_circuit ~bits ~reverse:false)
+    (multiplier_circuit ~bits ~reverse:true)

@@ -1,0 +1,45 @@
+(** Arithmetic circuit generators — the datapath blocks classic EDA
+    benchmark suites are full of, and the classic hard cases for
+    equivalence checking.
+
+    All outputs are little-endian bit vectors of AIG literals; the
+    builders work inside a caller-provided graph so they compose. *)
+
+val full_adder :
+  Aig.Graph.t -> Aig.Graph.lit -> Aig.Graph.lit -> Aig.Graph.lit ->
+  Aig.Graph.lit * Aig.Graph.lit
+(** [(sum, carry)] of three input bits. *)
+
+val ripple_adder :
+  Aig.Graph.t -> Aig.Graph.lit array -> Aig.Graph.lit array ->
+  Aig.Graph.lit array
+(** [n]-bit ripple-carry addition: result has [n + 1] bits.
+    @raise Invalid_argument on width mismatch. *)
+
+val carry_select_adder :
+  Aig.Graph.t -> Aig.Graph.lit array -> Aig.Graph.lit array ->
+  Aig.Graph.lit array
+(** Same function as {!ripple_adder}, structurally different: the upper
+    half is computed for both carry values and selected. *)
+
+val multiplier :
+  ?reverse_accumulation:bool ->
+  Aig.Graph.t -> Aig.Graph.lit array -> Aig.Graph.lit array ->
+  Aig.Graph.lit array
+(** Array multiplier ([n*m] bits out); [reverse_accumulation] adds the
+    partial products in the opposite order, giving an equivalent but
+    structurally different netlist. *)
+
+val adder_circuit : bits:int -> variant:[ `Ripple | `Carry_select ] ->
+  Aig.Graph.t
+(** A standalone circuit: [2*bits] PIs, [bits + 1] POs. *)
+
+val multiplier_circuit : bits:int -> reverse:bool -> Aig.Graph.t
+(** A standalone circuit: [2*bits] PIs, [2*bits] POs. *)
+
+val adder_miter : bits:int -> Aig.Graph.t
+(** Miter of ripple vs. carry-select adders (unsatisfiable). *)
+
+val multiplier_miter : bits:int -> Aig.Graph.t
+(** Miter of the two accumulation orders (unsatisfiable) — the classic
+    CDCL-hard equivalence check. *)

@@ -1,0 +1,35 @@
+(** Logic-equivalence-checking workload generation.
+
+    The paper's I1-I5 and the 200-instance training set are industrial
+    LEC miters (single primary output, tens of thousands of gates).
+    Those are proprietary; this module generates the synthetic
+    equivalent: a random multi-level circuit, a structurally perturbed
+    equivalent copy (resynthesized with our own passes), and the miter
+    of the two.  UNSAT miters model true equivalence; optionally a fault
+    is injected into the copy first, giving satisfiable miters. *)
+
+val random_circuit :
+  seed:int -> num_pis:int -> num_ands:int -> num_pos:int -> Aig.Graph.t
+(** Layered random AIG; fanins are biased toward recent nodes so depth
+    grows realistically with size. *)
+
+val miter : Aig.Graph.t -> Aig.Graph.t -> Aig.Graph.t
+(** Single-output miter over shared PIs: OR of pairwise output XORs.
+    @raise Invalid_argument on PI/PO count mismatch. *)
+
+val inject_fault : seed:int -> Aig.Graph.t -> Aig.Graph.t
+(** Copy with one random AND fanin complemented. *)
+
+val generate :
+  ?buggy:bool -> seed:int -> num_pis:int -> num_ands:int -> unit -> Aig.Graph.t
+(** A complete LEC miter: circuit vs. resynthesized (optionally
+    faulted) copy.  [buggy] (default false) makes it satisfiable. *)
+
+val training_set :
+  seed:int -> count:int -> min_ands:int -> max_ands:int -> Aig.Graph.t array
+(** Mixed-size, mixed-satisfiability miters in the spirit of Table 1. *)
+
+val perturb : seed:int -> Aig.Graph.t -> Aig.Graph.t
+(** Function-preserving structural diversification: re-expresses a
+    random fraction of nodes through their cut functions, so the result
+    is equivalent but does not strash-merge with the original. *)

@@ -1,0 +1,157 @@
+let pigeonhole ~pigeons ~holes =
+  let v p h = (p * holes) + h + 1 in
+  let at_least =
+    List.init pigeons (fun p -> Array.init holes (fun h -> v p h))
+  in
+  let at_most =
+    List.concat_map
+      (fun h ->
+        List.concat_map
+          (fun p1 ->
+            List.filter_map
+              (fun p2 ->
+                if p2 > p1 then Some [| -v p1 h; -v p2 h |] else None)
+              (List.init pigeons Fun.id))
+          (List.init pigeons Fun.id))
+      (List.init holes Fun.id)
+  in
+  Cnf.Formula.create ~num_vars:(pigeons * holes) (at_least @ at_most)
+
+let distinct_vars rng num_vars k =
+  let seen = Hashtbl.create 8 in
+  let rec draw acc n =
+    if n = 0 then acc
+    else begin
+      let v = 1 + Aig.Rng.int rng num_vars in
+      if Hashtbl.mem seen v then draw acc n
+      else begin
+        Hashtbl.add seen v ();
+        draw (v :: acc) (n - 1)
+      end
+    end
+  in
+  draw [] k
+
+let random_ksat ~seed ~num_vars ~num_clauses ~k =
+  if k > num_vars then invalid_arg "Satcomp.random_ksat: k > num_vars";
+  let rng = Aig.Rng.create seed in
+  let clauses =
+    List.init num_clauses (fun _ ->
+        distinct_vars rng num_vars k
+        |> List.map (fun v -> if Aig.Rng.bool rng then v else -v)
+        |> Array.of_list)
+  in
+  Cnf.Formula.create ~num_vars clauses
+
+let xor_cnf ~seed ~num_vars ~num_xors ~width =
+  if width < 1 || width > 10 then invalid_arg "Satcomp.xor_cnf: bad width";
+  let rng = Aig.Rng.create seed in
+  let clauses = ref [] in
+  for _ = 1 to num_xors do
+    let vars = Array.of_list (distinct_vars rng num_vars width) in
+    let parity = Aig.Rng.bool rng in
+    (* x1 xor ... xor xw = parity expands into clauses over all sign
+       patterns with an (even/odd) number of positives. *)
+    for m = 0 to (1 lsl width) - 1 do
+      let positives = ref 0 in
+      for i = 0 to width - 1 do
+        if m land (1 lsl i) <> 0 then incr positives
+      done;
+      (* Forbidden assignments: parity of trues <> target; the clause
+         negates the assignment encoded by m. *)
+      let assignment_parity = !positives land 1 = 1 in
+      if assignment_parity <> parity then begin
+        let clause =
+          Array.mapi
+            (fun i v -> if m land (1 lsl i) <> 0 then -v else v)
+            vars
+        in
+        clauses := clause :: !clauses
+      end
+    done
+  done;
+  Cnf.Formula.create ~num_vars (List.rev !clauses)
+
+let coloring ~seed ~vertices ~edges ~colors =
+  let rng = Aig.Rng.create seed in
+  let v node c = (node * colors) + c + 1 in
+  let at_least =
+    List.init vertices (fun node -> Array.init colors (fun c -> v node c))
+  in
+  let at_most =
+    List.concat_map
+      (fun node ->
+        List.concat_map
+          (fun c1 ->
+            List.filter_map
+              (fun c2 ->
+                if c2 > c1 then Some [| -v node c1; -v node c2 |] else None)
+              (List.init colors Fun.id))
+          (List.init colors Fun.id))
+      (List.init vertices Fun.id)
+  in
+  let edge_clauses = ref [] in
+  let seen = Hashtbl.create 64 in
+  let count = ref 0 and attempts = ref 0 in
+  while !count < edges && !attempts < 50 * edges do
+    incr attempts;
+    let a = Aig.Rng.int rng vertices and b = Aig.Rng.int rng vertices in
+    let a, b = (min a b, max a b) in
+    if a <> b && not (Hashtbl.mem seen (a, b)) then begin
+      Hashtbl.add seen (a, b) ();
+      incr count;
+      for c = 0 to colors - 1 do
+        edge_clauses := [| -v a c; -v b c |] :: !edge_clauses
+      done
+    end
+  done;
+  Cnf.Formula.create ~num_vars:(vertices * colors)
+    (at_least @ at_most @ !edge_clauses)
+
+let round_robin ?weeks ~teams () =
+  if teams < 2 || teams land 1 = 1 then
+    invalid_arg "Satcomp.round_robin: need an even team count >= 2";
+  let weeks = Option.value weeks ~default:(teams - 1) in
+  (* Variable: pair (i < j) meets in week w. *)
+  let pairs =
+    List.concat_map
+      (fun i ->
+        List.filter_map
+          (fun j -> if j > i then Some (i, j) else None)
+          (List.init teams Fun.id))
+      (List.init teams Fun.id)
+  in
+  let pair_index = Hashtbl.create 64 in
+  List.iteri (fun idx p -> Hashtbl.add pair_index p idx) pairs;
+  let v i j w = (Hashtbl.find pair_index (i, j) * weeks) + w + 1 in
+  let clauses = ref [] in
+  (* Every pair meets at least once... *)
+  List.iter
+    (fun (i, j) -> clauses := Array.init weeks (fun w -> v i j w) :: !clauses)
+    pairs;
+  (* ...and at most once. *)
+  List.iter
+    (fun (i, j) ->
+      for w1 = 0 to weeks - 1 do
+        for w2 = w1 + 1 to weeks - 1 do
+          clauses := [| -v i j w1; -v i j w2 |] :: !clauses
+        done
+      done)
+    pairs;
+  (* No team plays two matches in the same week. *)
+  for w = 0 to weeks - 1 do
+    List.iter
+      (fun (i1, j1) ->
+        List.iter
+          (fun (i2, j2) ->
+            let shares_team =
+              i1 = i2 || i1 = j2 || j1 = i2 || j1 = j2
+            in
+            if shares_team && (i1, j1) < (i2, j2) then
+              clauses := [| -v i1 j1 w; -v i2 j2 w |] :: !clauses)
+          pairs)
+      pairs
+  done;
+  Cnf.Formula.create
+    ~num_vars:(List.length pairs * weeks)
+    (List.rev !clauses)

@@ -1,0 +1,33 @@
+(** SAT-competition-style CNF families (the C1-C8 stand-ins).
+
+    The paper's C1-C8 come from the SAT Competition 2022 benchmark set
+    and "exhibit diverse distributions" with no natural circuit
+    structure (§4.5-4.6).  These generators produce the classic
+    families that dominate such sets: pigeonhole, random k-SAT around
+    the phase transition, CNF-XOR, graph coloring and the round-robin
+    scheduling encoding the paper's introduction cites. *)
+
+val pigeonhole : pigeons:int -> holes:int -> Cnf.Formula.t
+(** Unsatisfiable when [pigeons > holes]. *)
+
+val random_ksat :
+  seed:int -> num_vars:int -> num_clauses:int -> k:int -> Cnf.Formula.t
+(** Uniform random k-SAT with distinct variables per clause. *)
+
+val xor_cnf :
+  seed:int -> num_vars:int -> num_xors:int -> width:int -> Cnf.Formula.t
+(** Random parity constraints of the given width, each expanded into
+    its [2^(width-1)] odd-polarity clauses (the hard CNF-XOR
+    distribution of Dudek et al.). *)
+
+val coloring :
+  seed:int -> vertices:int -> edges:int -> colors:int -> Cnf.Formula.t
+(** Random-graph k-coloring: at-least-one + at-most-one color per
+    vertex, different colors across each edge. *)
+
+val round_robin : ?weeks:int -> teams:int -> unit -> Cnf.Formula.t
+(** Single round-robin schedule ([teams] even): every pair meets
+    exactly once, no team plays twice in a week — the tournament
+    formulation of Bejar & Manya cited in §2.1.  [weeks] defaults to
+    [teams - 1] (satisfiable); [teams - 2] or fewer is unsatisfiable
+    by a counting argument and resolution-hard, like pigeonhole. *)

@@ -1,0 +1,79 @@
+(* Sizes calibrated so the direct (baseline) solve of each miter takes
+   seconds with the OCaml CDCL solver — the same relative hardness the
+   paper's I1-I5 have for Kissat at 40k gates (see DESIGN.md). *)
+let lec_sizes = [ (1, 26, 900); (2, 30, 1050); (3, 28, 980); (4, 24, 850);
+                  (5, 20, 700) ]
+
+let i_suite ?(scale = 1.0) () =
+  List.map
+    (fun (i, num_pis, num_ands) ->
+      let num_ands = max 50 (int_of_float (float_of_int num_ands *. scale)) in
+      let name = Printf.sprintf "I%d" i in
+      ( name,
+        Eda4sat.Instance.of_circuit ~name
+          (Lec.generate ~buggy:false ~seed:(8000 + i) ~num_pis ~num_ands ()) ))
+    lec_sizes
+
+(* A circuit-verification CNF presented as a flat DIMACS instance, as
+   hardware-derived SAT-competition benchmarks are. *)
+let miter_cnf ~seed ~num_ands =
+  let g = Lec.generate ~buggy:false ~seed ~num_pis:22 ~num_ands () in
+  (Cnf.Tseitin.encode g).Cnf.Tseitin.formula
+
+(* Two structurally different parity implementations, mitered and
+   flattened to CNF: XOR chains are the classic CDCL stress case the
+   paper's §3.3.2 cites. *)
+let parity_miter_cnf ~num_bits =
+  let g = Aig.Graph.create ~num_pis:num_bits in
+  let pis = List.init num_bits (Aig.Graph.pi g) in
+  let chain =
+    List.fold_left
+      (fun acc l -> Aig.Graph.xor_ g acc l)
+      Aig.Graph.const_false pis
+  in
+  let rec tree = function
+    | [] -> Aig.Graph.const_false
+    | [ l ] -> l
+    | ls ->
+      let half = List.length ls / 2 in
+      let left = List.filteri (fun i _ -> i < half) ls
+      and right = List.filteri (fun i _ -> i >= half) ls in
+      Aig.Graph.xor_ g (tree left) (tree right)
+  in
+  Aig.Graph.add_po g (Aig.Graph.xor_ g chain (tree pis));
+  (Cnf.Tseitin.encode g).Cnf.Tseitin.formula
+
+(* The C1-C8 stand-ins: eight CNF instances from five families with
+   diverse distributions, mixing structured (circuit-derived,
+   pigeonhole-like) and unstructured (random, parity) hardness.
+   Baseline-solver hardness is calibrated per family; scale < 1 shrinks
+   everything for quick runs. *)
+let c_suite ?(scale = 1.0) () =
+  let s x = max 3 (int_of_float (float_of_int x *. scale)) in
+  let cases =
+    [
+      ("C1-miter-cnf", miter_cnf ~seed:9101 ~num_ands:(s 700));
+      ( "C2-php-hard",
+        Satcomp.pigeonhole ~pigeons:(s 11) ~holes:(s 11 - 1) );
+      ( "C3-random3sat",
+        Satcomp.random_ksat ~seed:31 ~num_vars:(s 280)
+          ~num_clauses:(s 280 * 9 / 2) ~k:3 );
+      ( "C4-random3sat",
+        Satcomp.random_ksat ~seed:47 ~num_vars:(s 200)
+          ~num_clauses:(s 200 * 9 / 2) ~k:3 );
+      ( "C5-cnfxor",
+        Satcomp.xor_cnf ~seed:53 ~num_vars:(s 170) ~num_xors:(s 160)
+          ~width:4 );
+      ( "C6-roundrobin-unsat",
+        Satcomp.round_robin ~weeks:(s 12 - 2)
+          ~teams:(2 * ((s 12 + 1) / 2)) () );
+      ("C7-miter-cnf", miter_cnf ~seed:9103 ~num_ands:(s 850));
+      ( "C8-php",
+        Satcomp.pigeonhole ~pigeons:(s 10) ~holes:(s 10 - 1) );
+    ]
+  in
+  List.map (fun (name, f) -> (name, Eda4sat.Instance.of_cnf ~name f)) cases
+
+let training_set ?(scale = 1.0) ~count () =
+  let sz x = max 30 (int_of_float (float_of_int x *. scale)) in
+  Lec.training_set ~seed:4242 ~count ~min_ands:(sz 120) ~max_ands:(sz 900)

@@ -1,0 +1,23 @@
+(** The canonical benchmark suites of the evaluation (Table 2).
+
+    [scale] multiplies instance sizes; 1.0 is the default laptop-scale
+    configuration on which the whole suite runs in minutes with the
+    OCaml solver (see DESIGN.md on scaling). *)
+
+val i_suite : ?scale:float -> unit -> (string * Eda4sat.Instance.t) list
+(** I1-I5: industrial-style LEC miters (circuit instances, single PO). *)
+
+val c_suite : ?scale:float -> unit -> (string * Eda4sat.Instance.t) list
+(** C1-C8: flat CNF instances (circuit-derived, pigeonhole, random
+    3-SAT, CNF-XOR, scheduling), per-family hardness calibrated for the
+    OCaml solver. *)
+
+val miter_cnf : seed:int -> num_ands:int -> Cnf.Formula.t
+(** A hardware-verification CNF: a LEC miter flattened through Tseitin,
+    as circuit-derived SAT-competition benchmarks are distributed. *)
+
+val parity_miter_cnf : num_bits:int -> Cnf.Formula.t
+(** CNF miter of two structurally different parity networks. *)
+
+val training_set : ?scale:float -> count:int -> unit -> Aig.Graph.t array
+(** The RL training population (the paper uses 200 LEC instances). *)

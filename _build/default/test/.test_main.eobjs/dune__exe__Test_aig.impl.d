@@ -1,0 +1,1 @@
+test/test_aig.ml: Aig Alcotest Array Int64 List QCheck QCheck_alcotest String

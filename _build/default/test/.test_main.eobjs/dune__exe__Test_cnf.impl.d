@@ -1,0 +1,1 @@
+test/test_cnf.ml: Aig Alcotest Array Cnf Fun Hashtbl List Option QCheck QCheck_alcotest Sat

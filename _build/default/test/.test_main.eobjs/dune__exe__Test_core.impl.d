@@ -1,0 +1,1 @@
+test/test_core.ml: Aig Alcotest Array Cnf Deepgate Eda4sat Float List Printf QCheck QCheck_alcotest Rl Sat Synth Workloads

@@ -1,0 +1,1 @@
+test/test_deepgate.ml: Aig Alcotest Array Deepgate Float List

@@ -1,0 +1,1 @@
+test/test_lutmap.ml: Aig Alcotest Array Cnf Fun List Lutmap Printf String

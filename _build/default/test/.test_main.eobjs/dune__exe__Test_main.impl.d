@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_aig Test_cnf Test_core Test_deepgate Test_experiments Test_lutmap Test_rl Test_sat Test_synth Test_workloads

@@ -1,0 +1,1 @@
+test/test_rl.ml: Alcotest Array Option Printf Rl

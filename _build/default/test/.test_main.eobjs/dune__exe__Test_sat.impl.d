@@ -1,0 +1,1 @@
+test/test_sat.ml: Aig Alcotest Array Cnf Fun List Option QCheck QCheck_alcotest Sat

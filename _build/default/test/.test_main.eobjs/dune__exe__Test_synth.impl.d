@@ -1,0 +1,1 @@
+test/test_synth.ml: Aig Alcotest Array Gen List Printf QCheck QCheck_alcotest Synth

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Aig Alcotest Array Cnf Eda4sat List Printf Sat Workloads

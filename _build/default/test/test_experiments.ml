@@ -1,0 +1,141 @@
+(* Tests for the experiment harness: table rendering, figure content,
+   paper reference data consistency, and a fast end-to-end table run. *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_render () =
+  let t =
+    {
+      Experiments.Table.title = "T";
+      header = [ "a"; "bb" ];
+      rows = [ [ "1"; "2" ]; [ "333"; "4" ] ];
+      notes = [ "n" ];
+    }
+  in
+  let s = Experiments.Table.render t in
+  check_bool "has title" true
+    (String.length s > 0 && String.sub s 0 6 = "== T =");
+  check_bool "has note" true
+    (String.length s >= 7
+     && String.exists (fun _ -> true) s
+     &&
+     let rec contains i =
+       i + 7 <= String.length s
+       && (String.sub s i 7 = "note: n" || contains (i + 1))
+     in
+     contains 0)
+
+let test_fmt () =
+  Alcotest.(check string) "float" "3.14" (Experiments.Table.fmt_f 3.14159);
+  Alcotest.(check string) "pct" "52.42%" (Experiments.Table.fmt_pct 52.42)
+
+let test_paper_data_consistency () =
+  (* The stored rows must reproduce the paper's published averages. *)
+  let lec = Experiments.Paper.table3 in
+  check "6 rows with avg" 6 (List.length lec);
+  let avg_row = List.nth lec 5 in
+  Alcotest.(check (float 0.01)) "avg ours reduction"
+    Experiments.Paper.avg_reduction_lec_ours
+    avg_row.Experiments.Paper.ours_reduction;
+  Alcotest.(check (float 0.01)) "avg een reduction"
+    Experiments.Paper.avg_reduction_lec_een
+    avg_row.Experiments.Paper.een_reduction;
+  (* Ours beats [15] on every LEC case in the paper. *)
+  List.iter
+    (fun (r : Experiments.Paper.lec_row) ->
+      check_bool (r.case ^ ": ours <= een") true
+        (r.ours_t_all <= r.een_t_all))
+    lec;
+  (* Table 7 shape: I cases get flatter, C cases get much flatter. *)
+  List.iter
+    (fun (r : Experiments.Paper.size_row) ->
+      if String.length r.case > 0 && r.case.[0] = 'C' then
+        check_bool (r.case ^ ": flattened") true
+          (r.luts_per_level_after > r.gates_per_level_before))
+    Experiments.Paper.table7
+
+let test_figure4 () =
+  let t = Experiments.Tables.figure4 () in
+  (* Row 1 is AND2 with measured = paper = 3; row 2 XOR2 = 4. *)
+  (match t.Experiments.Table.rows with
+   | [ _; m; p ] :: [ _; m2; p2 ] :: _ ->
+     Alcotest.(check string) "and measured=paper" m p;
+     Alcotest.(check string) "xor measured=paper" m2 p2;
+     Alcotest.(check string) "and=3" "3" m;
+     Alcotest.(check string) "xor=4" "4" m2
+   | _ -> Alcotest.fail "unexpected figure 4 shape")
+
+let test_figure2 () =
+  let t = Experiments.Tables.figure2 () in
+  match t.Experiments.Table.rows with
+  | [ [ _; _; b1; a1 ]; [ _; _; b2; a2 ] ] ->
+    check_bool "rewrite shrinks" true (int_of_string a1 < int_of_string b1);
+    check_bool "balance flattens" true (int_of_string a2 < int_of_string b2)
+  | _ -> Alcotest.fail "unexpected figure 2 shape"
+
+let fast_ctx =
+  {
+    Experiments.Tables.default_ctx with
+    Experiments.Tables.scale = 0.08;
+    training_count = 4;
+    limits =
+      {
+        Sat.Solver.no_limits with
+        Sat.Solver.max_seconds = Some 20.0;
+        max_conflicts = Some 50_000;
+      };
+  }
+
+let test_table1_fast () =
+  let t = Experiments.Tables.table1 fast_ctx in
+  check "five stat rows" 5 (List.length t.Experiments.Table.rows);
+  List.iter
+    (fun row -> check "five columns" 5 (List.length row))
+    t.Experiments.Table.rows
+
+let test_table2_fast () =
+  let t = Experiments.Tables.table2 fast_ctx in
+  check "thirteen cases" 13 (List.length t.Experiments.Table.rows);
+  (* I cases have a gate count, C cases print N/A. *)
+  List.iter
+    (fun row ->
+      match row with
+      | name :: gates :: _ ->
+        if name.[0] = 'I' then
+          check_bool (name ^ " has gates") true (gates <> "N/A")
+        else check_bool (name ^ " N/A") true (gates = "N/A")
+      | _ -> Alcotest.fail "short row")
+    t.Experiments.Table.rows
+
+let test_table3_fast () =
+  let t = Experiments.Tables.table3 fast_ctx in
+  (* 5 cases + the average row. *)
+  check "rows" 6 (List.length t.Experiments.Table.rows);
+  check "columns" 15 (List.length t.Experiments.Table.header)
+
+let suite =
+  [
+    ("table rendering", `Quick, test_render);
+    ("formatters", `Quick, test_fmt);
+    ("paper data consistency", `Quick, test_paper_data_consistency);
+    ("figure 4 values", `Quick, test_figure4);
+    ("figure 2 values", `Quick, test_figure2);
+    ("table 1 fast run", `Slow, test_table1_fast);
+    ("table 2 fast run", `Slow, test_table2_fast);
+    ("table 3 fast run", `Slow, test_table3_fast);
+  ]
+
+let test_csv_export () =
+  let t =
+    {
+      Experiments.Table.title = "T";
+      header = [ "a"; "b,c" ];
+      rows = [ [ "1"; "x\"y" ] ];
+      notes = [];
+    }
+  in
+  Alcotest.(check string) "csv" "a,\"b,c\"\n1,\"x\"\"y\"\n"
+    (Experiments.Table.to_csv t)
+
+let suite = suite @ [ ("csv export", `Quick, test_csv_export) ]

@@ -1,0 +1,375 @@
+(* Tests for LUT mapping: cost metrics (Fig. 4), functional
+   preservation of mapping, netlist structure, and lut2cnf. *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let random_graph ~seed ~num_pis ~num_ands =
+  let rng = Aig.Rng.create seed in
+  let g = Aig.Graph.create ~num_pis in
+  let lits = ref (Array.to_list (Array.init num_pis (Aig.Graph.pi g))) in
+  for _ = 1 to num_ands do
+    let arr = Array.of_list !lits in
+    let pick () =
+      Aig.Graph.lit_not_cond
+        arr.(Aig.Rng.int rng (Array.length arr))
+        (Aig.Rng.bool rng)
+    in
+    lits := Aig.Graph.and_ g (pick ()) (pick ()) :: !lits
+  done;
+  (match !lits with
+   | a :: b :: _ ->
+     Aig.Graph.add_po g a;
+     Aig.Graph.add_po g (Aig.Graph.lit_not b)
+   | [ a ] -> Aig.Graph.add_po g a
+   | [] -> Aig.Graph.add_po g Aig.Graph.const_true);
+  g
+
+let test_cost_fig4 () =
+  let x0 = Aig.Tt.var 2 0 and x1 = Aig.Tt.var 2 1 in
+  check "C(and2)=3" 3 (Lutmap.Cost.branching (Aig.Tt.and_ x0 x1));
+  check "C(xor2)=4" 4 (Lutmap.Cost.branching (Aig.Tt.xor_ x0 x1));
+  check "C(or2)=3" 3 (Lutmap.Cost.branching (Aig.Tt.or_ x0 x1));
+  check "C(buffer)=2" 2 (Lutmap.Cost.branching (Aig.Tt.var 1 0));
+  check "C(const)=1" 1 (Lutmap.Cost.branching (Aig.Tt.create_const 2 true));
+  (* XOR is the most expensive 2-input function. *)
+  let worst = ref 0 in
+  for bits = 0 to 15 do
+    worst := max !worst (Lutmap.Cost.branching (Aig.Tt.of_int 2 bits))
+  done;
+  check "xor2 is worst" 4 !worst;
+  check "conventional is flat" 1
+    (Lutmap.Cost.conventional (Aig.Tt.xor_ x0 x1))
+
+let test_cost_int64_and_table () =
+  (* xor2 packed: 0b0110. *)
+  check "packed xor" 4 (Lutmap.Cost.branching_of_int64 ~nvars:2 0b0110L);
+  let table = Lutmap.Cost.table_for_arity 3 in
+  check "14 classes at n=3" 14 (List.length table);
+  List.iter (fun (_f, c) -> check_bool "cost positive" true (c >= 1)) table;
+  (* 3-input parity: worst 3-input branching complexity (8 primes). *)
+  let parity3 =
+    Aig.Tt.xor_ (Aig.Tt.var 3 0) (Aig.Tt.xor_ (Aig.Tt.var 3 1) (Aig.Tt.var 3 2))
+  in
+  check "C(xor3)=8" 8 (Lutmap.Cost.branching parity3);
+  let worst = List.fold_left (fun acc (_, c) -> max acc c) 0 table in
+  check "parity is the 3-input maximum" 8 worst
+
+let exhaustive_matches g nl =
+  let n = Aig.Graph.num_pis g in
+  assert (n <= 12);
+  let ok = ref true in
+  for m = 0 to (1 lsl n) - 1 do
+    let ins = Array.init n (fun i -> m land (1 lsl i) <> 0) in
+    if Aig.Sim.eval g ins <> Lutmap.Netlist.eval nl ins then ok := false
+  done;
+  !ok
+
+let test_mapper_preserves_function () =
+  for seed = 41 to 50 do
+    let g = random_graph ~seed ~num_pis:7 ~num_ands:60 in
+    let nl = Lutmap.Mapper.run g in
+    check_bool "functions match" true (exhaustive_matches g nl);
+    check_bool "fanin bound" true (Lutmap.Netlist.max_fanin nl <= 4);
+    check_bool "fewer luts than ands" true
+      (Lutmap.Netlist.num_luts nl <= Aig.Graph.num_ands g)
+  done
+
+let test_mapper_cost_customized_preserves () =
+  for seed = 51 to 58 do
+    let g = random_graph ~seed ~num_pis:7 ~num_ands:60 in
+    let nl = Lutmap.Mapper.run ~config:Lutmap.Mapper.cost_customized_config g in
+    check_bool "functions match" true (exhaustive_matches g nl)
+  done
+
+let test_mapper_reduces_depth () =
+  (* A 15-node AND chain maps into 4-LUTs of depth ceil(15/2)... at
+     most; delay-oriented mapping must cut the depth well below 15. *)
+  let g = Aig.Graph.create ~num_pis:16 in
+  let acc = ref (Aig.Graph.pi g 0) in
+  for i = 1 to 15 do
+    acc := Aig.Graph.and_ g !acc (Aig.Graph.pi g i)
+  done;
+  Aig.Graph.add_po g !acc;
+  let nl = Lutmap.Mapper.run g in
+  check_bool "depth reduced" true (Lutmap.Netlist.depth nl <= 7);
+  (* 16 PIs: check on random patterns instead of exhaustively. *)
+  let rng = Aig.Rng.create 17 in
+  for _ = 1 to 200 do
+    let ins = Array.init 16 (fun _ -> Aig.Rng.bool rng) in
+    check_bool "functions match" true
+      (Aig.Sim.eval g ins = Lutmap.Netlist.eval nl ins)
+  done
+
+let test_cost_customized_lowers_branching_cost () =
+  (* Aggregate over seeds: the branching-aware mapper must not produce
+     higher total branching complexity than the conventional one. *)
+  let conv = ref 0 and custom = ref 0 in
+  for seed = 61 to 75 do
+    let g = random_graph ~seed ~num_pis:8 ~num_ands:120 in
+    let nl_conv = Lutmap.Mapper.run g in
+    let nl_cust =
+      Lutmap.Mapper.run ~config:Lutmap.Mapper.cost_customized_config g
+    in
+    conv := !conv + Lutmap.Mapper.total_cost Lutmap.Cost.branching nl_conv;
+    custom := !custom + Lutmap.Mapper.total_cost Lutmap.Cost.branching nl_cust
+  done;
+  check_bool
+    (Printf.sprintf "custom (%d) <= conventional (%d)" !custom !conv)
+    true (!custom <= !conv)
+
+let test_netlist_validate () =
+  let bad =
+    {
+      Lutmap.Netlist.num_inputs = 1;
+      luts =
+        [|
+          {
+            Lutmap.Netlist.tt = Aig.Tt.var 2 0;
+            fanins = [| Lutmap.Netlist.Input 0 |];
+          };
+        |];
+      outputs = [| (Lutmap.Netlist.Lut_out 0, false) |];
+    }
+  in
+  (try
+     Lutmap.Netlist.validate bad;
+     Alcotest.fail "expected arity mismatch"
+   with Invalid_argument _ -> ());
+  let cyclic =
+    {
+      Lutmap.Netlist.num_inputs = 1;
+      luts =
+        [|
+          {
+            Lutmap.Netlist.tt = Aig.Tt.var 1 0;
+            fanins = [| Lutmap.Netlist.Lut_out 0 |];
+          };
+        |];
+      outputs = [| (Lutmap.Netlist.Lut_out 0, false) |];
+    }
+  in
+  try
+    Lutmap.Netlist.validate cyclic;
+    Alcotest.fail "expected topological violation"
+  with Invalid_argument _ -> ()
+
+let test_netlist_stats () =
+  (* Two LUTs in a chain: depth 2, 1.0 luts/level. *)
+  let nl =
+    {
+      Lutmap.Netlist.num_inputs = 2;
+      luts =
+        [|
+          {
+            Lutmap.Netlist.tt =
+              Aig.Tt.and_ (Aig.Tt.var 2 0) (Aig.Tt.var 2 1);
+            fanins = [| Lutmap.Netlist.Input 0; Lutmap.Netlist.Input 1 |];
+          };
+          {
+            Lutmap.Netlist.tt = Aig.Tt.not_ (Aig.Tt.var 1 0);
+            fanins = [| Lutmap.Netlist.Lut_out 0 |];
+          };
+        |];
+      outputs = [| (Lutmap.Netlist.Lut_out 1, false) |];
+    }
+  in
+  Lutmap.Netlist.validate nl;
+  check "depth" 2 (Lutmap.Netlist.depth nl);
+  Alcotest.(check (float 1e-9)) "luts/level" 1.0
+    (Lutmap.Netlist.luts_per_level nl);
+  let out = Lutmap.Netlist.eval nl [| true; true |] in
+  check_bool "nand chain" false out.(0)
+
+let brute_force f =
+  let n = f.Cnf.Formula.num_vars in
+  assert (n <= 20);
+  let rec go m =
+    if m >= 1 lsl n then None
+    else
+      let a = Array.init n (fun i -> m land (1 lsl i) <> 0) in
+      if Cnf.Formula.eval f a then Some a else go (m + 1)
+  in
+  go 0
+
+let test_encode_agrees_with_eval () =
+  for seed = 81 to 88 do
+    let g = random_graph ~seed ~num_pis:4 ~num_ands:20 in
+    let nl = Lutmap.Mapper.run ~config:Lutmap.Mapper.cost_customized_config g in
+    let enc = Lutmap.Encode.encode nl in
+    (* Satisfiable iff some input drives all outputs to 1; models must
+       project onto inputs that do. *)
+    let expected =
+      let found = ref false in
+      for m = 0 to 15 do
+        let ins = Array.init 4 (fun i -> m land (1 lsl i) <> 0) in
+        if Array.for_all Fun.id (Lutmap.Netlist.eval nl ins) then found := true
+      done;
+      !found
+    in
+    match brute_force enc.Lutmap.Encode.formula with
+    | Some model ->
+      check_bool "expected satisfiable" true expected;
+      let ins = Array.init 4 (fun i -> model.(i)) in
+      check_bool "model drives outputs" true
+        (Array.for_all Fun.id (Lutmap.Netlist.eval nl ins))
+    | None -> check_bool "expected unsatisfiable" false expected
+  done
+
+let test_encode_clause_count_is_branching_complexity () =
+  (* One XOR LUT: exactly 4 clauses plus the output unit. *)
+  let nl =
+    {
+      Lutmap.Netlist.num_inputs = 2;
+      luts =
+        [|
+          {
+            Lutmap.Netlist.tt = Aig.Tt.xor_ (Aig.Tt.var 2 0) (Aig.Tt.var 2 1);
+            fanins = [| Lutmap.Netlist.Input 0; Lutmap.Netlist.Input 1 |];
+          };
+        |];
+      outputs = [| (Lutmap.Netlist.Lut_out 0, false) |];
+    }
+  in
+  let enc = Lutmap.Encode.encode nl in
+  check "4 + 1 clauses" 5 (Cnf.Formula.num_clauses enc.Lutmap.Encode.formula)
+
+let test_encode_const_output () =
+  let nl =
+    {
+      Lutmap.Netlist.num_inputs = 0;
+      luts = [||];
+      outputs = [| (Lutmap.Netlist.Const false, false) |];
+    }
+  in
+  let enc = Lutmap.Encode.encode nl in
+  check_bool "const false output unsat" true
+    (Cnf.Formula.is_trivially_unsat enc.Lutmap.Encode.formula)
+
+let suite =
+  [
+    ("branching cost matches Fig.4", `Quick, test_cost_fig4);
+    ("packed cost and class table", `Quick, test_cost_int64_and_table);
+    ("mapper preserves function", `Quick, test_mapper_preserves_function);
+    ("cost-customized mapper preserves", `Quick,
+     test_mapper_cost_customized_preserves);
+    ("mapper reduces depth", `Quick, test_mapper_reduces_depth);
+    ("cost-customized lowers branching cost", `Quick,
+     test_cost_customized_lowers_branching_cost);
+    ("netlist validation", `Quick, test_netlist_validate);
+    ("netlist stats", `Quick, test_netlist_stats);
+    ("lut2cnf agrees with eval", `Quick, test_encode_agrees_with_eval);
+    ("lut2cnf clause count", `Quick, test_encode_clause_count_is_branching_complexity);
+    ("lut2cnf const output", `Quick, test_encode_const_output);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* BLIF *)
+
+let test_blif_roundtrip () =
+  for seed = 91 to 96 do
+    let g = random_graph ~seed ~num_pis:5 ~num_ands:30 in
+    let nl = Lutmap.Mapper.run g in
+    let s = Lutmap.Blif.write_string nl in
+    let nl' = Lutmap.Blif.read_string s in
+    check "inputs" nl.Lutmap.Netlist.num_inputs nl'.Lutmap.Netlist.num_inputs;
+    check "outputs"
+      (Array.length nl.Lutmap.Netlist.outputs)
+      (Array.length nl'.Lutmap.Netlist.outputs);
+    for m = 0 to 31 do
+      let ins = Array.init 5 (fun i -> m land (1 lsl i) <> 0) in
+      check_bool "function preserved" true
+        (Lutmap.Netlist.eval nl ins = Lutmap.Netlist.eval nl' ins)
+    done
+  done
+
+let test_blif_reads_offset_cover_and_comments () =
+  let s =
+    "# a NAND via an off-set cover\n\
+     .model t\n\
+     .inputs a b\n\
+     .outputs y\n\
+     .names a b y\n\
+     11 0\n\
+     .end\n"
+  in
+  let nl = Lutmap.Blif.read_string s in
+  check_bool "nand(1,1)=0" true
+    (Lutmap.Netlist.eval nl [| true; true |] = [| false |]);
+  check_bool "nand(1,0)=1" true
+    (Lutmap.Netlist.eval nl [| true; false |] = [| true |])
+
+let test_blif_continuation_lines () =
+  let s =
+    ".model t\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n"
+  in
+  let nl = Lutmap.Blif.read_string s in
+  check "two inputs" 2 nl.Lutmap.Netlist.num_inputs
+
+let test_blif_errors () =
+  let expect s =
+    try
+      ignore (Lutmap.Blif.read_string s);
+      Alcotest.failf "expected parse error on %S" s
+    with Lutmap.Blif.Parse_error _ -> ()
+  in
+  expect ".model t\n.inputs a\n.outputs y\n.names z y\n1 1\n.end\n";
+  (* undefined signal *)
+  expect ".model t\n.inputs a\n.outputs y\n.names y y\n1 1\n.end\n";
+  (* loop *)
+  expect
+    ".model t\n.inputs a\n.outputs y\n.names a y\n1 1\n0 0\n.end\n";
+  (* mixed polarity *)
+  expect ".model a\n.model b\n.end\n" (* two models *)
+
+let test_blif_constants () =
+  let nl =
+    {
+      Lutmap.Netlist.num_inputs = 1;
+      luts = [||];
+      outputs = [| (Lutmap.Netlist.Const true, false) |];
+    }
+  in
+  let s = Lutmap.Blif.write_string nl in
+  let nl' = Lutmap.Blif.read_string s in
+  check_bool "const output" true
+    (Lutmap.Netlist.eval nl' [| false |] = [| true |])
+
+let suite =
+  suite
+  @ [
+      ("blif roundtrip", `Quick, test_blif_roundtrip);
+      ("blif off-set cover", `Quick, test_blif_reads_offset_cover_and_comments);
+      ("blif continuation lines", `Quick, test_blif_continuation_lines);
+      ("blif errors", `Quick, test_blif_errors);
+      ("blif constants", `Quick, test_blif_constants);
+    ]
+
+let test_verilog_writer () =
+  let g = random_graph ~seed:140 ~num_pis:4 ~num_ands:15 in
+  let nl = Lutmap.Mapper.run g in
+  let v = Lutmap.Blif.write_string nl in
+  ignore v;
+  let s = Lutmap.Verilog.write_string ~module_name:"m" nl in
+  let contains sub =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "module header" true (contains "module m(");
+  check_bool "endmodule" true (contains "endmodule");
+  check_bool "inputs declared" true (contains "input i0");
+  check_bool "assigns present" true (contains "assign");
+  (* Every LUT and output appears exactly once as an assign target. *)
+  let count_assigns =
+    List.length
+      (String.split_on_char '\n' s
+      |> List.filter (fun l ->
+             let l = String.trim l in
+             String.length l > 7 && String.sub l 0 7 = "assign "))
+  in
+  check "assign count" (Lutmap.Netlist.num_luts nl
+                        + Array.length nl.Lutmap.Netlist.outputs)
+    count_assigns
+
+let suite = suite @ [ ("verilog writer", `Quick, test_verilog_writer) ]

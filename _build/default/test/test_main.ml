@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "eda4sat"
+    [
+      ("aig", Test_aig.suite);
+      ("cnf", Test_cnf.suite);
+      ("sat", Test_sat.suite);
+      ("synth", Test_synth.suite);
+      ("lutmap", Test_lutmap.suite);
+      ("deepgate", Test_deepgate.suite);
+      ("rl", Test_rl.suite);
+      ("core", Test_core.suite);
+      ("workloads", Test_workloads.suite);
+      ("experiments", Test_experiments.suite);
+    ]

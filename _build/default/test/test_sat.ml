@@ -1,0 +1,566 @@
+(* Tests for the CDCL solver: correctness against brute force, known
+   families, limits and counters. *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let brute_force f =
+  let n = f.Cnf.Formula.num_vars in
+  assert (n <= 20);
+  let rec try_assignment m =
+    if m >= 1 lsl n then None
+    else
+      let a = Array.init n (fun i -> m land (1 lsl i) <> 0) in
+      if Cnf.Formula.eval f a then Some a else try_assignment (m + 1)
+  in
+  try_assignment 0
+
+let solve f = fst (Sat.Solver.solve f)
+
+let test_trivial () =
+  let empty = Cnf.Formula.create ~num_vars:0 [] in
+  (match solve empty with
+   | Sat.Solver.Sat _ -> ()
+   | _ -> Alcotest.fail "empty formula is satisfiable");
+  let unit_sat = Cnf.Formula.create ~num_vars:1 [ [| 1 |] ] in
+  (match solve unit_sat with
+   | Sat.Solver.Sat m -> check_bool "x=true" true m.(0)
+   | _ -> Alcotest.fail "unit clause satisfiable");
+  let contra = Cnf.Formula.create ~num_vars:1 [ [| 1 |]; [| -1 |] ] in
+  (match solve contra with
+   | Sat.Solver.Unsat -> ()
+   | _ -> Alcotest.fail "x & ~x unsatisfiable");
+  let empty_clause = Cnf.Formula.create ~num_vars:1 [ [||] ] in
+  match solve empty_clause with
+  | Sat.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "empty clause unsatisfiable"
+
+let test_tautology_and_duplicates () =
+  let f =
+    Cnf.Formula.create ~num_vars:2 [ [| 1; -1 |]; [| 2; 2 |]; [| -2; -2; 1 |] ]
+  in
+  match solve f with
+  | Sat.Solver.Sat m ->
+    check_bool "model satisfies" true (Cnf.Formula.eval f m)
+  | _ -> Alcotest.fail "satisfiable"
+
+let pigeonhole ~pigeons ~holes =
+  (* Variable p*holes + h + 1: pigeon p sits in hole h. *)
+  let v p h = (p * holes) + h + 1 in
+  let at_least =
+    List.init pigeons (fun p -> Array.init holes (fun h -> v p h))
+  in
+  let at_most =
+    List.concat_map
+      (fun h ->
+        List.concat_map
+          (fun p1 ->
+            List.filter_map
+              (fun p2 ->
+                if p2 > p1 then Some [| -v p1 h; -v p2 h |] else None)
+              (List.init pigeons Fun.id))
+          (List.init pigeons Fun.id))
+      (List.init holes Fun.id)
+  in
+  Cnf.Formula.create ~num_vars:(pigeons * holes) (at_least @ at_most)
+
+let test_pigeonhole () =
+  (match solve (pigeonhole ~pigeons:4 ~holes:3) with
+   | Sat.Solver.Unsat -> ()
+   | _ -> Alcotest.fail "php(4,3) is unsatisfiable");
+  (match solve (pigeonhole ~pigeons:5 ~holes:4) with
+   | Sat.Solver.Unsat -> ()
+   | _ -> Alcotest.fail "php(5,4) is unsatisfiable");
+  match solve (pigeonhole ~pigeons:3 ~holes:3) with
+  | Sat.Solver.Sat m ->
+    check_bool "valid assignment" true
+      (Cnf.Formula.eval (pigeonhole ~pigeons:3 ~holes:3) m)
+  | _ -> Alcotest.fail "php(3,3) is satisfiable"
+
+let test_limits () =
+  let hard = pigeonhole ~pigeons:8 ~holes:7 in
+  let limits =
+    { Sat.Solver.no_limits with Sat.Solver.max_conflicts = Some 10 }
+  in
+  (match Sat.Solver.solve ~limits hard with
+   | Sat.Solver.Unknown, st ->
+     check_bool "stopped near limit" true (st.Sat.Solver.conflicts <= 12)
+   | (Sat.Solver.Sat _ | Sat.Solver.Unsat), _ ->
+     Alcotest.fail "php(8,7) should exceed 10 conflicts");
+  let limits =
+    { Sat.Solver.no_limits with Sat.Solver.max_decisions = Some 5 }
+  in
+  match Sat.Solver.solve ~limits hard with
+  | Sat.Solver.Unknown, _ -> ()
+  | (Sat.Solver.Sat _ | Sat.Solver.Unsat), _ ->
+    Alcotest.fail "php(8,7) should exceed 5 decisions"
+
+let test_decision_counter () =
+  (* A chain of implications: one decision should suffice. *)
+  let n = 20 in
+  let clauses =
+    List.init (n - 1) (fun i -> [| -(i + 1); i + 2 |])
+  in
+  let f = Cnf.Formula.create ~num_vars:n clauses in
+  let result, st = Sat.Solver.solve f in
+  (match result with
+   | Sat.Solver.Sat m -> check_bool "model" true (Cnf.Formula.eval f m)
+   | _ -> Alcotest.fail "chain satisfiable");
+  check_bool "few decisions" true (st.Sat.Solver.decisions <= n);
+  check_bool "propagations happened" true (st.Sat.Solver.propagations > 0)
+
+let random_formula seed nvars nclauses maxlen =
+  let rng = Aig.Rng.create seed in
+  let clauses =
+    List.init nclauses (fun _ ->
+        let len = 1 + Aig.Rng.int rng maxlen in
+        Array.init len (fun _ ->
+            let v = 1 + Aig.Rng.int rng nvars in
+            if Aig.Rng.bool rng then v else -v))
+  in
+  Cnf.Formula.create ~num_vars:nvars clauses
+
+let prop_agrees_with_brute_force =
+  QCheck.Test.make ~name:"solver: agrees with brute force" ~count:300
+    QCheck.(
+      quad (int_bound 10000000) (int_range 2 10) (int_range 1 40)
+        (int_range 1 4))
+    (fun (seed, nvars, nclauses, maxlen) ->
+      let f = random_formula seed nvars nclauses maxlen in
+      let expected = Option.is_some (brute_force f) in
+      match solve f with
+      | Sat.Solver.Sat m -> expected && Cnf.Formula.eval f m
+      | Sat.Solver.Unsat -> not expected
+      | Sat.Solver.Unknown -> false)
+
+let prop_models_always_valid =
+  QCheck.Test.make ~name:"solver: returned models satisfy the formula"
+    ~count:100
+    QCheck.(pair (int_bound 10000000) (int_range 10 30))
+    (fun (seed, nvars) ->
+      (* Larger instances near the 4.26 clause ratio. *)
+      let f = random_formula seed nvars (int_of_float (4.2 *. float_of_int nvars)) 3 in
+      match solve f with
+      | Sat.Solver.Sat m -> Cnf.Formula.eval f m
+      | Sat.Solver.Unsat | Sat.Solver.Unknown -> true)
+
+let test_xor_chain_unsat () =
+  (* x1 xor x2 = 1, x2 xor x3 = 1, ..., xn xor x1 = 1 with odd n is
+     unsatisfiable. *)
+  let n = 7 in
+  let xor_clauses a b =
+    (* a xor b = 1 <=> (a | b) & (~a | ~b) *)
+    [ [| a; b |]; [| -a; -b |] ]
+  in
+  let clauses =
+    List.concat
+      (List.init n (fun i -> xor_clauses (i + 1) (((i + 1) mod n) + 1)))
+  in
+  let f = Cnf.Formula.create ~num_vars:n clauses in
+  match solve f with
+  | Sat.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "odd xor cycle is unsatisfiable"
+
+let test_stats_sanity () =
+  let f = pigeonhole ~pigeons:5 ~holes:4 in
+  let _, st = Sat.Solver.solve f in
+  check_bool "conflicts counted" true (st.Sat.Solver.conflicts > 0);
+  check_bool "decisions counted" true (st.Sat.Solver.decisions > 0);
+  check_bool "time sane" true (st.Sat.Solver.time >= 0.0);
+  check_bool "learned clauses" true (st.Sat.Solver.learned > 0)
+
+let test_decisions_or_max () =
+  let f = pigeonhole ~pigeons:3 ~holes:3 in
+  let d = Sat.Solver.decisions_or_max f in
+  check_bool "nonnegative" true (d >= 0)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests
+
+let suite =
+  [
+    ("trivial cases", `Quick, test_trivial);
+    ("tautologies and duplicates", `Quick, test_tautology_and_duplicates);
+    ("pigeonhole", `Quick, test_pigeonhole);
+    ("limits respected", `Quick, test_limits);
+    ("decision counter", `Quick, test_decision_counter);
+    ("xor chain unsat", `Quick, test_xor_chain_unsat);
+    ("stats sanity", `Quick, test_stats_sanity);
+    ("decisions_or_max", `Quick, test_decisions_or_max);
+  ]
+  @ qsuite [ prop_agrees_with_brute_force; prop_models_always_valid ]
+
+(* ------------------------------------------------------------------ *)
+(* Additional robustness cases *)
+
+let test_unused_variables () =
+  (* Variables that appear in no clause must still get model entries. *)
+  let f = Cnf.Formula.create ~num_vars:10 [ [| 3 |]; [| -7 |] ] in
+  match solve f with
+  | Sat.Solver.Sat m ->
+    check "model covers all vars" 10 (Array.length m);
+    check_bool "x3" true m.(2);
+    check_bool "x7" false m.(6)
+  | _ -> Alcotest.fail "satisfiable"
+
+let test_determinism () =
+  let f = pigeonhole ~pigeons:5 ~holes:4 in
+  let _, st1 = Sat.Solver.solve f in
+  let _, st2 = Sat.Solver.solve f in
+  check "same decisions" st1.Sat.Solver.decisions st2.Sat.Solver.decisions;
+  check "same conflicts" st1.Sat.Solver.conflicts st2.Sat.Solver.conflicts
+
+let test_large_clause () =
+  (* One wide clause plus units forcing its last literal. *)
+  let n = 50 in
+  let wide = Array.init n (fun i -> i + 1) in
+  let units = List.init (n - 1) (fun i -> [| -(i + 1) |]) in
+  let f = Cnf.Formula.create ~num_vars:n (wide :: units) in
+  match solve f with
+  | Sat.Solver.Sat m -> check_bool "last var forced" true m.(n - 1)
+  | _ -> Alcotest.fail "satisfiable"
+
+let test_all_negative () =
+  let f =
+    Cnf.Formula.create ~num_vars:4
+      [ [| -1; -2 |]; [| -2; -3 |]; [| -3; -4 |]; [| -1; -4 |] ]
+  in
+  match solve f with
+  | Sat.Solver.Sat m -> check_bool "model valid" true (Cnf.Formula.eval f m)
+  | _ -> Alcotest.fail "satisfiable (all false works)"
+
+let suite =
+  suite
+  @ [
+      ("unused variables", `Quick, test_unused_variables);
+      ("determinism", `Quick, test_determinism);
+      ("wide clause propagation", `Quick, test_large_clause);
+      ("all-negative clauses", `Quick, test_all_negative);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* DRAT proofs *)
+
+let test_proof_validates_on_php () =
+  let f = pigeonhole ~pigeons:5 ~holes:4 in
+  let proof = Sat.Proof.create () in
+  (match Sat.Solver.solve ~proof f with
+   | Sat.Solver.Unsat, _ -> ()
+   | _ -> Alcotest.fail "php(5,4) unsat");
+  check_bool "proof has steps" true (Sat.Proof.num_steps proof > 0);
+  check_bool "proof validates" true (Sat.Proof.check f proof)
+
+let test_proof_text_roundtrip () =
+  let f = pigeonhole ~pigeons:4 ~holes:3 in
+  let proof = Sat.Proof.create () in
+  (match Sat.Solver.solve ~proof f with
+   | Sat.Solver.Unsat, _ -> ()
+   | _ -> Alcotest.fail "unsat");
+  let text = Sat.Proof.to_string proof in
+  let proof' = Sat.Proof.of_string text in
+  check "same steps" (Sat.Proof.num_steps proof) (Sat.Proof.num_steps proof');
+  check_bool "reparsed proof validates" true (Sat.Proof.check f proof')
+
+let test_proof_rejects_bogus () =
+  let f = Cnf.Formula.create ~num_vars:2 [ [| 1; 2 |] ] in
+  (* Adding the empty clause out of thin air is not RUP here. *)
+  let bogus = Sat.Proof.create () in
+  Sat.Proof.add bogus [||];
+  check_bool "bogus proof rejected" false (Sat.Proof.check f bogus);
+  (* A non-RUP clause addition must be rejected too. *)
+  let bogus2 = Sat.Proof.create () in
+  Sat.Proof.add bogus2 [| -1 |];
+  check_bool "non-rup rejected" false (Sat.Proof.check f bogus2);
+  (* Deleting an absent clause is invalid. *)
+  let bogus3 = Sat.Proof.create () in
+  Sat.Proof.delete bogus3 [| 1 |];
+  check_bool "bad delete rejected" false (Sat.Proof.check f bogus3)
+
+let prop_unsat_proofs_validate =
+  QCheck.Test.make ~name:"solver: every UNSAT run emits a valid DRAT proof"
+    ~count:150
+    QCheck.(triple (int_bound 10000000) (int_range 3 8) (int_range 8 35))
+    (fun (seed, nvars, nclauses) ->
+      let f = random_formula seed nvars nclauses 3 in
+      let proof = Sat.Proof.create () in
+      match Sat.Solver.solve ~proof f with
+      | Sat.Solver.Unsat, _ -> Sat.Proof.check f proof
+      | (Sat.Solver.Sat _ | Sat.Solver.Unknown), _ -> true)
+
+let suite =
+  suite
+  @ [
+      ("drat proof on pigeonhole", `Quick, test_proof_validates_on_php);
+      ("drat text roundtrip", `Quick, test_proof_text_roundtrip);
+      ("drat rejects bogus proofs", `Quick, test_proof_rejects_bogus);
+    ]
+  @ qsuite [ prop_unsat_proofs_validate ]
+
+(* ------------------------------------------------------------------ *)
+(* Incremental solving under assumptions *)
+
+let test_incremental_basic () =
+  let s = Sat.Solver.Incremental.create () in
+  check "no vars" 0 (Sat.Solver.Incremental.num_vars s);
+  let v1 = Sat.Solver.Incremental.new_var s in
+  check "first var" 1 v1;
+  Sat.Solver.Incremental.add_clause s [| 1; 2 |];
+  check "implicit alloc" 2 (Sat.Solver.Incremental.num_vars s);
+  (match fst (Sat.Solver.Incremental.solve s) with
+   | Sat.Solver.Sat m -> check_bool "model" true (m.(0) || m.(1))
+   | _ -> Alcotest.fail "satisfiable");
+  (* Make it unsat incrementally. *)
+  Sat.Solver.Incremental.add_clause s [| -1 |];
+  Sat.Solver.Incremental.add_clause s [| -2 |];
+  match fst (Sat.Solver.Incremental.solve s) with
+  | Sat.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "now unsatisfiable"
+
+let test_incremental_assumptions () =
+  let s = Sat.Solver.Incremental.create () in
+  (* x1 <-> x2 *)
+  Sat.Solver.Incremental.add_clause s [| -1; 2 |];
+  Sat.Solver.Incremental.add_clause s [| 1; -2 |];
+  (* Contradictory assumptions: x1 & ~x2. *)
+  (match fst (Sat.Solver.Incremental.solve ~assumptions:[| 1; -2 |] s) with
+   | Sat.Solver.Unsat -> ()
+   | _ -> Alcotest.fail "unsat under assumptions");
+  (* Still satisfiable without them — the session is not poisoned. *)
+  (match fst (Sat.Solver.Incremental.solve s) with
+   | Sat.Solver.Sat _ -> ()
+   | _ -> Alcotest.fail "sat without assumptions");
+  (* Satisfiable under consistent assumptions, honoring them. *)
+  match fst (Sat.Solver.Incremental.solve ~assumptions:[| -1 |] s) with
+  | Sat.Solver.Sat m ->
+    check_bool "x1 false" false m.(0);
+    check_bool "x2 false" false m.(1)
+  | _ -> Alcotest.fail "sat under ~x1"
+
+let test_incremental_model_enumeration () =
+  (* Enumerate all models of a small formula by blocking clauses; the
+     count must match brute force. *)
+  let f =
+    Cnf.Formula.create ~num_vars:4
+      [ [| 1; 2 |]; [| -2; 3 |]; [| -1; -4 |] ]
+  in
+  let expected = ref 0 in
+  for m = 0 to 15 do
+    let a = Array.init 4 (fun i -> m land (1 lsl i) <> 0) in
+    if Cnf.Formula.eval f a then incr expected
+  done;
+  let s = Sat.Solver.Incremental.create () in
+  (* Mention all 4 vars so models have full width. *)
+  for _ = 1 to 4 do
+    ignore (Sat.Solver.Incremental.new_var s)
+  done;
+  Sat.Solver.Incremental.add_formula s f;
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match fst (Sat.Solver.Incremental.solve s) with
+    | Sat.Solver.Sat m ->
+      incr count;
+      check_bool "model valid" true (Cnf.Formula.eval f m);
+      let blocking =
+        Array.mapi (fun i v -> if v then -(i + 1) else i + 1) m
+      in
+      Sat.Solver.Incremental.add_clause s blocking;
+      if !count > 20 then Alcotest.fail "runaway enumeration"
+    | Sat.Solver.Unsat -> continue := false
+    | Sat.Solver.Unknown -> Alcotest.fail "unexpected unknown"
+  done;
+  check "model count matches brute force" !expected !count
+
+let prop_incremental_agrees_with_batch =
+  QCheck.Test.make ~name:"incremental: agrees with batch solver" ~count:150
+    QCheck.(triple (int_bound 10000000) (int_range 2 9) (int_range 2 35))
+    (fun (seed, nvars, nclauses) ->
+      let f = random_formula seed nvars nclauses 3 in
+      let batch =
+        match solve f with
+        | Sat.Solver.Sat _ -> `Sat
+        | Sat.Solver.Unsat -> `Unsat
+        | Sat.Solver.Unknown -> `Unknown
+      in
+      let s = Sat.Solver.Incremental.create () in
+      Sat.Solver.Incremental.add_formula s f;
+      let inc =
+        match fst (Sat.Solver.Incremental.solve s) with
+        | Sat.Solver.Sat m ->
+          if
+            Cnf.Formula.eval f
+              (Array.init nvars (fun i ->
+                   if i < Array.length m then m.(i) else false))
+          then `Sat
+          else `Invalid
+        | Sat.Solver.Unsat -> `Unsat
+        | Sat.Solver.Unknown -> `Unknown
+      in
+      batch = inc)
+
+let prop_incremental_assumptions_sound =
+  QCheck.Test.make
+    ~name:"incremental: assumption answers match solving with units"
+    ~count:100
+    QCheck.(
+      quad (int_bound 10000000) (int_range 2 7) (int_range 2 25)
+        (int_range 1 3))
+    (fun (seed, nvars, nclauses, nassum) ->
+      (* Shrinking can step outside the declared ranges; clamp. *)
+      let nvars = max 2 nvars
+      and nclauses = max 1 nclauses
+      and nassum = max 1 nassum in
+      let f = random_formula seed nvars nclauses 3 in
+      let rng = Aig.Rng.create (seed + 1) in
+      let assumptions =
+        Array.init nassum (fun _ ->
+            let v = 1 + Aig.Rng.int rng nvars in
+            if Aig.Rng.bool rng then v else -v)
+      in
+      (* Reference: add the assumptions as unit clauses to a copy. *)
+      let f' =
+        Cnf.Formula.add_clauses f
+          (Array.to_list (Array.map (fun l -> [| l |]) assumptions))
+      in
+      let expected =
+        match solve f' with
+        | Sat.Solver.Sat _ -> `Sat
+        | Sat.Solver.Unsat -> `Unsat
+        | Sat.Solver.Unknown -> `Unknown
+      in
+      let s = Sat.Solver.Incremental.create () in
+      Sat.Solver.Incremental.add_formula s f;
+      (* Force allocation of all vars referenced by assumptions. *)
+      while Sat.Solver.Incremental.num_vars s < nvars do
+        ignore (Sat.Solver.Incremental.new_var s)
+      done;
+      let got =
+        match fst (Sat.Solver.Incremental.solve ~assumptions s) with
+        | Sat.Solver.Sat m ->
+          if
+            Cnf.Formula.eval f' (Array.sub m 0 nvars)
+          then `Sat
+          else `Invalid
+        | Sat.Solver.Unsat -> `Unsat
+        | Sat.Solver.Unknown -> `Unknown
+      in
+      expected = got)
+
+let suite =
+  suite
+  @ [
+      ("incremental basics", `Quick, test_incremental_basic);
+      ("incremental assumptions", `Quick, test_incremental_assumptions);
+      ("incremental model enumeration", `Quick,
+       test_incremental_model_enumeration);
+    ]
+  @ qsuite
+      [ prop_incremental_agrees_with_batch;
+        prop_incremental_assumptions_sound ]
+
+(* ------------------------------------------------------------------ *)
+(* LRB branching heuristic *)
+
+let prop_lrb_agrees_with_brute_force =
+  QCheck.Test.make ~name:"solver(LRB): agrees with brute force" ~count:200
+    QCheck.(
+      quad (int_bound 10000000) (int_range 2 10) (int_range 1 40)
+        (int_range 1 4))
+    (fun (seed, nvars, nclauses, maxlen) ->
+      let nvars = max 2 nvars
+      and nclauses = max 1 nclauses
+      and maxlen = max 1 maxlen in
+      let f = random_formula seed nvars nclauses maxlen in
+      let expected = Option.is_some (brute_force f) in
+      match fst (Sat.Solver.solve ~heuristic:`Lrb f) with
+      | Sat.Solver.Sat m -> expected && Cnf.Formula.eval f m
+      | Sat.Solver.Unsat -> not expected
+      | Sat.Solver.Unknown -> false)
+
+let test_lrb_solves_pigeonhole () =
+  match fst (Sat.Solver.solve ~heuristic:`Lrb (pigeonhole ~pigeons:6 ~holes:5)) with
+  | Sat.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "php(6,5) unsat under LRB"
+
+let test_lrb_proofs_still_valid () =
+  let f = pigeonhole ~pigeons:5 ~holes:4 in
+  let proof = Sat.Proof.create () in
+  (match fst (Sat.Solver.solve ~proof ~heuristic:`Lrb f) with
+   | Sat.Solver.Unsat -> ()
+   | _ -> Alcotest.fail "unsat");
+  check_bool "LRB proof validates" true (Sat.Proof.check f proof)
+
+let suite =
+  suite
+  @ [
+      ("lrb pigeonhole", `Quick, test_lrb_solves_pigeonhole);
+      ("lrb drat proof", `Quick, test_lrb_proofs_still_valid);
+    ]
+  @ qsuite [ prop_lrb_agrees_with_brute_force ]
+
+let test_assumption_core () =
+  let s = Sat.Solver.Incremental.create () in
+  (* x1 -> x2, x2 -> x3. *)
+  Sat.Solver.Incremental.add_clause s [| -1; 2 |];
+  Sat.Solver.Incremental.add_clause s [| -2; 3 |];
+  (* Assume x1, an irrelevant x4, and ~x3: the core must not mention
+     x4. *)
+  ignore (Sat.Solver.Incremental.new_var s);
+  (match fst (Sat.Solver.Incremental.solve ~assumptions:[| 1; 4; -3 |] s) with
+   | Sat.Solver.Unsat -> ()
+   | _ -> Alcotest.fail "unsat under assumptions");
+  let core = Sat.Solver.Incremental.last_core s in
+  check_bool "core nonempty" true (Array.length core > 0);
+  check_bool "core excludes x4" true
+    (not (Array.exists (fun l -> abs l = 4) core));
+  (* The core itself must be contradictory with the clauses. *)
+  (match
+     fst
+       (Sat.Solver.Incremental.solve
+          ~assumptions:(Sat.Solver.Incremental.last_core s) s)
+   with
+   | Sat.Solver.Unsat -> ()
+   | _ -> Alcotest.fail "core must still be contradictory");
+  (* A satisfiable query clears the core. *)
+  (match fst (Sat.Solver.Incremental.solve ~assumptions:[| 1 |] s) with
+   | Sat.Solver.Sat _ -> ()
+   | _ -> Alcotest.fail "sat under x1");
+  check "core cleared" 0 (Array.length (Sat.Solver.Incremental.last_core s))
+
+let prop_assumption_core_sound =
+  QCheck.Test.make ~name:"incremental: extracted cores are contradictory"
+    ~count:100
+    QCheck.(triple (int_bound 10000000) (int_range 3 7) (int_range 3 25))
+    (fun (seed, nvars, nclauses) ->
+      let nvars = max 3 nvars and nclauses = max 3 nclauses in
+      let f = random_formula seed nvars nclauses 3 in
+      let rng = Aig.Rng.create (seed + 7) in
+      let assumptions =
+        Array.init 3 (fun _ ->
+            let v = 1 + Aig.Rng.int rng nvars in
+            if Aig.Rng.bool rng then v else -v)
+      in
+      let s = Sat.Solver.Incremental.create () in
+      Sat.Solver.Incremental.add_formula s f;
+      while Sat.Solver.Incremental.num_vars s < nvars do
+        ignore (Sat.Solver.Incremental.new_var s)
+      done;
+      match fst (Sat.Solver.Incremental.solve ~assumptions s) with
+      | Sat.Solver.Unsat ->
+        let core = Sat.Solver.Incremental.last_core s in
+        (* Every core literal is one of the assumptions... *)
+        Array.for_all
+          (fun l -> Array.exists (( = ) l) assumptions)
+          core
+        &&
+        (* ...and assuming only the core stays contradictory. *)
+        (match
+           fst (Sat.Solver.Incremental.solve ~assumptions:core s)
+         with
+         | Sat.Solver.Unsat -> true
+         | _ -> Array.length core = 0)
+      | _ -> true)
+
+let suite =
+  suite
+  @ [ ("assumption core", `Quick, test_assumption_core) ]
+  @ qsuite [ prop_assumption_core_sound ]

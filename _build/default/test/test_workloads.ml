@@ -1,0 +1,237 @@
+(* Tests for the workload generators: LEC miters and the CNF
+   families. *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let solve f = fst (Sat.Solver.solve f)
+
+let kind = function
+  | Sat.Solver.Sat _ -> `Sat
+  | Sat.Solver.Unsat -> `Unsat
+  | Sat.Solver.Unknown -> `Unknown
+
+(* ------------------------------------------------------------------ *)
+(* LEC *)
+
+let test_random_circuit_shape () =
+  let g = Workloads.Lec.random_circuit ~seed:1 ~num_pis:10 ~num_ands:200
+      ~num_pos:2 in
+  check "pis" 10 (Aig.Graph.num_pis g);
+  check "pos" 2 (Aig.Graph.num_pos g);
+  check_bool "size near request" true
+    (Aig.Graph.num_ands g >= 190 && Aig.Graph.num_ands g <= 210);
+  check_bool "multi-level" true (Aig.Graph.depth g > 5)
+
+let test_miter_of_equal_is_unsat () =
+  let g = Workloads.Lec.random_circuit ~seed:2 ~num_pis:8 ~num_ands:50
+      ~num_pos:2 in
+  let p = Workloads.Lec.perturb ~seed:3 g in
+  check_bool "perturbation is equivalent" true
+    (Aig.Sim.equal_outputs g p ~words:16 ~seed:4);
+  check_bool "perturbation changes structure" true
+    (not (Aig.Graph.equal_structure g p));
+  let m = Workloads.Lec.miter g p in
+  check "single po" 1 (Aig.Graph.num_pos m);
+  let f = (Cnf.Tseitin.encode m).Cnf.Tseitin.formula in
+  check_bool "miter unsat" true (kind (solve f) = `Unsat)
+
+let test_miter_interface_mismatch () =
+  let a = Workloads.Lec.random_circuit ~seed:5 ~num_pis:4 ~num_ands:10
+      ~num_pos:1 in
+  let b = Workloads.Lec.random_circuit ~seed:6 ~num_pis:5 ~num_ands:10
+      ~num_pos:1 in
+  try
+    ignore (Workloads.Lec.miter a b);
+    Alcotest.fail "expected mismatch error"
+  with Invalid_argument _ -> ()
+
+let test_fault_injection_sat () =
+  let g = Workloads.Lec.generate ~buggy:true ~seed:7 ~num_pis:8 ~num_ands:60 () in
+  let f = (Cnf.Tseitin.encode g).Cnf.Tseitin.formula in
+  check_bool "buggy miter satisfiable" true (kind (solve f) = `Sat)
+
+let test_generate_unsat () =
+  let g = Workloads.Lec.generate ~buggy:false ~seed:8 ~num_pis:8 ~num_ands:60 () in
+  check "single po" 1 (Aig.Graph.num_pos g);
+  let f = (Cnf.Tseitin.encode g).Cnf.Tseitin.formula in
+  check_bool "clean miter unsat" true (kind (solve f) = `Unsat)
+
+let test_training_set () =
+  let set = Workloads.Lec.training_set ~seed:9 ~count:6 ~min_ands:50
+      ~max_ands:120 in
+  check "count" 6 (Array.length set);
+  Array.iter
+    (fun g ->
+      check "single po" 1 (Aig.Graph.num_pos g);
+      check_bool "nonempty" true (Aig.Graph.num_ands g > 20))
+    set
+
+(* ------------------------------------------------------------------ *)
+(* CNF families *)
+
+let test_pigeonhole () =
+  check_bool "php(5,4) unsat" true
+    (kind (solve (Workloads.Satcomp.pigeonhole ~pigeons:5 ~holes:4)) = `Unsat);
+  check_bool "php(4,4) sat" true
+    (kind (solve (Workloads.Satcomp.pigeonhole ~pigeons:4 ~holes:4)) = `Sat)
+
+let test_random_ksat_shape () =
+  let f = Workloads.Satcomp.random_ksat ~seed:1 ~num_vars:30 ~num_clauses:100
+      ~k:3 in
+  check "vars" 30 f.Cnf.Formula.num_vars;
+  check "clauses" 100 (Cnf.Formula.num_clauses f);
+  Array.iter
+    (fun c ->
+      check "clause width" 3 (Array.length c);
+      (* Distinct variables within a clause. *)
+      let vars = Array.to_list (Array.map abs c) in
+      check "distinct vars" 3 (List.length (List.sort_uniq compare vars)))
+    f.Cnf.Formula.clauses
+
+let test_xor_cnf () =
+  let f = Workloads.Satcomp.xor_cnf ~seed:2 ~num_vars:12 ~num_xors:5 ~width:3 in
+  (* Each parity constraint of width 3 expands into 4 clauses. *)
+  check "clause count" 20 (Cnf.Formula.num_clauses f);
+  Array.iter (fun c -> check "width" 3 (Array.length c)) f.Cnf.Formula.clauses;
+  (* A single xor over x1..x3 = 1 has satisfying assignments with odd
+     parity only. *)
+  let f1 = Workloads.Satcomp.xor_cnf ~seed:5 ~num_vars:3 ~num_xors:1 ~width:3 in
+  match solve f1 with
+  | Sat.Solver.Sat m ->
+    let f1_eval = Cnf.Formula.eval f1 m in
+    check_bool "model valid" true f1_eval
+  | _ -> Alcotest.fail "single xor is satisfiable"
+
+let test_coloring () =
+  (* A triangle is not 2-colorable but is 3-colorable. *)
+  let tri colors =
+    Workloads.Satcomp.coloring ~seed:3 ~vertices:3 ~edges:3 ~colors
+  in
+  check_bool "triangle 2-coloring unsat" true (kind (solve (tri 2)) = `Unsat);
+  check_bool "triangle 3-coloring sat" true (kind (solve (tri 3)) = `Sat)
+
+let test_round_robin () =
+  let f = Workloads.Satcomp.round_robin ~teams:4 () in
+  (* 6 pairs x 3 weeks. *)
+  check "vars" 18 f.Cnf.Formula.num_vars;
+  (match solve f with
+   | Sat.Solver.Sat m -> check_bool "schedule valid" true (Cnf.Formula.eval f m)
+   | _ -> Alcotest.fail "4-team round robin is satisfiable");
+  Alcotest.check_raises "odd team count"
+    (Invalid_argument "Satcomp.round_robin: need an even team count >= 2")
+    (fun () -> ignore (Workloads.Satcomp.round_robin ~teams:5 ()));
+  (* Overconstrained schedules are unsatisfiable by counting. *)
+  check_bool "rr(4,2) unsat" true
+    (kind (solve (Workloads.Satcomp.round_robin ~weeks:2 ~teams:4 ())) = `Unsat)
+
+let test_c_suite_shape () =
+  let suite = Workloads.Suites.c_suite ~scale:0.4 () in
+  check "eight instances" 8 (List.length suite);
+  List.iter
+    (fun (name, inst) ->
+      check_bool (name ^ " nonempty") true
+        (Eda4sat.Instance.num_clauses inst > 0))
+    suite
+
+let test_suites_wrappers () =
+  let is = Workloads.Suites.i_suite ~scale:0.1 () in
+  check "five I cases" 5 (List.length is);
+  List.iter
+    (fun (name, inst) ->
+      check_bool (name ^ " is circuit") true
+        (Eda4sat.Instance.num_gates inst <> None))
+    is;
+  let cs = Workloads.Suites.c_suite ~scale:0.5 () in
+  check "eight C cases" 8 (List.length cs);
+  List.iter
+    (fun (name, inst) ->
+      check_bool (name ^ " is cnf") true
+        (Eda4sat.Instance.num_gates inst = None))
+    cs;
+  let ts = Workloads.Suites.training_set ~scale:0.2 ~count:4 () in
+  check "training count" 4 (Array.length ts)
+
+let suite =
+  [
+    ("random circuit shape", `Quick, test_random_circuit_shape);
+    ("miter of equivalent circuits", `Quick, test_miter_of_equal_is_unsat);
+    ("miter interface mismatch", `Quick, test_miter_interface_mismatch);
+    ("fault injection gives SAT", `Quick, test_fault_injection_sat);
+    ("clean miter gives UNSAT", `Quick, test_generate_unsat);
+    ("training set", `Quick, test_training_set);
+    ("pigeonhole", `Quick, test_pigeonhole);
+    ("random ksat shape", `Quick, test_random_ksat_shape);
+    ("xor cnf", `Quick, test_xor_cnf);
+    ("coloring", `Quick, test_coloring);
+    ("round robin", `Quick, test_round_robin);
+    ("c suite shape", `Quick, test_c_suite_shape);
+    ("suites wrappers", `Quick, test_suites_wrappers);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic circuits *)
+
+let eval_vector g inputs =
+  (* Interpret PO bits little-endian as an integer. *)
+  let outs = Aig.Sim.eval g inputs in
+  Array.to_list outs
+  |> List.mapi (fun i b -> if b then 1 lsl i else 0)
+  |> List.fold_left ( + ) 0
+
+let bits_of n width = Array.init width (fun i -> n land (1 lsl i) <> 0)
+
+let test_adders_add () =
+  List.iter
+    (fun variant ->
+      let g = Workloads.Arith.adder_circuit ~bits:4 ~variant in
+      for x = 0 to 15 do
+        for y = 0 to 15 do
+          let inputs = Array.append (bits_of x 4) (bits_of y 4) in
+          check
+            (Printf.sprintf "%d+%d" x y)
+            (x + y) (eval_vector g inputs)
+        done
+      done)
+    [ `Ripple; `Carry_select ]
+
+let test_multiplier_multiplies () =
+  List.iter
+    (fun reverse ->
+      let g = Workloads.Arith.multiplier_circuit ~bits:4 ~reverse in
+      for x = 0 to 15 do
+        for y = 0 to 15 do
+          let inputs = Array.append (bits_of x 4) (bits_of y 4) in
+          check
+            (Printf.sprintf "%d*%d" x y)
+            (x * y) (eval_vector g inputs)
+        done
+      done)
+    [ false; true ]
+
+let test_arith_miters_unsat () =
+  let am = Workloads.Arith.adder_miter ~bits:6 in
+  check_bool "adder miter unsat" true
+    (kind (solve (Cnf.Tseitin.encode am).Cnf.Tseitin.formula) = `Unsat);
+  let mm = Workloads.Arith.multiplier_miter ~bits:4 in
+  check_bool "multiplier miter unsat" true
+    (kind (solve (Cnf.Tseitin.encode mm).Cnf.Tseitin.formula) = `Unsat)
+
+let test_arith_structural_difference () =
+  let r = Workloads.Arith.adder_circuit ~bits:8 ~variant:`Ripple in
+  let c = Workloads.Arith.adder_circuit ~bits:8 ~variant:`Carry_select in
+  check_bool "different structures" true
+    (not (Aig.Graph.equal_structure r c));
+  (* Carry-select trades area for depth. *)
+  check_bool "carry-select shallower" true
+    (Aig.Graph.depth c < Aig.Graph.depth r)
+
+let suite =
+  suite
+  @ [
+      ("adders add", `Quick, test_adders_add);
+      ("multiplier multiplies", `Quick, test_multiplier_multiplies);
+      ("arith miters unsat", `Quick, test_arith_miters_unsat);
+      ("adder variants differ structurally", `Quick,
+       test_arith_structural_difference);
+    ]
