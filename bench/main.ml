@@ -39,6 +39,9 @@ let micro_tests () =
       (Staged.stage (fun () -> ignore (Cnf.Tseitin.encode miter)));
     Test.make ~name:"table2-solver-php(7,6)"
       (Staged.stage (fun () -> ignore (Sat.Solver.solve php)));
+    Test.make ~name:"table2-solver-php(7,6)-glucose"
+      (Staged.stage (fun () ->
+           ignore (Sat.Solver.solve ~restarts:`Glucose php)));
     Test.make ~name:"table3-resub-fraig"
       (Staged.stage (fun () -> ignore (Synth.Resub.run miter)));
     Test.make ~name:"table4-dqn-inference"

@@ -1,10 +1,24 @@
 (* CDCL solver.  Literal encoding: variable v (0-based) gives literals
    2v (positive) and 2v+1 (negative); [neg l = l lxor 1].  The
-   implementation follows the MiniSat lineage: watch lists are rebuilt
-   in place during propagation, conflict analysis walks the trail
-   backwards to the first UIP, and learned clauses are minimized by
-   checking whether a literal is dominated by the rest of the clause in
-   the implication graph. *)
+   implementation follows the MiniSat/Kissat lineage:
+
+   - two-watched-literal propagation over *watcher records* that carry
+     a blocker literal, so a satisfied clause is skipped with a single
+     assignment lookup and no clause dereference;
+   - specialized binary-clause watch lists (literal pairs, no clause
+     record at all) consulted before the long-clause watchers;
+   - first-UIP conflict analysis with recursive minimization, with the
+     clause LBD computed *before* backjumping (all literals still
+     assigned);
+   - a growable-vector learnt-clause database whose reduction sorts in
+     place and eagerly detaches deleted clauses so they are actually
+     reclaimable by the GC;
+   - Luby or Glucose (LBD moving-average) restarts.
+
+   Both the batch and the incremental entry points drive the same
+   [search] engine; assumptions are placed as pseudo-decisions on the
+   first decision levels, and a final conflict against an assumption
+   yields an assumption core. *)
 
 type result = Sat of bool array | Unsat | Unknown
 
@@ -34,35 +48,80 @@ type clause = {
   mutable deleted : bool;
 }
 
-(* Growable int-keyed vector of clauses per literal. *)
+let dummy_clause =
+  { lits = [||]; learnt = false; activity = 0.0; lbd = 0; deleted = true }
+
+(* Growable vector.  Fresh vectors share an empty backing array so
+   that per-literal structures cost nothing until first use — a solver
+   over n variables creates 2n of them up front. *)
 type 'a vec = { mutable data : 'a array; mutable size : int; dummy : 'a }
 
-let vec_create dummy = { data = Array.make 4 dummy; size = 0; dummy }
+let vec_create dummy = { data = [||]; size = 0; dummy }
 
 let vec_push v x =
   if v.size >= Array.length v.data then begin
-    let d = Array.make (2 * Array.length v.data) v.dummy in
+    let d = Array.make (max 4 (2 * Array.length v.data)) v.dummy in
     Array.blit v.data 0 d 0 v.size;
     v.data <- d
   end;
   v.data.(v.size) <- x;
   v.size <- v.size + 1
 
+(* Watcher list for clauses of length >= 3: parallel arrays of watched
+   clauses and their blocker literals.  The blocker is some other
+   literal of the clause; if it is currently true the clause is
+   satisfied and propagation skips it without touching the clause. *)
+type watchlist = {
+  mutable wc : clause array;
+  mutable wb : int array;
+  mutable wn : int;
+}
+
+let no_clauses : clause array = [||]
+let no_ints : int array = [||]
+
+let wl_create () = { wc = no_clauses; wb = no_ints; wn = 0 }
+
+let wl_push w c b =
+  if w.wn >= Array.length w.wc then begin
+    let cap = max 4 (2 * Array.length w.wc) in
+    let wc = Array.make cap dummy_clause and wb = Array.make cap 0 in
+    Array.blit w.wc 0 wc 0 w.wn;
+    Array.blit w.wb 0 wb 0 w.wn;
+    w.wc <- wc;
+    w.wb <- wb
+  end;
+  w.wc.(w.wn) <- c;
+  w.wb.(w.wn) <- b;
+  w.wn <- w.wn + 1
+
+(* Assignment reasons.  Binary clauses have no clause record: the
+   reason of a literal propagated by (p \/ w) is [Binary w] where [w]
+   is the (false) partner literal. *)
+type reason = No_reason | Clause of clause | Binary of int
+
+(* A conflict, viewed as the clause that is falsified.  Binary
+   conflicts carry their two literals directly. *)
+type conflict = Confl_clause of clause | Confl_binary of int * int
 
 type t = {
   mutable nvars : int;
   (* Assignment: -1 unassigned, 0 false, 1 true; per variable. *)
   mutable assigns : int array;
   mutable level : int array;
-  mutable reason : clause option array;
+  mutable reason : reason array;
   (* Trail of assigned literals, with decision-level boundaries. *)
   mutable trail : int array;
   mutable trail_size : int;
   mutable trail_lim : int array;
   mutable ntrail_lim : int;
   mutable qhead : int;
-  (* Watches, indexed by literal. *)
-  mutable watches : clause vec array;
+  (* Watches, indexed by literal: [watches.(l)] holds the long clauses
+     to visit when [l] becomes true (i.e. clauses watching [neg l]);
+     [bin_watches.(l)] holds the partner literals of binary clauses
+     containing [neg l]. *)
+  mutable watches : watchlist array;
+  mutable bin_watches : int vec array;
   (* Decision heuristic. *)
   mutable var_activity : float array;
   mutable var_inc : float;
@@ -70,11 +129,14 @@ type t = {
   mutable heap_pos : int array;   (* position in heap, -1 if absent *)
   mutable heap_size : int;
   mutable polarity : bool array;  (* saved phases *)
-  (* Clause database. *)
-  mutable learnts : clause list;
-  mutable num_learnts : int;
+  (* Clause database (long learnt clauses only; learnt binaries live in
+     the binary watch lists and are never deleted). *)
+  learnts : clause vec;
   (* Conflict analysis scratch. *)
   mutable seen : bool array;
+  (* LBD computation scratch: per-level generation stamps. *)
+  mutable lbd_mark : int array;
+  mutable lbd_gen : int;
   (* Learning-rate branching (Liang et al. 2016) bookkeeping. *)
   mutable lrb : bool;
   mutable lrb_alpha : float;
@@ -89,9 +151,6 @@ type t = {
   mutable st_max_level : int;
 }
 
-let dummy_clause =
-  { lits = [||]; learnt = false; activity = 0.0; lbd = 0; deleted = true }
-
 let var l = l lsr 1
 let neg l = l lxor 1
 let lit_of_var v sign = (v lsl 1) lor (if sign then 1 else 0)
@@ -101,31 +160,38 @@ let lit_value s l =
   let a = s.assigns.(var l) in
   if a < 0 then -1 else a lxor (l land 1)
 
+let grow_array a n default =
+  let a' = Array.make n default in
+  Array.blit a 0 a' 0 (Array.length a);
+  a'
+
 let create nvars =
   {
     nvars;
     assigns = Array.make nvars (-1);
     level = Array.make nvars 0;
-    reason = Array.make nvars None;
+    reason = Array.make nvars No_reason;
     trail = Array.make (max 1 nvars) 0;
     trail_size = 0;
     trail_lim = Array.make (max 1 nvars) 0;
     ntrail_lim = 0;
     qhead = 0;
-    watches = Array.init (2 * max 1 nvars) (fun _ -> vec_create dummy_clause);
+    watches = Array.init (2 * max 1 nvars) (fun _ -> wl_create ());
+    bin_watches = Array.init (2 * max 1 nvars) (fun _ -> vec_create 0);
     var_activity = Array.make nvars 0.0;
     var_inc = 1.0;
     heap = Array.make (max 1 nvars) 0;
     heap_pos = Array.make nvars (-1);
     heap_size = 0;
     polarity = Array.make nvars false;
+    learnts = vec_create dummy_clause;
+    seen = Array.make nvars false;
+    lbd_mark = Array.make (max 1 nvars + 1) 0;
+    lbd_gen = 0;
     lrb = false;
     lrb_alpha = 0.4;
     assigned_at = Array.make nvars 0;
     participated = Array.make nvars 0;
-    learnts = [];
-    num_learnts = 0;
-    seen = Array.make nvars false;
     st_decisions = 0;
     st_conflicts = 0;
     st_props = 0;
@@ -221,7 +287,7 @@ let cancel_until s lvl =
     for i = s.trail_size - 1 downto bound do
       let v = var s.trail.(i) in
       s.assigns.(v) <- -1;
-      s.reason.(v) <- None;
+      s.reason.(v) <- No_reason;
       if s.lrb then begin
         let interval = s.st_conflicts - s.assigned_at.(v) in
         if interval > 0 then begin
@@ -240,9 +306,7 @@ let cancel_until s lvl =
 
 (* --- propagation --------------------------------------------------- *)
 
-exception Conflict of clause
-
-let attach_watch s l c = vec_push s.watches.(l) c
+exception Found_conflict of conflict
 
 let propagate s =
   try
@@ -250,68 +314,84 @@ let propagate s =
       let l = s.trail.(s.qhead) in
       s.qhead <- s.qhead + 1;
       s.st_props <- s.st_props + 1;
-      (* Clauses watching (neg l) must find a new watch or propagate. *)
+      (* Binary clauses containing (neg l): the partner must hold. *)
+      let bw = s.bin_watches.(l) in
+      for i = 0 to bw.size - 1 do
+        let other = bw.data.(i) in
+        let v = lit_value s other in
+        if v = 0 then raise (Found_conflict (Confl_binary (neg l, other)))
+        else if v < 0 then enqueue s other (Binary (neg l))
+      done;
+      (* Long clauses watching (neg l). *)
       let wl = s.watches.(l) in
+      let false_lit = neg l in
       let j = ref 0 in
-      (let i = ref 0 in
-       try
-         while !i < wl.size do
-           let c = wl.data.(!i) in
-           incr i;
-           if c.deleted then () (* drop lazily *)
-           else begin
-             let lits = c.lits in
-             let false_lit = neg l in
-             (* Ensure the false literal is at position 1. *)
-             if lits.(0) = false_lit then begin
-               lits.(0) <- lits.(1);
-               lits.(1) <- false_lit
-             end;
-             let first = lits.(0) in
-             if lit_value s first = 1 then begin
-               (* Clause satisfied; keep the watch. *)
-               wl.data.(!j) <- c;
-               incr j
-             end
-             else begin
-               (* Look for a new literal to watch. *)
-               let n = Array.length lits in
-               let k = ref 2 in
-               while !k < n && lit_value s lits.(!k) = 0 do
-                 incr k
-               done;
-               if !k < n then begin
-                 lits.(1) <- lits.(!k);
-                 lits.(!k) <- false_lit;
-                 attach_watch s (neg lits.(1)) c
-                 (* watch moved: do not keep in this list *)
-               end
-               else if lit_value s first = 0 then begin
-                 (* Conflict: restore the remaining watches. *)
-                 wl.data.(!j) <- c;
-                 incr j;
-                 while !i < wl.size do
-                   wl.data.(!j) <- wl.data.(!i);
-                   incr j;
-                   incr i
-                 done;
-                 wl.size <- !j;
-                 raise (Conflict c)
-               end
-               else begin
-                 (* Unit: propagate first. *)
-                 wl.data.(!j) <- c;
-                 incr j;
-                 enqueue s first (Some c)
-               end
-             end
-           end
-         done;
-         wl.size <- !j
-       with Conflict _ as e -> raise e)
+      let i = ref 0 in
+      while !i < wl.wn do
+        let blocker = wl.wb.(!i) in
+        if lit_value s blocker = 1 then begin
+          (* Satisfied via the blocker: keep, no clause access. *)
+          wl.wc.(!j) <- wl.wc.(!i);
+          wl.wb.(!j) <- blocker;
+          incr j;
+          incr i
+        end
+        else begin
+          let c = wl.wc.(!i) in
+          incr i;
+          let lits = c.lits in
+          (* Ensure the false literal is at position 1. *)
+          if lits.(0) = false_lit then begin
+            lits.(0) <- lits.(1);
+            lits.(1) <- false_lit
+          end;
+          let first = lits.(0) in
+          if first <> blocker && lit_value s first = 1 then begin
+            wl.wc.(!j) <- c;
+            wl.wb.(!j) <- first;
+            incr j
+          end
+          else begin
+            (* Look for a new literal to watch. *)
+            let n = Array.length lits in
+            let k = ref 2 in
+            while !k < n && lit_value s lits.(!k) = 0 do
+              incr k
+            done;
+            if !k < n then begin
+              lits.(1) <- lits.(!k);
+              lits.(!k) <- false_lit;
+              wl_push s.watches.(neg lits.(1)) c first
+              (* watch moved: not kept in this list *)
+            end
+            else if lit_value s first = 0 then begin
+              (* Conflict: restore the remaining watchers. *)
+              wl.wc.(!j) <- c;
+              wl.wb.(!j) <- first;
+              incr j;
+              while !i < wl.wn do
+                wl.wc.(!j) <- wl.wc.(!i);
+                wl.wb.(!j) <- wl.wb.(!i);
+                incr j;
+                incr i
+              done;
+              wl.wn <- !j;
+              raise (Found_conflict (Confl_clause c))
+            end
+            else begin
+              (* Unit: propagate first. *)
+              wl.wc.(!j) <- c;
+              wl.wb.(!j) <- first;
+              incr j;
+              enqueue s first (Clause c)
+            end
+          end
+        end
+      done;
+      wl.wn <- !j
     done;
     None
-  with Conflict c -> Some c
+  with Found_conflict c -> Some c
 
 (* --- conflict analysis --------------------------------------------- *)
 
@@ -319,10 +399,23 @@ let clause_bump_activity s c =
   c.activity <- c.activity +. 1.0;
   ignore s
 
+(* Number of distinct decision levels among [lits], via generation
+   stamps (all literals must currently be assigned). *)
 let compute_lbd s lits =
-  let levels = Hashtbl.create 8 in
-  Array.iter (fun l -> Hashtbl.replace levels s.level.(var l) ()) lits;
-  Hashtbl.length levels
+  s.lbd_gen <- s.lbd_gen + 1;
+  let g = s.lbd_gen in
+  let n = ref 0 in
+  Array.iter
+    (fun l ->
+      let lev = s.level.(var l) in
+      if lev >= Array.length s.lbd_mark then
+        s.lbd_mark <- grow_array s.lbd_mark (2 * (lev + 1)) 0;
+      if s.lbd_mark.(lev) <> g then begin
+        s.lbd_mark.(lev) <- g;
+        incr n
+      end)
+    lits;
+  !n
 
 (* Is l redundant given the current learned clause (seen marks)?  A
    literal is redundant when its reason literals are all seen or
@@ -331,8 +424,10 @@ let rec lit_redundant s depth l =
   depth < 32
   &&
   match s.reason.(var l) with
-  | None -> false
-  | Some c ->
+  | No_reason -> false
+  | Binary w ->
+    s.level.(var w) = 0 || s.seen.(var w) || lit_redundant s (depth + 1) w
+  | Clause c ->
     Array.for_all
       (fun l' ->
         var l' = var l
@@ -341,30 +436,35 @@ let rec lit_redundant s depth l =
         || lit_redundant s (depth + 1) l')
       c.lits
 
+(* First-UIP learning.  Returns the learned clause (UIP first), the
+   backjump level and the clause LBD — computed here, while every
+   literal of the clause is still assigned, so the glue classification
+   used by [reduce_db] is trustworthy. *)
 let analyze s confl =
   let learnt = ref [] in
   let path = ref 0 in
   let p = ref (-1) in
   let idx = ref (s.trail_size - 1) in
-  let confl = ref (Some confl) in
+  let confl = ref confl in
   let continue = ref true in
   while !continue do
+    let visit q =
+      let v = var q in
+      if (!p < 0 || q <> !p) && (not s.seen.(v)) && s.level.(v) > 0 then begin
+        s.seen.(v) <- true;
+        if s.lrb then s.participated.(v) <- s.participated.(v) + 1
+        else bump_var s v;
+        if s.level.(v) >= decision_level s then incr path
+        else learnt := q :: !learnt
+      end
+    in
     (match !confl with
-     | None -> assert false
-     | Some c ->
+     | Confl_clause c ->
        if c.learnt then clause_bump_activity s c;
-       Array.iter
-         (fun q ->
-           let v = var q in
-           if (!p < 0 || q <> !p) && not s.seen.(v) && s.level.(v) > 0 then begin
-             s.seen.(v) <- true;
-             if s.lrb then
-               s.participated.(v) <- s.participated.(v) + 1
-             else bump_var s v;
-             if s.level.(v) >= decision_level s then incr path
-             else learnt := q :: !learnt
-           end)
-         c.lits);
+       Array.iter visit c.lits
+     | Confl_binary (a, b) ->
+       visit a;
+       visit b);
     (* Find the next seen literal on the trail. *)
     while not s.seen.(var s.trail.(!idx)) do
       decr idx
@@ -379,15 +479,17 @@ let analyze s confl =
     end
     else begin
       p := q;
-      confl := s.reason.(var q)
+      confl :=
+        (match s.reason.(var q) with
+         | Clause c -> Confl_clause c
+         | Binary w -> Confl_binary (q, w)
+         | No_reason -> assert false)
     end
   done;
   let uip = neg !p in
   (* Re-mark for minimization. *)
   List.iter (fun l -> s.seen.(var l) <- true) !learnt;
-  let minimized =
-    List.filter (fun l -> not (lit_redundant s 0 l)) !learnt
-  in
+  let minimized = List.filter (fun l -> not (lit_redundant s 0 l)) !learnt in
   List.iter (fun l -> s.seen.(var l) <- false) !learnt;
   let lits = Array.of_list (uip :: minimized) in
   (* Backtrack level: second highest level in the clause. *)
@@ -406,7 +508,8 @@ let analyze s confl =
       s.level.(var lits.(1))
     end
   in
-  (lits, blevel)
+  let lbd = compute_lbd s lits in
+  (lits, blevel, lbd)
 
 (* Internal literal -> DIMACS literal. *)
 let dimacs_of_lit l =
@@ -423,60 +526,129 @@ let log_delete proof lits =
   | None -> ()
   | Some p -> Proof.delete p (Array.map dimacs_of_lit lits)
 
+(* Assumption core: the conflicting assumption [p] plus every
+   pseudo-decision (assumption) reachable from it through the
+   implication graph, as DIMACS literals.  Called while the trail still
+   holds only assumption levels, so any [No_reason] assignment above
+   level 0 is an assumption. *)
+let analyze_final s p =
+  let core = ref [ dimacs_of_lit p ] in
+  let stack = ref [ var p ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | v :: rest ->
+      stack := rest;
+      if (not s.seen.(v)) && s.level.(v) > 0 then begin
+        s.seen.(v) <- true;
+        match s.reason.(v) with
+        | No_reason ->
+          core := dimacs_of_lit (lit_of_var v (s.assigns.(v) = 0)) :: !core
+        | Binary w -> stack := var w :: !stack
+        | Clause c ->
+          Array.iter
+            (fun l -> if var l <> v then stack := var l :: !stack)
+            c.lits
+      end
+  done;
+  for i = 0 to s.trail_size - 1 do
+    s.seen.(var s.trail.(i)) <- false
+  done;
+  s.seen.(var p) <- false;
+  Array.of_list !core
+
 (* --- clause management --------------------------------------------- *)
 
-let add_clause_internal s lits learnt =
-  let c = { lits; learnt; activity = 0.0; lbd = 0; deleted = false } in
-  if Array.length lits >= 2 then begin
-    attach_watch s (neg lits.(0)) c;
-    attach_watch s (neg lits.(1)) c
-  end;
+(* Binary clause (a \/ b): no clause record, just the two watch
+   entries. *)
+let add_binary s a b =
+  vec_push s.bin_watches.(neg a) b;
+  vec_push s.bin_watches.(neg b) a
+
+(* Long clause (length >= 3), watched on its first two literals with
+   the opposite watched literal as blocker. *)
+let add_long s lits learnt lbd =
+  let c = { lits; learnt; activity = 0.0; lbd; deleted = false } in
+  wl_push s.watches.(neg lits.(0)) c lits.(1);
+  wl_push s.watches.(neg lits.(1)) c lits.(0);
   if learnt then begin
-    c.lbd <- compute_lbd s lits;
-    s.learnts <- c :: s.learnts;
-    s.num_learnts <- s.num_learnts + 1;
+    vec_push s.learnts c;
     s.st_learned <- s.st_learned + 1
   end;
   c
 
+(* A clause currently used as a reason must survive reduction. *)
+let is_reason s c =
+  Array.exists
+    (fun l -> match s.reason.(var l) with Clause r -> r == c | _ -> false)
+    c.lits
+
+(* Drop watchers of deleted clauses so the records become unreachable
+   (and GC-reclaimable) immediately rather than lingering until
+   propagation happens to visit them. *)
+let purge_watches s =
+  Array.iter
+    (fun wl ->
+      let j = ref 0 in
+      for i = 0 to wl.wn - 1 do
+        let c = wl.wc.(i) in
+        if not c.deleted then begin
+          wl.wc.(!j) <- c;
+          wl.wb.(!j) <- wl.wb.(i);
+          incr j
+        end
+      done;
+      for i = !j to wl.wn - 1 do
+        wl.wc.(i) <- dummy_clause
+      done;
+      wl.wn <- !j)
+    s.watches
+
 let reduce_db ?proof s =
-  (* Keep binary and glue clauses; drop the less active half of the
-     rest. *)
-  let keep, candidates =
-    List.partition
-      (fun c -> Array.length c.lits <= 2 || c.lbd <= 2 || c.deleted)
-      s.learnts
-  in
-  let is_reason c =
-    (* A clause currently used as a reason must survive. *)
-    Array.exists
-      (fun l ->
-        match s.reason.(var l) with Some r -> r == c | None -> false)
-      c.lits
-  in
-  let sorted =
-    List.sort
+  (* Keep glue clauses (binaries never enter [learnts]); sort the rest
+     in place by (lbd, activity) and drop the worse half, except
+     clauses currently locked as reasons. *)
+  let lv = s.learnts in
+  let n = lv.size in
+  let p = ref 0 in
+  for i = 0 to n - 1 do
+    let c = lv.data.(i) in
+    if c.lbd <= 2 then begin
+      lv.data.(i) <- lv.data.(!p);
+      lv.data.(!p) <- c;
+      incr p
+    end
+  done;
+  let ncand = n - !p in
+  if ncand > 0 then begin
+    let cand = Array.sub lv.data !p ncand in
+    Array.sort
       (fun a b ->
         let d = compare a.lbd b.lbd in
         if d <> 0 then d else compare b.activity a.activity)
-      candidates
-  in
-  let n = List.length sorted in
-  let kept2 =
-    List.filteri
-      (fun i c ->
-        if i < n / 2 || is_reason c then true
-        else begin
-          c.deleted <- true;
-          log_delete proof c.lits;
-          false
-        end)
-      sorted
-  in
-  s.learnts <- keep @ kept2;
-  s.num_learnts <- List.length s.learnts
+      cand;
+    Array.blit cand 0 lv.data !p ncand;
+    let limit = !p + (ncand / 2) in
+    let j = ref !p in
+    for i = !p to n - 1 do
+      let c = lv.data.(i) in
+      if i < limit || is_reason s c then begin
+        lv.data.(!j) <- c;
+        incr j
+      end
+      else begin
+        c.deleted <- true;
+        log_delete proof c.lits
+      end
+    done;
+    for i = !j to n - 1 do
+      lv.data.(i) <- lv.dummy
+    done;
+    lv.size <- !j;
+    purge_watches s
+  end
 
-(* --- top level ------------------------------------------------------ *)
+(* --- search engine -------------------------------------------------- *)
 
 (* Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
 let rec luby_simple i =
@@ -484,6 +656,148 @@ let rec luby_simple i =
   let k = find 1 in
   if (1 lsl k) - 1 = i + 1 then 1 lsl (k - 1)
   else luby_simple (i + 1 - (1 lsl (k - 1)))
+
+type search_outcome =
+  | S_sat of bool array
+  | S_unsat_final  (* conflict at level 0: unsatisfiable outright *)
+  | S_unsat_assumptions of int array  (* DIMACS assumption core *)
+  | S_unknown
+
+(* The CDCL main loop shared by [solve] and [Incremental.solve].
+   Assumptions (internal literals) are placed as pseudo-decisions on
+   the first decision levels; learned units always backjump to level 0
+   (assumptions are re-placed afterwards), so a [No_reason] assignment
+   above level 0 during assumption placement is always an assumption. *)
+let search s ~limits ~proof ~restarts ~assumption_lits ~on_learnt ~t0 =
+  let nassum = Array.length assumption_lits in
+  let conflicts_since_restart = ref 0 in
+  let restart_num = ref 0 in
+  let restart_limit = ref (100 * luby_simple 0) in
+  let reduce_limit = ref (2000 + s.learnts.size) in
+  (* Glucose: moving average of the last 50 LBDs vs the global mean. *)
+  let win = Array.make 50 0 in
+  let win_size = ref 0 and win_pos = ref 0 and win_sum = ref 0 in
+  let lbd_total = ref 0 and lbd_count = ref 0 in
+  let note_lbd lbd =
+    lbd_total := !lbd_total + lbd;
+    incr lbd_count;
+    if !win_size >= 50 then win_sum := !win_sum - win.(!win_pos)
+    else incr win_size;
+    win_sum := !win_sum + lbd;
+    win.(!win_pos) <- lbd;
+    win_pos := (!win_pos + 1) mod 50
+  in
+  let want_restart () =
+    match restarts with
+    | `Luby -> !conflicts_since_restart >= !restart_limit
+    | `Glucose ->
+      !conflicts_since_restart >= 50
+      && !win_size >= 50
+      && float_of_int !win_sum *. 0.8 /. 50.0
+         > float_of_int !lbd_total /. float_of_int (max 1 !lbd_count)
+  in
+  let do_restart () =
+    conflicts_since_restart := 0;
+    (match restarts with
+     | `Luby ->
+       incr restart_num;
+       restart_limit := 100 * luby_simple !restart_num
+     | `Glucose ->
+       win_size := 0;
+       win_pos := 0;
+       win_sum := 0);
+    s.st_restarts <- s.st_restarts + 1;
+    cancel_until s 0
+  in
+  (* The wall-clock check is gated on a counter that advances on every
+     budget probe (one per conflict or decision), never on the conflict
+     count alone — a decision-heavy run must still honor
+     [max_seconds]. *)
+  let budget_ticks = ref 0 in
+  let out_of_budget () =
+    incr budget_ticks;
+    (match limits.max_conflicts with
+     | Some m when s.st_conflicts >= m -> true
+     | _ -> false)
+    || (match limits.max_decisions with
+        | Some m when s.st_decisions >= m -> true
+        | _ -> false)
+    ||
+    match limits.max_seconds with
+    | Some m when !budget_ticks land 255 = 0 -> Sys.time () -. t0 > m
+    | _ -> false
+  in
+  let exception Out of search_outcome in
+  try
+    while true do
+      match propagate s with
+      | Some confl ->
+        s.st_conflicts <- s.st_conflicts + 1;
+        incr conflicts_since_restart;
+        if decision_level s = 0 then begin
+          log_add proof [||];
+          raise (Out S_unsat_final)
+        end;
+        let lits, blevel, lbd = analyze s confl in
+        (match on_learnt with None -> () | Some f -> f lits lbd);
+        note_lbd lbd;
+        log_add proof lits;
+        cancel_until s blevel;
+        (match Array.length lits with
+         | 1 -> enqueue s lits.(0) No_reason
+         | 2 ->
+           add_binary s lits.(0) lits.(1);
+           s.st_learned <- s.st_learned + 1;
+           enqueue s lits.(0) (Binary lits.(1))
+         | _ ->
+           let c = add_long s lits true lbd in
+           enqueue s lits.(0) (Clause c));
+        decay_activities s;
+        if out_of_budget () then raise (Out S_unknown)
+      | None ->
+        if want_restart () then do_restart ()
+        else if decision_level s < nassum then begin
+          (* Place the next assumption as a pseudo-decision. *)
+          let p = assumption_lits.(decision_level s) in
+          match lit_value s p with
+          | 1 ->
+            (* Already true: open an empty pseudo-decision level. *)
+            s.trail_lim.(s.ntrail_lim) <- s.trail_size;
+            s.ntrail_lim <- s.ntrail_lim + 1
+          | 0 -> raise (Out (S_unsat_assumptions (analyze_final s p)))
+          | _ ->
+            s.trail_lim.(s.ntrail_lim) <- s.trail_size;
+            s.ntrail_lim <- s.ntrail_lim + 1;
+            enqueue s p No_reason
+        end
+        else begin
+          if s.learnts.size >= !reduce_limit then begin
+            reduce_db ?proof s;
+            reduce_limit := !reduce_limit + 512
+          end;
+          (* Pick a branching variable. *)
+          let v = ref (-1) in
+          while !v < 0 && s.heap_size > 0 do
+            let cand = heap_pop s in
+            if s.assigns.(cand) < 0 then v := cand
+          done;
+          if !v < 0 then begin
+            (* All variables assigned: model found. *)
+            let model = Array.init s.nvars (fun v -> s.assigns.(v) = 1) in
+            raise (Out (S_sat model))
+          end;
+          s.st_decisions <- s.st_decisions + 1;
+          s.trail_lim.(s.ntrail_lim) <- s.trail_size;
+          s.ntrail_lim <- s.ntrail_lim + 1;
+          s.st_max_level <- max s.st_max_level s.ntrail_lim;
+          enqueue s (lit_of_var !v (not s.polarity.(!v))) No_reason;
+          if out_of_budget () then raise (Out S_unknown)
+        end
+    done;
+    assert false
+  with Out r -> r
+
+(* --- top level ------------------------------------------------------ *)
 
 type prepared = Ready of t * int list (* units *) | Trivially_unsat
 
@@ -514,7 +828,8 @@ let prepare f =
           match lits with
           | [] -> ok := false
           | [ l ] -> units := l :: !units
-          | lits -> ignore (add_clause_internal s (Array.of_list lits) false)
+          | [ a; b ] -> add_binary s a b
+          | lits -> ignore (add_long s (Array.of_list lits) false 0)
       end)
     f.Cnf.Formula.clauses;
   if !ok then Ready (s, !units) else Trivially_unsat
@@ -530,7 +845,8 @@ let make_stats s time =
     time;
   }
 
-let solve ?(limits = no_limits) ?proof ?(heuristic = `Evsids) f =
+let solve ?(limits = no_limits) ?proof ?(heuristic = `Evsids)
+    ?(restarts = `Luby) ?on_learnt f =
   let t0 = Sys.time () in
   match prepare f with
   | Trivially_unsat ->
@@ -548,7 +864,7 @@ let solve ?(limits = no_limits) ?proof ?(heuristic = `Evsids) f =
            | 0 ->
              log_add proof [||];
              raise (Done Unsat)
-           | _ -> enqueue s l None)
+           | _ -> enqueue s l No_reason)
          units;
        if propagate s <> None then begin
          log_add proof [||];
@@ -557,74 +873,17 @@ let solve ?(limits = no_limits) ?proof ?(heuristic = `Evsids) f =
        for v = 0 to s.nvars - 1 do
          if s.assigns.(v) < 0 then heap_insert s v
        done;
-       let conflicts_at_restart = ref 0 in
-       let restart_num = ref 0 in
-       let restart_limit = ref (100 * luby_simple 0) in
-       let reduce_limit = ref 2000 in
-       let out_of_budget () =
-         (match limits.max_conflicts with
-          | Some m when s.st_conflicts >= m -> true
-          | _ -> false)
-         || (match limits.max_decisions with
-             | Some m when s.st_decisions >= m -> true
-             | _ -> false)
-         ||
-         match limits.max_seconds with
-         | Some m when s.st_conflicts land 255 = 0 -> Sys.time () -. t0 > m
-         | _ -> false
+       let r =
+         match
+           search s ~limits ~proof ~restarts ~assumption_lits:[||] ~on_learnt
+             ~t0
+         with
+         | S_sat m -> Sat m
+         | S_unsat_final -> Unsat
+         | S_unsat_assumptions _ -> assert false
+         | S_unknown -> Unknown
        in
-       while true do
-         match propagate s with
-         | Some confl ->
-           s.st_conflicts <- s.st_conflicts + 1;
-           incr conflicts_at_restart;
-           if decision_level s = 0 then begin
-             log_add proof [||];
-             raise (Done Unsat)
-           end;
-           let lits, blevel = analyze s confl in
-           log_add proof lits;
-           cancel_until s blevel;
-           if Array.length lits = 1 then enqueue s lits.(0) None
-           else begin
-             let c = add_clause_internal s lits true in
-             enqueue s lits.(0) (Some c)
-           end;
-           decay_activities s;
-           if out_of_budget () then raise (Done Unknown)
-         | None ->
-           if !conflicts_at_restart >= !restart_limit then begin
-             conflicts_at_restart := 0;
-             incr restart_num;
-             restart_limit := 100 * luby_simple !restart_num;
-             s.st_restarts <- s.st_restarts + 1;
-             cancel_until s 0
-           end
-           else begin
-             if s.num_learnts >= !reduce_limit then begin
-               reduce_db ?proof s;
-               reduce_limit := !reduce_limit + 512
-             end;
-             (* Pick a branching variable. *)
-             let v = ref (-1) in
-             while !v < 0 && s.heap_size > 0 do
-               let cand = heap_pop s in
-               if s.assigns.(cand) < 0 then v := cand
-             done;
-             if !v < 0 then begin
-               (* All variables assigned: model found. *)
-               let model = Array.init s.nvars (fun v -> s.assigns.(v) = 1) in
-               raise (Done (Sat model))
-             end;
-             s.st_decisions <- s.st_decisions + 1;
-             s.trail_lim.(s.ntrail_lim) <- s.trail_size;
-             s.ntrail_lim <- s.ntrail_lim + 1;
-             s.st_max_level <- max s.st_max_level s.ntrail_lim;
-             enqueue s (lit_of_var !v (not s.polarity.(!v))) None;
-             if out_of_budget () then raise (Done Unknown)
-           end
-       done;
-       assert false
+       raise (Done r)
      with Done r -> (r, make_stats s (Sys.time () -. t0)))
 
 let decisions_or_max ?(limits = no_limits) f =
@@ -649,11 +908,6 @@ module Incremental = struct
                                  Unsat-under-assumptions answer *)
   }
 
-  let grow_array a n default =
-    let a' = Array.make n default in
-    Array.blit a 0 a' 0 (Array.length a);
-    a'
-
   let ensure_capacity session n =
     let s = session.s in
     if n > s.nvars then begin
@@ -662,7 +916,7 @@ module Incremental = struct
         let cap' = max n (2 * max 1 cap) in
         s.assigns <- grow_array s.assigns cap' (-1);
         s.level <- grow_array s.level cap' 0;
-        s.reason <- grow_array s.reason cap' None;
+        s.reason <- grow_array s.reason cap' No_reason;
         s.trail <- grow_array s.trail cap' 0;
         s.trail_lim <- grow_array s.trail_lim cap' 0;
         s.var_activity <- grow_array s.var_activity cap' 0.0;
@@ -672,11 +926,14 @@ module Incremental = struct
         s.seen <- grow_array s.seen cap' false;
         s.assigned_at <- grow_array s.assigned_at cap' 0;
         s.participated <- grow_array s.participated cap' 0;
-        let w = Array.init (2 * cap') (fun i ->
-            if i < Array.length s.watches then s.watches.(i)
-            else vec_create dummy_clause)
-        in
-        s.watches <- w
+        s.watches <-
+          Array.init (2 * cap') (fun i ->
+              if i < Array.length s.watches then s.watches.(i)
+              else wl_create ());
+        s.bin_watches <-
+          Array.init (2 * cap') (fun i ->
+              if i < Array.length s.bin_watches then s.bin_watches.(i)
+              else vec_create 0)
       end;
       s.nvars <- n
     end
@@ -711,28 +968,27 @@ module Incremental = struct
       in
       if not taut then begin
         (* Evaluate under the level-0 assignment. *)
-        let lits =
-          List.filter (fun l -> lit_value s l <> 0) lits
-        in
+        let lits = List.filter (fun l -> lit_value s l <> 0) lits in
         if List.exists (fun l -> lit_value s l = 1) lits then ()
         else
           match lits with
           | [] -> session.broken <- true
           | [ l ] ->
-            enqueue s l None;
+            enqueue s l No_reason;
             if propagate s <> None then session.broken <- true
-          | lits -> ignore (add_clause_internal s (Array.of_list lits) false)
+          | [ a; b ] -> add_binary s a b
+          | lits -> ignore (add_long s (Array.of_list lits) false 0)
       end
     end
 
   let add_formula session f =
     Array.iter (add_clause session) f.Cnf.Formula.clauses
 
-  exception Done_incremental of result
-
-  let solve ?(limits = no_limits) ?(assumptions = [||]) session =
+  let solve ?(limits = no_limits) ?proof ?(heuristic = `Evsids)
+      ?(restarts = `Luby) ?(assumptions = [||]) session =
     let t0 = Sys.time () in
     let s = session.s in
+    s.lrb <- (heuristic = `Lrb);
     let assumption_lits =
       Array.map
         (fun l ->
@@ -751,135 +1007,26 @@ module Incremental = struct
     in
     session.core <- [||];
     if session.broken then finish Unsat
+    else if propagate s <> None then begin
+      session.broken <- true;
+      log_add proof [||];
+      finish Unsat
+    end
     else begin
-      try
-        if propagate s <> None then begin
-          session.broken <- true;
-          raise (Done_incremental Unsat)
-        end;
-        for v = 0 to s.nvars - 1 do
-          if s.assigns.(v) < 0 then heap_insert s v
-        done;
-        let conflicts_at_restart = ref 0 in
-        let restart_num = ref 0 in
-        let restart_limit = ref (100 * luby_simple 0) in
-        let reduce_limit = ref (2000 + s.num_learnts) in
-        let out_of_budget () =
-          (match limits.max_conflicts with
-           | Some m when s.st_conflicts >= m -> true
-           | _ -> false)
-          || (match limits.max_decisions with
-              | Some m when s.st_decisions >= m -> true
-              | _ -> false)
-          ||
-          match limits.max_seconds with
-          | Some m when s.st_conflicts land 255 = 0 ->
-            Sys.time () -. t0 > m
-          | _ -> false
-        in
-        while true do
-          match propagate s with
-          | Some confl ->
-            s.st_conflicts <- s.st_conflicts + 1;
-            incr conflicts_at_restart;
-            if decision_level s = 0 then begin
-              session.broken <- true;
-              raise (Done_incremental Unsat)
-            end;
-            let lits, blevel = analyze s confl in
-            cancel_until s blevel;
-            if Array.length lits = 1 then begin
-              (* Asserting unit: if we are above level 0 because of
-                 assumptions, it still holds at its computed level. *)
-              if decision_level s = 0 then enqueue s lits.(0) None
-              else enqueue s lits.(0) None
-            end
-            else begin
-              let c = add_clause_internal s lits true in
-              enqueue s lits.(0) (Some c)
-            end;
-            decay_activities s;
-            if out_of_budget () then raise (Done_incremental Unknown)
-          | None ->
-            if !conflicts_at_restart >= !restart_limit then begin
-              conflicts_at_restart := 0;
-              incr restart_num;
-              restart_limit := 100 * luby_simple !restart_num;
-              s.st_restarts <- s.st_restarts + 1;
-              cancel_until s 0
-            end
-            else if decision_level s < Array.length assumption_lits then begin
-              (* Place the next assumption as a pseudo-decision. *)
-              let p = assumption_lits.(decision_level s) in
-              s.trail_lim.(s.ntrail_lim) <- s.trail_size;
-              s.ntrail_lim <- s.ntrail_lim + 1;
-              (match lit_value s p with
-               | 1 -> () (* already true: empty level *)
-               | 0 ->
-                 (* Conflicting assumption: extract the subset of
-                    assumptions that forces (not p) by walking the
-                    implication graph back to pseudo-decisions. *)
-                 let core = ref [ dimacs_of_lit p ] in
-                 let stack = ref [ var p ] in
-                 (try
-                    while !stack <> [] do
-                      match !stack with
-                      | [] -> ()
-                      | v :: rest ->
-                        stack := rest;
-                        if not s.seen.(v) && s.level.(v) > 0 then begin
-                          s.seen.(v) <- true;
-                          match s.reason.(v) with
-                          | None ->
-                            (* A pseudo-decision: an assumption. *)
-                            core :=
-                              dimacs_of_lit
-                                (lit_of_var v (s.assigns.(v) = 0))
-                              :: !core
-                          | Some c ->
-                            Array.iter
-                              (fun l ->
-                                if var l <> v then stack := var l :: !stack)
-                              c.lits
-                        end
-                    done
-                  with e ->
-                    Array.iter (fun l -> s.seen.(var l) <- false)
-                      s.trail;
-                    raise e);
-                 for i = 0 to s.trail_size - 1 do
-                   s.seen.(var s.trail.(i)) <- false
-                 done;
-                 s.seen.(var p) <- false;
-                 session.core <- Array.of_list !core;
-                 raise (Done_incremental Unsat)
-               | _ -> enqueue s p None)
-            end
-            else begin
-              if s.num_learnts >= !reduce_limit then begin
-                reduce_db s;
-                reduce_limit := !reduce_limit + 512
-              end;
-              let v = ref (-1) in
-              while !v < 0 && s.heap_size > 0 do
-                let cand = heap_pop s in
-                if s.assigns.(cand) < 0 then v := cand
-              done;
-              if !v < 0 then begin
-                let model =
-                  Array.init s.nvars (fun v -> s.assigns.(v) = 1)
-                in
-                raise (Done_incremental (Sat model))
-              end;
-              s.st_decisions <- s.st_decisions + 1;
-              s.trail_lim.(s.ntrail_lim) <- s.trail_size;
-              s.ntrail_lim <- s.ntrail_lim + 1;
-              s.st_max_level <- max s.st_max_level s.ntrail_lim;
-              enqueue s (lit_of_var !v (not s.polarity.(!v))) None;
-              if out_of_budget () then raise (Done_incremental Unknown)
-            end
-        done;
-        assert false
-      with Done_incremental r -> finish r
+      for v = 0 to s.nvars - 1 do
+        if s.assigns.(v) < 0 then heap_insert s v
+      done;
+      match
+        search s ~limits ~proof ~restarts ~assumption_lits ~on_learnt:None
+          ~t0
+      with
+      | S_sat m -> finish (Sat m)
+      | S_unknown -> finish Unknown
+      | S_unsat_final ->
+        session.broken <- true;
+        finish Unsat
+      | S_unsat_assumptions core ->
+        session.core <- core;
+        finish Unsat
     end
 end

@@ -1,9 +1,11 @@
 (** CDCL SAT solver (the Kissat stand-in of the reproduction).
 
     Implements the standard modern architecture: two-watched-literal
-    propagation, EVSIDS decision heuristic with phase saving, first-UIP
-    clause learning with recursive minimization, Luby restarts and
-    LBD-driven learned-clause-database reduction.
+    propagation with blocker literals and specialized binary-clause
+    watch lists, EVSIDS decision heuristic with phase saving, first-UIP
+    clause learning with recursive minimization, Luby or Glucose
+    (LBD moving-average) restarts and LBD-driven
+    learned-clause-database reduction over a growable clause vector.
 
     The solver exposes its {e decision count} ("branching times"): the
     paper's RL reward and LUT cost metric both approximate solving
@@ -35,6 +37,8 @@ val no_limits : limits
 
 val solve :
   ?limits:limits -> ?proof:Proof.t -> ?heuristic:[ `Evsids | `Lrb ] ->
+  ?restarts:[ `Luby | `Glucose ] ->
+  ?on_learnt:(int array -> int -> unit) ->
   Cnf.Formula.t -> result * stats
 (** Solve a formula from scratch.  When the result is [Sat m], [m]
     satisfies the formula (checked cheaply by the caller via
@@ -43,7 +47,14 @@ val solve :
     [Unsat] answer ends the log with the empty clause, and the whole
     log validates under {!Proof.check}.  [heuristic] selects the
     branching scheme: exponential VSIDS (default) or the learning-rate
-    heuristic of Liang et al. 2016 — the paper's reference [23]. *)
+    heuristic of Liang et al. 2016 — the paper's reference [23].
+    [restarts] selects the restart schedule: Luby with unit 100
+    (default) or Glucose-style, firing when the moving average of the
+    last 50 learned-clause LBDs exceeds 0.8 times the running mean.
+    [on_learnt lits lbd] is an instrumentation hook invoked for every
+    learned clause at learn time — before backjumping, while all of
+    [lits] (internal literal encoding, first-UIP first) are still
+    assigned — with the glue value [lbd] stored for that clause. *)
 
 val decisions_or_max : ?limits:limits -> Cnf.Formula.t -> int
 (** Convenience for the RL reward: the decision count of a solve, or
@@ -73,12 +84,26 @@ module Incremental : sig
   val add_formula : session -> Cnf.Formula.t -> unit
 
   val solve :
-    ?limits:limits -> ?assumptions:int array -> session -> result * stats
+    ?limits:limits -> ?proof:Proof.t -> ?heuristic:[ `Evsids | `Lrb ] ->
+    ?restarts:[ `Luby | `Glucose ] -> ?assumptions:int array -> session ->
+    result * stats
   (** Solve the accumulated clauses under the given assumption
       literals.  [Unsat] means unsatisfiable {e under the assumptions}
       (permanently unsatisfiable once it occurs with none).  Models
       cover all variables allocated so far.  Statistics are cumulative
-      across the session's queries. *)
+      across the session's queries.
+
+      With [proof], clauses learned {e during this call} (and
+      learned-clause deletions) are logged in DRAT.  Learned clauses
+      are implied by the accumulated clause database alone — never by
+      the assumptions, which enter learned clauses as ordinary
+      literals — so a log accumulated by passing the {e same} [proof]
+      to every [solve] call of the session validates under
+      {!Proof.check} against the conjunction of all clauses added so
+      far.  The log is terminated with the empty clause only when a
+      call answers [Unsat] with no assumptions involved in the
+      conflict; an [Unsat] {e under assumptions} is not a DRAT-provable
+      fact and leaves the log open. *)
 
   val last_core : session -> int array
   (** After an [Unsat] answer under assumptions: a subset of the

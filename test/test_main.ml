@@ -4,6 +4,7 @@ let () =
       ("aig", Test_aig.suite);
       ("cnf", Test_cnf.suite);
       ("sat", Test_sat.suite);
+      ("sat-fuzz", Test_sat_fuzz.suite);
       ("synth", Test_synth.suite);
       ("lutmap", Test_lutmap.suite);
       ("deepgate", Test_deepgate.suite);

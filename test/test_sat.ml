@@ -564,3 +564,179 @@ let suite =
   suite
   @ [ ("assumption core", `Quick, test_assumption_core) ]
   @ qsuite [ prop_assumption_core_sound ]
+
+(* ------------------------------------------------------------------ *)
+(* Regression tests for the hardened engine (ISSUE 1):
+   - the wall-clock limit is honored even on decision-heavy runs;
+   - assumption cores only ever contain assumptions, also after unit
+     learning, and re-assuming a core stays Unsat;
+   - learned-clause LBDs are computed at learn time (pre-backjump);
+   - the incremental path logs DRAT;
+   - Glucose restarts are available and sound. *)
+
+let test_time_limit_honored () =
+  let hard = pigeonhole ~pigeons:10 ~holes:9 in
+  let max_seconds = 0.2 in
+  let limits =
+    { Sat.Solver.no_limits with Sat.Solver.max_seconds = Some max_seconds }
+  in
+  let t0 = Sys.time () in
+  (match fst (Sat.Solver.solve ~limits hard) with
+   | Sat.Solver.Unknown -> ()
+   | _ -> Alcotest.fail "php(10,9) should hit the 0.2s wall-clock limit");
+  let elapsed = Sys.time () -. t0 in
+  check_bool "stopped within 2x of max_seconds" true
+    (elapsed <= 2.0 *. max_seconds)
+
+let test_time_limit_honored_incremental () =
+  let hard = pigeonhole ~pigeons:10 ~holes:9 in
+  let s = Sat.Solver.Incremental.create () in
+  Sat.Solver.Incremental.add_formula s hard;
+  let max_seconds = 0.2 in
+  let limits =
+    { Sat.Solver.no_limits with Sat.Solver.max_seconds = Some max_seconds }
+  in
+  let t0 = Sys.time () in
+  (match fst (Sat.Solver.Incremental.solve ~limits s) with
+   | Sat.Solver.Unknown -> ()
+   | _ -> Alcotest.fail "incremental php(10,9) should hit the time limit");
+  let elapsed = Sys.time () -. t0 in
+  check_bool "incremental stopped within 2x of max_seconds" true
+    (elapsed <= 2.0 *. max_seconds)
+
+let test_core_subset_and_reassumable () =
+  let s = Sat.Solver.Incremental.create () in
+  (* Implication chain x1 -> x2 -> ... -> x10. *)
+  for i = 1 to 9 do
+    Sat.Solver.Incremental.add_clause s [| -i; i + 1 |]
+  done;
+  let assumptions = [| 5; 1; -10; 7 |] in
+  (match fst (Sat.Solver.Incremental.solve ~assumptions s) with
+   | Sat.Solver.Unsat -> ()
+   | _ -> Alcotest.fail "chain contradicts the assumptions");
+  let core = Sat.Solver.Incremental.last_core s in
+  check_bool "core nonempty" true (Array.length core > 0);
+  check_bool "core is a subset of the assumptions" true
+    (Array.for_all (fun l -> Array.exists (( = ) l) assumptions) core);
+  match fst (Sat.Solver.Incremental.solve ~assumptions:core s) with
+  | Sat.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "re-assuming the core must stay Unsat"
+
+let test_core_after_unit_learning () =
+  (* Sessions that learn unit clauses (batch query first) must still
+     report cores drawn only from the assumptions of the later
+     assumption query — never pseudo-decisions left at level > 0. *)
+  for seed = 1 to 40 do
+    let nvars = 8 in
+    let f = random_formula seed nvars 30 3 in
+    let s = Sat.Solver.Incremental.create () in
+    Sat.Solver.Incremental.add_formula s f;
+    while Sat.Solver.Incremental.num_vars s < nvars do
+      ignore (Sat.Solver.Incremental.new_var s)
+    done;
+    ignore (Sat.Solver.Incremental.solve s);
+    let rng = Aig.Rng.create (seed * 31) in
+    let assumptions =
+      Array.init 4 (fun _ ->
+          let v = 1 + Aig.Rng.int rng nvars in
+          if Aig.Rng.bool rng then v else -v)
+    in
+    match fst (Sat.Solver.Incremental.solve ~assumptions s) with
+    | Sat.Solver.Unsat ->
+      let core = Sat.Solver.Incremental.last_core s in
+      if
+        not
+          (Array.for_all
+             (fun l -> Array.exists (( = ) l) assumptions)
+             core)
+      then
+        Alcotest.failf "seed %d: core contains a non-assumption literal"
+          seed;
+      (match fst (Sat.Solver.Incremental.solve ~assumptions:core s) with
+       | Sat.Solver.Unsat -> ()
+       | Sat.Solver.Sat _ ->
+         Alcotest.failf "seed %d: core is not re-assumable to Unsat" seed
+       | Sat.Solver.Unknown -> Alcotest.failf "seed %d: unknown" seed)
+    | _ -> ()
+  done
+
+let test_lbd_computed_at_learn_time () =
+  (* At learn time every literal of the learned clause is assigned: a
+     unit clause has glue exactly 1 and any longer clause spans the
+     current decision level plus at least one lower level, so its glue
+     lies in [2, length].  A post-backjump computation over unwound
+     state cannot maintain these bounds. *)
+  let f = pigeonhole ~pigeons:6 ~holes:5 in
+  let count = ref 0 in
+  let bad = ref 0 in
+  let on_learnt lits lbd =
+    incr count;
+    if Array.length lits = 1 then begin
+      if lbd <> 1 then incr bad
+    end
+    else if lbd < 2 || lbd > Array.length lits then incr bad
+  in
+  (match fst (Sat.Solver.solve ~on_learnt f) with
+   | Sat.Solver.Unsat -> ()
+   | _ -> Alcotest.fail "php(6,5) unsat");
+  check_bool "learnt clauses observed" true (!count > 0);
+  check "all glue values in range" 0 !bad
+
+let test_incremental_proof_logged () =
+  let f = pigeonhole ~pigeons:5 ~holes:4 in
+  let s = Sat.Solver.Incremental.create () in
+  Sat.Solver.Incremental.add_formula s f;
+  let proof = Sat.Proof.create () in
+  (match fst (Sat.Solver.Incremental.solve ~proof s) with
+   | Sat.Solver.Unsat -> ()
+   | _ -> Alcotest.fail "php(5,4) unsat");
+  check_bool "incremental proof has steps" true
+    (Sat.Proof.num_steps proof > 0);
+  check_bool "incremental proof validates" true (Sat.Proof.check f proof)
+
+let test_incremental_proof_across_calls () =
+  (* The same proof threaded through two calls, with clauses added in
+     between, validates against the conjunction of all clauses. *)
+  let f = pigeonhole ~pigeons:4 ~holes:3 in
+  let all = Array.to_list f.Cnf.Formula.clauses in
+  let n1 = List.length all / 2 in
+  let batch1 = List.filteri (fun i _ -> i < n1) all in
+  let batch2 = List.filteri (fun i _ -> i >= n1) all in
+  let s = Sat.Solver.Incremental.create () in
+  let proof = Sat.Proof.create () in
+  List.iter (Sat.Solver.Incremental.add_clause s) batch1;
+  ignore (Sat.Solver.Incremental.solve ~proof s);
+  List.iter (Sat.Solver.Incremental.add_clause s) batch2;
+  (match fst (Sat.Solver.Incremental.solve ~proof s) with
+   | Sat.Solver.Unsat -> ()
+   | _ -> Alcotest.fail "php(4,3) unsat once complete");
+  check_bool "cross-call proof validates" true (Sat.Proof.check f proof)
+
+let test_glucose_restarts () =
+  (match
+     fst (Sat.Solver.solve ~restarts:`Glucose (pigeonhole ~pigeons:7 ~holes:6))
+   with
+   | Sat.Solver.Unsat -> ()
+   | _ -> Alcotest.fail "php(7,6) unsat under Glucose restarts");
+  let f = pigeonhole ~pigeons:5 ~holes:4 in
+  let proof = Sat.Proof.create () in
+  (match fst (Sat.Solver.solve ~proof ~restarts:`Glucose f) with
+   | Sat.Solver.Unsat -> ()
+   | _ -> Alcotest.fail "unsat");
+  check_bool "glucose-run proof validates" true (Sat.Proof.check f proof)
+
+let suite =
+  suite
+  @ [
+      ("time limit honored (batch)", `Quick, test_time_limit_honored);
+      ("time limit honored (incremental)", `Quick,
+       test_time_limit_honored_incremental);
+      ("core subset + re-assumable", `Quick, test_core_subset_and_reassumable);
+      ("core sound after unit learning", `Quick,
+       test_core_after_unit_learning);
+      ("lbd computed at learn time", `Quick, test_lbd_computed_at_learn_time);
+      ("incremental drat proof", `Quick, test_incremental_proof_logged);
+      ("incremental drat proof across calls", `Quick,
+       test_incremental_proof_across_calls);
+      ("glucose restarts", `Quick, test_glucose_restarts);
+    ]

@@ -1,0 +1,106 @@
+(* Differential fuzzing of the CDCL core: 500 random CNFs (up to 14
+   variables, mixed clause lengths, seeded via Aig.Rng) cross-checked
+   against brute-force enumeration.  Models are validated with
+   Cnf.Formula.eval, UNSAT answers with Sat.Proof.check, and the cases
+   cycle through both branching heuristics and both restart schemes. *)
+
+let check_bool = Alcotest.(check bool)
+
+let brute_force_sat f =
+  let n = f.Cnf.Formula.num_vars in
+  assert (n <= 14);
+  let rec try_assignment m =
+    m < 1 lsl n
+    && (Cnf.Formula.eval f (Array.init n (fun i -> m land (1 lsl i) <> 0))
+        || try_assignment (m + 1))
+  in
+  try_assignment 0
+
+let random_formula rng =
+  let nvars = 2 + Aig.Rng.int rng 13 in
+  let nclauses = 1 + Aig.Rng.int rng (5 * nvars) in
+  let clauses =
+    List.init nclauses (fun _ ->
+        let len = 1 + Aig.Rng.int rng 5 in
+        Array.init len (fun _ ->
+            let v = 1 + Aig.Rng.int rng nvars in
+            if Aig.Rng.bool rng then v else -v))
+  in
+  Cnf.Formula.create ~num_vars:nvars clauses
+
+let configs =
+  [|
+    (`Evsids, `Luby, "evsids/luby");
+    (`Evsids, `Glucose, "evsids/glucose");
+    (`Lrb, `Luby, "lrb/luby");
+    (`Lrb, `Glucose, "lrb/glucose");
+  |]
+
+let test_fuzz_vs_brute_force () =
+  let rng = Aig.Rng.create 20250805 in
+  for i = 1 to 500 do
+    let f = random_formula rng in
+    let expected = brute_force_sat f in
+    let heuristic, restarts, cfg = configs.(i mod Array.length configs) in
+    let proof = Sat.Proof.create () in
+    match fst (Sat.Solver.solve ~proof ~heuristic ~restarts f) with
+    | Sat.Solver.Sat m ->
+      if not expected then
+        Alcotest.failf "case %d (%s): solver SAT, brute force UNSAT" i cfg;
+      if not (Cnf.Formula.eval f m) then
+        Alcotest.failf "case %d (%s): model does not satisfy" i cfg
+    | Sat.Solver.Unsat ->
+      if expected then
+        Alcotest.failf "case %d (%s): solver UNSAT, brute force SAT" i cfg;
+      if not (Sat.Proof.check f proof) then
+        Alcotest.failf "case %d (%s): DRAT proof fails to validate" i cfg
+    | Sat.Solver.Unknown ->
+      Alcotest.failf "case %d (%s): unexpected Unknown" i cfg
+  done;
+  check_bool "fuzz 500/500" true true
+
+let test_fuzz_incremental_agreement () =
+  (* A smaller incremental sweep: batch answer, incremental answer and
+     incremental-under-assumptions answers must agree with brute
+     force on the strengthened formula. *)
+  let rng = Aig.Rng.create 777 in
+  for i = 1 to 100 do
+    let f = random_formula rng in
+    let nvars = f.Cnf.Formula.num_vars in
+    let s = Sat.Solver.Incremental.create () in
+    Sat.Solver.Incremental.add_formula s f;
+    while Sat.Solver.Incremental.num_vars s < nvars do
+      ignore (Sat.Solver.Incremental.new_var s)
+    done;
+    let assumptions =
+      Array.init
+        (1 + Aig.Rng.int rng 3)
+        (fun _ ->
+          let v = 1 + Aig.Rng.int rng nvars in
+          if Aig.Rng.bool rng then v else -v)
+    in
+    let f' =
+      Cnf.Formula.add_clauses f
+        (Array.to_list (Array.map (fun l -> [| l |]) assumptions))
+    in
+    let expected = brute_force_sat f' in
+    match fst (Sat.Solver.Incremental.solve ~assumptions s) with
+    | Sat.Solver.Sat m ->
+      if not expected then
+        Alcotest.failf "case %d: incremental SAT, brute force UNSAT" i;
+      if not (Cnf.Formula.eval f' (Array.sub m 0 nvars)) then
+        Alcotest.failf "case %d: incremental model violates assumptions" i
+    | Sat.Solver.Unsat ->
+      if expected then
+        Alcotest.failf "case %d: incremental UNSAT, brute force SAT" i
+    | Sat.Solver.Unknown -> Alcotest.failf "case %d: unexpected Unknown" i
+  done;
+  check_bool "incremental fuzz 100/100" true true
+
+let suite =
+  [
+    ("fuzz: 500 random CNFs vs brute force", `Quick,
+     test_fuzz_vs_brute_force);
+    ("fuzz: incremental agreement under assumptions", `Quick,
+     test_fuzz_incremental_agreement);
+  ]
