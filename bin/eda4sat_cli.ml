@@ -163,6 +163,62 @@ let solve_cmd =
       const run $ verbose_arg $ input_arg $ timeout_arg $ no_preprocess
       $ cnf_simplify $ mapper_arg $ recipe_arg $ agent_arg)
 
+(* --- portfolio ------------------------------------------------------- *)
+
+let portfolio_cmd =
+  let run verbose input timeout jobs share_lbd mapper recipe agent_file =
+    setup_logs verbose;
+    let inst = read_instance input in
+    let limits = limits_of_timeout timeout in
+    let agent = load_agent agent_file in
+    let cfg = pipeline_config ~agent ~mapper ~recipe in
+    let strategies = Eda4sat.Pipeline.portfolio_strategies ~jobs cfg inst in
+    Printf.printf "c racing %d lanes (jobs=%d, share-lbd=%d):\n" jobs jobs
+      share_lbd;
+    List.iteri
+      (fun i s -> Format.printf "c   lane %d: %a@." i Portfolio.Strategy.pp s)
+      strategies;
+    let report, outcome =
+      Eda4sat.Pipeline.run_portfolio ~limits ~jobs ~share_lbd
+        ~log:(fun msg -> Printf.printf "c %s\n%!" msg)
+        cfg inst
+    in
+    (match outcome.Portfolio.Runner.winner with
+     | Some w ->
+       Format.printf "c winner: lane %d (%a)@." w Portfolio.Strategy.pp
+         (List.nth strategies w)
+     | None -> print_endline "c no winner");
+    Printf.printf "c shared clauses: published=%d delivered=%d dropped=%d\n"
+      outcome.Portfolio.Runner.shared_published
+      outcome.Portfolio.Runner.shared_delivered
+      outcome.Portfolio.Runner.shared_dropped;
+    Printf.printf "c race wall time: %.3fs\n" outcome.Portfolio.Runner.wall;
+    (match report.Eda4sat.Pipeline.result with
+     | Sat.Solver.Sat _ -> print_endline "s SATISFIABLE"
+     | Sat.Solver.Unsat -> print_endline "s UNSATISFIABLE"
+     | Sat.Solver.Unknown -> print_endline "s UNKNOWN");
+    Format.printf "c %a@." Sat.Solver.pp_stats
+      report.Eda4sat.Pipeline.solver_stats
+  in
+  let jobs =
+    Arg.(value & opt int 4
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker domains to race (1 = deterministic sequential).")
+  in
+  let share_lbd =
+    Arg.(value & opt int 4
+         & info [ "share-lbd" ] ~docv:"LBD"
+             ~doc:"Maximum glue of shared learnt clauses (0 disables \
+                   sharing).")
+  in
+  Cmd.v
+    (Cmd.info "portfolio"
+       ~doc:"Race diversified solver configurations — including EDA \
+             preprocessing lanes — with first-wins cancellation and \
+             learnt-clause sharing.")
+    Term.(const run $ verbose_arg $ input_arg $ timeout_arg $ jobs $ share_lbd
+          $ mapper_arg $ recipe_arg $ agent_arg)
+
 (* --- preprocess ------------------------------------------------------ *)
 
 let preprocess_cmd =
@@ -381,5 +437,5 @@ let () =
   let doc = "EDA-driven preprocessing for SAT solving" in
   let info = Cmd.info "eda4sat" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-                    [ solve_cmd; preprocess_cmd; train_cmd; generate_cmd;
-                      tables_cmd; map_cmd ]))
+                    [ solve_cmd; portfolio_cmd; preprocess_cmd; train_cmd;
+                      generate_cmd; tables_cmd; map_cmd ]))

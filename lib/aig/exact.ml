@@ -96,9 +96,32 @@ let to_bits f =
   | 1 -> let b = bits lor (bits lsl 2) in b lor (b lsl 4)
   | _ -> if bits land 1 = 1 then full else 0
 
+(* Forcing a lazy from two domains at once raises Lazy.Undefined (and
+   [Lazy.is_val] is no safer: it can answer while the force is still
+   in flight), so the forced table is published through an [Atomic]
+   with the classic double-checked lock.  Afterwards the array is
+   immutable and reads are contention-free. *)
+let table_lock = Mutex.create ()
+let forced = Atomic.make None
+
+let force_table () =
+  match Atomic.get forced with
+  | Some t -> t
+  | None ->
+    Mutex.lock table_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock table_lock)
+      (fun () ->
+        match Atomic.get forced with
+        | Some t -> t
+        | None ->
+          let t = Lazy.force table in
+          Atomic.set forced (Some t);
+          t)
+
 let lookup f =
   let bits = to_bits f in
-  let e = (Lazy.force table).(bits) in
+  let e = (force_table ()).(bits) in
   let realized = eval e in
   if realized = bits then (e, false)
   else begin

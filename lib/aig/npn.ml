@@ -52,15 +52,24 @@ let compile n tr =
   in
   { tr; minterm_map }
 
+(* Both memo tables below are shared across portfolio worker domains;
+   each has its own lock ([classes] calls [compiled_transforms], so a
+   single lock would self-deadlock).  The compiled array is immutable
+   once published, so returning it outside the lock is safe. *)
 let compiled_table = Hashtbl.create 7
+let compiled_lock = Mutex.create ()
 
 let compiled_transforms n =
-  match Hashtbl.find_opt compiled_table n with
-  | Some c -> c
-  | None ->
-    let c = List.map (compile n) (all_transforms n) |> Array.of_list in
-    Hashtbl.add compiled_table n c;
-    c
+  Mutex.lock compiled_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock compiled_lock)
+    (fun () ->
+      match Hashtbl.find_opt compiled_table n with
+      | Some c -> c
+      | None ->
+        let c = List.map (compile n) (all_transforms n) |> Array.of_list in
+        Hashtbl.add compiled_table n c;
+        c)
 
 let apply_compiled n bits c out_neg =
   let size = 1 lsl n in
@@ -94,8 +103,9 @@ let canonicalize f =
   (Tt.of_int n !best, !best_tr)
 
 let class_table = Hashtbl.create 7
+let class_lock = Mutex.create ()
 
-let classes n =
+let classes_locked n =
   match Hashtbl.find_opt class_table n with
   | Some reps -> reps
   | None ->
@@ -123,6 +133,12 @@ let classes n =
     done;
     Hashtbl.add class_table n !reps;
     !reps
+
+let classes n =
+  Mutex.lock class_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock class_lock)
+    (fun () -> classes_locked n)
 
 let num_classes n = List.length (classes n)
 let all_class_representatives n = classes n

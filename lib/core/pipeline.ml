@@ -33,10 +33,14 @@ type report = {
 
 let t_all r = r.t_agent +. r.t_trans +. r.t_solve
 
+(* Wall-clock timing (monotonic): the paper's T_agent/T_trans/T_solve
+   decomposition is about elapsed time, and under the portfolio several
+   domains share the process, so [Sys.time] (process CPU) would
+   over-count by the domain fan-out. *)
 let timed f =
-  let t0 = Sys.time () in
+  let t0 = Sat.Wall.now () in
   let x = f () in
-  (x, Sys.time () -. t0)
+  (x, Sat.Wall.now () -. t0)
 
 let solve_direct ?(limits = Sat.Solver.no_limits) inst =
   let f = Instance.direct_formula inst in
@@ -59,13 +63,25 @@ let solve_direct ?(limits = Sat.Solver.no_limits) inst =
     netlist_levels = 0;
   }
 
+exception Interrupted
+
+(* Apply a recipe one operation at a time, polling the cancellation
+   hook between operations so a portfolio lane that already lost the
+   race can abandon an expensive synthesis run. *)
+let apply_ops ~should_stop ops g0 =
+  List.fold_left
+    (fun g op ->
+      if should_stop () then raise Interrupted;
+      Synth.Recipe.apply op g)
+    g0 ops
+
 (* Select the synthesis recipe, charging Q-network/embedding time to
    t_agent and synthesis time to t_trans. *)
-let run_recipe config g0 =
+let run_recipe ~should_stop config g0 =
   match config.recipe with
   | No_preprocessing -> (g0, [], 0.0, 0.0)
   | Fixed ops ->
-    let g, t_synth = timed (fun () -> Synth.Recipe.apply_sequence ops g0) in
+    let g, t_synth = timed (fun () -> apply_ops ~should_stop ops g0) in
     (g, ops, 0.0, t_synth)
   | Random_policy { seed; steps } ->
     let rng = Aig.Rng.create seed in
@@ -75,7 +91,7 @@ let run_recipe config g0 =
              agent always runs T operations). *)
           Synth.Recipe.op_of_index (Aig.Rng.int rng 4))
     in
-    let g, t_synth = timed (fun () -> Synth.Recipe.apply_sequence ops g0) in
+    let g, t_synth = timed (fun () -> apply_ops ~should_stop ops g0) in
     (g, ops, 0.0, t_synth)
   | Agent (agent, max_steps) ->
     let st, t_embed =
@@ -85,6 +101,7 @@ let run_recipe config g0 =
     let g = ref g0 and ops = ref [] in
     (try
        for _t = 1 to max_steps do
+         if should_stop () then raise Interrupted;
          let action, t_sel =
            timed (fun () ->
                Rl.Dqn.select_action agent (State.observe st !g))
@@ -109,9 +126,11 @@ let empty_stats =
     learned = 0;
     max_decision_level = 0;
     time = 0.0;
+    cpu_time = 0.0;
   }
 
-let transform config inst =
+let transform ?(should_stop = fun () -> false) config inst =
+  let check () = if should_stop () then raise Interrupted in
   match config.recipe with
   | No_preprocessing ->
     let f = Instance.direct_formula inst in
@@ -135,11 +154,13 @@ let transform config inst =
     let g0, t_to_aig =
       timed (fun () -> Instance.to_aig ~advanced:config.advanced_recovery inst)
     in
+    check ();
     let before = Aig.Stats.snapshot g0 in
     Log.debug (fun m ->
         m "%s: G0 has %d ANDs, depth %d (to_aig %.3fs)" inst.Instance.name
           before.Aig.Stats.area before.Aig.Stats.depth t_to_aig);
-    let g, recipe_used, t_agent, t_synth = run_recipe config g0 in
+    let g, recipe_used, t_agent, t_synth = run_recipe ~should_stop config g0 in
+    check ();
     let after = Aig.Stats.snapshot g in
     Log.debug (fun m ->
         m "%s: recipe [%s] -> %d ANDs, depth %d (synth %.3fs)"
@@ -149,6 +170,7 @@ let transform config inst =
     let nl, t_map =
       timed (fun () -> Lutmap.Mapper.run ~config:config.mapper g)
     in
+    check ();
     let enc, t_enc = timed (fun () -> Lutmap.Encode.encode nl) in
     let f = enc.Lutmap.Encode.formula in
     Log.debug (fun m ->
@@ -238,6 +260,74 @@ let ours_without_rl ~seed =
 
 let ours_conventional_mapper ?agent () =
   { (ours ?agent ()) with mapper = Lutmap.Mapper.default_config }
+
+(* --- portfolio ------------------------------------------------------ *)
+
+(* The racing lanes.  Direct lanes (solving the instance's own CNF,
+   share group 0) interleave with EDA lanes that run Algorithm 1 first:
+   preprocessing itself is a portfolio member, paying its T_trans
+   inside its own lane while the direct lanes already solve.  A lane's
+   transformed CNF is equisatisfiable with — but different from — the
+   input, so EDA lanes never exchange clauses with direct lanes
+   (distinct share groups; see {!Portfolio.Strategy}). *)
+let portfolio_strategies ?(jobs = 4) config inst =
+  let open Portfolio.Strategy in
+  let lane name cfg heuristic restarts =
+    prepared ~heuristic ~restarts name (fun ~stop ->
+        fst (transform ~should_stop:stop cfg inst))
+  in
+  match config.recipe with
+  | No_preprocessing -> default_pool ~jobs:(max 1 jobs)
+  | Fixed _ | Random_policy _ | Agent _ ->
+    let eda_conventional =
+      { config with mapper = Lutmap.Mapper.default_config }
+    in
+    let fixed =
+      [
+        direct ~heuristic:`Evsids ~restarts:`Luby "direct/evsids/luby";
+        lane "eda/evsids/luby" config `Evsids `Luby;
+        direct ~heuristic:`Lrb ~restarts:`Glucose "direct/lrb/glucose";
+        lane "een2007/evsids/glucose" een2007 `Evsids `Glucose;
+        direct ~heuristic:`Evsids ~restarts:`Glucose "direct/evsids/glucose";
+        lane "eda-conventional/lrb/luby" eda_conventional `Lrb `Luby;
+        direct ~heuristic:`Lrb ~restarts:`Luby "direct/lrb/luby";
+        lane "een2007/lrb/glucose" een2007 `Lrb `Glucose;
+      ]
+    in
+    let jobs = max 1 jobs in
+    if jobs <= List.length fixed then List.filteri (fun i _ -> i < jobs) fixed
+    else
+      fixed
+      @ List.map
+          (fun (name, h, r) ->
+            direct ~heuristic:h ~restarts:r ("extra/" ^ name))
+          (grid (jobs - List.length fixed))
+
+let run_portfolio ?(limits = Sat.Solver.no_limits) ?(jobs = 4)
+    ?(share_lbd = 4) ?proof ?log config inst =
+  let f = Instance.direct_formula inst in
+  let strategies = portfolio_strategies ~jobs config inst in
+  let outcome =
+    Portfolio.Runner.run ~jobs ~share_lbd ~limits ?proof ?log strategies f
+  in
+  let report =
+    {
+      instance = inst.Instance.name;
+      recipe_used = [];
+      vars = f.Cnf.Formula.num_vars;
+      clauses = Cnf.Formula.num_clauses f;
+      t_agent = 0.0;
+      t_trans = 0.0;
+      t_solve = outcome.Portfolio.Runner.wall;
+      result = outcome.Portfolio.Runner.result;
+      solver_stats = outcome.Portfolio.Runner.stats;
+      aig_before = None;
+      aig_after = None;
+      netlist_luts = 0;
+      netlist_levels = 0;
+    }
+  in
+  (report, outcome)
 
 let reduction ~baseline r =
   let tb = t_all baseline in

@@ -44,11 +44,20 @@ val t_all : report -> float
 val run : ?limits:Sat.Solver.limits -> config -> Instance.t -> report
 (** Full Algorithm 1 (or a direct solve for [No_preprocessing]). *)
 
-val transform : config -> Instance.t -> Cnf.Formula.t * report
+exception Interrupted
+(** Raised out of {!transform} when its [should_stop] poll answers
+    true — between synthesis operations and between pipeline phases. *)
+
+val transform :
+  ?should_stop:(unit -> bool) -> config -> Instance.t -> Cnf.Formula.t * report
 (** Algorithm 1 without the final solve: returns the simplified CNF
     \phi_out for an external solver.  The report's solver fields are
     zeroed and [result] is [Unknown].  With [No_preprocessing] the
-    instance's direct formula is returned unchanged. *)
+    instance's direct formula is returned unchanged.  [should_stop]
+    (default never) is polled between operations and phases; answering
+    true aborts the transformation with {!Interrupted} — the portfolio
+    uses this so a lane whose race is already lost stops preprocessing
+    early. *)
 
 val solve_direct : ?limits:Sat.Solver.limits -> Instance.t -> report
 
@@ -71,6 +80,36 @@ val ours_without_rl : seed:int -> config
 
 val ours_conventional_mapper : ?agent:Rl.Dqn.t -> unit -> config
 (** RL recipe with the conventional mapper (§4.4 ablation). *)
+
+(** {1 Portfolio racing} *)
+
+val portfolio_strategies :
+  ?jobs:int -> config -> Instance.t -> Portfolio.Strategy.t list
+(** The diversified lane pool raced by {!run_portfolio}: direct lanes
+    (heuristic × restart-schedule grid over the instance's own CNF,
+    exchanging low-LBD learnt clauses) interleaved with EDA lanes that
+    run [transform config] — and the Eén-2007 recipe — as their
+    preparation step, so Algorithm 1 preprocessing competes as a
+    portfolio member instead of a mandatory prefix.  With
+    [No_preprocessing] the pool is direct-only.  At least [jobs]
+    (default 4) strategies are returned. *)
+
+val run_portfolio :
+  ?limits:Sat.Solver.limits ->
+  ?jobs:int ->
+  ?share_lbd:int ->
+  ?proof:Sat.Proof.t ->
+  ?log:(string -> unit) ->
+  config ->
+  Instance.t ->
+  report * Portfolio.Runner.outcome
+(** Race {!portfolio_strategies} on the instance with
+    {!Portfolio.Runner.run}.  The report's [t_solve] is the race's
+    wall-clock time and its solver fields are the winner's; [vars] and
+    [clauses] describe the direct formula.  See {!Portfolio.Runner}
+    for proof semantics ([proof] is completed only when a direct lane
+    refutes the input formula) and the [jobs = 1] deterministic
+    sequential fallback. *)
 
 val reduction : baseline:report -> report -> float
 (** Percentage reduction of T_all versus the baseline ("Red." columns). *)

@@ -2,7 +2,11 @@ type t = Aig.Tt.t -> int
 
 let conventional _ = 1
 
+(* The memo is a process-wide table shared by every portfolio worker
+   domain mapping concurrently; the mutex only covers the lookup and
+   the insertion, never the (pure) cost computation itself. *)
 let memo : (int * int, int) Hashtbl.t = Hashtbl.create 4096
+let memo_lock = Mutex.create ()
 
 let branching_raw f =
   List.length (Aig.Isop.compute f)
@@ -12,11 +16,20 @@ let branching f =
   let n = Aig.Tt.num_vars f in
   if n <= 6 then begin
     let key = (n, Aig.Tt.to_int f) in
-    match Hashtbl.find_opt memo key with
+    let cached =
+      Mutex.lock memo_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock memo_lock)
+        (fun () -> Hashtbl.find_opt memo key)
+    in
+    match cached with
     | Some c -> c
     | None ->
       let c = branching_raw f in
-      Hashtbl.add memo key c;
+      Mutex.lock memo_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock memo_lock)
+        (fun () -> if not (Hashtbl.mem memo key) then Hashtbl.add memo key c);
       c
   end
   else branching_raw f

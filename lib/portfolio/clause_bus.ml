@@ -1,0 +1,63 @@
+type inbox = {
+  lock : Mutex.t;
+  q : (int array * int) Queue.t;
+}
+
+type t = {
+  groups : int option array;
+  inboxes : inbox array;
+  published : int Atomic.t;
+  delivered : int Atomic.t;
+  dropped : int Atomic.t;
+}
+
+let capacity = 4096
+
+let create ~groups =
+  {
+    groups = Array.copy groups;
+    inboxes =
+      Array.init (Array.length groups) (fun _ ->
+          { lock = Mutex.create (); q = Queue.create () });
+    published = Atomic.make 0;
+    delivered = Atomic.make 0;
+    dropped = Atomic.make 0;
+  }
+
+let locked inbox f =
+  Mutex.lock inbox.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock inbox.lock) f
+
+let publish t ~worker clause lbd =
+  match t.groups.(worker) with
+  | None -> ()
+  | Some g ->
+    Atomic.incr t.published;
+    Array.iteri
+      (fun i group ->
+        if i <> worker && group = Some g then begin
+          let inbox = t.inboxes.(i) in
+          let accepted =
+            locked inbox (fun () ->
+                if Queue.length inbox.q < capacity then begin
+                  Queue.add (clause, lbd) inbox.q;
+                  true
+                end
+                else false)
+          in
+          if accepted then Atomic.incr t.delivered
+          else Atomic.incr t.dropped
+        end)
+      t.groups
+
+let drain t ~worker =
+  let inbox = t.inboxes.(worker) in
+  locked inbox (fun () ->
+      let acc = ref [] in
+      Queue.iter (fun c -> acc := c :: !acc) inbox.q;
+      Queue.clear inbox.q;
+      List.rev !acc)
+
+let published t = Atomic.get t.published
+let delivered t = Atomic.get t.delivered
+let dropped t = Atomic.get t.dropped

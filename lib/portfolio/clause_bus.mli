@@ -1,0 +1,37 @@
+(** Learnt-clause exchange between portfolio workers.
+
+    One mutex-guarded inbox per worker.  A worker publishing a clause
+    copies it (by reference — published arrays are immutable from then
+    on) into the inbox of every {e other} worker in the same share
+    group; each worker drains its own inbox at its solver's import
+    points (restarts).  Inboxes are bounded: beyond {!capacity}
+    pending clauses the newest publication is dropped and counted,
+    so a fast exporter cannot make a slow importer's queue grow
+    without bound. *)
+
+type t
+
+val capacity : int
+(** Maximum pending clauses per inbox (drops are counted, not fatal). *)
+
+val create : groups:int option array -> t
+(** One slot per worker; [groups.(i)] is worker [i]'s share group
+    ([None] = isolated). *)
+
+val publish : t -> worker:int -> int array -> int -> unit
+(** [publish bus ~worker clause lbd] offers [clause] (DIMACS literals,
+    with its glue value) to every other worker of [worker]'s group.
+    The array must not be mutated after publication.  No-op for
+    isolated workers. *)
+
+val drain : t -> worker:int -> (int array * int) list
+(** Remove and return worker [i]'s pending clauses, oldest first. *)
+
+val published : t -> int
+(** Clauses accepted from exporters (before per-inbox fan-out). *)
+
+val delivered : t -> int
+(** Clause deliveries into inboxes (once per receiving worker). *)
+
+val dropped : t -> int
+(** Deliveries refused because an inbox was full. *)

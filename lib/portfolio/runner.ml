@@ -1,0 +1,228 @@
+type worker_outcome =
+  | Answered of Sat.Solver.result * Sat.Solver.stats
+  | Cancelled
+  | Limit of Sat.Solver.stats
+  | Failed of string
+
+type worker_report = {
+  strategy : Strategy.t;
+  outcome : worker_outcome;
+}
+
+type outcome = {
+  result : Sat.Solver.result;
+  winner : int option;
+  stats : Sat.Solver.stats;
+  wall : float;
+  workers : worker_report array;
+  shared_published : int;
+  shared_delivered : int;
+  shared_dropped : int;
+}
+
+let empty_stats =
+  {
+    Sat.Solver.decisions = 0;
+    conflicts = 0;
+    propagations = 0;
+    restarts = 0;
+    learned = 0;
+    max_decision_level = 0;
+    time = 0.0;
+    cpu_time = 0.0;
+  }
+
+let result_name = function
+  | Sat.Solver.Sat _ -> "SAT"
+  | Sat.Solver.Unsat -> "UNSAT"
+  | Sat.Solver.Unknown -> "UNKNOWN"
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+(* --- sequential race (jobs = 1) ------------------------------------- *)
+
+(* Deterministic: strategies run one after the other under the full
+   limits, no domains, no sharing, no interrupts.  The caller's proof
+   is threaded directly into the direct lanes, so the first lane is
+   bit-identical to a plain [Sat.Solver.solve]. *)
+let run_sequential ~limits ~proof ~log strategies formula =
+  let t0 = Sat.Wall.now () in
+  let strategies = Array.of_list strategies in
+  let reports =
+    Array.map (fun strategy -> { strategy; outcome = Cancelled }) strategies
+  in
+  let winner = ref None in
+  let i = ref 0 in
+  while !winner = None && !i < Array.length strategies do
+    let st = strategies.(!i) in
+    let outcome =
+      try
+        let f = match st.Strategy.prepare with
+          | None -> formula
+          | Some prep -> prep ~stop:(fun () -> false)
+        in
+        let wproof =
+          if st.Strategy.share_group = Some 0 then proof else None
+        in
+        let result, stats =
+          Sat.Solver.solve ~limits ?proof:wproof
+            ~heuristic:st.Strategy.heuristic ~restarts:st.Strategy.restarts f
+        in
+        match result with
+        | Sat.Solver.Sat _ | Sat.Solver.Unsat ->
+          winner := Some !i;
+          Answered (result, stats)
+        | Sat.Solver.Unknown -> Limit stats
+      with e -> Failed (Printexc.to_string e)
+    in
+    (match outcome with
+     | Answered (r, st') ->
+       log (Printf.sprintf "lane %d (%s): %s in %.3fs" !i st.Strategy.name
+              (result_name r) st'.Sat.Solver.time)
+     | Limit _ ->
+       log (Printf.sprintf "lane %d (%s): limit" !i st.Strategy.name)
+     | Failed msg ->
+       log (Printf.sprintf "lane %d (%s) failed: %s" !i st.Strategy.name msg)
+     | Cancelled -> ());
+    reports.(!i) <- { strategy = st; outcome };
+    incr i
+  done;
+  let result, stats =
+    match !winner with
+    | Some w -> (
+      match reports.(w).outcome with
+      | Answered (r, s) -> (r, s)
+      | _ -> assert false)
+    | None -> (Sat.Solver.Unknown, empty_stats)
+  in
+  {
+    result;
+    winner = !winner;
+    stats;
+    wall = Sat.Wall.now () -. t0;
+    workers = reports;
+    shared_published = 0;
+    shared_delivered = 0;
+    shared_dropped = 0;
+  }
+
+(* --- parallel race --------------------------------------------------- *)
+
+let run ?(jobs = 4) ?(share_lbd = 4) ?(limits = Sat.Solver.no_limits) ?proof
+    ?log strategies formula =
+  if strategies = [] then invalid_arg "Runner.run: no strategies";
+  let jobs = max 1 jobs in
+  let log_lock = Mutex.create () in
+  let log msg =
+    match log with
+    | None -> ()
+    | Some f ->
+      Mutex.lock log_lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock log_lock) (fun () -> f msg)
+  in
+  if jobs = 1 then run_sequential ~limits ~proof ~log strategies formula
+  else begin
+    let t0 = Sat.Wall.now () in
+    let strategies = Array.of_list (take jobs strategies) in
+    let n = Array.length strategies in
+    let bus =
+      Clause_bus.create
+        ~groups:(Array.map (fun s -> s.Strategy.share_group) strategies)
+    in
+    let cancel = Sat.Solver.Interrupt.create () in
+    (* First decisive answer wins; the CAS arbitrates photo finishes. *)
+    let race_winner = Atomic.make (-1) in
+    (* Direct lanes log into one deletion-free shared recorder (see
+       Proof's documentation for why the merged log stays checkable);
+       it is replayed into the caller's recorder only if the race
+       refutes the formula via a direct lane. *)
+    let shared_proof =
+      match proof with
+      | None -> None
+      | Some _ -> Some (Sat.Proof.create ~record_deletions:false ())
+    in
+    let work i =
+      let st = strategies.(i) in
+      try
+        let f = match st.Strategy.prepare with
+          | None -> formula
+          | Some prep ->
+            prep ~stop:(fun () -> Sat.Solver.Interrupt.is_set cancel)
+        in
+        if Sat.Solver.Interrupt.is_set cancel then Cancelled
+        else begin
+          let sharing = share_lbd > 0 && st.Strategy.share_group <> None in
+          let export =
+            if sharing then
+              Some (fun clause lbd -> Clause_bus.publish bus ~worker:i clause lbd)
+            else None
+          and import =
+            if sharing then Some (fun () -> Clause_bus.drain bus ~worker:i)
+            else None
+          in
+          let wproof =
+            if st.Strategy.share_group = Some 0 then shared_proof else None
+          in
+          let result, stats =
+            Sat.Solver.solve ~limits ?proof:wproof
+              ~heuristic:st.Strategy.heuristic
+              ~restarts:st.Strategy.restarts ~interrupt:cancel ?export
+              ~export_lbd:(if share_lbd > 0 then share_lbd else max_int)
+              ?import f
+          in
+          match result with
+          | Sat.Solver.Sat _ | Sat.Solver.Unsat ->
+            if Atomic.compare_and_set race_winner (-1) i then begin
+              log (Printf.sprintf "worker %d (%s): %s in %.3fs — race won" i
+                     st.Strategy.name (result_name result)
+                     stats.Sat.Solver.time);
+              Sat.Solver.Interrupt.set cancel
+            end;
+            Answered (result, stats)
+          | Sat.Solver.Unknown ->
+            if Sat.Solver.Interrupt.is_set cancel then Cancelled
+            else Limit stats
+        end
+      with
+      | _ when Sat.Solver.Interrupt.is_set cancel ->
+        (* A preparation abandoned because the race is over raises out
+           of its [stop] poll; that is a cancellation, not a failure. *)
+        Cancelled
+      | e ->
+        let msg = Printexc.to_string e in
+        log (Printf.sprintf "worker %d (%s) failed: %s — racing on" i
+               st.Strategy.name msg);
+        Failed msg
+    in
+    let domains = Array.init n (fun i -> Domain.spawn (fun () -> work i)) in
+    let outcomes = Array.map Domain.join domains in
+    let workers =
+      Array.init n (fun i ->
+          { strategy = strategies.(i); outcome = outcomes.(i) })
+    in
+    let winner =
+      match Atomic.get race_winner with -1 -> None | i -> Some i
+    in
+    let result, stats =
+      match winner with
+      | Some w -> (
+        match outcomes.(w) with
+        | Answered (r, s) -> (r, s)
+        | _ -> assert false)
+      | None -> (Sat.Solver.Unknown, empty_stats)
+    in
+    (match (result, proof, shared_proof) with
+     | Sat.Solver.Unsat, Some p, Some sp when Sat.Proof.sealed sp ->
+       Sat.Proof.replay ~into:p sp
+     | _ -> ());
+    {
+      result;
+      winner;
+      stats;
+      wall = Sat.Wall.now () -. t0;
+      workers;
+      shared_published = Clause_bus.published bus;
+      shared_delivered = Clause_bus.delivered bus;
+      shared_dropped = Clause_bus.dropped bus;
+    }
+  end

@@ -1,0 +1,46 @@
+type t = {
+  name : string;
+  heuristic : [ `Evsids | `Lrb ];
+  restarts : [ `Luby | `Glucose ];
+  share_group : int option;
+  prepare : (stop:(unit -> bool) -> Cnf.Formula.t) option;
+}
+
+let direct ?(heuristic = `Evsids) ?(restarts = `Luby) name =
+  { name; heuristic; restarts; share_group = Some 0; prepare = None }
+
+let prepared ?(heuristic = `Evsids) ?(restarts = `Luby) ?share_group name
+    prepare =
+  (match share_group with
+   | Some 0 -> invalid_arg "Strategy.prepared: share group 0 is direct-only"
+   | _ -> ());
+  { name; heuristic; restarts; share_group; prepare = Some prepare }
+
+(* Anchor first, then alternate both axes at once (maximally different
+   from the anchor), then the two mixed points. *)
+let cycle =
+  [| ("evsids/luby", `Evsids, `Luby);
+     ("lrb/glucose", `Lrb, `Glucose);
+     ("evsids/glucose", `Evsids, `Glucose);
+     ("lrb/luby", `Lrb, `Luby) |]
+
+let grid n =
+  List.init n (fun i ->
+      let name, h, r = cycle.(i mod Array.length cycle) in
+      if i < Array.length cycle then (name, h, r)
+      else (Printf.sprintf "%s#%d" name (i / Array.length cycle), h, r))
+
+let default_pool ~jobs =
+  List.map
+    (fun (name, heuristic, restarts) ->
+      direct ~heuristic ~restarts ("direct/" ^ name))
+    (grid (max 1 jobs))
+
+let pp ppf s =
+  Format.fprintf ppf "%s (%s, %s%s%s)" s.name
+    (match s.heuristic with `Evsids -> "evsids" | `Lrb -> "lrb")
+    (match s.restarts with `Luby -> "luby" | `Glucose -> "glucose")
+    (match s.prepare with None -> "" | Some _ -> ", prepared")
+    (match s.share_group with
+     | None -> ""
+     | Some g -> Printf.sprintf ", share:%d" g)

@@ -1,0 +1,54 @@
+(** Diversified solver configurations for the portfolio race.
+
+    A strategy names one lane of the race: a branching heuristic and a
+    restart schedule for the CDCL core, optionally behind a [prepare]
+    step that derives the CNF the lane actually solves (the EDA
+    preprocessing pipeline is plugged in this way — preprocessing
+    itself races against direct solving, paying its transformation
+    time inside its own lane's wall clock).
+
+    Lanes that solve the {e same} formula may exchange learned
+    clauses; lanes solving a transformed (equisatisfiable but
+    different) CNF must not — a clause learned from φ_out is not in
+    general implied by φ_in.  [share_group] encodes this: only
+    strategies with equal [Some g] exchange clauses, and only
+    share-group-[0] (direct) lanes contribute to a shared DRAT
+    recorder. *)
+
+type t = {
+  name : string;
+  heuristic : [ `Evsids | `Lrb ];
+  restarts : [ `Luby | `Glucose ];
+  share_group : int option;
+      (** clause-sharing partition; [None] never shares.  Group [0] is
+          reserved for lanes solving the input formula directly. *)
+  prepare : (stop:(unit -> bool) -> Cnf.Formula.t) option;
+      (** build this lane's CNF (run inside the lane's own domain);
+          [None] solves the input formula.  [stop] polls race
+          cancellation — a preparation that honours it (by raising)
+          lets a lost lane abandon an expensive transformation early.
+          [prepare <> None] requires [share_group <> Some 0]. *)
+}
+
+val direct : ?heuristic:[ `Evsids | `Lrb ] -> ?restarts:[ `Luby | `Glucose ]
+  -> string -> t
+(** A lane solving the input formula (share group 0).  Defaults:
+    EVSIDS, Luby — the exact configuration of {!Sat.Solver.solve},
+    which makes [direct "x"] the deterministic anchor lane. *)
+
+val prepared : ?heuristic:[ `Evsids | `Lrb ] -> ?restarts:[ `Luby | `Glucose ]
+  -> ?share_group:int -> string -> (stop:(unit -> bool) -> Cnf.Formula.t) -> t
+(** A lane that first derives its own CNF.  [share_group] defaults to
+    [None] (no sharing); groups [> 0] may be used for several lanes
+    known to solve the identical derived formula. *)
+
+val grid : int -> (string * [ `Evsids | `Lrb ] * [ `Luby | `Glucose ]) list
+(** The first [n] points of the deterministic heuristic-by-restart
+    diversification cycle: evsids/luby, lrb/glucose, evsids/glucose,
+    lrb/luby, then repeating.  The anchor configuration comes first. *)
+
+val default_pool : jobs:int -> t list
+(** [jobs] direct lanes over {!grid} — the pure-solver portfolio used
+    when no preprocessing lanes are available. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,19 +1,44 @@
 type step = Add of int array | Delete of int array
 
-type t = { mutable rev_steps : step list; mutable count : int }
+type t = {
+  mutable rev_steps : step list;
+  mutable count : int;
+  mutable sealed : bool;
+  record_deletions : bool;
+  lock : Mutex.t;
+}
 
-let create () = { rev_steps = []; count = 0 }
+let create ?(record_deletions = true) () =
+  { rev_steps = []; count = 0; sealed = false; record_deletions;
+    lock = Mutex.create () }
+
+let locked p f =
+  Mutex.lock p.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock p.lock) f
 
 let add p c =
-  p.rev_steps <- Add (Array.copy c) :: p.rev_steps;
-  p.count <- p.count + 1
+  locked p (fun () ->
+      if not p.sealed then begin
+        p.rev_steps <- Add (Array.copy c) :: p.rev_steps;
+        p.count <- p.count + 1;
+        if Array.length c = 0 then p.sealed <- true
+      end)
 
 let delete p c =
-  p.rev_steps <- Delete (Array.copy c) :: p.rev_steps;
-  p.count <- p.count + 1
+  locked p (fun () ->
+      if p.record_deletions && not p.sealed then begin
+        p.rev_steps <- Delete (Array.copy c) :: p.rev_steps;
+        p.count <- p.count + 1
+      end)
 
-let steps p = List.rev p.rev_steps
-let num_steps p = p.count
+let steps p = locked p (fun () -> List.rev p.rev_steps)
+let num_steps p = locked p (fun () -> p.count)
+let sealed p = locked p (fun () -> p.sealed)
+
+let replay ~into p =
+  List.iter
+    (function Add c -> add into c | Delete c -> delete into c)
+    (steps p)
 
 let to_string p =
   let buf = Buffer.create 4096 in

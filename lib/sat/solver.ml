@@ -30,6 +30,7 @@ type stats = {
   learned : int;
   max_decision_level : int;
   time : float;
+  cpu_time : float;
 }
 
 type limits = {
@@ -37,6 +38,19 @@ type limits = {
   max_decisions : int option;
   max_seconds : float option;
 }
+
+(* Cooperative cancellation, after minisat's interrupt /
+   clearInterrupt.  The flag is an [Atomic.t] so another domain can
+   raise it asynchronously; the search probes it on every budget tick
+   (one per conflict or decision) and gives up with [Unknown]. *)
+module Interrupt = struct
+  type t = bool Atomic.t
+
+  let create () = Atomic.make false
+  let set t = Atomic.set t true
+  let clear t = Atomic.set t false
+  let is_set t = Atomic.get t
+end
 
 let no_limits = { max_conflicts = None; max_decisions = None; max_seconds = None }
 
@@ -667,8 +681,19 @@ type search_outcome =
    Assumptions (internal literals) are placed as pseudo-decisions on
    the first decision levels; learned units always backjump to level 0
    (assumptions are re-placed afterwards), so a [No_reason] assignment
-   above level 0 during assumption placement is always an assumption. *)
-let search s ~limits ~proof ~restarts ~assumption_lits ~on_learnt ~t0 =
+   above level 0 during assumption placement is always an assumption.
+
+   [t0] is a {e wall-clock} origin ({!Wall.now}): with several domains
+   racing, process CPU time advances N times faster than real time, so
+   [max_seconds] must be measured against the wall.
+
+   [interrupt] is probed on every budget tick; [export] is called (in
+   DIMACS literals) for every learned clause whose LBD is at most
+   [export_lbd], after the clause has been logged to [proof]; [import]
+   is polled at every restart (and once on entry), at decision level 0,
+   and its clauses join the learnt database. *)
+let search s ~limits ~proof ~restarts ~assumption_lits ~on_learnt ~interrupt
+    ~export ~export_lbd ~import ~t0 =
   let nassum = Array.length assumption_lits in
   let conflicts_since_restart = ref 0 in
   let restart_num = ref 0 in
@@ -696,6 +721,46 @@ let search s ~limits ~proof ~restarts ~assumption_lits ~on_learnt ~t0 =
       && float_of_int !win_sum *. 0.8 /. 50.0
          > float_of_int !lbd_total /. float_of_int (max 1 !lbd_count)
   in
+  let exception Out of search_outcome in
+  (* Attach a clause shared by another portfolio worker.  Runs at
+     decision level 0 only; the clause was learned from (a CNF
+     equisatisfiable derivation of) the same formula, so it joins the
+     learnt database like any locally derived clause.  It is NOT logged
+     to [proof]: the exporting worker already logged it into the shared
+     recorder before publishing (see {!Proof}). *)
+  let import_clause (clause, lbd) =
+    if Array.for_all (fun l -> l <> 0 && abs l <= s.nvars) clause then begin
+      let lits =
+        Array.to_list clause
+        |> List.map (fun l -> lit_of_var (abs l - 1) (l < 0))
+        |> List.sort_uniq compare
+      in
+      let taut =
+        let rec chk = function
+          | a :: (b :: _ as rest) -> a lxor b = 1 || chk rest
+          | _ -> false
+        in
+        chk lits
+      in
+      if (not taut) && not (List.exists (fun l -> lit_value s l = 1) lits)
+      then
+        match List.filter (fun l -> lit_value s l <> 0) lits with
+        | [] ->
+          (* Falsified under the level-0 assignment: refuted. *)
+          log_add proof [||];
+          raise (Out S_unsat_final)
+        | [ l ] -> enqueue s l No_reason
+        | [ a; b ] ->
+          add_binary s a b;
+          s.st_learned <- s.st_learned + 1
+        | lits -> ignore (add_long s (Array.of_list lits) true (max 1 lbd))
+    end
+  in
+  let do_import () =
+    match import with
+    | None -> ()
+    | Some f -> List.iter import_clause (f ())
+  in
   let do_restart () =
     conflicts_since_restart := 0;
     (match restarts with
@@ -707,28 +772,34 @@ let search s ~limits ~proof ~restarts ~assumption_lits ~on_learnt ~t0 =
        win_pos := 0;
        win_sum := 0);
     s.st_restarts <- s.st_restarts + 1;
-    cancel_until s 0
+    cancel_until s 0;
+    do_import ()
   in
   (* The wall-clock check is gated on a counter that advances on every
      budget probe (one per conflict or decision), never on the conflict
      count alone — a decision-heavy run must still honor
-     [max_seconds]. *)
+     [max_seconds].  The interrupt flag is probed on every tick so a
+     portfolio loser stops within one conflict/decision of the race
+     being decided. *)
   let budget_ticks = ref 0 in
   let out_of_budget () =
     incr budget_ticks;
-    (match limits.max_conflicts with
-     | Some m when s.st_conflicts >= m -> true
+    (match interrupt with
+     | Some i when Interrupt.is_set i -> true
      | _ -> false)
+    || (match limits.max_conflicts with
+        | Some m when s.st_conflicts >= m -> true
+        | _ -> false)
     || (match limits.max_decisions with
         | Some m when s.st_decisions >= m -> true
         | _ -> false)
     ||
     match limits.max_seconds with
-    | Some m when !budget_ticks land 255 = 0 -> Sys.time () -. t0 > m
+    | Some m when !budget_ticks land 255 = 0 -> Wall.now () -. t0 > m
     | _ -> false
   in
-  let exception Out of search_outcome in
   try
+    do_import ();
     while true do
       match propagate s with
       | Some confl ->
@@ -742,6 +813,13 @@ let search s ~limits ~proof ~restarts ~assumption_lits ~on_learnt ~t0 =
         (match on_learnt with None -> () | Some f -> f lits lbd);
         note_lbd lbd;
         log_add proof lits;
+        (* Export after logging: the shared-proof invariant is that a
+           clause reaches the recorder before any other worker can
+           import it. *)
+        (match export with
+         | Some f when lbd <= export_lbd ->
+           f (Array.map dimacs_of_lit lits) lbd
+         | _ -> ());
         cancel_until s blevel;
         (match Array.length lits with
          | 1 -> enqueue s lits.(0) No_reason
@@ -834,7 +912,7 @@ let prepare f =
     f.Cnf.Formula.clauses;
   if !ok then Ready (s, !units) else Trivially_unsat
 
-let make_stats s time =
+let make_stats s ~wall ~cpu =
   {
     decisions = s.st_decisions;
     conflicts = s.st_conflicts;
@@ -842,16 +920,21 @@ let make_stats s time =
     restarts = s.st_restarts;
     learned = s.st_learned;
     max_decision_level = s.st_max_level;
-    time;
+    time = wall;
+    cpu_time = cpu;
   }
 
 let solve ?(limits = no_limits) ?proof ?(heuristic = `Evsids)
-    ?(restarts = `Luby) ?on_learnt f =
-  let t0 = Sys.time () in
+    ?(restarts = `Luby) ?on_learnt ?interrupt ?export ?(export_lbd = max_int)
+    ?import f =
+  let t0 = Wall.now () in
+  let c0 = Sys.time () in
+  let stats_of s = make_stats s ~wall:(Wall.now () -. t0)
+      ~cpu:(Sys.time () -. c0) in
   match prepare f with
   | Trivially_unsat ->
     log_add proof [||];
-    (Unsat, make_stats (create 0) (Sys.time () -. t0))
+    (Unsat, stats_of (create 0))
   | Ready (s, units) ->
     s.lrb <- (heuristic = `Lrb);
     let exception Done of result in
@@ -876,7 +959,7 @@ let solve ?(limits = no_limits) ?proof ?(heuristic = `Evsids)
        let r =
          match
            search s ~limits ~proof ~restarts ~assumption_lits:[||] ~on_learnt
-             ~t0
+             ~interrupt ~export ~export_lbd ~import ~t0
          with
          | S_sat m -> Sat m
          | S_unsat_final -> Unsat
@@ -884,7 +967,7 @@ let solve ?(limits = no_limits) ?proof ?(heuristic = `Evsids)
          | S_unknown -> Unknown
        in
        raise (Done r)
-     with Done r -> (r, make_stats s (Sys.time () -. t0)))
+     with Done r -> (r, stats_of s))
 
 let decisions_or_max ?(limits = no_limits) f =
   let result, st = solve ~limits f in
@@ -894,8 +977,10 @@ let decisions_or_max ?(limits = no_limits) f =
 
 let pp_stats ppf st =
   Format.fprintf ppf
-    "decisions=%d conflicts=%d propagations=%d restarts=%d learned=%d time=%.3fs"
+    "decisions=%d conflicts=%d propagations=%d restarts=%d learned=%d \
+     time=%.3fs cpu=%.3fs"
     st.decisions st.conflicts st.propagations st.restarts st.learned st.time
+    st.cpu_time
 
 (* ------------------------------------------------------------------ *)
 (* Incremental interface *)
@@ -985,8 +1070,9 @@ module Incremental = struct
     Array.iter (add_clause session) f.Cnf.Formula.clauses
 
   let solve ?(limits = no_limits) ?proof ?(heuristic = `Evsids)
-      ?(restarts = `Luby) ?(assumptions = [||]) session =
-    let t0 = Sys.time () in
+      ?(restarts = `Luby) ?interrupt ?(assumptions = [||]) session =
+    let t0 = Wall.now () in
+    let c0 = Sys.time () in
     let s = session.s in
     s.lrb <- (heuristic = `Lrb);
     let assumption_lits =
@@ -1003,7 +1089,7 @@ module Incremental = struct
       s.trail_lim <- grow_array s.trail_lim needed 0;
     let finish r =
       cancel_until s 0;
-      (r, make_stats s (Sys.time () -. t0))
+      (r, make_stats s ~wall:(Wall.now () -. t0) ~cpu:(Sys.time () -. c0))
     in
     session.core <- [||];
     if session.broken then finish Unsat
@@ -1018,7 +1104,7 @@ module Incremental = struct
       done;
       match
         search s ~limits ~proof ~restarts ~assumption_lits ~on_learnt:None
-          ~t0
+          ~interrupt ~export:None ~export_lbd:max_int ~import:None ~t0
       with
       | S_sat m -> finish (Sat m)
       | S_unknown -> finish Unknown

@@ -15,7 +15,7 @@
 type result =
   | Sat of bool array  (** model, indexed by variable - 1 *)
   | Unsat
-  | Unknown            (** a resource limit was hit *)
+  | Unknown            (** a resource limit was hit, or interrupted *)
 
 type stats = {
   decisions : int;     (** branching times *)
@@ -24,21 +24,52 @@ type stats = {
   restarts : int;
   learned : int;
   max_decision_level : int;
-  time : float;        (** CPU seconds *)
+  time : float;
+      (** monotonic {e wall-clock} seconds ({!Wall.now}).  This is
+          what [max_seconds] is measured against: with N portfolio
+          domains running, process CPU time advances ~N times faster
+          than real time, so a CPU-clocked limit would fire N times
+          early.  The CPU side is kept separately in [cpu_time]. *)
+  cpu_time : float;
+      (** process CPU seconds ([Sys.time]) consumed during the call —
+          under a portfolio this aggregates the work of every domain
+          that ran concurrently, so [cpu_time] can exceed [time]. *)
 }
 
 type limits = {
   max_conflicts : int option;
   max_decisions : int option;
-  max_seconds : float option;
+  max_seconds : float option;  (** wall-clock seconds, see {!stats.time} *)
 }
 
 val no_limits : limits
+
+(** Cooperative cancellation, mirroring minisat's [interrupt] /
+    [clearInterrupt].  A flag is an [Atomic.t] under the hood: any
+    domain may {!Interrupt.set} it while a solve is running; the search
+    probes it on every budget tick (one per conflict or decision) and
+    returns [Unknown] within one tick.  The flag is not cleared by the
+    solver — {!Interrupt.clear} re-arms it for reuse. *)
+module Interrupt : sig
+  type t
+
+  val create : unit -> t
+
+  val set : t -> unit
+  (** Request cancellation; may be called from any domain. *)
+
+  val clear : t -> unit
+  val is_set : t -> bool
+end
 
 val solve :
   ?limits:limits -> ?proof:Proof.t -> ?heuristic:[ `Evsids | `Lrb ] ->
   ?restarts:[ `Luby | `Glucose ] ->
   ?on_learnt:(int array -> int -> unit) ->
+  ?interrupt:Interrupt.t ->
+  ?export:(int array -> int -> unit) ->
+  ?export_lbd:int ->
+  ?import:(unit -> (int array * int) list) ->
   Cnf.Formula.t -> result * stats
 (** Solve a formula from scratch.  When the result is [Sat m], [m]
     satisfies the formula (checked cheaply by the caller via
@@ -54,7 +85,30 @@ val solve :
     [on_learnt lits lbd] is an instrumentation hook invoked for every
     learned clause at learn time — before backjumping, while all of
     [lits] (internal literal encoding, first-UIP first) are still
-    assigned — with the glue value [lbd] stored for that clause. *)
+    assigned — with the glue value [lbd] stored for that clause.
+
+    The remaining hooks are the portfolio surface (see
+    [lib/portfolio]):
+
+    - [interrupt] cancels the search cooperatively; the answer is
+      [Unknown].
+    - [export clause lbd] is invoked at learn time, with {e DIMACS}
+      literals, for every learned clause whose glue is at most
+      [export_lbd] (default: export everything when [export] is
+      given).  When a shared [proof] is in use the clause is logged
+      before it is exported, so an importer can rely on finding it in
+      the recorder.
+    - [import] is polled at every restart (and once on entry), at
+      decision level 0; it returns [(clause, lbd)] pairs in DIMACS
+      literals which join the learnt database.  Imported clauses must
+      be implied by the formula (e.g. learned by another solver on the
+      same formula); they are {e not} re-logged to [proof], because
+      under the shared recorder discipline the exporting worker
+      already logged them.
+
+    The hooks run in the solving domain; [export]/[import] callbacks
+    must themselves be safe to call from that domain (the portfolio's
+    clause bus is mutex-guarded). *)
 
 val decisions_or_max : ?limits:limits -> Cnf.Formula.t -> int
 (** Convenience for the RL reward: the decision count of a solve, or
@@ -85,10 +139,13 @@ module Incremental : sig
 
   val solve :
     ?limits:limits -> ?proof:Proof.t -> ?heuristic:[ `Evsids | `Lrb ] ->
-    ?restarts:[ `Luby | `Glucose ] -> ?assumptions:int array -> session ->
+    ?restarts:[ `Luby | `Glucose ] -> ?interrupt:Interrupt.t ->
+    ?assumptions:int array -> session ->
     result * stats
   (** Solve the accumulated clauses under the given assumption
-      literals.  [Unsat] means unsatisfiable {e under the assumptions}
+      literals.  [interrupt] cancels the query cooperatively (answer
+      [Unknown]), as in the batch {!solve}.
+      [Unsat] means unsatisfiable {e under the assumptions}
       (permanently unsatisfiable once it occurs with none).  Models
       cover all variables allocated so far.  Statistics are cumulative
       across the session's queries.

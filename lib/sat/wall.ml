@@ -1,0 +1,9 @@
+let last = Atomic.make 0.0
+
+let rec clamp t =
+  let l = Atomic.get last in
+  if t <= l then l
+  else if Atomic.compare_and_set last l t then t
+  else clamp t
+
+let now () = clamp (Unix.gettimeofday ())

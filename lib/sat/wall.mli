@@ -1,0 +1,17 @@
+(** Monotonic wall-clock time.
+
+    [Sys.time] measures {e process CPU} time, which advances roughly
+    N times faster than real time when N domains are running — so a
+    CPU-clocked [max_seconds] fires N times early under the portfolio.
+    Every wall-clock measurement in the solver and the pipeline goes
+    through {!now} instead.
+
+    The OCaml 5.1 standard library exposes no monotonic clock, so
+    [now] is [Unix.gettimeofday] made monotone by clamping against the
+    largest value returned so far (shared across domains through an
+    [Atomic.t]): a backwards NTP step can stall the clock briefly but
+    never make an elapsed-time difference negative. *)
+
+val now : unit -> float
+(** Monotonic wall-clock seconds since an arbitrary epoch.  Safe to
+    call concurrently from any domain. *)

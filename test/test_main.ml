@@ -10,6 +10,7 @@ let () =
       ("deepgate", Test_deepgate.suite);
       ("rl", Test_rl.suite);
       ("core", Test_core.suite);
+      ("portfolio", Test_portfolio.suite);
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
     ]

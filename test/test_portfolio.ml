@@ -1,0 +1,255 @@
+(* The portfolio race: differential fuzzing against brute force and
+   the sequential solver, proof checkability under clause sharing,
+   bit-identity of the jobs=1 fallback, and robustness to failing or
+   cancelled workers. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let brute_force_sat f =
+  let n = f.Cnf.Formula.num_vars in
+  assert (n <= 14);
+  let rec try_assignment m =
+    m < 1 lsl n
+    && (Cnf.Formula.eval f (Array.init n (fun i -> m land (1 lsl i) <> 0))
+        || try_assignment (m + 1))
+  in
+  try_assignment 0
+
+let random_formula rng =
+  let nvars = 2 + Aig.Rng.int rng 13 in
+  let nclauses = 1 + Aig.Rng.int rng (5 * nvars) in
+  let clauses =
+    List.init nclauses (fun _ ->
+        let len = 1 + Aig.Rng.int rng 5 in
+        Array.init len (fun _ ->
+            let v = 1 + Aig.Rng.int rng nvars in
+            if Aig.Rng.bool rng then v else -v))
+  in
+  Cnf.Formula.create ~num_vars:nvars clauses
+
+(* Direct-only pools keep the winner's model a model of the input
+   formula, so both branches of the differential check apply. *)
+let test_fuzz_vs_brute_force () =
+  let rng = Aig.Rng.create 424242 in
+  for i = 1 to 60 do
+    let f = random_formula rng in
+    let expected = brute_force_sat f in
+    let jobs = 2 + (i mod 3) in
+    let proof = Sat.Proof.create () in
+    let outcome =
+      Portfolio.Runner.run ~jobs ~share_lbd:1000 ~proof
+        (Portfolio.Strategy.default_pool ~jobs)
+        f
+    in
+    match outcome.Portfolio.Runner.result with
+    | Sat.Solver.Sat m ->
+      if not expected then
+        Alcotest.failf "case %d: portfolio SAT, brute force UNSAT" i;
+      if not (Cnf.Formula.eval f m) then
+        Alcotest.failf "case %d: portfolio model does not satisfy" i
+    | Sat.Solver.Unsat ->
+      if expected then
+        Alcotest.failf "case %d: portfolio UNSAT, brute force SAT" i;
+      (* With direct-only lanes the winner is always a direct lane, so
+         the shared recorder must have been replayed and checkable even
+         though clauses crossed lanes mid-race. *)
+      if not (Sat.Proof.sealed proof) then
+        Alcotest.failf "case %d: UNSAT but proof not sealed" i;
+      if not (Sat.Proof.check f proof) then
+        Alcotest.failf "case %d: merged shared DRAT proof fails" i
+    | Sat.Solver.Unknown -> Alcotest.failf "case %d: unexpected Unknown" i
+  done;
+  check_bool "portfolio fuzz 60/60" true true
+
+let test_sequential_bit_identity () =
+  (* jobs = 1 with the default pool must reproduce Sat.Solver.solve
+     exactly: same answer, same model, same search trajectory, same
+     proof log. *)
+  let rng = Aig.Rng.create 31337 in
+  for i = 1 to 40 do
+    let f = random_formula rng in
+    let proof_solo = Sat.Proof.create () in
+    let r_solo, st_solo = Sat.Solver.solve ~proof:proof_solo f in
+    let proof_race = Sat.Proof.create () in
+    let outcome =
+      Portfolio.Runner.run ~jobs:1 ~proof:proof_race
+        (Portfolio.Strategy.default_pool ~jobs:1)
+        f
+    in
+    let st_race = outcome.Portfolio.Runner.stats in
+    (match (r_solo, outcome.Portfolio.Runner.result) with
+     | Sat.Solver.Sat m1, Sat.Solver.Sat m2 ->
+       if m1 <> m2 then Alcotest.failf "case %d: models differ" i
+     | Sat.Solver.Unsat, Sat.Solver.Unsat -> ()
+     | _ -> Alcotest.failf "case %d: results differ" i);
+    if
+      st_solo.Sat.Solver.decisions <> st_race.Sat.Solver.decisions
+      || st_solo.Sat.Solver.conflicts <> st_race.Sat.Solver.conflicts
+      || st_solo.Sat.Solver.propagations <> st_race.Sat.Solver.propagations
+      || st_solo.Sat.Solver.restarts <> st_race.Sat.Solver.restarts
+      || st_solo.Sat.Solver.learned <> st_race.Sat.Solver.learned
+    then Alcotest.failf "case %d: search trajectories differ" i;
+    if Sat.Proof.num_steps proof_solo <> Sat.Proof.num_steps proof_race then
+      Alcotest.failf "case %d: proof logs differ" i
+  done;
+  check_bool "sequential identity 40/40" true true
+
+let test_failed_worker_does_not_lose_race () =
+  let f = Workloads.Satcomp.pigeonhole ~pigeons:6 ~holes:5 in
+  let strategies =
+    [
+      Portfolio.Strategy.prepared "boom" (fun ~stop:_ ->
+          failwith "prepare blew up");
+      Portfolio.Strategy.direct "direct";
+      Portfolio.Strategy.prepared ~heuristic:`Lrb "boom-late" (fun ~stop:_ ->
+          raise Not_found);
+    ]
+  in
+  let outcome = Portfolio.Runner.run ~jobs:3 strategies f in
+  (match outcome.Portfolio.Runner.result with
+   | Sat.Solver.Unsat -> ()
+   | _ -> Alcotest.fail "race lost to failing workers");
+  check_int "winner is the healthy lane" 1
+    (Option.get outcome.Portfolio.Runner.winner);
+  (* A sick lane raising before the race is decided reports Failed;
+     one raising after counts as Cancelled.  Either way it must not
+     claim an answer. *)
+  Array.iteri
+    (fun i w ->
+      if i <> 1 then
+        match w.Portfolio.Runner.outcome with
+        | Portfolio.Runner.Failed _ | Portfolio.Runner.Cancelled -> ()
+        | _ -> Alcotest.failf "sick lane %d produced an answer" i)
+    outcome.Portfolio.Runner.workers
+
+let test_cancellation_terminates () =
+  (* One lane answers instantly; the others are still deep in php(8,7)
+     when the interrupt lands.  run joining all domains *is* the
+     termination property; the losers must come back Cancelled, not
+     Limit, and well before the budget. *)
+  let hard = Workloads.Satcomp.pigeonhole ~pigeons:8 ~holes:7 in
+  let strategies =
+    Portfolio.Strategy.prepared "easy" (fun ~stop:_ ->
+        Cnf.Formula.create ~num_vars:1 [ [| 1 |] ])
+    :: Portfolio.Strategy.default_pool ~jobs:3
+  in
+  let limits =
+    { Sat.Solver.no_limits with Sat.Solver.max_seconds = Some 120.0 }
+  in
+  let outcome = Portfolio.Runner.run ~jobs:4 ~limits strategies hard in
+  (match outcome.Portfolio.Runner.result with
+   | Sat.Solver.Sat _ -> ()
+   | _ -> Alcotest.fail "easy lane should have won with SAT");
+  check_int "easy lane wins" 0 (Option.get outcome.Portfolio.Runner.winner);
+  check_bool "race returned promptly" true (outcome.Portfolio.Runner.wall < 60.0);
+  Array.iteri
+    (fun i w ->
+      if i <> 0 then
+        match w.Portfolio.Runner.outcome with
+        | Portfolio.Runner.Cancelled | Portfolio.Runner.Answered _ -> ()
+        | Portfolio.Runner.Limit _ ->
+          Alcotest.failf "lane %d ran to its limit despite the interrupt" i
+        | Portfolio.Runner.Failed msg -> Alcotest.failf "lane %d: %s" i msg)
+    outcome.Portfolio.Runner.workers
+
+let test_interrupt_hook () =
+  let hard = Workloads.Satcomp.pigeonhole ~pigeons:8 ~holes:7 in
+  let interrupt = Sat.Solver.Interrupt.create () in
+  Sat.Solver.Interrupt.set interrupt;
+  let result, _ = Sat.Solver.solve ~interrupt hard in
+  (match result with
+   | Sat.Solver.Unknown -> ()
+   | _ -> Alcotest.fail "pre-set interrupt must yield Unknown");
+  Sat.Solver.Interrupt.clear interrupt;
+  let result, _ = Sat.Solver.solve ~interrupt hard in
+  match result with
+  | Sat.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "cleared interrupt must let the solve finish"
+
+let test_export_import_hooks () =
+  (* Export must only see clauses at or below the LBD cap, and a lane
+     importing its peer's units/binaries must still answer correctly. *)
+  let f = Workloads.Satcomp.pigeonhole ~pigeons:6 ~holes:5 in
+  let exported = ref [] in
+  let r, _ =
+    Sat.Solver.solve
+      ~export:(fun c lbd -> exported := (Array.copy c, lbd) :: !exported)
+      ~export_lbd:3 f
+  in
+  (match r with Sat.Solver.Unsat -> () | _ -> Alcotest.fail "php(6,5)");
+  check_bool "something was exported" true (!exported <> []);
+  List.iter
+    (fun (_, lbd) ->
+      if lbd > 3 then Alcotest.failf "exported clause with lbd %d > 3" lbd)
+    !exported;
+  (* Re-solve importing everything we just exported at once. *)
+  let pending = ref !exported in
+  let import () =
+    let batch = !pending in
+    pending := [];
+    batch
+  in
+  let r2, _ = Sat.Solver.solve ~import f in
+  (match r2 with Sat.Solver.Unsat -> () | _ -> Alcotest.fail "with imports");
+  check_bool "imports consumed" true (!pending = [])
+
+let test_pipeline_portfolio_lec () =
+  (* End-to-end through Core.Pipeline: EDA lanes really transform, and
+     the race answer matches the direct solver on a small LEC miter. *)
+  let g = Workloads.Lec.generate ~seed:5 ~num_pis:8 ~num_ands:120 () in
+  let inst = Eda4sat.Instance.of_circuit ~name:"lec-mini" g in
+  let direct = Eda4sat.Instance.direct_formula inst in
+  let expect, _ = Sat.Solver.solve direct in
+  let cfg = Eda4sat.Pipeline.ours () in
+  let report, outcome =
+    Eda4sat.Pipeline.run_portfolio ~jobs:4 cfg inst
+  in
+  (match (expect, report.Eda4sat.Pipeline.result) with
+   | Sat.Solver.Unsat, Sat.Solver.Unsat | Sat.Solver.Sat _, Sat.Solver.Sat _ ->
+     ()
+   | _ -> Alcotest.fail "portfolio disagrees with direct solve on LEC miter");
+  check_bool "a winner exists" true (outcome.Portfolio.Runner.winner <> None);
+  check_bool "t_solve is the race wall" true
+    (report.Eda4sat.Pipeline.t_solve = outcome.Portfolio.Runner.wall)
+
+let test_strategy_pool_shape () =
+  let cfg = Eda4sat.Pipeline.ours () in
+  let inst =
+    Eda4sat.Instance.of_cnf ~name:"tiny"
+      (Cnf.Formula.create ~num_vars:2 [ [| 1; 2 |] ])
+  in
+  let pool = Eda4sat.Pipeline.portfolio_strategies ~jobs:10 cfg inst in
+  check_bool "at least jobs strategies" true (List.length pool >= 10);
+  (* Anchor lane first, and prepared lanes never claim share group 0. *)
+  (match pool with
+   | first :: _ ->
+     check_bool "anchor is direct" true (first.Portfolio.Strategy.prepare = None)
+   | [] -> Alcotest.fail "empty pool");
+  List.iter
+    (fun s ->
+      if
+        s.Portfolio.Strategy.prepare <> None
+        && s.Portfolio.Strategy.share_group = Some 0
+      then Alcotest.fail "prepared lane in the direct share group")
+    pool;
+  let baseline_pool =
+    Eda4sat.Pipeline.portfolio_strategies ~jobs:4 Eda4sat.Pipeline.baseline inst
+  in
+  check_bool "baseline pool is direct-only" true
+    (List.for_all (fun s -> s.Portfolio.Strategy.prepare = None) baseline_pool)
+
+let suite =
+  [
+    ("fuzz: portfolio vs brute force (with sharing)", `Quick,
+     test_fuzz_vs_brute_force);
+    ("jobs=1 is bit-identical to Sat.Solver.solve", `Quick,
+     test_sequential_bit_identity);
+    ("a raising worker does not lose the race", `Quick,
+     test_failed_worker_does_not_lose_race);
+    ("losers are cancelled promptly", `Quick, test_cancellation_terminates);
+    ("solver interrupt hook", `Quick, test_interrupt_hook);
+    ("solver export/import hooks", `Quick, test_export_import_hooks);
+    ("pipeline portfolio on a LEC miter", `Quick, test_pipeline_portfolio_lec);
+    ("strategy pool shape", `Quick, test_strategy_pool_shape);
+  ]
