@@ -34,6 +34,13 @@ let micro_tests () =
   let tts =
     Array.init 64 (fun i -> Aig.Tt.of_int 4 ((i * 2654435761) land 0xFFFF))
   in
+  (* Parser inputs, serialized once: the php(8,7) CNF (~2.4k clauses)
+     and the LEC miter as ASCII AIGER exercise the single-pass cursor
+     parsers. *)
+  let php_dimacs =
+    Cnf.Dimacs.write_string (Workloads.Satcomp.pigeonhole ~pigeons:8 ~holes:7)
+  in
+  let miter_aag = Aig.Aiger_io.write_string miter in
   [
     Test.make ~name:"table1-tseitin-encode"
       (Staged.stage (fun () -> ignore (Cnf.Tseitin.encode miter)));
@@ -61,6 +68,10 @@ let micro_tests () =
       (Staged.stage (fun () -> ignore (Synth.Balance.run miter)));
     Test.make ~name:"figure4-branching-cost"
       (Staged.stage (fun () -> ignore (Array.map Lutmap.Cost.branching tts)));
+    Test.make ~name:"parse-dimacs-php(8,7)"
+      (Staged.stage (fun () -> ignore (Cnf.Dimacs.read_string php_dimacs)));
+    Test.make ~name:"parse-aiger-ascii-miter"
+      (Staged.stage (fun () -> ignore (Aig.Aiger_io.read_string miter_aag)));
   ]
 
 let run_micro () =

@@ -1,28 +1,75 @@
 (* Propagation-throughput micro-benchmark for the CDCL core.
 
      dune exec bench/prop_bench.exe
+     dune exec bench/prop_bench.exe -- --json BENCH_sat_arena.json
+     dune exec bench/prop_bench.exe -- --check BENCH_sat_arena.json
 
-   Reports decisions, conflicts, propagations and propagations/sec for
-   a small set of propagation-bound instances, so solver-engine changes
-   can be compared before/after (see ISSUE acceptance criteria). *)
+   Reports decisions, conflicts, propagations, propagations/sec and
+   minor-heap words per conflict for a small set of propagation-bound
+   instances, so solver-engine changes can be compared before/after
+   (see ISSUE acceptance criteria).
 
-let run name f =
-  let result, st = Sat.Solver.solve f in
-  let verdict =
-    match result with
-    | Sat.Solver.Sat _ -> "SAT"
-    | Sat.Solver.Unsat -> "UNSAT"
-    | Sat.Solver.Unknown -> "UNKNOWN"
-  in
-  let props_per_sec =
-    if st.Sat.Solver.time > 0.0 then
-      float_of_int st.Sat.Solver.propagations /. st.Sat.Solver.time
-    else 0.0
-  in
+   [--json PATH] writes the php measurements (plus the frozen
+   record-clause PR-2 baseline) to PATH; [--check PATH] re-measures and
+   fails (exit 1) if fresh props/sec regressed more than 10% below the
+   committed numbers — the CI soft check. *)
+
+type measurement = {
+  m_name : string;
+  verdict : string;
+  time : float;
+  decisions : int;
+  conflicts : int;
+  propagations : int;
+  props_per_sec : float;
+  mw_per_conflict : float;
+}
+
+let measure ?(repeat = 1) name f =
+  (* Best-of-n: the trajectory is deterministic, so repeats only shave
+     scheduler/GC noise off the timing. *)
+  let best = ref None in
+  for _ = 1 to repeat do
+    let result, st = Sat.Solver.solve f in
+    let verdict =
+      match result with
+      | Sat.Solver.Sat _ -> "SAT"
+      | Sat.Solver.Unsat -> "UNSAT"
+      | Sat.Solver.Unknown -> "UNKNOWN"
+    in
+    let props_per_sec =
+      if st.Sat.Solver.time > 0.0 then
+        float_of_int st.Sat.Solver.propagations /. st.Sat.Solver.time
+      else 0.0
+    in
+    let m =
+      {
+        m_name = name;
+        verdict;
+        time = st.Sat.Solver.time;
+        decisions = st.Sat.Solver.decisions;
+        conflicts = st.Sat.Solver.conflicts;
+        propagations = st.Sat.Solver.propagations;
+        props_per_sec;
+        mw_per_conflict =
+          st.Sat.Solver.minor_words
+          /. float_of_int (max 1 st.Sat.Solver.conflicts);
+      }
+    in
+    match !best with
+    | Some b when b.props_per_sec >= m.props_per_sec -> ()
+    | _ -> best := Some m
+  done;
+  Option.get !best
+
+let report m =
   Printf.printf
-    "%-28s %-8s time=%8.3fs decisions=%8d conflicts=%8d props=%10d props/sec=%12.0f\n%!"
-    name verdict st.Sat.Solver.time st.Sat.Solver.decisions
-    st.Sat.Solver.conflicts st.Sat.Solver.propagations props_per_sec
+    "%-28s %-8s time=%8.3fs decisions=%8d conflicts=%8d props=%10d \
+     props/sec=%12.0f mw/conflict=%8.1f\n%!"
+    m.m_name m.verdict m.time m.decisions m.conflicts m.propagations
+    m.props_per_sec m.mw_per_conflict
+
+let run ?repeat name f = report (measure ?repeat name f)
 
 (* Pure-propagation workloads with a trajectory that is independent of
    propagation order: a unit literal triggers one long implication
@@ -45,14 +92,158 @@ let wide_chain n =
   in
   Cnf.Formula.create ~num_vars:(n + 4) (([| 1 |] :: dummies) @ chain)
 
+(* --- the tracked php instances ------------------------------------- *)
+
+let php_instances =
+  [
+    ("php(7,6)", fun () -> Workloads.Satcomp.pigeonhole ~pigeons:7 ~holes:6);
+    ("php(8,7)", fun () -> Workloads.Satcomp.pigeonhole ~pigeons:8 ~holes:7);
+  ]
+
+(* PR-2 record-clause baseline, measured on the reference host with
+   bench/prop_bench.ml before the arena rewrite (mean of 3 runs). *)
+let record_baseline =
+  [
+    ("php(7,6)", (1_540_000.0, 364.7));
+    ("php(8,7)", (650_000.0, 415.0));
+  ]
+
+let measure_php () =
+  List.map (fun (name, mk) -> measure ~repeat:5 name (mk ())) php_instances
+
+(* --- JSON writing (no library: the schema is flat) ------------------ *)
+
+let write_json path ms =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"schema\": \"eda4sat-prop-bench-v1\",\n";
+  Buffer.add_string buf
+    "  \"note\": \"props/sec and minor-heap words per conflict on the php \
+     suite; record_baseline is the frozen PR-2 record-clause solver, arena \
+     is the current flat-arena solver\",\n";
+  Buffer.add_string buf "  \"record_baseline\": {\n";
+  List.iteri
+    (fun i (name, (pps, mwc)) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    %S: { \"props_per_sec\": %.0f, \
+            \"minor_words_per_conflict\": %.1f }%s\n"
+           name pps mwc
+           (if i < List.length record_baseline - 1 then "," else "")))
+    record_baseline;
+  Buffer.add_string buf "  },\n  \"arena\": {\n";
+  List.iteri
+    (fun i m ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    %S: { \"props_per_sec\": %.0f, \
+            \"minor_words_per_conflict\": %.1f, \"conflicts\": %d, \
+            \"propagations\": %d }%s\n"
+           m.m_name m.props_per_sec m.mw_per_conflict m.conflicts
+           m.propagations
+           (if i < List.length ms - 1 then "," else "")))
+    ms;
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+(* --- regression check against a committed JSON ---------------------- *)
+
+(* Minimal scanner: finds the "arena" object, then for each instance
+   the number following its "props_per_sec" key.  Good enough for the
+   file this tool itself writes. *)
+let committed_pps json name =
+  let find_from pos needle =
+    let n = String.length needle and len = String.length json in
+    let rec go i =
+      if i + n > len then None
+      else if String.sub json i n = needle then Some (i + n)
+      else go (i + 1)
+    in
+    go pos
+  in
+  match find_from 0 "\"arena\"" with
+  | None -> None
+  | Some a -> (
+    match find_from a (Printf.sprintf "%S" name) with
+    | None -> None
+    | Some b -> (
+      match find_from b "\"props_per_sec\":" with
+      | None -> None
+      | Some c ->
+        let i = ref c in
+        let len = String.length json in
+        while !i < len && json.[!i] = ' ' do
+          incr i
+        done;
+        let start = !i in
+        while
+          !i < len
+          &&
+          match json.[!i] with '0' .. '9' | '.' | '-' -> true | _ -> false
+        do
+          incr i
+        done;
+        if !i > start then
+          float_of_string_opt (String.sub json start (!i - start))
+        else None))
+
+let check_against path ms =
+  let ic = open_in path in
+  let json = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let tolerance = 0.10 in
+  let failed = ref false in
+  List.iter
+    (fun m ->
+      match committed_pps json m.m_name with
+      | None ->
+        Printf.printf "CHECK %-12s no committed number found — skipped\n"
+          m.m_name
+      | Some committed ->
+        let floor = committed *. (1.0 -. tolerance) in
+        let ok = m.props_per_sec >= floor in
+        Printf.printf
+          "CHECK %-12s fresh %12.0f props/sec vs committed %12.0f (floor \
+           %12.0f): %s\n"
+          m.m_name m.props_per_sec committed floor
+          (if ok then "OK" else "REGRESSED");
+        if not ok then failed := true)
+    ms;
+  if !failed then begin
+    Printf.printf "prop_bench check FAILED: props/sec regressed >10%%\n%!";
+    exit 1
+  end
+  else Printf.printf "prop_bench check passed\n%!"
+
+let arg_value name =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
 let () =
-  run "binary-chain(300k)" (binary_chain 300_000);
-  run "wide-chain(150k)" (wide_chain 150_000);
-  run "php(7,6)" (Workloads.Satcomp.pigeonhole ~pigeons:7 ~holes:6);
-  run "php(8,7)" (Workloads.Satcomp.pigeonhole ~pigeons:8 ~holes:7);
-  run "random3sat(n=140,m=595)"
-    (Workloads.Satcomp.random_ksat ~seed:7 ~num_vars:140 ~num_clauses:595 ~k:3);
-  run "xor(n=40,x=36,w=4)"
-    (Workloads.Satcomp.xor_cnf ~seed:11 ~num_vars:40 ~num_xors:36 ~width:4);
-  run "round_robin(teams=8,weeks=6)"
-    (Workloads.Satcomp.round_robin ~weeks:6 ~teams:8 ())
+  match (arg_value "--json", arg_value "--check") with
+  | Some path, _ ->
+    let ms = measure_php () in
+    List.iter report ms;
+    write_json path ms
+  | None, Some path ->
+    let ms = measure_php () in
+    List.iter report ms;
+    check_against path ms
+  | None, None ->
+    run "binary-chain(300k)" (binary_chain 300_000);
+    run "wide-chain(150k)" (wide_chain 150_000);
+    run ~repeat:3 "php(7,6)" (Workloads.Satcomp.pigeonhole ~pigeons:7 ~holes:6);
+    run ~repeat:3 "php(8,7)" (Workloads.Satcomp.pigeonhole ~pigeons:8 ~holes:7);
+    run "random3sat(n=140,m=595)"
+      (Workloads.Satcomp.random_ksat ~seed:7 ~num_vars:140 ~num_clauses:595
+         ~k:3);
+    run "xor(n=40,x=36,w=4)"
+      (Workloads.Satcomp.xor_cnf ~seed:11 ~num_vars:40 ~num_xors:36 ~width:4);
+    run "round_robin(teams=8,weeks=6)"
+      (Workloads.Satcomp.round_robin ~weeks:6 ~teams:8 ())

@@ -138,74 +138,127 @@ let read_binary_string s =
     output_lits;
   g
 
+exception Bad_int
+
+(* Single-pass cursor parser over the ASCII ("aag") format: lines are
+   located and their integers decoded directly from the input buffer —
+   no line list, no token lists; substrings are built only for error
+   messages. *)
 let read_ascii_string s =
-  let lines =
-    String.split_on_char '\n' s
-    |> List.map String.trim
-    |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = 'c'))
+  let len = String.length s in
+  let pos = ref 0 in
+  let is_ws c = c = ' ' || c = '\t' || c = '\r' in
+  (* Bounds (trimmed) of the next significant line: blank lines and
+     'c' comment lines are skipped anywhere in the file. *)
+  let rec next_line () =
+    if !pos >= len then None
+    else begin
+      let start = !pos in
+      let eol = ref start in
+      while !eol < len && String.unsafe_get s !eol <> '\n' do
+        incr eol
+      done;
+      pos := !eol + 1;
+      let a = ref start and b = ref !eol in
+      while !a < !b && is_ws s.[!a] do
+        incr a
+      done;
+      while !b > !a && is_ws s.[!b - 1] do
+        decr b
+      done;
+      if !a = !b || s.[!a] = 'c' then next_line () else Some (!a, !b)
+    end
   in
-  let ints line =
-    try List.map int_of_string (String.split_on_char ' ' line)
-    with Failure _ -> raise (Parse_error ("bad line: " ^ line))
+  let line_str a b = String.sub s a (b - a) in
+  (* Decode the whitespace-separated decimal ints in s.[a..b); the
+     first [Array.length dst] land in [dst], the count is returned. *)
+  let scan_ints a b dst =
+    let n = ref 0 in
+    let i = ref a in
+    while !i < b do
+      while !i < b && is_ws s.[!i] do
+        incr i
+      done;
+      if !i < b then begin
+        let sign =
+          if s.[!i] = '-' then begin
+            incr i;
+            -1
+          end
+          else begin
+            if s.[!i] = '+' then incr i;
+            1
+          end
+        in
+        if !i >= b || s.[!i] < '0' || s.[!i] > '9' then raise Bad_int;
+        let acc = ref 0 in
+        while !i < b && not (is_ws s.[!i]) do
+          let c = s.[!i] in
+          if c < '0' || c > '9' then raise Bad_int;
+          acc := (!acc * 10) + (Char.code c - Char.code '0');
+          incr i
+        done;
+        if !n < Array.length dst then dst.(!n) <- sign * !acc;
+        incr n
+      end
+    done;
+    !n
   in
-  match lines with
-  | [] -> raise (Parse_error "empty input")
-  | header :: rest ->
-    let m, i, l, o, a =
-      match String.split_on_char ' ' header with
-      | [ "aag"; m; i; l; o; a ] -> (
-        try
-          ( int_of_string m,
-            int_of_string i,
-            int_of_string l,
-            int_of_string o,
-            int_of_string a )
-        with Failure _ -> raise (Parse_error "bad header"))
-      | _ -> raise (Parse_error "expected 'aag M I L O A' header")
-    in
-    if l <> 0 then raise (Parse_error "latches not supported");
-    if List.length rest < i + o + a then raise (Parse_error "truncated file");
-    let rec split n xs acc =
-      if n = 0 then (List.rev acc, xs)
-      else
-        match xs with
-        | [] -> raise (Parse_error "truncated file")
-        | x :: xs -> split (n - 1) xs (x :: acc)
-    in
-    let input_lines, rest = split i rest [] in
-    let output_lines, rest = split o rest [] in
-    let and_lines, _symbols = split a rest [] in
-    let input_lits =
-      List.map
-        (fun line ->
-          match ints line with
-          | [ x ] when x land 1 = 0 && x > 0 -> x
-          | _ -> raise (Parse_error ("bad input line: " ^ line)))
-        input_lines
-    in
-    let output_lits =
-      List.map
-        (fun line ->
-          match ints line with
-          | [ x ] -> x
-          | _ -> raise (Parse_error ("bad output line: " ^ line)))
-        output_lines
-    in
-    let and_defs = Hashtbl.create (2 * a) in
-    List.iter
-      (fun line ->
-        match ints line with
-        | [ lhs; rhs0; rhs1 ] when lhs land 1 = 0 && lhs > 0 ->
-          if Hashtbl.mem and_defs (lhs / 2) then
-            raise (Parse_error "duplicate AND definition");
-          Hashtbl.add and_defs (lhs / 2) (rhs0, rhs1)
-        | _ -> raise (Parse_error ("bad AND line: " ^ line)))
-      and_lines;
-    let g = Graph.create ~num_pis:i in
-    (* Map original variable index -> new literal. *)
-    let map = Hashtbl.create (2 * (m + 1)) in
-    Hashtbl.add map 0 Graph.const_false;
-    List.iteri (fun idx x -> Hashtbl.add map (x / 2) (Graph.pi g idx)) input_lits;
+  let buf3 = Array.make 3 0 in
+  let ha, hb =
+    match next_line () with
+    | None -> raise (Parse_error "empty input")
+    | Some (a, b) -> (a, b)
+  in
+  let bad_hdr () = raise (Parse_error "expected 'aag M I L O A' header") in
+  if hb - ha < 4 || String.sub s ha 3 <> "aag" || not (is_ws s.[ha + 3]) then
+    bad_hdr ();
+  let h5 = Array.make 5 0 in
+  let hn =
+    try scan_ints (ha + 4) hb h5
+    with Bad_int -> raise (Parse_error "bad header")
+  in
+  if hn <> 5 then bad_hdr ();
+  let m = h5.(0) and i = h5.(1) and l = h5.(2) and o = h5.(3) and a = h5.(4) in
+  if l <> 0 then raise (Parse_error "latches not supported");
+  let section_line () =
+    match next_line () with
+    | None -> raise (Parse_error "truncated file")
+    | Some (a, b) -> (a, b)
+  in
+  let line_ints a b =
+    try scan_ints a b buf3
+    with Bad_int -> raise (Parse_error ("bad line: " ^ line_str a b))
+  in
+  let input_lits = Array.make i 0 in
+  for k = 0 to i - 1 do
+    let a, b = section_line () in
+    if line_ints a b = 1 && buf3.(0) land 1 = 0 && buf3.(0) > 0 then
+      input_lits.(k) <- buf3.(0)
+    else raise (Parse_error ("bad input line: " ^ line_str a b))
+  done;
+  let output_lits = Array.make o 0 in
+  for k = 0 to o - 1 do
+    let a, b = section_line () in
+    if line_ints a b = 1 then output_lits.(k) <- buf3.(0)
+    else raise (Parse_error ("bad output line: " ^ line_str a b))
+  done;
+  let and_defs = Hashtbl.create (2 * a) in
+  for _ = 1 to a do
+    let a, b = section_line () in
+    if line_ints a b = 3 && buf3.(0) land 1 = 0 && buf3.(0) > 0 then begin
+      if Hashtbl.mem and_defs (buf3.(0) / 2) then
+        raise (Parse_error "duplicate AND definition");
+      Hashtbl.add and_defs (buf3.(0) / 2) (buf3.(1), buf3.(2))
+    end
+    else raise (Parse_error ("bad AND line: " ^ line_str a b))
+  done;
+  (* Anything left is the symbol table / comment section: ignored. *)
+  let g = Graph.create ~num_pis:i in
+  (* Map original variable index -> new literal. *)
+  let map = Hashtbl.create (2 * (m + 1)) in
+  Hashtbl.add map 0 Graph.const_false;
+  Array.iteri (fun idx x -> Hashtbl.add map (x / 2) (Graph.pi g idx)) input_lits;
     let building = Hashtbl.create 16 in
     let rec lit_value x =
       let v = x / 2 in
@@ -234,7 +287,7 @@ let read_ascii_string s =
     List.iter
       (fun v -> ignore (lit_value (2 * v)))
       (List.sort compare vars);
-    List.iter (fun x -> Graph.add_po g (lit_value x)) output_lits;
+    Array.iter (fun x -> Graph.add_po g (lit_value x)) output_lits;
     g
 
 let read_string s =

@@ -20,48 +20,123 @@ let write_file f path =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (write_string f))
 
+(* Single-pass cursor parser: one scan over the input, no line
+   splitting, no token lists — literals are decoded directly from the
+   buffer (the only per-token allocation is the substring built for an
+   error message).  Comment lines are those whose first
+   non-(horizontal-)whitespace character is 'c' or '%', as before; the
+   [bol] flag distinguishes them from the 'cnf' keyword mid-line. *)
 let read_string s =
-  let tokens =
-    String.split_on_char '\n' s
-    |> List.filter (fun line ->
-           let line = String.trim line in
-           line = "" || (line.[0] <> 'c' && line.[0] <> '%'))
-    |> String.concat " "
-    |> String.split_on_char ' '
-    |> List.filter (fun t -> t <> "")
+  let len = String.length s in
+  let pos = ref 0 in
+  let bol = ref true in
+  let rec skip_ws () =
+    if !pos < len then begin
+      let c = String.unsafe_get s !pos in
+      if c = '\n' then begin
+        bol := true;
+        incr pos;
+        skip_ws ()
+      end
+      else if c = ' ' || c = '\t' || c = '\r' then begin
+        incr pos;
+        skip_ws ()
+      end
+      else if !bol && (c = 'c' || c = '%') then begin
+        while !pos < len && String.unsafe_get s !pos <> '\n' do
+          incr pos
+        done;
+        skip_ws ()
+      end
+      else bol := false
+    end
   in
-  match tokens with
-  | "p" :: "cnf" :: nv :: nc :: rest ->
-    let num_vars, num_clauses =
-      try (int_of_string nv, int_of_string nc)
-      with Failure _ -> raise (Parse_error "bad p-line")
-    in
-    let lits =
-      List.map
-        (fun t ->
-          try int_of_string t
-          with Failure _ -> raise (Parse_error ("bad token: " ^ t)))
-        rest
-    in
-    let clauses = ref [] and current = ref [] in
-    List.iter
-      (fun l ->
-        if l = 0 then begin
-          clauses := Array.of_list (List.rev !current) :: !clauses;
-          current := []
-        end
-        else current := l :: !current)
-      lits;
-    if !current <> [] then raise (Parse_error "trailing unterminated clause");
-    let clauses = List.rev !clauses in
-    if List.length clauses <> num_clauses then
-      raise
-        (Parse_error
-           (Printf.sprintf "clause count mismatch: header %d, found %d"
-              num_clauses (List.length clauses)));
-    (try Formula.create ~num_vars clauses
-     with Invalid_argument m -> raise (Parse_error m))
-  | _ -> raise (Parse_error "missing 'p cnf' header")
+  let token_end () =
+    let e = ref !pos in
+    while
+      !e < len
+      &&
+      let c = String.unsafe_get s !e in
+      c <> ' ' && c <> '\t' && c <> '\r' && c <> '\n'
+    do
+      incr e
+    done;
+    !e
+  in
+  (* Decode the token at the cursor as a decimal int (optional sign);
+     anything else — including overflow — calls [err]. *)
+  let parse_int err =
+    let e = token_end () in
+    let i = ref !pos in
+    if !i < e && (s.[!i] = '-' || s.[!i] = '+') then incr i;
+    if !i >= e then err ();
+    let acc = ref 0 in
+    for k = !i to e - 1 do
+      let c = String.unsafe_get s k in
+      if c < '0' || c > '9' then err ();
+      let d = Char.code c - Char.code '0' in
+      if !acc > (max_int - d) / 10 then err ();
+      acc := (!acc * 10) + d
+    done;
+    let v = if s.[!pos] = '-' then - !acc else !acc in
+    pos := e;
+    v
+  in
+  let expect_word w err =
+    let e = token_end () in
+    if e - !pos <> String.length w || String.sub s !pos (e - !pos) <> w then
+      err ();
+    pos := e
+  in
+  let bad_header () = raise (Parse_error "missing 'p cnf' header") in
+  let bad_pline () = raise (Parse_error "bad p-line") in
+  let bad_token () =
+    raise (Parse_error ("bad token: " ^ String.sub s !pos (token_end () - !pos)))
+  in
+  skip_ws ();
+  expect_word "p" bad_header;
+  skip_ws ();
+  expect_word "cnf" bad_header;
+  skip_ws ();
+  if !pos >= len then bad_header ();
+  let num_vars = parse_int bad_pline in
+  skip_ws ();
+  if !pos >= len then bad_header ();
+  let num_clauses = parse_int bad_pline in
+  let clauses = ref [] in
+  let nclauses = ref 0 in
+  let cur = ref (Array.make 16 0) in
+  let ncur = ref 0 in
+  let eof = ref false in
+  while not !eof do
+    skip_ws ();
+    if !pos >= len then eof := true
+    else begin
+      let l = parse_int bad_token in
+      if l = 0 then begin
+        clauses := Array.sub !cur 0 !ncur :: !clauses;
+        incr nclauses;
+        ncur := 0
+      end
+      else begin
+        if !ncur >= Array.length !cur then begin
+          let d = Array.make (2 * !ncur) 0 in
+          Array.blit !cur 0 d 0 !ncur;
+          cur := d
+        end;
+        !cur.(!ncur) <- l;
+        incr ncur
+      end
+    end
+  done;
+  if !ncur <> 0 then raise (Parse_error "trailing unterminated clause");
+  if !nclauses <> num_clauses then
+    raise
+      (Parse_error
+         (Printf.sprintf "clause count mismatch: header %d, found %d"
+            num_clauses !nclauses));
+  try Formula.create ~num_vars (List.rev !clauses)
+  with Invalid_argument m -> raise (Parse_error m)
 
 let read_file path =
   let ic = open_in path in

@@ -40,7 +40,10 @@ let publish t ~worker clause lbd =
           let accepted =
             locked inbox (fun () ->
                 if Queue.length inbox.q < capacity then begin
-                  Queue.add (clause, lbd) inbox.q;
+                  (* Fresh copy per receiver: neither the publisher's
+                     later mutations (e.g. a buffer reused across
+                     exports) nor one importer's can reach another. *)
+                  Queue.add (Array.copy clause, lbd) inbox.q;
                   true
                 end
                 else false)

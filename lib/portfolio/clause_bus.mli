@@ -1,10 +1,11 @@
 (** Learnt-clause exchange between portfolio workers.
 
     One mutex-guarded inbox per worker.  A worker publishing a clause
-    copies it (by reference — published arrays are immutable from then
-    on) into the inbox of every {e other} worker in the same share
-    group; each worker drains its own inbox at its solver's import
-    points (restarts).  Inboxes are bounded: beyond {!capacity}
+    places a {e fresh copy} of it into the inbox of every other worker
+    in the same share group — receivers never alias the publisher's
+    array (which may be a buffer the publisher reuses) or each other's;
+    each worker drains its own inbox at its solver's import points
+    (restarts).  Inboxes are bounded: beyond {!capacity}
     pending clauses the newest publication is dropped and counted,
     so a fast exporter cannot make a slow importer's queue grow
     without bound. *)
@@ -21,8 +22,9 @@ val create : groups:int option array -> t
 val publish : t -> worker:int -> int array -> int -> unit
 (** [publish bus ~worker clause lbd] offers [clause] (DIMACS literals,
     with its glue value) to every other worker of [worker]'s group.
-    The array must not be mutated after publication.  No-op for
-    isolated workers. *)
+    Each receiver gets its own copy, so the caller remains free to
+    mutate or reuse [clause] afterwards.  No-op for isolated
+    workers. *)
 
 val drain : t -> worker:int -> (int array * int) list
 (** Remove and return worker [i]'s pending clauses, oldest first. *)

@@ -27,9 +27,12 @@ let empty_stats =
     propagations = 0;
     restarts = 0;
     learned = 0;
+    reduces = 0;
     max_decision_level = 0;
     time = 0.0;
     cpu_time = 0.0;
+    minor_words = 0.0;
+    major_collections = 0;
   }
 
 let result_name = function

@@ -60,30 +60,83 @@ let to_string p =
     (steps p);
   Buffer.contents buf
 
+(* Single-pass cursor parser (same approach as {!Cnf.Dimacs}): literals
+   are decoded straight out of the buffer, one growable scratch array
+   holds the clause being read, and the only transient allocations are
+   the clause arrays themselves. *)
 let of_string s =
   let p = create () in
-  String.split_on_char '\n' s
-  |> List.iter (fun line ->
-         let line = String.trim line in
-         if line <> "" then begin
-           let deletion = String.length line > 1 && line.[0] = 'd' in
-           let body =
-             if deletion then String.sub line 1 (String.length line - 1)
-             else line
-           in
-           let lits =
-             String.split_on_char ' ' body
-             |> List.filter (fun t -> t <> "")
-             |> List.map (fun t ->
-                    try int_of_string t
-                    with Failure _ -> failwith ("Proof.of_string: " ^ t))
-           in
-           match List.rev lits with
-           | 0 :: rest ->
-             let c = Array.of_list (List.rev rest) in
-             if deletion then delete p c else add p c
-           | _ -> failwith "Proof.of_string: missing terminating 0"
-         end);
+  let len = String.length s in
+  let pos = ref 0 in
+  let is_ws c = c = ' ' || c = '\t' || c = '\r' in
+  let buf = ref (Array.make 16 0) in
+  while !pos < len do
+    let start = !pos in
+    let eol = ref start in
+    while !eol < len && String.unsafe_get s !eol <> '\n' do
+      incr eol
+    done;
+    pos := !eol + 1;
+    let a = ref start and b = ref !eol in
+    while !a < !b && is_ws s.[!a] do
+      incr a
+    done;
+    while !b > !a && is_ws s.[!b - 1] do
+      decr b
+    done;
+    if !a < !b then begin
+      let deletion = s.[!a] = 'd' && !b - !a > 1 in
+      if deletion then incr a;
+      let n = ref 0 in
+      let i = ref !a in
+      while !i < !b do
+        while !i < !b && is_ws s.[!i] do
+          incr i
+        done;
+        if !i < !b then begin
+          let t0 = !i in
+          let sign =
+            if s.[!i] = '-' then begin
+              incr i;
+              -1
+            end
+            else begin
+              if s.[!i] = '+' then incr i;
+              1
+            end
+          in
+          let acc = ref 0 in
+          let ok = ref (!i < !b && not (is_ws s.[!i])) in
+          while !ok && !i < !b && not (is_ws s.[!i]) do
+            let c = s.[!i] in
+            if c < '0' || c > '9' then ok := false
+            else begin
+              acc := (!acc * 10) + (Char.code c - Char.code '0');
+              incr i
+            end
+          done;
+          if not !ok then begin
+            let te = ref t0 in
+            while !te < !b && not (is_ws s.[!te]) do
+              incr te
+            done;
+            failwith ("Proof.of_string: " ^ String.sub s t0 (!te - t0))
+          end;
+          if !n >= Array.length !buf then begin
+            let d = Array.make (2 * !n) 0 in
+            Array.blit !buf 0 d 0 !n;
+            buf := d
+          end;
+          (!buf).(!n) <- sign * !acc;
+          incr n
+        end
+      done;
+      if !n = 0 || (!buf).(!n - 1) <> 0 then
+        failwith "Proof.of_string: missing terminating 0";
+      let c = Array.sub !buf 0 (!n - 1) in
+      if deletion then delete p c else add p c
+    end
+  done;
   p
 
 (* --- RUP checking ---------------------------------------------------- *)

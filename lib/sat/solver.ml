@@ -2,17 +2,25 @@
    2v (positive) and 2v+1 (negative); [neg l = l lxor 1].  The
    implementation follows the MiniSat/Kissat lineage:
 
-   - two-watched-literal propagation over *watcher records* that carry
-     a blocker literal, so a satisfied clause is skipped with a single
-     assignment lookup and no clause dereference;
+   - all long clauses (length >= 3) live in one flat int {e arena}: a
+     clause reference ("cref") is an offset into a single growable
+     [int array]; a one-word header packs size, learnt/deleted flags
+     and LBD, a second word holds the clause activity as a scaled int,
+     and the literals follow inline.  Propagation therefore reads
+     literals with zero pointer dereferences and metadata with one;
+   - two-watched-literal propagation over flat watcher pairs
+     [(cref, blocker)] packed into one int array per literal, so a
+     satisfied clause is skipped with a single assignment lookup and
+     no clause access;
    - specialized binary-clause watch lists (literal pairs, no clause
-     record at all) consulted before the long-clause watchers;
+     storage at all) consulted before the long-clause watchers;
    - first-UIP conflict analysis with recursive minimization, with the
      clause LBD computed *before* backjumping (all literals still
      assigned);
-   - a growable-vector learnt-clause database whose reduction sorts in
-     place and eagerly detaches deleted clauses so they are actually
-     reclaimable by the GC;
+   - learnt-database reduction that marks the worse half deleted and
+     then compacts the arena with a copying collector, relocating
+     every live reference (watchers, reasons, learnt index) through
+     forwarding pointers written into the old arena;
    - Luby or Glucose (LBD moving-average) restarts.
 
    Both the batch and the incremental entry points drive the same
@@ -28,9 +36,12 @@ type stats = {
   propagations : int;
   restarts : int;
   learned : int;
+  reduces : int;
   max_decision_level : int;
   time : float;
   cpu_time : float;
+  minor_words : float;
+  major_collections : int;
 }
 
 type limits = {
@@ -54,16 +65,41 @@ end
 
 let no_limits = { max_conflicts = None; max_decisions = None; max_seconds = None }
 
-type clause = {
-  mutable lits : int array;
-  learnt : bool;
-  mutable activity : float;
-  mutable lbd : int;
-  mutable deleted : bool;
-}
+(* --- clause arena --------------------------------------------------
 
-let dummy_clause =
-  { lits = [||]; learnt = false; activity = 0.0; lbd = 0; deleted = true }
+   Layout of a clause at cref [c] (offsets in words):
+
+     arena.(c)       header: size | lbd | deleted | learnt
+     arena.(c + 1)   activity (scaled int; see below)
+     arena.(c + 2..) the [size] literals, inline
+
+   Header word, low bits to high:
+
+     bit 0         learnt flag
+     bit 1         deleted flag
+     bits 2..27    LBD (clamped to 26 bits)
+     bits 28..     size (number of literals)
+
+   cref 0 is the null reference — arena slot 0 is a sentinel — so an
+   [int] reason can encode "no reason" as 0 (see [reason] below).
+
+   Activities are stored as scaled ints rather than floats: this
+   solver bumps a clause by exactly 1.0 and never decays clause
+   activities, so an int counter represents the float value exactly
+   (no rounding, identical sort order) while keeping the arena a
+   homogeneous unboxed int array. *)
+
+let hdr_learnt = 1
+let hdr_deleted = 2
+let lbd_shift = 2
+let lbd_width = 26
+let lbd_mask = (1 lsl lbd_width) - 1
+let size_shift = lbd_shift + lbd_width
+
+let mk_header ~size ~learnt ~lbd =
+  (size lsl size_shift)
+  lor (min lbd lbd_mask lsl lbd_shift)
+  lor (if learnt then hdr_learnt else 0)
 
 (* Growable vector.  Fresh vectors share an empty backing array so
    that per-literal structures cost nothing until first use — a solver
@@ -81,55 +117,59 @@ let vec_push v x =
   v.data.(v.size) <- x;
   v.size <- v.size + 1
 
-(* Watcher list for clauses of length >= 3: parallel arrays of watched
-   clauses and their blocker literals.  The blocker is some other
-   literal of the clause; if it is currently true the clause is
-   satisfied and propagation skips it without touching the clause. *)
-type watchlist = {
-  mutable wc : clause array;
-  mutable wb : int array;
-  mutable wn : int;
-}
+(* Watcher list for clauses of length >= 3: flat (cref, blocker) int
+   pairs packed into one array, [wn] counting used slots (2 per pair).
+   The blocker is some other literal of the clause; if it is currently
+   true the clause is satisfied and propagation skips it without
+   touching the arena. *)
+type watchlist = { mutable w : int array; mutable wn : int }
 
-let no_clauses : clause array = [||]
 let no_ints : int array = [||]
 
-let wl_create () = { wc = no_clauses; wb = no_ints; wn = 0 }
+let wl_create () = { w = no_ints; wn = 0 }
 
-let wl_push w c b =
-  if w.wn >= Array.length w.wc then begin
-    let cap = max 4 (2 * Array.length w.wc) in
-    let wc = Array.make cap dummy_clause and wb = Array.make cap 0 in
-    Array.blit w.wc 0 wc 0 w.wn;
-    Array.blit w.wb 0 wb 0 w.wn;
-    w.wc <- wc;
-    w.wb <- wb
+let wl_push wl c b =
+  if wl.wn + 2 > Array.length wl.w then begin
+    let d = Array.make (max 8 (2 * Array.length wl.w)) 0 in
+    Array.blit wl.w 0 d 0 wl.wn;
+    wl.w <- d
   end;
-  w.wc.(w.wn) <- c;
-  w.wb.(w.wn) <- b;
-  w.wn <- w.wn + 1
+  wl.w.(wl.wn) <- c;
+  wl.w.(wl.wn + 1) <- b;
+  wl.wn <- wl.wn + 2
 
-(* Assignment reasons.  Binary clauses have no clause record: the
-   reason of a literal propagated by (p \/ w) is [Binary w] where [w]
-   is the (false) partner literal. *)
-type reason = No_reason | Clause of clause | Binary of int
+(* Assignment reasons, one int per variable:
+     0    no reason (decision / assumption / level-0 unit)
+     > 0  cref of the propagating long clause
+     < 0  binary clause; the (false) partner literal is [-r - 1]. *)
+let reason_none = 0
+let reason_binary w = -w - 1
+let binary_partner r = -r - 1
 
 (* A conflict, viewed as the clause that is falsified.  Binary
    conflicts carry their two literals directly. *)
-type conflict = Confl_clause of clause | Confl_binary of int * int
+type conflict = Confl_clause of int | Confl_binary of int * int
 
 type t = {
   mutable nvars : int;
   (* Assignment: -1 unassigned, 0 false, 1 true; per variable. *)
   mutable assigns : int array;
   mutable level : int array;
-  mutable reason : reason array;
+  mutable reason : int array;
   (* Trail of assigned literals, with decision-level boundaries. *)
   mutable trail : int array;
   mutable trail_size : int;
   mutable trail_lim : int array;
   mutable ntrail_lim : int;
   mutable qhead : int;
+  (* The clause arena; [arena_size] is the next free word and
+     [arena_wasted] counts words held by deleted clauses.  [arena_spare]
+     is the compaction target, ping-ponged with [arena] so steady-state
+     reductions allocate nothing. *)
+  mutable arena : int array;
+  mutable arena_size : int;
+  mutable arena_spare : int array;
+  mutable arena_wasted : int;
   (* Watches, indexed by literal: [watches.(l)] holds the long clauses
      to visit when [l] becomes true (i.e. clauses watching [neg l]);
      [bin_watches.(l)] holds the partner literals of binary clauses
@@ -143,11 +183,15 @@ type t = {
   mutable heap_pos : int array;   (* position in heap, -1 if absent *)
   mutable heap_size : int;
   mutable polarity : bool array;  (* saved phases *)
-  (* Clause database (long learnt clauses only; learnt binaries live in
-     the binary watch lists and are never deleted). *)
-  learnts : clause vec;
+  (* Learnt-clause index: crefs of long learnt clauses (learnt binaries
+     live in the binary watch lists and are never deleted). *)
+  learnts : int vec;
   (* Conflict analysis scratch. *)
   mutable seen : bool array;
+  (* Scratch buffer for the clause being learned; slot 0 is reserved
+     for the UIP. *)
+  mutable learnt_buf : int array;
+  mutable learnt_n : int;
   (* LBD computation scratch: per-level generation stamps. *)
   mutable lbd_mark : int array;
   mutable lbd_gen : int;
@@ -162,6 +206,7 @@ type t = {
   mutable st_props : int;
   mutable st_restarts : int;
   mutable st_learned : int;
+  mutable st_reduces : int;
   mutable st_max_level : int;
 }
 
@@ -169,10 +214,23 @@ let var l = l lsr 1
 let neg l = l lxor 1
 let lit_of_var v sign = (v lsl 1) lor (if sign then 1 else 0)
 
-(* Value of a literal: -1 unassigned, 0 false, 1 true. *)
+(* Value of a literal: -1 unassigned, 0 false, 1 true.  Hot-path
+   callers index [assigns] with internal literals whose variables are
+   in range by construction. *)
 let lit_value s l =
-  let a = s.assigns.(var l) in
+  let a = Array.unsafe_get s.assigns (l lsr 1) in
   if a < 0 then -1 else a lxor (l land 1)
+
+let clause_size s c = Array.unsafe_get s.arena c lsr size_shift
+let clause_lbd s c = (Array.unsafe_get s.arena c lsr lbd_shift) land lbd_mask
+let clause_learnt s c = Array.unsafe_get s.arena c land hdr_learnt <> 0
+let clause_lit s c i = Array.unsafe_get s.arena (c + 2 + i)
+
+(* Copy a clause's literals out of the arena: anything that escapes the
+   solver (proof steps, exports, telemetry) must be a fresh array, never
+   a view into the arena, because compaction moves clauses. *)
+let clause_lits s c =
+  Array.init (clause_size s c) (fun i -> s.arena.(c + 2 + i))
 
 let grow_array a n default =
   let a' = Array.make n default in
@@ -184,12 +242,16 @@ let create nvars =
     nvars;
     assigns = Array.make nvars (-1);
     level = Array.make nvars 0;
-    reason = Array.make nvars No_reason;
+    reason = Array.make nvars reason_none;
     trail = Array.make (max 1 nvars) 0;
     trail_size = 0;
     trail_lim = Array.make (max 1 nvars) 0;
     ntrail_lim = 0;
     qhead = 0;
+    arena = Array.make 256 0;
+    arena_size = 1;   (* slot 0 is the null-cref sentinel *)
+    arena_spare = no_ints;
+    arena_wasted = 0;
     watches = Array.init (2 * max 1 nvars) (fun _ -> wl_create ());
     bin_watches = Array.init (2 * max 1 nvars) (fun _ -> vec_create 0);
     var_activity = Array.make nvars 0.0;
@@ -198,8 +260,10 @@ let create nvars =
     heap_pos = Array.make nvars (-1);
     heap_size = 0;
     polarity = Array.make nvars false;
-    learnts = vec_create dummy_clause;
+    learnts = vec_create 0;
     seen = Array.make nvars false;
+    learnt_buf = Array.make 16 0;
+    learnt_n = 0;
     lbd_mark = Array.make (max 1 nvars + 1) 0;
     lbd_gen = 0;
     lrb = false;
@@ -211,8 +275,35 @@ let create nvars =
     st_props = 0;
     st_restarts = 0;
     st_learned = 0;
+    st_reduces = 0;
     st_max_level = 0;
   }
+
+(* --- arena allocation ---------------------------------------------- *)
+
+let arena_ensure s extra =
+  let need = s.arena_size + extra in
+  if need > Array.length s.arena then begin
+    let cap = ref (max 256 (2 * Array.length s.arena)) in
+    while !cap < need do
+      cap := 2 * !cap
+    done;
+    let a = Array.make !cap 0 in
+    Array.blit s.arena 0 a 0 s.arena_size;
+    s.arena <- a
+  end
+
+(* Append a clause to the arena; returns its cref. *)
+let alloc_clause s lits learnt lbd =
+  let n = Array.length lits in
+  arena_ensure s (n + 2);
+  let c = s.arena_size in
+  let a = s.arena in
+  a.(c) <- mk_header ~size:n ~learnt ~lbd;
+  a.(c + 1) <- 0;
+  Array.blit lits 0 a (c + 2) n;
+  s.arena_size <- c + 2 + n;
+  c
 
 (* --- variable heap (max-heap on activity) ------------------------- *)
 
@@ -283,16 +374,16 @@ let decay_activities s =
 let decision_level s = s.ntrail_lim
 
 let enqueue s l reason =
-  let v = var l in
+  let v = l lsr 1 in
   if s.lrb then begin
     s.assigned_at.(v) <- s.st_conflicts;
     s.participated.(v) <- 0
   end;
-  s.assigns.(v) <- 1 - (l land 1);
-  s.level.(v) <- decision_level s;
-  s.reason.(v) <- reason;
-  s.polarity.(v) <- l land 1 = 0;
-  s.trail.(s.trail_size) <- l;
+  Array.unsafe_set s.assigns v (1 - (l land 1));
+  Array.unsafe_set s.level v (decision_level s);
+  Array.unsafe_set s.reason v reason;
+  Array.unsafe_set s.polarity v (l land 1 = 0);
+  Array.unsafe_set s.trail s.trail_size l;
   s.trail_size <- s.trail_size + 1
 
 let cancel_until s lvl =
@@ -301,7 +392,7 @@ let cancel_until s lvl =
     for i = s.trail_size - 1 downto bound do
       let v = var s.trail.(i) in
       s.assigns.(v) <- -1;
-      s.reason.(v) <- No_reason;
+      s.reason.(v) <- reason_none;
       if s.lrb then begin
         let interval = s.st_conflicts - s.assigned_at.(v) in
         if interval > 0 then begin
@@ -322,82 +413,100 @@ let cancel_until s lvl =
 
 exception Found_conflict of conflict
 
+(* The innermost loop of the solver.  All clause accesses go straight
+   into the flat arena with unsafe reads: the watcher invariants keep
+   every index in range (crefs come from [alloc_clause], literal slots
+   from the clause's own header), and the arena array itself is only
+   replaced between propagation calls (allocation happens in [search],
+   compaction in [reduce_db]), so caching it in a local is sound. *)
 let propagate s =
   try
     while s.qhead < s.trail_size do
-      let l = s.trail.(s.qhead) in
+      let l = Array.unsafe_get s.trail s.qhead in
       s.qhead <- s.qhead + 1;
       s.st_props <- s.st_props + 1;
       (* Binary clauses containing (neg l): the partner must hold. *)
-      let bw = s.bin_watches.(l) in
+      let bw = Array.unsafe_get s.bin_watches l in
+      let bdata = bw.data in
       for i = 0 to bw.size - 1 do
-        let other = bw.data.(i) in
+        let other = Array.unsafe_get bdata i in
         let v = lit_value s other in
         if v = 0 then raise (Found_conflict (Confl_binary (neg l, other)))
-        else if v < 0 then enqueue s other (Binary (neg l))
+        else if v < 0 then enqueue s other (reason_binary (neg l))
       done;
       (* Long clauses watching (neg l). *)
-      let wl = s.watches.(l) in
+      let wl = Array.unsafe_get s.watches l in
+      let wdata = wl.w in
+      let wn = wl.wn in
+      let arena = s.arena in
       let false_lit = neg l in
       let j = ref 0 in
       let i = ref 0 in
-      while !i < wl.wn do
-        let blocker = wl.wb.(!i) in
+      while !i < wn do
+        let blocker = Array.unsafe_get wdata (!i + 1) in
         if lit_value s blocker = 1 then begin
-          (* Satisfied via the blocker: keep, no clause access. *)
-          wl.wc.(!j) <- wl.wc.(!i);
-          wl.wb.(!j) <- blocker;
-          incr j;
-          incr i
+          (* Satisfied via the blocker: keep, no arena access. *)
+          Array.unsafe_set wdata !j (Array.unsafe_get wdata !i);
+          Array.unsafe_set wdata (!j + 1) blocker;
+          j := !j + 2;
+          i := !i + 2
         end
         else begin
-          let c = wl.wc.(!i) in
-          incr i;
-          let lits = c.lits in
+          let c = Array.unsafe_get wdata !i in
+          i := !i + 2;
           (* Ensure the false literal is at position 1. *)
-          if lits.(0) = false_lit then begin
-            lits.(0) <- lits.(1);
-            lits.(1) <- false_lit
-          end;
-          let first = lits.(0) in
+          let l0 = Array.unsafe_get arena (c + 2) in
+          let first =
+            if l0 = false_lit then begin
+              let l1 = Array.unsafe_get arena (c + 3) in
+              Array.unsafe_set arena (c + 2) l1;
+              Array.unsafe_set arena (c + 3) false_lit;
+              l1
+            end
+            else l0
+          in
           if first <> blocker && lit_value s first = 1 then begin
-            wl.wc.(!j) <- c;
-            wl.wb.(!j) <- first;
-            incr j
+            Array.unsafe_set wdata !j c;
+            Array.unsafe_set wdata (!j + 1) first;
+            j := !j + 2
           end
           else begin
             (* Look for a new literal to watch. *)
-            let n = Array.length lits in
-            let k = ref 2 in
-            while !k < n && lit_value s lits.(!k) = 0 do
+            let stop = c + 2 + (Array.unsafe_get arena c lsr size_shift) in
+            let k = ref (c + 4) in
+            while
+              !k < stop && lit_value s (Array.unsafe_get arena !k) = 0
+            do
               incr k
             done;
-            if !k < n then begin
-              lits.(1) <- lits.(!k);
-              lits.(!k) <- false_lit;
-              wl_push s.watches.(neg lits.(1)) c first
+            if !k < stop then begin
+              let lk = Array.unsafe_get arena !k in
+              Array.unsafe_set arena (c + 3) lk;
+              Array.unsafe_set arena !k false_lit;
+              wl_push s.watches.(neg lk) c first
               (* watch moved: not kept in this list *)
             end
             else if lit_value s first = 0 then begin
               (* Conflict: restore the remaining watchers. *)
-              wl.wc.(!j) <- c;
-              wl.wb.(!j) <- first;
-              incr j;
-              while !i < wl.wn do
-                wl.wc.(!j) <- wl.wc.(!i);
-                wl.wb.(!j) <- wl.wb.(!i);
-                incr j;
-                incr i
+              Array.unsafe_set wdata !j c;
+              Array.unsafe_set wdata (!j + 1) first;
+              j := !j + 2;
+              while !i < wn do
+                Array.unsafe_set wdata !j (Array.unsafe_get wdata !i);
+                Array.unsafe_set wdata (!j + 1)
+                  (Array.unsafe_get wdata (!i + 1));
+                j := !j + 2;
+                i := !i + 2
               done;
               wl.wn <- !j;
               raise (Found_conflict (Confl_clause c))
             end
             else begin
               (* Unit: propagate first. *)
-              wl.wc.(!j) <- c;
-              wl.wb.(!j) <- first;
-              incr j;
-              enqueue s first (Clause c)
+              Array.unsafe_set wdata !j c;
+              Array.unsafe_set wdata (!j + 1) first;
+              j := !j + 2;
+              enqueue s first c
             end
           end
         end
@@ -409,9 +518,7 @@ let propagate s =
 
 (* --- conflict analysis --------------------------------------------- *)
 
-let clause_bump_activity s c =
-  c.activity <- c.activity +. 1.0;
-  ignore s
+let clause_bump_activity s c = s.arena.(c + 1) <- s.arena.(c + 1) + 1
 
 (* Number of distinct decision levels among [lits], via generation
    stamps (all literals must currently be assigned). *)
@@ -419,16 +526,15 @@ let compute_lbd s lits =
   s.lbd_gen <- s.lbd_gen + 1;
   let g = s.lbd_gen in
   let n = ref 0 in
-  Array.iter
-    (fun l ->
-      let lev = s.level.(var l) in
-      if lev >= Array.length s.lbd_mark then
-        s.lbd_mark <- grow_array s.lbd_mark (2 * (lev + 1)) 0;
-      if s.lbd_mark.(lev) <> g then begin
-        s.lbd_mark.(lev) <- g;
-        incr n
-      end)
-    lits;
+  for i = 0 to Array.length lits - 1 do
+    let lev = s.level.(var lits.(i)) in
+    if lev >= Array.length s.lbd_mark then
+      s.lbd_mark <- grow_array s.lbd_mark (2 * (lev + 1)) 0;
+    if s.lbd_mark.(lev) <> g then begin
+      s.lbd_mark.(lev) <- g;
+      incr n
+    end
+  done;
   !n
 
 (* Is l redundant given the current learned clause (seen marks)?  A
@@ -437,75 +543,123 @@ let compute_lbd s lits =
 let rec lit_redundant s depth l =
   depth < 32
   &&
-  match s.reason.(var l) with
-  | No_reason -> false
-  | Binary w ->
+  let r = s.reason.(var l) in
+  if r = reason_none then false
+  else if r < 0 then begin
+    let w = binary_partner r in
     s.level.(var w) = 0 || s.seen.(var w) || lit_redundant s (depth + 1) w
-  | Clause c ->
-    Array.for_all
-      (fun l' ->
-        var l' = var l
-        || s.level.(var l') = 0
-        || s.seen.(var l')
-        || lit_redundant s (depth + 1) l')
-      c.lits
+  end
+  else begin
+    let n = clause_size s r in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < n do
+      let l' = clause_lit s r !i in
+      if
+        not
+          (var l' = var l
+          || s.level.(var l') = 0
+          || s.seen.(var l')
+          || lit_redundant s (depth + 1) l')
+      then ok := false;
+      incr i
+    done;
+    !ok
+  end
 
 (* First-UIP learning.  Returns the learned clause (UIP first), the
    backjump level and the clause LBD — computed here, while every
    literal of the clause is still assigned, so the glue classification
    used by [reduce_db] is trustworthy. *)
 let analyze s confl =
-  let learnt = ref [] in
+  (* Collected lower-level literals go into the scratch buffer; the
+     only per-conflict allocations left are the learned clause itself
+     (which must escape this call anyway) and a handful of loop refs.
+     The antecedent being resolved is held as plain ints: a cref when
+     positive, otherwise the binary pair (ba, bb). *)
   let path = ref 0 in
   let p = ref (-1) in
   let idx = ref (s.trail_size - 1) in
-  let confl = ref confl in
+  let cref = ref 0 and ba = ref 0 and bb = ref 0 in
+  (match confl with
+   | Confl_clause c -> cref := c
+   | Confl_binary (a, b) ->
+     ba := a;
+     bb := b);
+  s.learnt_n <- 1;
+  let visit q =
+    let v = var q in
+    if (!p < 0 || q <> !p) && (not s.seen.(v)) && s.level.(v) > 0 then begin
+      s.seen.(v) <- true;
+      if s.lrb then s.participated.(v) <- s.participated.(v) + 1
+      else bump_var s v;
+      if s.level.(v) >= decision_level s then incr path
+      else begin
+        if s.learnt_n >= Array.length s.learnt_buf then
+          s.learnt_buf <- grow_array s.learnt_buf (2 * s.learnt_n) 0;
+        s.learnt_buf.(s.learnt_n) <- q;
+        s.learnt_n <- s.learnt_n + 1
+      end
+    end
+  in
   let continue = ref true in
   while !continue do
-    let visit q =
-      let v = var q in
-      if (!p < 0 || q <> !p) && (not s.seen.(v)) && s.level.(v) > 0 then begin
-        s.seen.(v) <- true;
-        if s.lrb then s.participated.(v) <- s.participated.(v) + 1
-        else bump_var s v;
-        if s.level.(v) >= decision_level s then incr path
-        else learnt := q :: !learnt
-      end
-    in
-    (match !confl with
-     | Confl_clause c ->
-       if c.learnt then clause_bump_activity s c;
-       Array.iter visit c.lits
-     | Confl_binary (a, b) ->
-       visit a;
-       visit b);
+    if !cref > 0 then begin
+      let c = !cref in
+      if clause_learnt s c then clause_bump_activity s c;
+      let n = clause_size s c in
+      for i = 0 to n - 1 do
+        visit (clause_lit s c i)
+      done
+    end
+    else begin
+      visit !ba;
+      visit !bb
+    end;
     (* Find the next seen literal on the trail. *)
-    while not s.seen.(var s.trail.(!idx)) do
+    while not (Array.unsafe_get s.seen (Array.unsafe_get s.trail !idx lsr 1))
+    do
       decr idx
     done;
     let q = s.trail.(!idx) in
     decr idx;
     s.seen.(var q) <- false;
     decr path;
-    if !path = 0 then begin
-      p := q;
-      continue := false
-    end
+    p := q;
+    if !path = 0 then continue := false
     else begin
-      p := q;
-      confl :=
-        (match s.reason.(var q) with
-         | Clause c -> Confl_clause c
-         | Binary w -> Confl_binary (q, w)
-         | No_reason -> assert false)
+      let r = s.reason.(var q) in
+      if r > 0 then cref := r
+      else begin
+        assert (r < 0);
+        cref := 0;
+        ba := q;
+        bb := binary_partner r
+      end
     end
   done;
   let uip = neg !p in
-  (* Re-mark for minimization. *)
-  List.iter (fun l -> s.seen.(var l) <- true) !learnt;
-  let minimized = List.filter (fun l -> not (lit_redundant s 0 l)) !learnt in
-  List.iter (fun l -> s.seen.(var l) <- false) !learnt;
-  let lits = Array.of_list (uip :: minimized) in
+  (* Minimize: drop collected literals whose antecedents are covered by
+     the rest of the clause.  All collected literals keep their [seen]
+     marks during the scan (redundancy may be justified by a literal
+     that is itself redundant), and are unmarked afterwards. *)
+  let n = s.learnt_n in
+  let lits = Array.make n uip in
+  let j = ref 1 in
+  (* Most-recently collected first: keeps the literal order (and hence
+     the watched literals and the search trajectory) identical to the
+     historical list-based implementation. *)
+  for i = n - 1 downto 1 do
+    let l = s.learnt_buf.(i) in
+    if not (lit_redundant s 0 l) then begin
+      lits.(!j) <- l;
+      incr j
+    end
+  done;
+  for i = 1 to n - 1 do
+    s.seen.(var s.learnt_buf.(i)) <- false
+  done;
+  let lits = if !j = n then lits else Array.sub lits 0 !j in
   (* Backtrack level: second highest level in the clause. *)
   let blevel =
     if Array.length lits = 1 then 0
@@ -535,15 +689,18 @@ let log_add proof lits =
   | None -> ()
   | Some p -> Proof.add p (Array.map dimacs_of_lit lits)
 
-let log_delete proof lits =
+(* Log the deletion of an arena clause; the literals are copied out of
+   the arena first, so the proof never aliases relocatable storage. *)
+let log_delete_clause proof s c =
   match proof with
   | None -> ()
-  | Some p -> Proof.delete p (Array.map dimacs_of_lit lits)
+  | Some p ->
+    Proof.delete p (Array.map dimacs_of_lit (clause_lits s c))
 
 (* Assumption core: the conflicting assumption [p] plus every
    pseudo-decision (assumption) reachable from it through the
    implication graph, as DIMACS literals.  Called while the trail still
-   holds only assumption levels, so any [No_reason] assignment above
+   holds only assumption levels, so any reasonless assignment above
    level 0 is an assumption. *)
 let analyze_final s p =
   let core = ref [ dimacs_of_lit p ] in
@@ -555,14 +712,15 @@ let analyze_final s p =
       stack := rest;
       if (not s.seen.(v)) && s.level.(v) > 0 then begin
         s.seen.(v) <- true;
-        match s.reason.(v) with
-        | No_reason ->
+        let r = s.reason.(v) in
+        if r = reason_none then
           core := dimacs_of_lit (lit_of_var v (s.assigns.(v) = 0)) :: !core
-        | Binary w -> stack := var w :: !stack
-        | Clause c ->
-          Array.iter
-            (fun l -> if var l <> v then stack := var l :: !stack)
-            c.lits
+        else if r < 0 then stack := var (binary_partner r) :: !stack
+        else
+          for i = 0 to clause_size s r - 1 do
+            let l = clause_lit s r i in
+            if var l <> v then stack := var l :: !stack
+          done
       end
   done;
   for i = 0 to s.trail_size - 1 do
@@ -573,16 +731,16 @@ let analyze_final s p =
 
 (* --- clause management --------------------------------------------- *)
 
-(* Binary clause (a \/ b): no clause record, just the two watch
+(* Binary clause (a \/ b): no clause storage, just the two watch
    entries. *)
 let add_binary s a b =
   vec_push s.bin_watches.(neg a) b;
   vec_push s.bin_watches.(neg b) a
 
-(* Long clause (length >= 3), watched on its first two literals with
-   the opposite watched literal as blocker. *)
+(* Long clause (length >= 3), allocated in the arena and watched on its
+   first two literals with the opposite watched literal as blocker. *)
 let add_long s lits learnt lbd =
-  let c = { lits; learnt; activity = 0.0; lbd; deleted = false } in
+  let c = alloc_clause s lits learnt lbd in
   wl_push s.watches.(neg lits.(0)) c lits.(1);
   wl_push s.watches.(neg lits.(1)) c lits.(0);
   if learnt then begin
@@ -593,41 +751,89 @@ let add_long s lits learnt lbd =
 
 (* A clause currently used as a reason must survive reduction. *)
 let is_reason s c =
-  Array.exists
-    (fun l -> match s.reason.(var l) with Clause r -> r == c | _ -> false)
-    c.lits
+  let n = clause_size s c in
+  let rec go i =
+    i < n && (s.reason.(var (clause_lit s c i)) = c || go (i + 1))
+  in
+  go 0
 
-(* Drop watchers of deleted clauses so the records become unreachable
-   (and GC-reclaimable) immediately rather than lingering until
-   propagation happens to visit them. *)
-let purge_watches s =
+(* Compact the arena with a copying collector.  Live clauses are moved
+   into [arena_spare] in reference order; the first relocation of a
+   cref writes a forwarding pointer (the negated new cref) over the old
+   header, so the other watcher of the same clause — and any reason
+   pointing at it — lands on the same copy.  Everything that can hold a
+   cref is rewritten: the flat watcher lists (dropping deleted
+   clauses), the reasons of trail literals, and the learnt index.
+   Clauses reachable from none of those are dropped with the old
+   arena.  The buffers then swap, so steady-state compactions allocate
+   nothing. *)
+let arena_gc s =
+  let old = s.arena in
+  if Array.length s.arena_spare < s.arena_size then
+    s.arena_spare <- Array.make (Array.length old) 0;
+  let dst = s.arena_spare in
+  let next = ref 1 in
+  let reloc c =
+    let h = old.(c) in
+    if h < 0 then -h
+    else begin
+      let len = (h lsr size_shift) + 2 in
+      let nc = !next in
+      Array.blit old c dst nc len;
+      next := nc + len;
+      old.(c) <- -nc;
+      nc
+    end
+  in
+  let deleted c =
+    let h = old.(c) in
+    h >= 0 && h land hdr_deleted <> 0
+  in
   Array.iter
     (fun wl ->
       let j = ref 0 in
-      for i = 0 to wl.wn - 1 do
-        let c = wl.wc.(i) in
-        if not c.deleted then begin
-          wl.wc.(!j) <- c;
-          wl.wb.(!j) <- wl.wb.(i);
-          incr j
-        end
-      done;
-      for i = !j to wl.wn - 1 do
-        wl.wc.(i) <- dummy_clause
+      let i = ref 0 in
+      while !i < wl.wn do
+        let c = wl.w.(!i) in
+        if not (deleted c) then begin
+          wl.w.(!j) <- reloc c;
+          wl.w.(!j + 1) <- wl.w.(!i + 1);
+          j := !j + 2
+        end;
+        i := !i + 2
       done;
       wl.wn <- !j)
-    s.watches
+    s.watches;
+  for i = 0 to s.trail_size - 1 do
+    let v = var s.trail.(i) in
+    let r = s.reason.(v) in
+    if r > 0 then s.reason.(v) <- reloc r
+  done;
+  let lv = s.learnts in
+  let j = ref 0 in
+  for i = 0 to lv.size - 1 do
+    let c = lv.data.(i) in
+    if not (deleted c) then begin
+      lv.data.(!j) <- reloc c;
+      incr j
+    end
+  done;
+  lv.size <- !j;
+  s.arena <- dst;
+  s.arena_spare <- old;
+  s.arena_size <- !next;
+  s.arena_wasted <- 0
 
 let reduce_db ?proof s =
   (* Keep glue clauses (binaries never enter [learnts]); sort the rest
-     in place by (lbd, activity) and drop the worse half, except
-     clauses currently locked as reasons. *)
+     in place by (lbd, activity) and mark the worse half deleted,
+     except clauses currently locked as reasons; then compact. *)
   let lv = s.learnts in
   let n = lv.size in
   let p = ref 0 in
   for i = 0 to n - 1 do
     let c = lv.data.(i) in
-    if c.lbd <= 2 then begin
+    if clause_lbd s c <= 2 then begin
       lv.data.(i) <- lv.data.(!p);
       lv.data.(!p) <- c;
       incr p
@@ -638,28 +844,23 @@ let reduce_db ?proof s =
     let cand = Array.sub lv.data !p ncand in
     Array.sort
       (fun a b ->
-        let d = compare a.lbd b.lbd in
-        if d <> 0 then d else compare b.activity a.activity)
+        let d = compare (clause_lbd s a) (clause_lbd s b) in
+        if d <> 0 then d else compare s.arena.(b + 1) s.arena.(a + 1))
       cand;
     Array.blit cand 0 lv.data !p ncand;
     let limit = !p + (ncand / 2) in
-    let j = ref !p in
     for i = !p to n - 1 do
       let c = lv.data.(i) in
-      if i < limit || is_reason s c then begin
-        lv.data.(!j) <- c;
-        incr j
-      end
-      else begin
-        c.deleted <- true;
-        log_delete proof c.lits
+      if not (i < limit || is_reason s c) then begin
+        s.arena.(c) <- s.arena.(c) lor hdr_deleted;
+        s.arena_wasted <- s.arena_wasted + clause_size s c + 2;
+        log_delete_clause proof s c
       end
     done;
-    for i = !j to n - 1 do
-      lv.data.(i) <- lv.dummy
-    done;
-    lv.size <- !j;
-    purge_watches s
+    s.st_reduces <- s.st_reduces + 1;
+    (* Deleted clauses are filtered out of the learnt index and every
+       watch list during compaction. *)
+    arena_gc s
   end
 
 (* --- search engine -------------------------------------------------- *)
@@ -680,25 +881,29 @@ type search_outcome =
 (* The CDCL main loop shared by [solve] and [Incremental.solve].
    Assumptions (internal literals) are placed as pseudo-decisions on
    the first decision levels; learned units always backjump to level 0
-   (assumptions are re-placed afterwards), so a [No_reason] assignment
+   (assumptions are re-placed afterwards), so a reasonless assignment
    above level 0 during assumption placement is always an assumption.
 
    [t0] is a {e wall-clock} origin ({!Wall.now}): with several domains
    racing, process CPU time advances N times faster than real time, so
    [max_seconds] must be measured against the wall.
 
+   [reduce_base]/[reduce_inc] set the initial learnt-database cap and
+   its growth per reduction (defaults preserve the historical 2000/512
+   schedule; tests shrink them to force many arena compactions).
+
    [interrupt] is probed on every budget tick; [export] is called (in
    DIMACS literals) for every learned clause whose LBD is at most
    [export_lbd], after the clause has been logged to [proof]; [import]
    is polled at every restart (and once on entry), at decision level 0,
    and its clauses join the learnt database. *)
-let search s ~limits ~proof ~restarts ~assumption_lits ~on_learnt ~interrupt
-    ~export ~export_lbd ~import ~t0 =
+let search s ~limits ~proof ~restarts ~reduce_base ~reduce_inc
+    ~assumption_lits ~on_learnt ~interrupt ~export ~export_lbd ~import ~t0 =
   let nassum = Array.length assumption_lits in
   let conflicts_since_restart = ref 0 in
   let restart_num = ref 0 in
   let restart_limit = ref (100 * luby_simple 0) in
-  let reduce_limit = ref (2000 + s.learnts.size) in
+  let reduce_limit = ref (reduce_base + s.learnts.size) in
   (* Glucose: moving average of the last 50 LBDs vs the global mean. *)
   let win = Array.make 50 0 in
   let win_size = ref 0 and win_pos = ref 0 and win_sum = ref 0 in
@@ -749,7 +954,7 @@ let search s ~limits ~proof ~restarts ~assumption_lits ~on_learnt ~interrupt
           (* Falsified under the level-0 assignment: refuted. *)
           log_add proof [||];
           raise (Out S_unsat_final)
-        | [ l ] -> enqueue s l No_reason
+        | [ l ] -> enqueue s l reason_none
         | [ a; b ] ->
           add_binary s a b;
           s.st_learned <- s.st_learned + 1
@@ -815,21 +1020,22 @@ let search s ~limits ~proof ~restarts ~assumption_lits ~on_learnt ~interrupt
         log_add proof lits;
         (* Export after logging: the shared-proof invariant is that a
            clause reaches the recorder before any other worker can
-           import it. *)
+           import it.  The exported array is freshly mapped, never a
+           view into the arena. *)
         (match export with
          | Some f when lbd <= export_lbd ->
            f (Array.map dimacs_of_lit lits) lbd
          | _ -> ());
         cancel_until s blevel;
         (match Array.length lits with
-         | 1 -> enqueue s lits.(0) No_reason
+         | 1 -> enqueue s lits.(0) reason_none
          | 2 ->
            add_binary s lits.(0) lits.(1);
            s.st_learned <- s.st_learned + 1;
-           enqueue s lits.(0) (Binary lits.(1))
+           enqueue s lits.(0) (reason_binary lits.(1))
          | _ ->
            let c = add_long s lits true lbd in
-           enqueue s lits.(0) (Clause c));
+           enqueue s lits.(0) c);
         decay_activities s;
         if out_of_budget () then raise (Out S_unknown)
       | None ->
@@ -846,12 +1052,12 @@ let search s ~limits ~proof ~restarts ~assumption_lits ~on_learnt ~interrupt
           | _ ->
             s.trail_lim.(s.ntrail_lim) <- s.trail_size;
             s.ntrail_lim <- s.ntrail_lim + 1;
-            enqueue s p No_reason
+            enqueue s p reason_none
         end
         else begin
           if s.learnts.size >= !reduce_limit then begin
             reduce_db ?proof s;
-            reduce_limit := !reduce_limit + 512
+            reduce_limit := !reduce_limit + reduce_inc
           end;
           (* Pick a branching variable. *)
           let v = ref (-1) in
@@ -868,7 +1074,7 @@ let search s ~limits ~proof ~restarts ~assumption_lits ~on_learnt ~interrupt
           s.trail_lim.(s.ntrail_lim) <- s.trail_size;
           s.ntrail_lim <- s.ntrail_lim + 1;
           s.st_max_level <- max s.st_max_level s.ntrail_lim;
-          enqueue s (lit_of_var !v (not s.polarity.(!v))) No_reason;
+          enqueue s (lit_of_var !v (not s.polarity.(!v))) reason_none;
           if out_of_budget () then raise (Out S_unknown)
         end
     done;
@@ -912,25 +1118,41 @@ let prepare f =
     f.Cnf.Formula.clauses;
   if !ok then Ready (s, !units) else Trivially_unsat
 
-let make_stats s ~wall ~cpu =
+let make_stats s ~wall ~cpu ~minor_words ~major_collections =
   {
     decisions = s.st_decisions;
     conflicts = s.st_conflicts;
     propagations = s.st_props;
     restarts = s.st_restarts;
     learned = s.st_learned;
+    reduces = s.st_reduces;
     max_decision_level = s.st_max_level;
     time = wall;
     cpu_time = cpu;
+    minor_words;
+    major_collections;
   }
 
+(* Allocation telemetry: deltas of the GC counters across the call, so
+   the arena's effect on minor-heap churn is measured, not asserted.
+   [Gc.minor_words] is a cheap counter read; [Gc.quick_stat] runs twice
+   per solve. *)
+let gc_origin () = (Gc.minor_words (), (Gc.quick_stat ()).Gc.major_collections)
+
+let gc_deltas (mw0, mc0) =
+  (Gc.minor_words () -. mw0, (Gc.quick_stat ()).Gc.major_collections - mc0)
+
 let solve ?(limits = no_limits) ?proof ?(heuristic = `Evsids)
-    ?(restarts = `Luby) ?on_learnt ?interrupt ?export ?(export_lbd = max_int)
-    ?import f =
+    ?(restarts = `Luby) ?(reduce_base = 2000) ?(reduce_inc = 512) ?on_learnt
+    ?interrupt ?export ?(export_lbd = max_int) ?import f =
   let t0 = Wall.now () in
   let c0 = Sys.time () in
-  let stats_of s = make_stats s ~wall:(Wall.now () -. t0)
-      ~cpu:(Sys.time () -. c0) in
+  let gc0 = gc_origin () in
+  let stats_of s =
+    let minor_words, major_collections = gc_deltas gc0 in
+    make_stats s ~wall:(Wall.now () -. t0) ~cpu:(Sys.time () -. c0)
+      ~minor_words ~major_collections
+  in
   match prepare f with
   | Trivially_unsat ->
     log_add proof [||];
@@ -947,7 +1169,7 @@ let solve ?(limits = no_limits) ?proof ?(heuristic = `Evsids)
            | 0 ->
              log_add proof [||];
              raise (Done Unsat)
-           | _ -> enqueue s l No_reason)
+           | _ -> enqueue s l reason_none)
          units;
        if propagate s <> None then begin
          log_add proof [||];
@@ -958,8 +1180,9 @@ let solve ?(limits = no_limits) ?proof ?(heuristic = `Evsids)
        done;
        let r =
          match
-           search s ~limits ~proof ~restarts ~assumption_lits:[||] ~on_learnt
-             ~interrupt ~export ~export_lbd ~import ~t0
+           search s ~limits ~proof ~restarts ~reduce_base ~reduce_inc
+             ~assumption_lits:[||] ~on_learnt ~interrupt ~export ~export_lbd
+             ~import ~t0
          with
          | S_sat m -> Sat m
          | S_unsat_final -> Unsat
@@ -978,9 +1201,9 @@ let decisions_or_max ?(limits = no_limits) f =
 let pp_stats ppf st =
   Format.fprintf ppf
     "decisions=%d conflicts=%d propagations=%d restarts=%d learned=%d \
-     time=%.3fs cpu=%.3fs"
-    st.decisions st.conflicts st.propagations st.restarts st.learned st.time
-    st.cpu_time
+     reduces=%d time=%.3fs cpu=%.3fs minor_words=%.0f major_gcs=%d"
+    st.decisions st.conflicts st.propagations st.restarts st.learned
+    st.reduces st.time st.cpu_time st.minor_words st.major_collections
 
 (* ------------------------------------------------------------------ *)
 (* Incremental interface *)
@@ -1001,7 +1224,7 @@ module Incremental = struct
         let cap' = max n (2 * max 1 cap) in
         s.assigns <- grow_array s.assigns cap' (-1);
         s.level <- grow_array s.level cap' 0;
-        s.reason <- grow_array s.reason cap' No_reason;
+        s.reason <- grow_array s.reason cap' reason_none;
         s.trail <- grow_array s.trail cap' 0;
         s.trail_lim <- grow_array s.trail_lim cap' 0;
         s.var_activity <- grow_array s.var_activity cap' 0.0;
@@ -1025,7 +1248,9 @@ module Incremental = struct
 
   let create () = { s = create 0; broken = false; core = [||] }
 
-  let last_core session = session.core
+  (* A fresh copy: the stored core is solver-internal state and must
+     not be mutable by the caller (see the aliasing regression tests). *)
+  let last_core session = Array.copy session.core
 
   let num_vars session = session.s.nvars
 
@@ -1059,7 +1284,7 @@ module Incremental = struct
           match lits with
           | [] -> session.broken <- true
           | [ l ] ->
-            enqueue s l No_reason;
+            enqueue s l reason_none;
             if propagate s <> None then session.broken <- true
           | [ a; b ] -> add_binary s a b
           | lits -> ignore (add_long s (Array.of_list lits) false 0)
@@ -1070,9 +1295,11 @@ module Incremental = struct
     Array.iter (add_clause session) f.Cnf.Formula.clauses
 
   let solve ?(limits = no_limits) ?proof ?(heuristic = `Evsids)
-      ?(restarts = `Luby) ?interrupt ?(assumptions = [||]) session =
+      ?(restarts = `Luby) ?(reduce_base = 2000) ?(reduce_inc = 512) ?interrupt
+      ?(assumptions = [||]) session =
     let t0 = Wall.now () in
     let c0 = Sys.time () in
+    let gc0 = gc_origin () in
     let s = session.s in
     s.lrb <- (heuristic = `Lrb);
     let assumption_lits =
@@ -1089,10 +1316,21 @@ module Incremental = struct
       s.trail_lim <- grow_array s.trail_lim needed 0;
     let finish r =
       cancel_until s 0;
-      (r, make_stats s ~wall:(Wall.now () -. t0) ~cpu:(Sys.time () -. c0))
+      let minor_words, major_collections = gc_deltas gc0 in
+      ( r,
+        make_stats s ~wall:(Wall.now () -. t0) ~cpu:(Sys.time () -. c0)
+          ~minor_words ~major_collections )
     in
     session.core <- [||];
-    if session.broken then finish Unsat
+    if session.broken then begin
+      (* The contradiction arose from level-0 unit propagation over the
+         accumulated clauses (in {!add_clause} or an earlier call), so
+         the empty clause is RUP here; sealing keeps the log checkable
+         even when the breaking step predates this call.  A second seal
+         of an already-sealed recorder is a no-op. *)
+      log_add proof [||];
+      finish Unsat
+    end
     else if propagate s <> None then begin
       session.broken <- true;
       log_add proof [||];
@@ -1103,8 +1341,9 @@ module Incremental = struct
         if s.assigns.(v) < 0 then heap_insert s v
       done;
       match
-        search s ~limits ~proof ~restarts ~assumption_lits ~on_learnt:None
-          ~interrupt ~export:None ~export_lbd:max_int ~import:None ~t0
+        search s ~limits ~proof ~restarts ~reduce_base ~reduce_inc
+          ~assumption_lits ~on_learnt:None ~interrupt ~export:None
+          ~export_lbd:max_int ~import:None ~t0
       with
       | S_sat m -> finish (Sat m)
       | S_unknown -> finish Unknown

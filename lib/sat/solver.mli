@@ -5,7 +5,18 @@
     watch lists, EVSIDS decision heuristic with phase saving, first-UIP
     clause learning with recursive minimization, Luby or Glucose
     (LBD moving-average) restarts and LBD-driven
-    learned-clause-database reduction over a growable clause vector.
+    learned-clause-database reduction.
+
+    Long clauses live in a single flat {e arena} (one growable
+    [int array]; a clause reference is an offset, a one-word header
+    packs size/flags/LBD and the literals follow inline), so
+    propagation reads literals with zero pointer dereferences and the
+    clause database costs the GC nothing beyond one flat array.
+    Database reduction compacts the arena with a copying collector
+    that relocates every live reference; see DESIGN.md for the layout
+    and the compaction protocol.  Anything that leaves the solver —
+    models, assumption cores, exported clauses, proof steps — is a
+    fresh array, never a view into the arena.
 
     The solver exposes its {e decision count} ("branching times"): the
     paper's RL reward and LUT cost metric both approximate solving
@@ -23,6 +34,9 @@ type stats = {
   propagations : int;
   restarts : int;
   learned : int;
+  reduces : int;
+      (** learnt-database reductions performed (each one compacts the
+          clause arena) *)
   max_decision_level : int;
   time : float;
       (** monotonic {e wall-clock} seconds ({!Wall.now}).  This is
@@ -34,6 +48,13 @@ type stats = {
       (** process CPU seconds ([Sys.time]) consumed during the call —
           under a portfolio this aggregates the work of every domain
           that ran concurrently, so [cpu_time] can exceed [time]. *)
+  minor_words : float;
+      (** allocation telemetry: delta of [Gc.minor_words] across the
+          call.  Divide by [conflicts] for the per-conflict figure the
+          arena is meant to shrink.  Under a portfolio the counter is
+          per-domain, so this measures only the reporting worker. *)
+  major_collections : int;
+      (** delta of major GC cycles across the call *)
 }
 
 type limits = {
@@ -65,6 +86,8 @@ end
 val solve :
   ?limits:limits -> ?proof:Proof.t -> ?heuristic:[ `Evsids | `Lrb ] ->
   ?restarts:[ `Luby | `Glucose ] ->
+  ?reduce_base:int ->
+  ?reduce_inc:int ->
   ?on_learnt:(int array -> int -> unit) ->
   ?interrupt:Interrupt.t ->
   ?export:(int array -> int -> unit) ->
@@ -82,6 +105,9 @@ val solve :
     [restarts] selects the restart schedule: Luby with unit 100
     (default) or Glucose-style, firing when the moving average of the
     last 50 learned-clause LBDs exceeds 0.8 times the running mean.
+    [reduce_base] (default 2000) and [reduce_inc] (default 512) set
+    the initial learnt-database size cap and its growth after each
+    reduction; tests shrink them to force frequent arena compactions.
     [on_learnt lits lbd] is an instrumentation hook invoked for every
     learned clause at learn time — before backjumping, while all of
     [lits] (internal literal encoding, first-UIP first) are still
@@ -139,7 +165,9 @@ module Incremental : sig
 
   val solve :
     ?limits:limits -> ?proof:Proof.t -> ?heuristic:[ `Evsids | `Lrb ] ->
-    ?restarts:[ `Luby | `Glucose ] -> ?interrupt:Interrupt.t ->
+    ?restarts:[ `Luby | `Glucose ] ->
+    ?reduce_base:int -> ?reduce_inc:int ->
+    ?interrupt:Interrupt.t ->
     ?assumptions:int array -> session ->
     result * stats
   (** Solve the accumulated clauses under the given assumption
@@ -166,5 +194,6 @@ module Incremental : sig
   (** After an [Unsat] answer under assumptions: a subset of the
       assumption literals sufficient for the contradiction (empty when
       the formula is unsatisfiable outright or the last answer was not
-      [Unsat]). *)
+      [Unsat]).  Returns a fresh array on every call — the caller may
+      mutate it freely. *)
 end

@@ -194,6 +194,29 @@ let test_export_import_hooks () =
   (match r2 with Sat.Solver.Unsat -> () | _ -> Alcotest.fail "with imports");
   check_bool "imports consumed" true (!pending = [])
 
+let test_clause_bus_copies_per_receiver () =
+  (* Published clauses must be fresh per inbox: a publisher reusing its
+     buffer, or one receiver scribbling on a drained clause, must never
+     be visible to another receiver. *)
+  let bus = Portfolio.Clause_bus.create ~groups:[| Some 0; Some 0; Some 0 |] in
+  let clause = [| 1; -2; 3 |] in
+  Portfolio.Clause_bus.publish bus ~worker:0 clause 2;
+  (* Publisher reuses its buffer immediately. *)
+  Array.fill clause 0 3 0;
+  (match Portfolio.Clause_bus.drain bus ~worker:1 with
+   | [ (c, 2) ] ->
+     check_bool "receiver 1 sees the original literals" true
+       (c = [| 1; -2; 3 |]);
+     (* Receiver 1 scribbles on its copy... *)
+     Array.fill c 0 3 7
+   | _ -> Alcotest.fail "worker 1 expected exactly one clause");
+  (match Portfolio.Clause_bus.drain bus ~worker:2 with
+   | [ (c, 2) ] ->
+     check_bool "receiver 2 unaffected" true (c = [| 1; -2; 3 |])
+   | _ -> Alcotest.fail "worker 2 expected exactly one clause");
+  check_bool "nothing echoed to the publisher" true
+    (Portfolio.Clause_bus.drain bus ~worker:0 = [])
+
 let test_pipeline_portfolio_lec () =
   (* End-to-end through Core.Pipeline: EDA lanes really transform, and
      the race answer matches the direct solver on a small LEC miter. *)
@@ -250,6 +273,8 @@ let suite =
     ("losers are cancelled promptly", `Quick, test_cancellation_terminates);
     ("solver interrupt hook", `Quick, test_interrupt_hook);
     ("solver export/import hooks", `Quick, test_export_import_hooks);
+    ("clause bus copies per receiver", `Quick,
+     test_clause_bus_copies_per_receiver);
     ("pipeline portfolio on a LEC miter", `Quick, test_pipeline_portfolio_lec);
     ("strategy pool shape", `Quick, test_strategy_pool_shape);
   ]

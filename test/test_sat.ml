@@ -725,6 +725,85 @@ let test_glucose_restarts () =
    | _ -> Alcotest.fail "unsat");
   check_bool "glucose-run proof validates" true (Sat.Proof.check f proof)
 
+(* ------------------------------------------------------------------ *)
+(* Regression tests for the arena-allocated clause database (ISSUE 3):
+   everything handed out by the solver — models, assumption cores,
+   exported clauses — must be a fresh array, never an alias into
+   solver-internal storage that compaction (or the caller) could
+   corrupt. *)
+
+let test_core_is_fresh_array () =
+  let s = Sat.Solver.Incremental.create () in
+  Sat.Solver.Incremental.add_clause s [| -1; 2 |];
+  Sat.Solver.Incremental.add_clause s [| -2; 3 |];
+  (match fst (Sat.Solver.Incremental.solve ~assumptions:[| 1; -3 |] s) with
+   | Sat.Solver.Unsat -> ()
+   | _ -> Alcotest.fail "unsat under assumptions");
+  let core = Sat.Solver.Incremental.last_core s in
+  let saved = Array.copy core in
+  (* Clobber the returned array; the session must be unaffected. *)
+  Array.fill core 0 (Array.length core) 9999;
+  let core' = Sat.Solver.Incremental.last_core s in
+  check_bool "core unaffected by caller mutation" true (core' = saved);
+  (* Re-solving with the pristine copy still works. *)
+  (match fst (Sat.Solver.Incremental.solve ~assumptions:core' s) with
+   | Sat.Solver.Unsat -> ()
+   | _ -> Alcotest.fail "re-assuming the core must stay Unsat");
+  check_bool "core stable across re-solve" true
+    (Sat.Solver.Incremental.last_core s = saved)
+
+let test_model_is_fresh_array () =
+  let f = random_formula 99 8 12 3 in
+  match fst (Sat.Solver.solve f) with
+  | Sat.Solver.Sat m ->
+    check_bool "model satisfies" true (Cnf.Formula.eval f m);
+    (* Clobber the model, then re-solve: the fresh answer must not see
+       the mutation. *)
+    Array.fill m 0 (Array.length m) false;
+    (match fst (Sat.Solver.solve f) with
+     | Sat.Solver.Sat m' ->
+       check_bool "second model satisfies" true (Cnf.Formula.eval f m')
+     | _ -> Alcotest.fail "formula became unsat?!")
+  | Sat.Solver.Unsat -> () (* seed gave an unsat formula: vacuous *)
+  | Sat.Solver.Unknown -> Alcotest.fail "unknown"
+
+let test_exported_clauses_are_fresh () =
+  (* The export hook receives freshly mapped arrays: mutating them must
+     corrupt neither the solver state nor the proof. *)
+  let f = pigeonhole ~pigeons:5 ~holes:4 in
+  let proof = Sat.Proof.create () in
+  let exported = ref 0 in
+  let export clause _lbd =
+    incr exported;
+    Array.fill clause 0 (Array.length clause) 0
+  in
+  (match fst (Sat.Solver.solve ~proof ~export f) with
+   | Sat.Solver.Unsat -> ()
+   | _ -> Alcotest.fail "php(5,4) unsat");
+  check_bool "clauses were exported" true (!exported > 0);
+  check_bool "proof validates despite export mutation" true
+    (Sat.Proof.check f proof)
+
+let test_allocation_telemetry () =
+  let f = pigeonhole ~pigeons:6 ~holes:5 in
+  let _, st = Sat.Solver.solve f in
+  check_bool "minor_words measured" true (st.Sat.Solver.minor_words > 0.0);
+  check_bool "major_collections sane" true
+    (st.Sat.Solver.major_collections >= 0);
+  (* A tiny learnt cap must drive reductions (arena compactions). *)
+  let _, st' = Sat.Solver.solve ~reduce_base:8 ~reduce_inc:4 f in
+  check_bool "reduces counted under low cap" true (st'.Sat.Solver.reduces > 0)
+
+let suite =
+  suite
+  @ [
+      ("core is a fresh array", `Quick, test_core_is_fresh_array);
+      ("model is a fresh array", `Quick, test_model_is_fresh_array);
+      ("exported clauses are fresh", `Quick,
+       test_exported_clauses_are_fresh);
+      ("allocation telemetry", `Quick, test_allocation_telemetry);
+    ]
+
 let suite =
   suite
   @ [

@@ -97,10 +97,152 @@ let test_fuzz_incremental_agreement () =
   done;
   check_bool "incremental fuzz 100/100" true true
 
+let random_assumptions rng nvars =
+  Array.init
+    (1 + Aig.Rng.int rng 3)
+    (fun _ ->
+      let v = 1 + Aig.Rng.int rng nvars in
+      if Aig.Rng.bool rng then v else -v)
+
+(* Near-threshold random 3-SAT, too large for brute force: these cases
+   generate enough long learnt clauses to overflow a small learnt cap
+   and force arena compactions.  Correctness is still fully checked —
+   models via eval, Unsat via the DRAT log. *)
+let random_hard_formula rng =
+  let nvars = 16 + Aig.Rng.int rng 10 in
+  let nclauses = int_of_float (4.3 *. float_of_int nvars) in
+  let clauses =
+    List.init nclauses (fun _ ->
+        Array.init 3 (fun _ ->
+            let v = 1 + Aig.Rng.int rng nvars in
+            if Aig.Rng.bool rng then v else -v))
+  in
+  Cnf.Formula.create ~num_vars:nvars clauses
+
+let with_units f assumptions =
+  Cnf.Formula.add_clauses f
+    (Array.to_list (Array.map (fun l -> [| l |]) assumptions))
+
+let test_fuzz_arena_compaction () =
+  (* Incremental sessions driven with a tiny learnt-database cap
+     (reduce_base=8, reduce_inc=4), so queries trigger many reduce-DB
+     rounds and hence arena compactions; clauses arrive in two chunks
+     with a solve in between, so later clauses land in an
+     already-compacted arena.  Every answer is checked against brute
+     force, one DRAT log spans the whole session, and when the final
+     assumption-free solve answers Unsat the log must validate
+     end-to-end against the full formula. *)
+  let rng = Aig.Rng.create 424242 in
+  let total_reduces = ref 0 in
+  let proofs_checked = ref 0 in
+  for i = 1 to 80 do
+    (* Every fourth case is a brute-forceable small formula; the rest
+       are larger near-threshold instances that actually stress the
+       compactor. *)
+    let small = i mod 4 = 0 in
+    let f = if small then random_formula rng else random_hard_formula rng in
+    let nvars = f.Cnf.Formula.num_vars in
+    let clauses = f.Cnf.Formula.clauses in
+    let half = Array.length clauses / 2 in
+    let s = Sat.Solver.Incremental.create () in
+    let proof = Sat.Proof.create () in
+    let solve assumptions =
+      Sat.Solver.Incremental.solve ~proof ~reduce_base:8 ~reduce_inc:4
+        ~assumptions s
+    in
+    Array.iteri
+      (fun k c -> if k < half then Sat.Solver.Incremental.add_clause s c)
+      clauses;
+    while Sat.Solver.Incremental.num_vars s < nvars do
+      ignore (Sat.Solver.Incremental.new_var s)
+    done;
+    (* Mid-session query on the half-loaded formula. *)
+    let a0 = random_assumptions rng nvars in
+    let f_half =
+      Cnf.Formula.create ~num_vars:nvars
+        (List.filteri (fun k _ -> k < half) (Array.to_list clauses))
+    in
+    (match fst (solve a0) with
+     | Sat.Solver.Sat m ->
+       if not (Cnf.Formula.eval (with_units f_half a0) (Array.sub m 0 nvars))
+       then Alcotest.failf "case %d: half-formula model invalid" i
+     | Sat.Solver.Unsat ->
+       if small && brute_force_sat (with_units f_half a0) then
+         Alcotest.failf "case %d: half-formula UNSAT but brute force SAT" i
+     | Sat.Solver.Unknown -> Alcotest.failf "case %d: unexpected Unknown" i);
+    Array.iteri
+      (fun k c -> if k >= half then Sat.Solver.Incremental.add_clause s c)
+      clauses;
+    for q = 1 to 2 do
+      let a = random_assumptions rng nvars in
+      let f' = with_units f a in
+      match fst (solve a) with
+      | Sat.Solver.Sat m ->
+        if not (Cnf.Formula.eval f' (Array.sub m 0 nvars)) then
+          Alcotest.failf "case %d query %d: model invalid" i q
+      | Sat.Solver.Unsat ->
+        if small && brute_force_sat f' then
+          Alcotest.failf "case %d query %d: UNSAT but brute force SAT" i q;
+        let core = Sat.Solver.Incremental.last_core s in
+        if
+          not
+            (Array.for_all (fun l -> Array.exists (( = ) l) a) core)
+        then Alcotest.failf "case %d query %d: core not within assumptions" i q
+      | Sat.Solver.Unknown -> Alcotest.failf "case %d query %d: Unknown" i q
+    done;
+    (* Final assumption-free solve: seals the proof when Unsat. *)
+    let result, st = solve [||] in
+    total_reduces := !total_reduces + st.Sat.Solver.reduces;
+    (match result with
+     | Sat.Solver.Sat m ->
+       if small && not (brute_force_sat f) then
+         Alcotest.failf "case %d: final SAT but brute force UNSAT" i;
+       if not (Cnf.Formula.eval f (Array.sub m 0 nvars)) then
+         Alcotest.failf "case %d: final model invalid" i
+     | Sat.Solver.Unsat ->
+       if small && brute_force_sat f then
+         Alcotest.failf "case %d: final UNSAT but brute force SAT" i;
+       if not (Sat.Proof.check f proof) then
+         Alcotest.failf "case %d: session DRAT log fails to validate" i;
+       incr proofs_checked
+     | Sat.Solver.Unknown -> Alcotest.failf "case %d: final Unknown" i)
+  done;
+  check_bool "some sessions ended Unsat with a checked proof" true
+    (!proofs_checked > 0);
+  check_bool "reduce-DB compactions were exercised" true (!total_reduces > 0)
+
+let test_php_incremental_compaction_directed () =
+  (* Deterministic heavy case: php(6,5) under assumptions with a tiny
+     learnt cap guarantees several compactions in one session, with the
+     sealed DRAT log checked end-to-end. *)
+  let f = Workloads.Satcomp.pigeonhole ~pigeons:6 ~holes:5 in
+  let s = Sat.Solver.Incremental.create () in
+  Sat.Solver.Incremental.add_formula s f;
+  let proof = Sat.Proof.create () in
+  let solve assumptions =
+    Sat.Solver.Incremental.solve ~proof ~reduce_base:8 ~reduce_inc:4
+      ~assumptions s
+  in
+  (* Pigeon 1 in hole 1 — still unsatisfiable overall. *)
+  (match fst (solve [| 1 |]) with
+   | Sat.Solver.Unsat -> ()
+   | _ -> Alcotest.fail "php(6,5) under assumption must be Unsat");
+  let result, st = solve [||] in
+  (match result with
+   | Sat.Solver.Unsat -> ()
+   | _ -> Alcotest.fail "php(6,5) must be Unsat");
+  check_bool "multiple compactions in one session" true
+    (st.Sat.Solver.reduces >= 2);
+  check_bool "php session proof validates" true (Sat.Proof.check f proof)
+
 let suite =
   [
     ("fuzz: 500 random CNFs vs brute force", `Quick,
      test_fuzz_vs_brute_force);
     ("fuzz: incremental agreement under assumptions", `Quick,
      test_fuzz_incremental_agreement);
+    ("fuzz: arena compaction under incremental assumptions", `Quick,
+     test_fuzz_arena_compaction);
+    ("directed: php compaction session with DRAT", `Quick,
+     test_php_incremental_compaction_directed);
   ]
