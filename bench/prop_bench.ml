@@ -23,14 +23,17 @@ type measurement = {
   propagations : int;
   props_per_sec : float;
   mw_per_conflict : float;
+  probed : int;
+  vivified : int;
+  inproc_subsumed : int;
 }
 
-let measure ?(repeat = 1) name f =
+let measure ?(repeat = 1) ?inprocess name f =
   (* Best-of-n: the trajectory is deterministic, so repeats only shave
      scheduler/GC noise off the timing. *)
   let best = ref None in
   for _ = 1 to repeat do
-    let result, st = Sat.Solver.solve f in
+    let result, st = Sat.Solver.solve ?inprocess f in
     let verdict =
       match result with
       | Sat.Solver.Sat _ -> "SAT"
@@ -54,6 +57,9 @@ let measure ?(repeat = 1) name f =
         mw_per_conflict =
           st.Sat.Solver.minor_words
           /. float_of_int (max 1 st.Sat.Solver.conflicts);
+        probed = st.Sat.Solver.probed;
+        vivified = st.Sat.Solver.vivified;
+        inproc_subsumed = st.Sat.Solver.inproc_subsumed;
       }
     in
     match !best with
@@ -108,8 +114,16 @@ let record_baseline =
     ("php(8,7)", (650_000.0, 415.0));
   ]
 
-let measure_php () =
-  List.map (fun (name, mk) -> measure ~repeat:5 name (mk ())) php_instances
+let measure_php ?inprocess () =
+  List.map
+    (fun (name, mk) -> measure ~repeat:5 ?inprocess name (mk ()))
+    php_instances
+
+(* Eager settings so the small tracked instances run all three passes
+   every restart — this measures the overhead ceiling, not the
+   production default (interval 4). *)
+let bench_inprocess =
+  { Sat.Solver.default_inprocess with Sat.Solver.inproc_interval = 1 }
 
 (* --- JSON writing (no library: the schema is flat) ------------------ *)
 
@@ -148,12 +162,45 @@ let write_json path ms =
   close_out oc;
   Printf.printf "wrote %s\n%!" path
 
+(* The inprocessing variant file: off vs on over the same suite, so the
+   overhead of probe/vivify/subsume passes is tracked like the arena
+   rewrite is. *)
+let write_inproc_json path ~off ~on =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"schema\": \"eda4sat-inproc-bench-v1\",\n";
+  Buffer.add_string buf
+    "  \"note\": \"php suite with restart-boundary inprocessing off vs on \
+     (inproc_interval=1, the overhead ceiling); the CI gate tracks the \
+     inprocess section's props/sec\",\n";
+  let section key ms last =
+    Buffer.add_string buf (Printf.sprintf "  %S: {\n" key);
+    List.iteri
+      (fun i m ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    %S: { \"props_per_sec\": %.0f, \
+              \"minor_words_per_conflict\": %.1f, \"conflicts\": %d, \
+              \"probed\": %d, \"vivified\": %d, \"inproc_subsumed\": %d }%s\n"
+             m.m_name m.props_per_sec m.mw_per_conflict m.conflicts m.probed
+             m.vivified m.inproc_subsumed
+             (if i < List.length ms - 1 then "," else "")))
+      ms;
+    Buffer.add_string buf (if last then "  }\n" else "  },\n")
+  in
+  section "off" off false;
+  section "inprocess" on true;
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
 (* --- regression check against a committed JSON ---------------------- *)
 
-(* Minimal scanner: finds the "arena" object, then for each instance
+(* Minimal scanner: finds the [section] object, then for each instance
    the number following its "props_per_sec" key.  Good enough for the
-   file this tool itself writes. *)
-let committed_pps json name =
+   files this tool itself writes. *)
+let committed_pps ?(section = "arena") json name =
   let find_from pos needle =
     let n = String.length needle and len = String.length json in
     let rec go i =
@@ -163,7 +210,7 @@ let committed_pps json name =
     in
     go pos
   in
-  match find_from 0 "\"arena\"" with
+  match find_from 0 (Printf.sprintf "%S" section) with
   | None -> None
   | Some a -> (
     match find_from a (Printf.sprintf "%S" name) with
@@ -189,7 +236,7 @@ let committed_pps json name =
           float_of_string_opt (String.sub json start (!i - start))
         else None))
 
-let check_against path ms =
+let check_against ?section path ms =
   let ic = open_in path in
   let json = really_input_string ic (in_channel_length ic) in
   close_in ic;
@@ -197,7 +244,7 @@ let check_against path ms =
   let failed = ref false in
   List.iter
     (fun m ->
-      match committed_pps json m.m_name with
+      match committed_pps ?section json m.m_name with
       | None ->
         Printf.printf "CHECK %-12s no committed number found — skipped\n"
           m.m_name
@@ -226,16 +273,31 @@ let arg_value name =
   find 1
 
 let () =
-  match (arg_value "--json", arg_value "--check") with
-  | Some path, _ ->
+  match
+    ( arg_value "--json",
+      arg_value "--check",
+      arg_value "--inprocess-json",
+      arg_value "--inprocess-check" )
+  with
+  | Some path, _, _, _ ->
     let ms = measure_php () in
     List.iter report ms;
     write_json path ms
-  | None, Some path ->
+  | None, Some path, _, _ ->
     let ms = measure_php () in
     List.iter report ms;
     check_against path ms
-  | None, None ->
+  | None, None, Some path, _ ->
+    let off = measure_php () in
+    let on = measure_php ~inprocess:bench_inprocess () in
+    List.iter report off;
+    List.iter report on;
+    write_inproc_json path ~off ~on
+  | None, None, None, Some path ->
+    let ms = measure_php ~inprocess:bench_inprocess () in
+    List.iter report ms;
+    check_against ~section:"inprocess" path ms
+  | None, None, None, None ->
     run "binary-chain(300k)" (binary_chain 300_000);
     run "wide-chain(150k)" (wide_chain 150_000);
     run ~repeat:3 "php(7,6)" (Workloads.Satcomp.pigeonhole ~pigeons:7 ~holes:6);

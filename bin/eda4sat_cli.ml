@@ -98,11 +98,34 @@ let agent_arg =
     & info [ "agent" ] ~docv:"FILE"
         ~doc:"Trained agent weights (from 'eda4sat train').")
 
+(* DIMACS "v" lines for a model over the original variables. *)
+let print_model m =
+  let buf = Buffer.create (4 * Array.length m) in
+  Buffer.add_char buf 'v';
+  Array.iteri
+    (fun i b ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int (if b then i + 1 else -(i + 1))))
+    m;
+  Buffer.add_string buf " 0";
+  print_endline (Buffer.contents buf)
+
+let write_proof path proof =
+  match (path, proof) with
+  | Some path, Some p ->
+    let oc = open_out path in
+    output_string oc (Sat.Proof.to_string p);
+    close_out oc;
+    Printf.printf "c DRAT proof written to %s (%d steps%s)\n" path
+      (Sat.Proof.num_steps p)
+      (if Sat.Proof.sealed p then "" else "; incomplete — answer not UNSAT")
+  | _ -> ()
+
 (* --- solve ---------------------------------------------------------- *)
 
 let solve_cmd =
-  let run verbose input timeout no_preprocess cnf_simplify mapper recipe
-      agent_file =
+  let run verbose input timeout no_preprocess cnf_simplify proof_file mapper
+      recipe agent_file =
     setup_logs verbose;
     let inst = read_instance input in
     let limits = limits_of_timeout timeout in
@@ -112,35 +135,55 @@ let solve_cmd =
         let agent = load_agent agent_file in
         pipeline_config ~agent ~mapper ~recipe
     in
+    let proof = Option.map (fun _ -> Sat.Proof.create ()) proof_file in
     if cnf_simplify then begin
       (* The complementary CNF-level layer (paper §4.2 keeps Kissat's
          default preprocessing on): circuit pipeline first, then
-         SatELite-style simplification, then solve. *)
+         SatELite-style simplification, then solve.  The simplifier
+         logs into the same DRAT recorder as the solver, so the proof
+         is one stream checkable against the pre-simplification CNF. *)
       let f, rep = Eda4sat.Pipeline.transform cfg inst in
       Format.printf "%a@." Eda4sat.Pipeline.pp_report rep;
-      match Cnf.Simplify.run f with
+      match Cnf.Simplify.run ?proof f with
       | Cnf.Simplify.Proved_unsat ->
         print_endline "c refuted during CNF simplification";
+        write_proof proof_file proof;
         print_endline "s UNSATISFIABLE"
       | Cnf.Simplify.Simplified simp ->
         let f' = Cnf.Simplify.formula simp in
         print_endline ("c " ^ Cnf.Simplify.stats simp);
-        Printf.printf "c simplified to %d vars, %d clauses
-"
+        Printf.printf "c simplified to %d vars, %d clauses\n"
           f'.Cnf.Formula.num_vars (Cnf.Formula.num_clauses f');
-        let result, stats = Sat.Solver.solve ~limits f' in
+        let result, stats = Sat.Solver.solve ~limits ?proof f' in
         (match result with
-         | Sat.Solver.Sat _ -> print_endline "s SATISFIABLE"
-         | Sat.Solver.Unsat -> print_endline "s UNSATISFIABLE"
+         | Sat.Solver.Sat m ->
+           (* The solver's model covers the simplified formula only:
+              lift it over the original variables and check it there
+              before claiming satisfiability. *)
+           let m0 = Cnf.Simplify.reconstruct simp m in
+           if Cnf.Formula.eval f m0 then begin
+             print_endline "s SATISFIABLE";
+             print_model m0
+           end
+           else begin
+             print_endline
+               "c ERROR: reconstructed model fails the original formula";
+             print_endline "s UNKNOWN"
+           end
+         | Sat.Solver.Unsat ->
+           write_proof proof_file proof;
+           print_endline "s UNSATISFIABLE"
          | Sat.Solver.Unknown -> print_endline "s UNKNOWN");
         Format.printf "c %a@." Sat.Solver.pp_stats stats
     end
     else begin
-      let report = Eda4sat.Pipeline.run ~limits cfg inst in
+      let report = Eda4sat.Pipeline.run ~limits ?proof cfg inst in
       Format.printf "%a@." Eda4sat.Pipeline.pp_report report;
       (match report.Eda4sat.Pipeline.result with
        | Sat.Solver.Sat _ -> print_endline "s SATISFIABLE"
-       | Sat.Solver.Unsat -> print_endline "s UNSATISFIABLE"
+       | Sat.Solver.Unsat ->
+         write_proof proof_file proof;
+         print_endline "s UNSATISFIABLE"
        | Sat.Solver.Unknown -> print_endline "s UNKNOWN");
       Format.printf "c %a@." Sat.Solver.pp_stats
         report.Eda4sat.Pipeline.solver_stats
@@ -157,11 +200,22 @@ let solve_cmd =
       & info [ "cnf-simplify" ]
           ~doc:"Also run SatELite-style CNF simplification before solving.")
   in
+  let proof_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "proof" ] ~docv:"FILE"
+          ~doc:"On an UNSAT answer, write a DRAT proof to FILE.  The \
+                proof refutes the CNF handed to the simplifier/solver: \
+                the input formula under --no-preprocess, the \
+                transformed CNF otherwise.  With --cnf-simplify the \
+                simplification steps are part of the same stream.")
+  in
   Cmd.v
     (Cmd.info "solve" ~doc:"Preprocess (by default) and solve an instance.")
     Term.(
       const run $ verbose_arg $ input_arg $ timeout_arg $ no_preprocess
-      $ cnf_simplify $ mapper_arg $ recipe_arg $ agent_arg)
+      $ cnf_simplify $ proof_file $ mapper_arg $ recipe_arg $ agent_arg)
 
 (* --- portfolio ------------------------------------------------------- *)
 

@@ -12,6 +12,7 @@ type t = {
   num_vars : int;
   mutable store : int array option array;
   mutable extensions : extension list; (* LIFO *)
+  proof : Proof.t option;
   (* statistics *)
   mutable n_units : int;
   mutable n_pures : int;
@@ -19,6 +20,17 @@ type t = {
   mutable n_strengthened : int;
   mutable n_eliminated : int;
 }
+
+(* Every technique below keeps the DRAT stream RUP-checkable by
+   ordering its steps: a derived clause is [Add]ed while the clauses
+   that justify it by unit propagation are still in the checker's
+   database, and only then are the originals [Delete]d.  Deletions are
+   unconditional in DRAT, so removing satisfied, subsumed or
+   tautological clauses needs no justification. *)
+let log_add s c = match s.proof with Some p -> Proof.add p c | None -> ()
+
+let log_delete s c =
+  match s.proof with Some p -> Proof.delete p c | None -> ()
 
 type outcome = Simplified of t | Proved_unsat
 
@@ -41,22 +53,43 @@ let formula s =
 (* --- assignment of a literal throughout the store ------------------- *)
 
 (* Set lit true: delete satisfied clauses, shrink clauses containing
-   the negation.  Detects emptied clauses. *)
+   the negation.  Detects emptied clauses.
+
+   Proof order: collect first, log the shrunk replacements while their
+   RUP justification (the unit clause [lit] and the unshrunk
+   originals) is still in the database, then apply the deletions.
+   Pure-literal assignments never shrink anything (the negation does
+   not occur), so they only produce unconditional deletions. *)
 let assign_literal s lit =
+  let shrinks = ref [] (* (index, original, shrunk), reverse order *)
+  and satisfied = ref [] in
   Array.iteri
     (fun i c ->
       match c with
       | None -> ()
       | Some clause ->
-        if Array.exists (( = ) lit) clause then s.store.(i) <- None
-        else if Array.exists (( = ) (-lit)) clause then begin
-          let shrunk = Array.of_list
+        if Array.exists (( = ) lit) clause then
+          satisfied := (i, clause) :: !satisfied
+        else if Array.exists (( = ) (-lit)) clause then
+          let shrunk =
+            Array.of_list
               (List.filter (( <> ) (-lit)) (Array.to_list clause))
           in
-          if Array.length shrunk = 0 then raise Unsat_found;
-          s.store.(i) <- Some shrunk
-        end)
-    s.store
+          shrinks := (i, clause, shrunk) :: !shrinks)
+    s.store;
+  List.iter (fun (_, _, shrunk) -> log_add s shrunk) (List.rev !shrinks);
+  if List.exists (fun (_, _, shrunk) -> Array.length shrunk = 0) !shrinks
+  then raise Unsat_found;
+  List.iter
+    (fun (i, clause) ->
+      log_delete s clause;
+      s.store.(i) <- None)
+    !satisfied;
+  List.iter
+    (fun (i, clause, shrunk) ->
+      log_delete s clause;
+      s.store.(i) <- Some shrunk)
+    !shrinks
 
 (* --- techniques ------------------------------------------------------ *)
 
@@ -170,6 +203,7 @@ let subsumption s =
                     Array.length clause <= Array.length other
                     && subset cs (sorted other)
                   then begin
+                    log_delete s other;
                     s.store.(j) <- None;
                     s.n_subsumed <- s.n_subsumed + 1;
                     changed := true
@@ -215,16 +249,20 @@ let strengthen s =
                                (List.filter (( <> ) (-l)) (Array.to_list d)))
                         in
                         if subset d_rest rest then begin
-                          s.store.(i) <-
-                            Some
-                              (Array.of_list
-                                 (List.filter (( <> ) l)
-                                    (Array.to_list cur)));
+                          let shrunk =
+                            Array.of_list
+                              (List.filter (( <> ) l) (Array.to_list cur))
+                          in
+                          (* RUP while both [cur] and [d] are present:
+                             negating [shrunk] makes [d] propagate
+                             [-l] and then falsifies [cur]. *)
+                          log_add s shrunk;
+                          log_delete s cur;
+                          s.store.(i) <- Some shrunk;
                           s.n_strengthened <- s.n_strengthened + 1;
                           changed := true;
-                          if
-                            Array.length (Option.get s.store.(i)) = 0
-                          then raise Unsat_found
+                          if Array.length shrunk = 0 then
+                            raise Unsat_found
                         end
                       | _ -> ())
                   ds
@@ -292,6 +330,16 @@ let eliminate_variables cfg s =
         let pos_clauses =
           List.filter_map (fun i -> s.store.(i)) !occ
         in
+        (* Each resolvent is RUP against its two parents (negating it
+           unit-propagates v from one and -v from the other), so log
+           all additions before deleting any pivot clause. *)
+        List.iter (fun r -> log_add s r) !resolvents;
+        List.iter
+          (fun i ->
+            match s.store.(i) with
+            | Some c -> log_delete s c
+            | None -> ())
+          (!occ @ !nocc);
         List.iter (fun i -> s.store.(i) <- None) (!occ @ !nocc);
         let fresh = Array.of_list (List.map Option.some !resolvents) in
         s.store <- Array.append s.store fresh;
@@ -315,15 +363,19 @@ let remove_tautologies s =
             (fun l -> Array.exists (( = ) (-l)) clause)
             clause
         in
-        if taut then s.store.(i) <- None)
+        if taut then begin
+          log_delete s clause;
+          s.store.(i) <- None
+        end)
     s.store
 
-let run ?(config = default_config) f =
+let run ?(config = default_config) ?proof f =
   let s =
     {
       num_vars = f.Formula.num_vars;
       store = Array.map Option.some f.Formula.clauses;
       extensions = [];
+      proof;
       n_units = 0;
       n_pures = 0;
       n_subsumed = 0;
@@ -332,7 +384,12 @@ let run ?(config = default_config) f =
     }
   in
   try
-    if Array.exists (fun c -> c = Some [||]) s.store then raise Unsat_found;
+    if Array.exists (fun c -> c = Some [||]) s.store then begin
+      (* The input already contains the empty clause; adding it seals
+         the recorder so [Proved_unsat] carries a complete proof. *)
+      log_add s [||];
+      raise Unsat_found
+    end;
     remove_tautologies s;
     let continue = ref true and round = ref 0 in
     while !continue && !round < config.rounds do

@@ -10,7 +10,19 @@
 
     Simplification is equisatisfiability-preserving; a {!reconstruct}
     function lifts a model of the simplified formula back to the
-    original variables. *)
+    original variables.
+
+    With [?proof], every technique logs DRAT steps into the recorder:
+    derived clauses (shrunk by unit assignment, strengthened by
+    self-subsuming resolution, BVE resolvents) are [Add]ed while the
+    clauses justifying them by unit propagation are still present, and
+    removed clauses (satisfied, subsumed, tautological, BVE pivots,
+    replaced originals) are [Delete]d afterwards, so the stream stays
+    RUP-checkable.  A {!Proved_unsat} outcome seals the recorder with
+    the empty clause.  Passing the same recorder on to
+    [Sat.Solver.solve] over [formula s] yields one end-to-end DRAT
+    proof that {!Proof.check} validates against the
+    {e pre-simplification} formula. *)
 
 type outcome =
   | Simplified of t
@@ -33,7 +45,11 @@ type config = {
 
 val default_config : config
 
-val run : ?config:config -> Formula.t -> outcome
+val run : ?config:config -> ?proof:Proof.t -> Formula.t -> outcome
+(** [?proof] receives one DRAT step per clause the simplifier derives
+    or removes (see the module documentation for the ordering
+    guarantees).  [Sat.Proof.t] is the same type, so the solver can
+    keep appending to the same recorder. *)
 
 val reconstruct : t -> bool array -> bool array
 (** [reconstruct s model] extends a model of [formula s] to a model of

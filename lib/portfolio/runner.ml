@@ -28,6 +28,9 @@ let empty_stats =
     restarts = 0;
     learned = 0;
     reduces = 0;
+    probed = 0;
+    vivified = 0;
+    inproc_subsumed = 0;
     max_decision_level = 0;
     time = 0.0;
     cpu_time = 0.0;
@@ -41,6 +44,13 @@ let result_name = function
   | Sat.Solver.Unknown -> "UNKNOWN"
 
 let take n l = List.filteri (fun i _ -> i < n) l
+
+(* A prepared lane's optional model lift: report [Sat] answers over the
+   input formula's variables when the lane knows how. *)
+let apply_lift lift result =
+  match (result, lift) with
+  | Sat.Solver.Sat m, Some g -> Sat.Solver.Sat (g m)
+  | _ -> result
 
 (* --- sequential race (jobs = 1) ------------------------------------- *)
 
@@ -60,8 +70,8 @@ let run_sequential ~limits ~proof ~log strategies formula =
     let st = strategies.(!i) in
     let outcome =
       try
-        let f = match st.Strategy.prepare with
-          | None -> formula
+        let f, lift = match st.Strategy.prepare with
+          | None -> (formula, None)
           | Some prep -> prep ~stop:(fun () -> false)
         in
         let wproof =
@@ -71,6 +81,7 @@ let run_sequential ~limits ~proof ~log strategies formula =
           Sat.Solver.solve ~limits ?proof:wproof
             ~heuristic:st.Strategy.heuristic ~restarts:st.Strategy.restarts f
         in
+        let result = apply_lift lift result in
         match result with
         | Sat.Solver.Sat _ | Sat.Solver.Unsat ->
           winner := Some !i;
@@ -126,6 +137,7 @@ let run ?(jobs = 4) ?(share_lbd = 4) ?(limits = Sat.Solver.no_limits) ?proof
   if jobs = 1 then run_sequential ~limits ~proof ~log strategies formula
   else begin
     let t0 = Sat.Wall.now () in
+    let c0 = Sys.time () in
     let strategies = Array.of_list (take jobs strategies) in
     let n = Array.length strategies in
     let bus =
@@ -147,8 +159,8 @@ let run ?(jobs = 4) ?(share_lbd = 4) ?(limits = Sat.Solver.no_limits) ?proof
     let work i =
       let st = strategies.(i) in
       try
-        let f = match st.Strategy.prepare with
-          | None -> formula
+        let f, lift = match st.Strategy.prepare with
+          | None -> (formula, None)
           | Some prep ->
             prep ~stop:(fun () -> Sat.Solver.Interrupt.is_set cancel)
         in
@@ -173,6 +185,7 @@ let run ?(jobs = 4) ?(share_lbd = 4) ?(limits = Sat.Solver.no_limits) ?proof
               ~export_lbd:(if share_lbd > 0 then share_lbd else max_int)
               ?import f
           in
+          let result = apply_lift lift result in
           match result with
           | Sat.Solver.Sat _ | Sat.Solver.Unsat ->
             if Atomic.compare_and_set race_winner (-1) i then begin
@@ -199,12 +212,29 @@ let run ?(jobs = 4) ?(share_lbd = 4) ?(limits = Sat.Solver.no_limits) ?proof
     in
     let domains = Array.init n (fun i -> Domain.spawn (fun () -> work i)) in
     let outcomes = Array.map Domain.join domains in
+    let winner =
+      match Atomic.get race_winner with -1 -> None | i -> Some i
+    in
+    (* [Sys.time] is process-wide, so each lane's own reading
+       over-attributes the other domains' concurrent work to it.  The
+       race-level delta measured here is the only meaningful CPU
+       figure: it goes into the winner's stats, and the per-lane field
+       is zeroed everywhere else (see [Sat.Solver.stats.cpu_time]). *)
+    let race_cpu = Sys.time () -. c0 in
+    let outcomes =
+      Array.mapi
+        (fun i o ->
+          let cpu = if Some i = winner then race_cpu else 0.0 in
+          match o with
+          | Answered (r, s) ->
+            Answered (r, { s with Sat.Solver.cpu_time = cpu })
+          | Limit s -> Limit { s with Sat.Solver.cpu_time = cpu }
+          | o -> o)
+        outcomes
+    in
     let workers =
       Array.init n (fun i ->
           { strategy = strategies.(i); outcome = outcomes.(i) })
-    in
-    let winner =
-      match Atomic.get race_winner with -1 -> None | i -> Some i
     in
     let result, stats =
       match winner with

@@ -3,17 +3,28 @@ type t = {
   heuristic : [ `Evsids | `Lrb ];
   restarts : [ `Luby | `Glucose ];
   share_group : int option;
-  prepare : (stop:(unit -> bool) -> Cnf.Formula.t) option;
+  prepare :
+    (stop:(unit -> bool) ->
+     Cnf.Formula.t * (bool array -> bool array) option)
+    option;
 }
 
 let direct ?(heuristic = `Evsids) ?(restarts = `Luby) name =
   { name; heuristic; restarts; share_group = Some 0; prepare = None }
 
+let check_group = function
+  | Some 0 -> invalid_arg "Strategy.prepared: share group 0 is direct-only"
+  | _ -> ()
+
 let prepared ?(heuristic = `Evsids) ?(restarts = `Luby) ?share_group name
     prepare =
-  (match share_group with
-   | Some 0 -> invalid_arg "Strategy.prepared: share group 0 is direct-only"
-   | _ -> ());
+  check_group share_group;
+  { name; heuristic; restarts; share_group;
+    prepare = Some (fun ~stop -> (prepare ~stop, None)) }
+
+let prepared_lifted ?(heuristic = `Evsids) ?(restarts = `Luby) ?share_group
+    name prepare =
+  check_group share_group;
   { name; heuristic; restarts; share_group; prepare = Some prepare }
 
 (* Anchor first, then alternate both axes at once (maximally different

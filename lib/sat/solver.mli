@@ -37,6 +37,15 @@ type stats = {
   reduces : int;
       (** learnt-database reductions performed (each one compacts the
           clause arena) *)
+  probed : int;
+      (** inprocessing: literals probed for failed-literal detection
+          (0 unless [?inprocess] was given) *)
+  vivified : int;
+      (** inprocessing: learnt clauses shortened or discarded by
+          vivification *)
+  inproc_subsumed : int;
+      (** inprocessing: learnt clauses deleted or strengthened by the
+          subsumption pass *)
   max_decision_level : int;
   time : float;
       (** monotonic {e wall-clock} seconds ({!Wall.now}).  This is
@@ -45,9 +54,14 @@ type stats = {
           than real time, so a CPU-clocked limit would fire N times
           early.  The CPU side is kept separately in [cpu_time]. *)
   cpu_time : float;
-      (** process CPU seconds ([Sys.time]) consumed during the call —
-          under a portfolio this aggregates the work of every domain
-          that ran concurrently, so [cpu_time] can exceed [time]. *)
+      (** process CPU seconds ([Sys.time]) consumed during the call.
+          [Sys.time] measures the {e whole process}: under a portfolio
+          this aggregates the work of every domain that ran
+          concurrently, so [cpu_time] can exceed [time] — and a
+          per-lane reading over-attributes the other lanes' work to
+          each lane.  The portfolio runner therefore reports one
+          race-level CPU figure (the winner outcome's [cpu_time]) and
+          zeroes the field in the losing lanes' stats. *)
   minor_words : float;
       (** allocation telemetry: delta of [Gc.minor_words] across the
           call.  Divide by [conflicts] for the per-conflict figure the
@@ -83,11 +97,39 @@ module Interrupt : sig
   val is_set : t -> bool
 end
 
+(** Restart-boundary inprocessing knobs.  Every [inproc_interval]
+    restarts the solver runs, at decision level 0: failed-literal
+    probing (up to [probe_limit] literals per pass; a probe whose
+    propagation conflicts yields a level-0 unit), vivification of the
+    [vivify_limit] most recent long learnt clauses (re-deriving each
+    clause literal by literal under assumption of its negated prefix,
+    shortening on a conflict, a satisfied or a falsified literal), and
+    pairwise subsumption / self-subsuming strengthening over a
+    [subsume_window] of the most recent long learnt clauses.  All
+    derived clauses and deletions are DRAT-logged with the derived
+    clause added {e before} its original is deleted, so a proof
+    recorded with inprocessing enabled still validates under
+    {!Proof.check}.  See DESIGN.md for the protocol and the arena
+    interaction. *)
+type inprocess = {
+  inproc_interval : int;  (** fire the pass every this many restarts *)
+  probe_limit : int;      (** max literals probed per pass *)
+  vivify_limit : int;     (** max learnt clauses vivified per pass *)
+  subsume_window : int;
+      (** pairwise subsumption window over the most recent learnt
+          clauses *)
+}
+
+val default_inprocess : inprocess
+(** [{ inproc_interval = 4; probe_limit = 64; vivify_limit = 32;
+      subsume_window = 32 }] *)
+
 val solve :
   ?limits:limits -> ?proof:Proof.t -> ?heuristic:[ `Evsids | `Lrb ] ->
   ?restarts:[ `Luby | `Glucose ] ->
   ?reduce_base:int ->
   ?reduce_inc:int ->
+  ?inprocess:inprocess ->
   ?on_learnt:(int array -> int -> unit) ->
   ?interrupt:Interrupt.t ->
   ?export:(int array -> int -> unit) ->
@@ -108,6 +150,10 @@ val solve :
     [reduce_base] (default 2000) and [reduce_inc] (default 512) set
     the initial learnt-database size cap and its growth after each
     reduction; tests shrink them to force frequent arena compactions.
+    [inprocess] enables restart-boundary inprocessing (see
+    {!inprocess}); when absent — the default — none of that code runs
+    and the search trajectory is bit-identical to the solver without
+    it, preserving the jobs=1 portfolio bit-identity guarantee.
     [on_learnt lits lbd] is an instrumentation hook invoked for every
     learned clause at learn time — before backjumping, while all of
     [lits] (internal literal encoding, first-UIP first) are still
@@ -167,6 +213,7 @@ module Incremental : sig
     ?limits:limits -> ?proof:Proof.t -> ?heuristic:[ `Evsids | `Lrb ] ->
     ?restarts:[ `Luby | `Glucose ] ->
     ?reduce_base:int -> ?reduce_inc:int ->
+    ?inprocess:inprocess ->
     ?interrupt:Interrupt.t ->
     ?assumptions:int array -> session ->
     result * stats

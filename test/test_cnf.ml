@@ -413,6 +413,73 @@ let test_simplify_php_shrinks () =
       (Cnf.Formula.num_literals (Cnf.Simplify.formula s)
        <= Cnf.Formula.num_literals f)
 
+(* --- proof-carrying simplification ------------------------------- *)
+
+let prop_simplify_proof_differential =
+  (* Differential fuzz of the full chain: simplify (logging) -> solve
+     (logging into the same recorder) -> reconstruct.  UNSAT cases must
+     leave one sealed DRAT stream that checks against the ORIGINAL
+     formula; SAT models must lift back and satisfy it. *)
+  QCheck.Test.make
+    ~name:"simplify+solve: one DRAT stream, checked against the original"
+    ~count:300
+    QCheck.(triple (int_bound 10000000) (int_range 3 12) (int_range 2 45))
+    (fun (seed, nvars, nclauses) ->
+      let rng = Aig.Rng.create seed in
+      let clauses =
+        List.init nclauses (fun i ->
+            (* A sprinkle of unit clauses exercises the unit-assignment
+               shrink/delete logging; short clauses over few variables
+               drive BVE and the pure-literal rule. *)
+            let len = if i mod 7 = 0 then 1 else 1 + Aig.Rng.int rng 3 in
+            Array.init len (fun _ ->
+                let v = 1 + Aig.Rng.int rng nvars in
+                if Aig.Rng.bool rng then v else -v))
+      in
+      let f = Cnf.Formula.create ~num_vars:nvars clauses in
+      let proof = Sat.Proof.create () in
+      match Cnf.Simplify.run ~proof f with
+      | Cnf.Simplify.Proved_unsat ->
+        Sat.Proof.sealed proof && Sat.Proof.check f proof
+      | Cnf.Simplify.Simplified s -> (
+        match fst (Sat.Solver.solve ~proof (Cnf.Simplify.formula s)) with
+        | Sat.Solver.Sat m ->
+          Cnf.Formula.eval f (Cnf.Simplify.reconstruct s m)
+        | Sat.Solver.Unsat ->
+          Sat.Proof.sealed proof && Sat.Proof.check f proof
+        | Sat.Solver.Unknown -> false))
+
+let test_simplify_proof_unit_chain () =
+  (* Refuted by unit propagation alone: every clause is rewritten by
+     unit assignment, so the two-phase Add/Delete ordering is what
+     keeps the stream checkable. *)
+  let f =
+    Cnf.Formula.create ~num_vars:4
+      [ [| 1 |]; [| -1; 2 |]; [| -2; 3 |]; [| -3; 4 |]; [| -4; -1 |] ]
+  in
+  let proof = Sat.Proof.create () in
+  (match Cnf.Simplify.run ~proof f with
+   | Cnf.Simplify.Proved_unsat -> ()
+   | Cnf.Simplify.Simplified _ -> Alcotest.fail "unit chain should refute");
+  check_bool "sealed by the empty clause" true (Sat.Proof.sealed proof);
+  check_bool "unit-only proof checks" true (Sat.Proof.check f proof)
+
+let test_simplify_proof_php () =
+  (* Pure literals + BVE fire on php(4,3); the solver finishes the
+     refutation.  The combined stream must check against the
+     pre-simplification formula. *)
+  let f = inline_php43 () in
+  let proof = Sat.Proof.create () in
+  (match Cnf.Simplify.run ~proof f with
+   | Cnf.Simplify.Proved_unsat -> ()
+   | Cnf.Simplify.Simplified s -> (
+     match fst (Sat.Solver.solve ~proof (Cnf.Simplify.formula s)) with
+     | Sat.Solver.Unsat -> ()
+     | _ -> Alcotest.fail "php(4,3) is unsat"));
+  check_bool "proof sealed" true (Sat.Proof.sealed proof);
+  check_bool "combined proof checks against original" true
+    (Sat.Proof.check f proof)
+
 let suite =
   suite
   @ [
@@ -420,8 +487,14 @@ let suite =
       ("simplify detects unsat", `Quick, test_simplify_detects_unsat);
       ("simplify subsumption", `Quick, test_simplify_subsumption);
       ("simplify php", `Quick, test_simplify_php_shrinks);
+      ("simplify proof: unit-only refutation", `Quick,
+       test_simplify_proof_unit_chain);
+      ("simplify proof: pures+BVE then solver", `Quick,
+       test_simplify_proof_php);
     ]
-  @ qsuite [ prop_simplify_equisat_and_reconstruct ]
+  @ qsuite
+      [ prop_simplify_equisat_and_reconstruct;
+        prop_simplify_proof_differential ]
 
 (* ------------------------------------------------------------------ *)
 (* Plaisted-Greenbaum encoding *)

@@ -255,3 +255,71 @@ let suite =
       ("pipeline with advanced recovery", `Quick,
        test_pipeline_advanced_recovery);
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Proof-carrying simplification through the pipeline *)
+
+let test_pipeline_simplify_unsat_proof () =
+  (* An UNSAT miter through transform + Cnf.Simplify + solve must leave
+     one sealed DRAT stream that checks against the CNF entering the
+     simplifier (the transformed formula). *)
+  let inst =
+    Eda4sat.Instance.of_circuit ~name:"m" (small_miter ~buggy:false 60)
+  in
+  let cfg = Eda4sat.Pipeline.ours () in
+  let f, _ = Eda4sat.Pipeline.transform cfg inst in
+  let proof = Sat.Proof.create () in
+  let r = Eda4sat.Pipeline.run ~proof ~simplify:true cfg inst in
+  check_bool "unsat" true (result_kind r.Eda4sat.Pipeline.result = `Unsat);
+  check_bool "proof sealed" true (Sat.Proof.sealed proof);
+  check_bool "end-to-end proof checks against the transformed CNF" true
+    (Sat.Proof.check f proof)
+
+let test_pipeline_simplify_sat_model_lifted () =
+  (* A SAT answer under ~simplify must carry a model over the solved
+     formula's variables that actually satisfies it. *)
+  let inst =
+    Eda4sat.Instance.of_circuit ~name:"m" (small_miter ~buggy:true 61)
+  in
+  let cfg = Eda4sat.Pipeline.ours () in
+  let f, _ = Eda4sat.Pipeline.transform cfg inst in
+  let r = Eda4sat.Pipeline.run ~simplify:true cfg inst in
+  (match r.Eda4sat.Pipeline.result with
+   | Sat.Solver.Sat m ->
+     check_bool "lifted model satisfies the transformed CNF" true
+       (Cnf.Formula.eval f m)
+   | _ -> Alcotest.fail "buggy miter must be satisfiable");
+  (* Same through the direct path. *)
+  let f0 = Eda4sat.Instance.direct_formula inst in
+  let rd = Eda4sat.Pipeline.solve_direct ~simplify:true inst in
+  match rd.Eda4sat.Pipeline.result with
+  | Sat.Solver.Sat m ->
+    check_bool "direct lifted model satisfies the input" true
+      (Cnf.Formula.eval f0 m)
+  | _ -> Alcotest.fail "direct solve must agree"
+
+let test_pipeline_simplify_refuted_in_preprocessing () =
+  (* A contradiction the simplifier refutes on its own: Unsat with
+     zeroed solver stats and a sealed, checkable proof. *)
+  let f =
+    Cnf.Formula.create ~num_vars:2 [ [| 1 |]; [| -1; 2 |]; [| -2 |] ]
+  in
+  let inst = Eda4sat.Instance.of_cnf ~name:"up-unsat" f in
+  let proof = Sat.Proof.create () in
+  let r = Eda4sat.Pipeline.solve_direct ~proof ~simplify:true inst in
+  check_bool "unsat" true (result_kind r.Eda4sat.Pipeline.result = `Unsat);
+  check "no solver conflicts" 0
+    r.Eda4sat.Pipeline.solver_stats.Sat.Solver.conflicts;
+  check_bool "proof sealed by the simplifier" true (Sat.Proof.sealed proof);
+  check_bool "proof checks" true (Sat.Proof.check f proof)
+
+let suite =
+  suite
+  @ [
+      ("pipeline ~simplify: end-to-end UNSAT proof", `Quick,
+       test_pipeline_simplify_unsat_proof);
+      ("pipeline ~simplify: SAT models lifted", `Quick,
+       test_pipeline_simplify_sat_model_lifted);
+      ("pipeline ~simplify: refuted in preprocessing", `Quick,
+       test_pipeline_simplify_refuted_in_preprocessing);
+    ]

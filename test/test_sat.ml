@@ -819,3 +819,85 @@ let suite =
        test_incremental_proof_across_calls);
       ("glucose restarts", `Quick, test_glucose_restarts);
     ]
+
+(* --- restart-boundary inprocessing --------------------------------- *)
+
+let inproc_eager =
+  (* Fire on every restart so small test instances hit all three
+     passes; shrink the reduce cadence to force arena compactions in
+     between, exercising the inprocessing/arena_gc interaction. *)
+  { Sat.Solver.default_inprocess with Sat.Solver.inproc_interval = 1 }
+
+let test_inprocess_counters_and_proof () =
+  let f = pigeonhole ~pigeons:7 ~holes:6 in
+  let proof = Sat.Proof.create () in
+  let result, st =
+    Sat.Solver.solve ~proof ~inprocess:inproc_eager ~reduce_base:50
+      ~reduce_inc:25 f
+  in
+  (match result with
+   | Sat.Solver.Unsat -> ()
+   | _ -> Alcotest.fail "php(7,6) is unsat");
+  check_bool "probing fired" true (st.Sat.Solver.probed > 0);
+  check_bool "vivification or subsumption fired" true
+    (st.Sat.Solver.vivified + st.Sat.Solver.inproc_subsumed > 0);
+  check_bool "proof sealed" true (Sat.Proof.sealed proof);
+  check_bool "proof checks with inprocessing on" true
+    (Sat.Proof.check f proof)
+
+let test_inprocess_off_is_deterministic_and_counts_zero () =
+  (* Without [?inprocess] none of the new code runs: the counters stay
+     zero and the trajectory is reproducible run to run (the portfolio
+     jobs=1 bit-identity guarantee rides on this). *)
+  let f = pigeonhole ~pigeons:7 ~holes:6 in
+  let _, a = Sat.Solver.solve f in
+  let _, b = Sat.Solver.solve f in
+  check "probed stays zero" 0 a.Sat.Solver.probed;
+  check "vivified stays zero" 0 a.Sat.Solver.vivified;
+  check "inproc_subsumed stays zero" 0 a.Sat.Solver.inproc_subsumed;
+  check "conflicts reproducible" a.Sat.Solver.conflicts b.Sat.Solver.conflicts;
+  check "decisions reproducible" a.Sat.Solver.decisions b.Sat.Solver.decisions;
+  check "learned reproducible" a.Sat.Solver.learned b.Sat.Solver.learned
+
+let test_inprocess_sat_models_stay_valid () =
+  (* Vivification/subsumption rewrite learnt clauses in place in the
+     arena; a model found afterwards must still satisfy the input. *)
+  let checked = ref 0 in
+  for seed = 1 to 12 do
+    let f =
+      Workloads.Satcomp.random_ksat ~seed ~num_vars:60 ~num_clauses:240 ~k:3
+    in
+    match
+      fst
+        (Sat.Solver.solve ~inprocess:inproc_eager ~reduce_base:30
+           ~reduce_inc:15 f)
+    with
+    | Sat.Solver.Sat m ->
+      incr checked;
+      check_bool "model satisfies under inprocessing" true
+        (Cnf.Formula.eval f m)
+    | Sat.Solver.Unsat | Sat.Solver.Unknown -> ()
+  done;
+  check_bool "some satisfiable seeds exercised" true (!checked > 0)
+
+let test_inprocess_incremental () =
+  let s = Sat.Solver.Incremental.create () in
+  Sat.Solver.Incremental.add_formula s (pigeonhole ~pigeons:6 ~holes:5);
+  match
+    fst (Sat.Solver.Incremental.solve ~inprocess:inproc_eager s)
+  with
+  | Sat.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "php(6,5) unsat under incremental inprocessing"
+
+let suite =
+  suite
+  @ [
+      ("inprocessing: counters + combined proof", `Quick,
+       test_inprocess_counters_and_proof);
+      ("inprocessing off: zero counters, reproducible", `Quick,
+       test_inprocess_off_is_deterministic_and_counts_zero);
+      ("inprocessing: SAT models stay valid", `Quick,
+       test_inprocess_sat_models_stay_valid);
+      ("inprocessing: incremental sessions", `Quick,
+       test_inprocess_incremental);
+    ]
