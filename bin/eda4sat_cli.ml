@@ -2,13 +2,17 @@
    framework.
 
      eda4sat solve      -i problem.cnf [--no-preprocess] [--timeout S]
+     eda4sat serve      [--workers N] [--queue N] [--cache N] [--mode M]
      eda4sat preprocess -i problem.cnf -o simplified.cnf [...]
      eda4sat train      --episodes N --out agent.weights
      eda4sat generate   --family php --out file.cnf [...]
      eda4sat tables     [--table N] [--scale S] [--timeout S] [--agent F]
 
    Inputs ending in .cnf/.dimacs are DIMACS; .aag files are ASCII
-   AIGER circuits. *)
+   AIGER circuits.
+
+   'solve' and 'portfolio' exit with the SAT-competition convention:
+   10 = SATISFIABLE, 20 = UNSATISFIABLE, 0 = UNKNOWN (timeout). *)
 
 open Cmdliner
 
@@ -98,6 +102,14 @@ let agent_arg =
     & info [ "agent" ] ~docv:"FILE"
         ~doc:"Trained agent weights (from 'eda4sat train').")
 
+(* SAT-competition exit codes, used by 'solve' and 'portfolio'. *)
+let exit_sat = 10
+let exit_unsat = 20
+let exit_unknown = 0
+
+(* Commands without a verdict exit 0 on success. *)
+let returns_ok t = Term.(const (fun () -> 0) $ t)
+
 (* DIMACS "v" lines for a model over the original variables. *)
 let print_model m =
   let buf = Buffer.create (4 * Array.length m) in
@@ -148,45 +160,62 @@ let solve_cmd =
       | Cnf.Simplify.Proved_unsat ->
         print_endline "c refuted during CNF simplification";
         write_proof proof_file proof;
-        print_endline "s UNSATISFIABLE"
+        print_endline "s UNSATISFIABLE";
+        exit_unsat
       | Cnf.Simplify.Simplified simp ->
         let f' = Cnf.Simplify.formula simp in
         print_endline ("c " ^ Cnf.Simplify.stats simp);
         Printf.printf "c simplified to %d vars, %d clauses\n"
           f'.Cnf.Formula.num_vars (Cnf.Formula.num_clauses f');
         let result, stats = Sat.Solver.solve ~limits ?proof f' in
-        (match result with
-         | Sat.Solver.Sat m ->
-           (* The solver's model covers the simplified formula only:
-              lift it over the original variables and check it there
-              before claiming satisfiability. *)
-           let m0 = Cnf.Simplify.reconstruct simp m in
-           if Cnf.Formula.eval f m0 then begin
-             print_endline "s SATISFIABLE";
-             print_model m0
-           end
-           else begin
-             print_endline
-               "c ERROR: reconstructed model fails the original formula";
-             print_endline "s UNKNOWN"
-           end
-         | Sat.Solver.Unsat ->
-           write_proof proof_file proof;
-           print_endline "s UNSATISFIABLE"
-         | Sat.Solver.Unknown -> print_endline "s UNKNOWN");
-        Format.printf "c %a@." Sat.Solver.pp_stats stats
+        let code =
+          match result with
+          | Sat.Solver.Sat m ->
+            (* The solver's model covers the simplified formula only:
+               lift it over the original variables and check it there
+               before claiming satisfiability. *)
+            let m0 = Cnf.Simplify.reconstruct simp m in
+            if Cnf.Formula.eval f m0 then begin
+              print_endline "s SATISFIABLE";
+              print_model m0;
+              exit_sat
+            end
+            else begin
+              print_endline
+                "c ERROR: reconstructed model fails the original formula";
+              print_endline "s UNKNOWN";
+              exit_unknown
+            end
+          | Sat.Solver.Unsat ->
+            write_proof proof_file proof;
+            print_endline "s UNSATISFIABLE";
+            exit_unsat
+          | Sat.Solver.Unknown ->
+            print_endline "s UNKNOWN";
+            exit_unknown
+        in
+        Format.printf "c %a@." Sat.Solver.pp_stats stats;
+        code
     end
     else begin
       let report = Eda4sat.Pipeline.run ~limits ?proof cfg inst in
       Format.printf "%a@." Eda4sat.Pipeline.pp_report report;
-      (match report.Eda4sat.Pipeline.result with
-       | Sat.Solver.Sat _ -> print_endline "s SATISFIABLE"
-       | Sat.Solver.Unsat ->
-         write_proof proof_file proof;
-         print_endline "s UNSATISFIABLE"
-       | Sat.Solver.Unknown -> print_endline "s UNKNOWN");
+      let code =
+        match report.Eda4sat.Pipeline.result with
+        | Sat.Solver.Sat _ ->
+          print_endline "s SATISFIABLE";
+          exit_sat
+        | Sat.Solver.Unsat ->
+          write_proof proof_file proof;
+          print_endline "s UNSATISFIABLE";
+          exit_unsat
+        | Sat.Solver.Unknown ->
+          print_endline "s UNKNOWN";
+          exit_unknown
+      in
       Format.printf "c %a@." Sat.Solver.pp_stats
-        report.Eda4sat.Pipeline.solver_stats
+        report.Eda4sat.Pipeline.solver_stats;
+      code
     end
   in
   let no_preprocess =
@@ -247,12 +276,21 @@ let portfolio_cmd =
       outcome.Portfolio.Runner.shared_delivered
       outcome.Portfolio.Runner.shared_dropped;
     Printf.printf "c race wall time: %.3fs\n" outcome.Portfolio.Runner.wall;
-    (match report.Eda4sat.Pipeline.result with
-     | Sat.Solver.Sat _ -> print_endline "s SATISFIABLE"
-     | Sat.Solver.Unsat -> print_endline "s UNSATISFIABLE"
-     | Sat.Solver.Unknown -> print_endline "s UNKNOWN");
+    let code =
+      match report.Eda4sat.Pipeline.result with
+      | Sat.Solver.Sat _ ->
+        print_endline "s SATISFIABLE";
+        exit_sat
+      | Sat.Solver.Unsat ->
+        print_endline "s UNSATISFIABLE";
+        exit_unsat
+      | Sat.Solver.Unknown ->
+        print_endline "s UNKNOWN";
+        exit_unknown
+    in
     Format.printf "c %a@." Sat.Solver.pp_stats
-      report.Eda4sat.Pipeline.solver_stats
+      report.Eda4sat.Pipeline.solver_stats;
+    code
   in
   let jobs =
     Arg.(value & opt int 4
@@ -272,6 +310,78 @@ let portfolio_cmd =
              learnt-clause sharing.")
     Term.(const run $ verbose_arg $ input_arg $ timeout_arg $ jobs $ share_lbd
           $ mapper_arg $ recipe_arg $ agent_arg)
+
+(* --- serve ------------------------------------------------------------ *)
+
+let serve_cmd =
+  let run verbose workers queue cache mode jobs share_lbd timeout deadline_ms =
+    setup_logs verbose;
+    let mode =
+      match mode with
+      | "direct" -> Server.Direct
+      | "simplify" -> Server.Simplify
+      | "portfolio" -> Server.Portfolio { jobs; share_lbd }
+      | m -> failwith ("unknown mode: " ^ m ^ " (direct|simplify|portfolio)")
+    in
+    let config =
+      {
+        Server.workers;
+        queue_capacity = queue;
+        cache_capacity = cache;
+        mode;
+        limits = limits_of_timeout timeout;
+        default_deadline = Option.map (fun ms -> ms /. 1000.0) deadline_ms;
+      }
+    in
+    let engine = Server.create ~config () in
+    Fun.protect
+      ~finally:(fun () -> Server.shutdown engine)
+      (fun () -> Server.Protocol.serve engine stdin stdout);
+    0
+  in
+  let workers =
+    Arg.(value & opt int 4
+         & info [ "workers" ] ~docv:"N" ~doc:"Worker domains.")
+  in
+  let queue =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Admission queue capacity; further submissions are \
+                   REJECTED (backpressure).")
+  in
+  let cache =
+    Arg.(value & opt int 512
+         & info [ "cache" ] ~docv:"N" ~doc:"Result cache capacity (LRU).")
+  in
+  let mode =
+    Arg.(value & opt string "direct"
+         & info [ "mode" ] ~docv:"MODE"
+             ~doc:"Per-job solve mode: 'direct', 'simplify' (CNF \
+                   simplification first), or 'portfolio' (each worker \
+                   races a lane pool).")
+  in
+  let jobs =
+    Arg.(value & opt int 4
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Portfolio lanes per worker (mode=portfolio).")
+  in
+  let share_lbd =
+    Arg.(value & opt int 4
+         & info [ "share-lbd" ] ~docv:"LBD"
+             ~doc:"Maximum glue of shared learnt clauses (mode=portfolio).")
+  in
+  let deadline_ms =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Default per-job deadline when a SOLVE line gives none.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the concurrent solve service on stdin/stdout: SOLVE \
+             <file> [deadline_ms] [prio] per line; answers carry a \
+             cache/dedup source tag; STATS prints a metrics JSON line.")
+    Term.(const run $ verbose_arg $ workers $ queue $ cache $ mode $ jobs
+          $ share_lbd $ timeout_arg $ deadline_ms)
 
 (* --- preprocess ------------------------------------------------------ *)
 
@@ -300,8 +410,9 @@ let preprocess_cmd =
     (Cmd.info "preprocess"
        ~doc:"Run Algorithm 1 and write the simplified CNF for an external \
              solver.")
-    Term.(const run $ verbose_arg $ input_arg $ output_arg $ mapper_arg
-          $ recipe_arg $ agent_arg)
+    (returns_ok
+       Term.(const run $ verbose_arg $ input_arg $ output_arg $ mapper_arg
+             $ recipe_arg $ agent_arg))
 
 (* --- train ----------------------------------------------------------- *)
 
@@ -342,7 +453,7 @@ let train_cmd =
   in
   Cmd.v
     (Cmd.info "train" ~doc:"Train the RL logic-synthesis agent (§3.2).")
-    Term.(const run $ episodes $ out $ scale $ count)
+    (returns_ok Term.(const run $ episodes $ out $ scale $ count))
 
 (* --- generate -------------------------------------------------------- *)
 
@@ -402,7 +513,7 @@ let generate_cmd =
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate benchmark instances to files.")
-    Term.(const run $ family $ out $ seed $ size)
+    (returns_ok Term.(const run $ family $ out $ seed $ size))
 
 (* --- tables ----------------------------------------------------------- *)
 
@@ -456,7 +567,8 @@ let tables_cmd =
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"Regenerate the paper's tables and figures.")
-    Term.(const run $ table $ scale $ timeout_arg $ agent_arg $ episodes)
+    (returns_ok
+       Term.(const run $ table $ scale $ timeout_arg $ agent_arg $ episodes))
 
 (* --- map --------------------------------------------------------------- *)
 
@@ -484,12 +596,16 @@ let map_cmd =
   Cmd.v
     (Cmd.info "map"
        ~doc:"Synthesize and LUT-map an instance, writing a BLIF netlist.")
-    Term.(const run $ input_arg $ output_arg $ mapper_arg $ recipe_arg
-          $ agent_arg)
+    (returns_ok
+       Term.(const run $ input_arg $ output_arg $ mapper_arg $ recipe_arg
+             $ agent_arg))
 
+(* 'solve' and 'portfolio' carry SAT-competition exit codes; every
+   other command evaluates to 0 on success.  [Cmd.eval'] propagates
+   the integer verbatim. *)
 let () =
   let doc = "EDA-driven preprocessing for SAT solving" in
   let info = Cmd.info "eda4sat" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info
-                    [ solve_cmd; portfolio_cmd; preprocess_cmd; train_cmd;
-                      generate_cmd; tables_cmd; map_cmd ]))
+  exit (Cmd.eval' (Cmd.group info
+                     [ solve_cmd; portfolio_cmd; serve_cmd; preprocess_cmd;
+                       train_cmd; generate_cmd; tables_cmd; map_cmd ]))

@@ -1,0 +1,100 @@
+type t = {
+  h1 : int64;
+  h2 : int64;
+  num_vars : int;
+  num_clauses : int;
+}
+
+(* FNV-1a, 64-bit.  Two instances with independent offset bases (the
+   second is FNV's offset with its halves swapped) give ~128 bits of
+   discrimination; both run over the same literal stream. *)
+let fnv_prime = 0x100000001b3L
+let offset1 = 0xcbf29ce484222325L
+let offset2 = 0x84222325cbf29ceL
+
+let mix h byte =
+  Int64.mul (Int64.logxor h (Int64.of_int (byte land 0xff))) fnv_prime
+
+(* Feed a literal (any int) byte by byte, low byte first.  Literals
+   are small, but feeding all 8 bytes keeps the stream unambiguous
+   without a variable-length encoding. *)
+let feed h lit =
+  let v = Int64.of_int lit in
+  let h = ref h in
+  for shift = 0 to 7 do
+    h := mix !h (Int64.to_int (Int64.shift_right_logical v (shift * 8)))
+  done;
+  !h
+
+(* Clause separator: literal 0 never occurs in a clause, so feeding it
+   between clauses keeps [[1];[2]] distinct from [[1;2]]. *)
+let feed_sep h = feed h 0
+
+(* Normal form of one clause: sorted distinct literals, or [None] for
+   a tautology (x and -x both present — satisfied by every
+   assignment, so dropping it preserves the model set). *)
+let normal_clause c =
+  let lits = List.sort_uniq compare (Array.to_list c) in
+  let rec tautological = function
+    | a :: rest -> List.mem (-a) rest || tautological rest
+    | [] -> false
+  in
+  if tautological lits then None else Some (Array.of_list lits)
+
+let compare_clauses a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la || i >= lb then compare la lb
+    else
+      let c = compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let of_formula (f : Formula.t) =
+  let clauses =
+    Array.to_list f.Formula.clauses
+    |> List.filter_map normal_clause
+    |> List.sort_uniq compare_clauses
+  in
+  let h1 = ref (feed offset1 f.Formula.num_vars)
+  and h2 = ref (feed offset2 f.Formula.num_vars) in
+  List.iter
+    (fun c ->
+      Array.iter
+        (fun lit ->
+          h1 := feed !h1 lit;
+          h2 := feed !h2 lit)
+        c;
+      h1 := feed_sep !h1;
+      h2 := feed_sep !h2)
+    clauses;
+  {
+    h1 = !h1;
+    h2 = !h2;
+    num_vars = f.Formula.num_vars;
+    num_clauses = List.length clauses;
+  }
+
+let equal a b =
+  Int64.equal a.h1 b.h1 && Int64.equal a.h2 b.h2 && a.num_vars = b.num_vars
+  && a.num_clauses = b.num_clauses
+
+let compare a b =
+  match Int64.compare a.h1 b.h1 with
+  | 0 -> (
+    match Int64.compare a.h2 b.h2 with
+    | 0 -> (
+      match Stdlib.compare a.num_vars b.num_vars with
+      | 0 -> Stdlib.compare a.num_clauses b.num_clauses
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let hash t = Int64.to_int t.h1 land max_int
+
+let to_hex t = Printf.sprintf "%016Lx%016Lx" t.h1 t.h2
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%d vars, %d clauses)" (to_hex t) t.num_vars
+    t.num_clauses

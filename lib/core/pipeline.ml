@@ -67,25 +67,25 @@ let empty_stats =
    carries one end-to-end DRAT stream checkable against [f], and a
    [Sat] model is lifted back over [f]'s variables with
    [Cnf.Simplify.reconstruct]. *)
-let solve_formula ~limits ?proof ~simplify f =
-  if not simplify then Sat.Solver.solve ~limits ?proof f
+let solve_formula ~limits ?proof ?interrupt ~simplify f =
+  if not simplify then Sat.Solver.solve ~limits ?proof ?interrupt f
   else
     match Cnf.Simplify.run ?proof f with
     | Cnf.Simplify.Proved_unsat -> (Sat.Solver.Unsat, empty_stats)
     | Cnf.Simplify.Simplified simp ->
       let result, stats =
-        Sat.Solver.solve ~limits ?proof (Cnf.Simplify.formula simp)
+        Sat.Solver.solve ~limits ?proof ?interrupt (Cnf.Simplify.formula simp)
       in
       (match result with
        | Sat.Solver.Sat m ->
          (Sat.Solver.Sat (Cnf.Simplify.reconstruct simp m), stats)
        | r -> (r, stats))
 
-let solve_direct ?(limits = Sat.Solver.no_limits) ?proof
+let solve_direct ?(limits = Sat.Solver.no_limits) ?proof ?interrupt
     ?(simplify = false) inst =
   let f = Instance.direct_formula inst in
   let (result, stats), t_solve =
-    timed (fun () -> solve_formula ~limits ?proof ~simplify f)
+    timed (fun () -> solve_formula ~limits ?proof ?interrupt ~simplify f)
   in
   {
     instance = inst.Instance.name;
@@ -225,14 +225,14 @@ let transform ?(should_stop = fun () -> false) config inst =
         netlist_levels = Lutmap.Netlist.depth nl;
       } )
 
-let run ?(limits = Sat.Solver.no_limits) ?proof ?(simplify = false) config
-    inst =
+let run ?(limits = Sat.Solver.no_limits) ?proof ?interrupt ?(simplify = false)
+    config inst =
   match config.recipe with
-  | No_preprocessing -> solve_direct ~limits ?proof ~simplify inst
+  | No_preprocessing -> solve_direct ~limits ?proof ?interrupt ~simplify inst
   | Fixed _ | Random_policy _ | Agent _ ->
     let f, rep = transform config inst in
     let (result, stats), t_solve =
-      timed (fun () -> solve_formula ~limits ?proof ~simplify f)
+      timed (fun () -> solve_formula ~limits ?proof ?interrupt ~simplify f)
     in
     { rep with t_solve; result; solver_stats = stats }
 

@@ -58,27 +58,33 @@ let apply_lift lift result =
    limits, no domains, no sharing, no interrupts.  The caller's proof
    is threaded directly into the direct lanes, so the first lane is
    bit-identical to a plain [Sat.Solver.solve]. *)
-let run_sequential ~limits ~proof ~log strategies formula =
+let run_sequential ~limits ~proof ~interrupt ~log strategies formula =
   let t0 = Sat.Wall.now () in
+  let interrupted () =
+    match interrupt with
+    | Some i -> Sat.Solver.Interrupt.is_set i
+    | None -> false
+  in
   let strategies = Array.of_list strategies in
   let reports =
     Array.map (fun strategy -> { strategy; outcome = Cancelled }) strategies
   in
   let winner = ref None in
   let i = ref 0 in
-  while !winner = None && !i < Array.length strategies do
+  while !winner = None && !i < Array.length strategies && not (interrupted ())
+  do
     let st = strategies.(!i) in
     let outcome =
       try
         let f, lift = match st.Strategy.prepare with
           | None -> (formula, None)
-          | Some prep -> prep ~stop:(fun () -> false)
+          | Some prep -> prep ~stop:interrupted
         in
         let wproof =
           if st.Strategy.share_group = Some 0 then proof else None
         in
         let result, stats =
-          Sat.Solver.solve ~limits ?proof:wproof
+          Sat.Solver.solve ~limits ?proof:wproof ?interrupt
             ~heuristic:st.Strategy.heuristic ~restarts:st.Strategy.restarts f
         in
         let result = apply_lift lift result in
@@ -87,7 +93,12 @@ let run_sequential ~limits ~proof ~log strategies formula =
           winner := Some !i;
           Answered (result, stats)
         | Sat.Solver.Unknown -> Limit stats
-      with e -> Failed (Printexc.to_string e)
+      with
+      | _ when interrupted () ->
+        (* A preparation abandoned because the caller cancelled raises
+           out of its [stop] poll; not a failure. *)
+        Cancelled
+      | e -> Failed (Printexc.to_string e)
     in
     (match outcome with
      | Answered (r, st') ->
@@ -120,12 +131,77 @@ let run_sequential ~limits ~proof ~log strategies formula =
     shared_dropped = 0;
   }
 
+(* --- reusable worker pool -------------------------------------------- *)
+
+(* A persistent set of worker domains consuming race tasks from one
+   queue.  Spawning a domain costs a thread plus a GC registration;
+   under the solve service every job runs a race, so the domains are
+   created once per server (or once per [run] call on the one-shot
+   path) instead of once per race. *)
+type pool = {
+  size : int;
+  tasks : (unit -> unit) Queue.t;
+  pm : Mutex.t;
+  pc : Condition.t;
+  mutable stopped : bool;
+  mutable domains : unit Domain.t array;
+}
+
+let create_pool ~jobs () =
+  let size = max 1 jobs in
+  let pool =
+    {
+      size;
+      tasks = Queue.create ();
+      pm = Mutex.create ();
+      pc = Condition.create ();
+      stopped = false;
+      domains = [||];
+    }
+  in
+  let rec worker () =
+    Mutex.lock pool.pm;
+    while Queue.is_empty pool.tasks && not pool.stopped do
+      Condition.wait pool.pc pool.pm
+    done;
+    if Queue.is_empty pool.tasks then Mutex.unlock pool.pm (* stopped *)
+    else begin
+      let task = Queue.pop pool.tasks in
+      Mutex.unlock pool.pm;
+      (* Tasks are latch-wrapped race lanes that catch their own
+         exceptions; the guard here only protects the pool itself. *)
+      (try task () with _ -> ());
+      worker ()
+    end
+  in
+  pool.domains <- Array.init size (fun _ -> Domain.spawn worker);
+  pool
+
+let pool_size pool = pool.size
+
+let submit_task pool task =
+  Mutex.lock pool.pm;
+  if pool.stopped then begin
+    Mutex.unlock pool.pm;
+    invalid_arg "Runner: pool is shut down"
+  end;
+  Queue.push task pool.tasks;
+  Condition.signal pool.pc;
+  Mutex.unlock pool.pm
+
+let shutdown_pool pool =
+  Mutex.lock pool.pm;
+  let first = not pool.stopped in
+  pool.stopped <- true;
+  Condition.broadcast pool.pc;
+  Mutex.unlock pool.pm;
+  if first then Array.iter Domain.join pool.domains
+
 (* --- parallel race --------------------------------------------------- *)
 
-let run ?(jobs = 4) ?(share_lbd = 4) ?(limits = Sat.Solver.no_limits) ?proof
-    ?log strategies formula =
-  if strategies = [] then invalid_arg "Runner.run: no strategies";
-  let jobs = max 1 jobs in
+let run_in ?(share_lbd = 4) ?(limits = Sat.Solver.no_limits) ?proof ?interrupt
+    ?log pool strategies formula =
+  if strategies = [] then invalid_arg "Runner.run_in: no strategies";
   let log_lock = Mutex.create () in
   let log msg =
     match log with
@@ -134,17 +210,24 @@ let run ?(jobs = 4) ?(share_lbd = 4) ?(limits = Sat.Solver.no_limits) ?proof
       Mutex.lock log_lock;
       Fun.protect ~finally:(fun () -> Mutex.unlock log_lock) (fun () -> f msg)
   in
-  if jobs = 1 then run_sequential ~limits ~proof ~log strategies formula
-  else begin
+  begin
     let t0 = Sat.Wall.now () in
     let c0 = Sys.time () in
-    let strategies = Array.of_list (take jobs strategies) in
+    let strategies = Array.of_list (take pool.size strategies) in
     let n = Array.length strategies in
     let bus =
       Clause_bus.create
         ~groups:(Array.map (fun s -> s.Strategy.share_group) strategies)
     in
-    let cancel = Sat.Solver.Interrupt.create () in
+    (* The race's cancellation flag.  When the caller supplies
+       [interrupt], that flag IS the race flag: an external set (a
+       job deadline, a server shutdown) cancels every lane, and the
+       runner sets it itself once the race is decided. *)
+    let cancel =
+      match interrupt with
+      | Some i -> i
+      | None -> Sat.Solver.Interrupt.create ()
+    in
     (* First decisive answer wins; the CAS arbitrates photo finishes. *)
     let race_winner = Atomic.make (-1) in
     (* Direct lanes log into one deletion-free shared recorder (see
@@ -210,8 +293,29 @@ let run ?(jobs = 4) ?(share_lbd = 4) ?(limits = Sat.Solver.no_limits) ?proof
                st.Strategy.name msg);
         Failed msg
     in
-    let domains = Array.init n (fun i -> Domain.spawn (fun () -> work i)) in
-    let outcomes = Array.map Domain.join domains in
+    (* Fan the lanes out to the pool and wait on a countdown latch.
+       With fewer workers than lanes the excess lanes start when a
+       worker frees up; a lane that starts after the race is decided
+       answers [Cancelled] from its entry interrupt check. *)
+    let outcomes = Array.make n Cancelled in
+    let remaining = ref n in
+    let lm = Mutex.create () in
+    let lc = Condition.create () in
+    Array.iteri
+      (fun i _ ->
+        submit_task pool (fun () ->
+            let o = work i in
+            Mutex.lock lm;
+            outcomes.(i) <- o;
+            decr remaining;
+            if !remaining = 0 then Condition.broadcast lc;
+            Mutex.unlock lm))
+      strategies;
+    Mutex.lock lm;
+    while !remaining > 0 do
+      Condition.wait lc lm
+    done;
+    Mutex.unlock lm;
     let winner =
       match Atomic.get race_winner with -1 -> None | i -> Some i
     in
@@ -258,4 +362,37 @@ let run ?(jobs = 4) ?(share_lbd = 4) ?(limits = Sat.Solver.no_limits) ?proof
       shared_delivered = Clause_bus.delivered bus;
       shared_dropped = Clause_bus.dropped bus;
     }
+  end
+
+(* --- one-shot entry point -------------------------------------------- *)
+
+let run ?(jobs = 4) ?(share_lbd = 4) ?(limits = Sat.Solver.no_limits) ?proof
+    ?interrupt ?log strategies formula =
+  if strategies = [] then invalid_arg "Runner.run: no strategies";
+  let jobs = max 1 jobs in
+  if jobs = 1 then begin
+    let log_lock = Mutex.create () in
+    let log msg =
+      match log with
+      | None -> ()
+      | Some f ->
+        Mutex.lock log_lock;
+        Fun.protect ~finally:(fun () -> Mutex.unlock log_lock) (fun () ->
+            f msg)
+    in
+    run_sequential ~limits ~proof ~interrupt ~log strategies formula
+  end
+  else begin
+    (* Delegate to a transient pool sized to the race: same worker
+       closures, same arbitration, so the outcome is identical to the
+       historical spawn-per-lane implementation — the domains are just
+       recruited from a pool that lives exactly as long as the race. *)
+    let pool =
+      create_pool ~jobs:(min jobs (List.length strategies)) ()
+    in
+    Fun.protect
+      ~finally:(fun () -> shutdown_pool pool)
+      (fun () ->
+        run_in ~share_lbd ~limits ?proof ?interrupt ?log pool strategies
+          formula)
   end

@@ -79,6 +79,7 @@ val run :
   ?share_lbd:int ->
   ?limits:Sat.Solver.limits ->
   ?proof:Sat.Proof.t ->
+  ?interrupt:Sat.Solver.Interrupt.t ->
   ?log:(string -> unit) ->
   Strategy.t list ->
   Cnf.Formula.t ->
@@ -86,7 +87,53 @@ val run :
 (** Race the strategies on a formula.  [jobs] (default 4) caps the
     number of worker domains: with [jobs = 1] the race is sequential
     (see above); otherwise the first [jobs] strategies race in
-    parallel.  [share_lbd] (default 4) is the maximum glue value a
+    parallel on a transient {!pool} that lives exactly as long as the
+    race.  [share_lbd] (default 4) is the maximum glue value a
     learned clause may have to be exported to the lane's share group;
-    [0] disables sharing.  [log] receives human-readable race events
+    [0] disables sharing.  [interrupt] is an {e external}
+    cancellation flag: setting it from any domain cancels every lane
+    (the race answers [Unknown]) — the solve service wires a per-job
+    deadline to it.  When supplied it doubles as the race's internal
+    first-wins flag, so the runner sets it itself once a lane answers;
+    callers reusing the flag must {!Sat.Solver.Interrupt.clear} it
+    between races.  [log] receives human-readable race events
     (serialized — safe to print). *)
+
+(** {2 Reusable worker pools}
+
+    A {!pool} is a persistent set of worker domains that many races
+    dispatch onto, amortizing domain spawn/teardown across races — the
+    regime a long-lived solve service runs in.  [run] is equivalent to
+    creating a pool, racing once in it, and shutting it down. *)
+
+type pool
+
+val create_pool : jobs:int -> unit -> pool
+(** Spawn [max 1 jobs] persistent worker domains, idle until a race
+    dispatches onto them. *)
+
+val pool_size : pool -> int
+
+val run_in :
+  ?share_lbd:int ->
+  ?limits:Sat.Solver.limits ->
+  ?proof:Sat.Proof.t ->
+  ?interrupt:Sat.Solver.Interrupt.t ->
+  ?log:(string -> unit) ->
+  pool ->
+  Strategy.t list ->
+  Cnf.Formula.t ->
+  outcome
+(** Race the first [pool_size pool] strategies on the pool's workers,
+    with the same semantics as [run] at [jobs = pool_size pool] —
+    except that a one-worker pool still runs the {e parallel} protocol
+    (interrupts, clause bus) on its single domain rather than the
+    deterministic sequential fallback.  Races on one pool are
+    serialized by the caller's discipline, not the pool's: concurrent
+    [run_in] calls on the same pool are safe but share workers, so
+    each race may start with fewer domains than [pool_size].
+    @raise Invalid_argument after {!shutdown_pool}. *)
+
+val shutdown_pool : pool -> unit
+(** Drain nothing, wake every idle worker and join the domains.
+    Outstanding races must have returned; idempotent otherwise. *)

@@ -51,6 +51,7 @@ type limits = {
   max_conflicts : int option;
   max_decisions : int option;
   max_seconds : float option;
+  deadline : float option;
 }
 
 (* Cooperative cancellation, after minisat's interrupt /
@@ -66,7 +67,9 @@ module Interrupt = struct
   let is_set t = Atomic.get t
 end
 
-let no_limits = { max_conflicts = None; max_decisions = None; max_seconds = None }
+let no_limits =
+  { max_conflicts = None; max_decisions = None; max_seconds = None;
+    deadline = None }
 
 (* --- clause arena --------------------------------------------------
 
@@ -1298,9 +1301,17 @@ let search s ~limits ~proof ~restarts ~reduce_base ~reduce_inc ~inprocess
     || (match limits.max_decisions with
         | Some m when s.st_decisions >= m -> true
         | _ -> false)
+    || (match limits.max_seconds with
+        | Some m when !budget_ticks land 255 = 0 -> Wall.now () -. t0 > m
+        | _ -> false)
     ||
-    match limits.max_seconds with
-    | Some m when !budget_ticks land 255 = 0 -> Wall.now () -. t0 > m
+    (* Absolute wall-clock deadline (the solve service's per-job
+       budget): unlike [max_seconds] it does not restart at solve
+       entry, so a portfolio lane that begins late — after a queued
+       wait or an expensive preparation — still stops at the same
+       instant as its siblings. *)
+    match limits.deadline with
+    | Some d when !budget_ticks land 255 = 255 -> Wall.now () > d
     | _ -> false
   in
   try

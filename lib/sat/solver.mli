@@ -75,6 +75,15 @@ type limits = {
   max_conflicts : int option;
   max_decisions : int option;
   max_seconds : float option;  (** wall-clock seconds, see {!stats.time} *)
+  deadline : float option;
+      (** absolute {!Wall.now} instant at which the search gives up
+          with [Unknown].  Unlike [max_seconds] — which measures from
+          solve entry — a deadline is a property of the {e job}: the
+          solve service stamps one deadline per submitted query, and
+          every solver call made on the job's behalf (a portfolio
+          lane starting late, a solve after an expensive preparation)
+          stops at the same instant.  Probed on the budget tick like
+          [max_seconds]. *)
 }
 
 val no_limits : limits

@@ -1,0 +1,95 @@
+type verdict =
+  | Sat of bool array
+  | Unsat
+
+type entry = {
+  verdict : verdict;
+  stats : Sat.Solver.stats;
+  solve_wall : float;
+}
+
+(* Doubly-linked recency list threaded through the table's nodes:
+   head = most recent, tail = eviction candidate. *)
+type node = {
+  key : Cnf.Fingerprint.t;
+  mutable entry : entry;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+module Tbl = Hashtbl.Make (struct
+  type t = Cnf.Fingerprint.t
+
+  let equal = Cnf.Fingerprint.equal
+  let hash = Cnf.Fingerprint.hash
+end)
+
+type t = {
+  cap : int;
+  tbl : node Tbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+  m : Mutex.t;
+}
+
+let create ~capacity () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity < 1";
+  { cap = capacity; tbl = Tbl.create 64; head = None; tail = None;
+    m = Mutex.create () }
+
+let unlink t n =
+  (match n.prev with
+   | Some p -> p.next <- n.next
+   | None -> t.head <- n.next);
+  (match n.next with
+   | Some s -> s.prev <- n.prev
+   | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let find t key =
+  locked t (fun () ->
+      match Tbl.find_opt t.tbl key with
+      | None -> None
+      | Some n ->
+        unlink t n;
+        push_front t n;
+        Some n.entry)
+
+let add t key entry =
+  locked t (fun () ->
+      match Tbl.find_opt t.tbl key with
+      | Some n ->
+        n.entry <- entry;
+        unlink t n;
+        push_front t n
+      | None ->
+        if Tbl.length t.tbl >= t.cap then (
+          match t.tail with
+          | Some lru ->
+            unlink t lru;
+            Tbl.remove t.tbl lru.key
+          | None -> ());
+        let n = { key; entry; prev = None; next = None } in
+        push_front t n;
+        Tbl.replace t.tbl key n)
+
+let remove t key =
+  locked t (fun () ->
+      match Tbl.find_opt t.tbl key with
+      | None -> ()
+      | Some n ->
+        unlink t n;
+        Tbl.remove t.tbl key)
+
+let length t = locked t (fun () -> Tbl.length t.tbl)

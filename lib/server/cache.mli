@@ -1,0 +1,43 @@
+(** LRU result cache keyed by canonical CNF fingerprint.
+
+    Stores {e decisive} answers only — a [Sat] model or an [Unsat]
+    verdict with the solving stats that produced it.  Timeouts are
+    never cached: they are a property of the job's deadline, not of
+    the formula.
+
+    Keys are {!Cnf.Fingerprint.t}, so a resubmitted formula hits even
+    when its clauses are permuted, duplicated or carry repeated
+    literals (any formula with the same sorted-clause normal form —
+    see {!Cnf.Fingerprint}).  The engine re-checks a cached model
+    against the {e submitted} formula before serving it, so the
+    ~128-bit fingerprint never silently serves a wrong model.
+
+    All operations take one internal mutex: safe from any domain. *)
+
+type verdict =
+  | Sat of bool array  (** a verified model of the fingerprinted formula *)
+  | Unsat
+
+type entry = {
+  verdict : verdict;
+  stats : Sat.Solver.stats;  (** the original (cold) solve's stats *)
+  solve_wall : float;        (** the original solve's wall seconds *)
+}
+
+type t
+
+val create : capacity:int -> unit -> t
+(** Capacity in entries; [capacity < 1] raises [Invalid_argument]. *)
+
+val find : t -> Cnf.Fingerprint.t -> entry option
+(** Lookup; a hit refreshes the entry's recency. *)
+
+val add : t -> Cnf.Fingerprint.t -> entry -> unit
+(** Insert (or overwrite), evicting the least-recently-used entry when
+    at capacity. *)
+
+val remove : t -> Cnf.Fingerprint.t -> unit
+(** Drop an entry (used when a cached model fails re-verification —
+    i.e. a detected fingerprint collision). *)
+
+val length : t -> int

@@ -1,0 +1,468 @@
+type verdict =
+  | Sat of bool array
+  | Unsat
+  | Timeout
+  | Failed of string
+
+type source =
+  | Solved
+  | Cache_hit
+  | Dedup_join
+
+type answer = {
+  verdict : verdict;
+  source : source;
+  wall : float;
+  solve_wall : float;
+  stats : Sat.Solver.stats;
+  fingerprint : Cnf.Fingerprint.t;
+}
+
+type mode =
+  | Direct
+  | Simplify
+  | Portfolio of { jobs : int; share_lbd : int }
+
+type config = {
+  workers : int;
+  queue_capacity : int;
+  cache_capacity : int;
+  mode : mode;
+  limits : Sat.Solver.limits;
+  default_deadline : float option;
+}
+
+let default_config =
+  {
+    workers = 4;
+    queue_capacity = 64;
+    cache_capacity = 512;
+    mode = Direct;
+    limits = Sat.Solver.no_limits;
+    default_deadline = None;
+  }
+
+let empty_stats =
+  {
+    Sat.Solver.decisions = 0;
+    conflicts = 0;
+    propagations = 0;
+    restarts = 0;
+    learned = 0;
+    reduces = 0;
+    probed = 0;
+    vivified = 0;
+    inproc_subsumed = 0;
+    max_decision_level = 0;
+    time = 0.0;
+    cpu_time = 0.0;
+    minor_words = 0.0;
+    major_collections = 0;
+  }
+
+(* A resolved job's payload, shared by every ticket attached to it. *)
+type done_core = {
+  d_verdict : verdict;
+  d_stats : Sat.Solver.stats;
+  d_solve_wall : float;
+  d_done_at : float;
+}
+
+type job = {
+  id : int;
+  formula : Cnf.Formula.t;
+  fp : Cnf.Fingerprint.t;
+  deadline : float option;  (* absolute Wall.now instant *)
+  submitted_at : float;
+  interrupt : Sat.Solver.Interrupt.t;
+  jm : Mutex.t;
+  jc : Condition.t;
+  mutable state : done_core option;  (* None = waiting/running *)
+  mutable claimed : bool;  (* a resolver owns this job's completion *)
+  mutable running : bool;      (* set by the worker at dequeue (under jm) *)
+  mutable timed_out : bool;    (* set by the monitor with the interrupt *)
+  mutable join_subs : float list;  (* dedup joiners' submit times *)
+}
+
+type ticket =
+  | T_ready of answer
+  | T_job of { job : job; source : source; t_submit : float }
+
+module Fp_tbl = Hashtbl.Make (struct
+  type t = Cnf.Fingerprint.t
+
+  let equal = Cnf.Fingerprint.equal
+  let hash = Cnf.Fingerprint.hash
+end)
+
+type t = {
+  cfg : config;
+  queue : job Job_queue.t;
+  cache : Cache.t;
+  metrics : Metrics.t;
+  inflight : job Fp_tbl.t;  (* guarded by [gm] *)
+  gm : Mutex.t;
+  stopping : bool Atomic.t;
+  monitor_stop : bool Atomic.t;
+  mutable next_id : int;  (* guarded by [gm] *)
+  mutable domains : unit Domain.t list;  (* workers + monitor *)
+}
+
+(* --- job resolution -------------------------------------------------
+
+   Exactly one resolver wins [try_claim] (worker vs. deadline monitor
+   vs. shutdown drain); only the winner touches the cache, the
+   in-flight table and the metrics, and it does so {e before}
+   [publish] wakes the awaiters — an observer that holds an answer can
+   rely on the stats already accounting for it.  Lock order is
+   strictly job-then-global, never nested the other way. *)
+
+let try_claim job =
+  Mutex.lock job.jm;
+  let first = not job.claimed in
+  job.claimed <- true;
+  Mutex.unlock job.jm;
+  first
+
+let publish job core =
+  Mutex.lock job.jm;
+  job.state <- Some core;
+  Condition.broadcast job.jc;
+  Mutex.unlock job.jm
+
+let finalize t job ~verdict ~stats ~solve_wall =
+  if try_claim job then begin
+    let core =
+      { d_verdict = verdict; d_stats = stats; d_solve_wall = solve_wall;
+        d_done_at = Sat.Wall.now () }
+    in
+    (match verdict with
+     | Sat m ->
+       Cache.add t.cache job.fp
+         { Cache.verdict = Cache.Sat m; stats; solve_wall }
+     | Unsat ->
+       Cache.add t.cache job.fp
+         { Cache.verdict = Cache.Unsat; stats; solve_wall }
+     | Timeout | Failed _ -> ());
+    Mutex.lock t.gm;
+    Fp_tbl.remove t.inflight job.fp;
+    let joins = job.join_subs in
+    Mutex.unlock t.gm;
+    let outcome =
+      match verdict with
+      | Sat _ -> `Sat
+      | Unsat -> `Unsat
+      | Timeout -> `Timeout
+      | Failed _ -> `Failed
+    in
+    Metrics.record_completed t.metrics ~outcome
+      ~latency_s:(core.d_done_at -. job.submitted_at);
+    List.iter
+      (fun ts ->
+        Metrics.record_join_latency t.metrics
+          ~latency_s:(core.d_done_at -. ts))
+      joins;
+    publish job core
+  end
+
+(* --- solving --------------------------------------------------------- *)
+
+let solve_job t pool job =
+  let limits = { t.cfg.limits with Sat.Solver.deadline = job.deadline } in
+  match t.cfg.mode with
+  | Direct -> Sat.Solver.solve ~limits ~interrupt:job.interrupt job.formula
+  | Simplify ->
+    let inst =
+      Eda4sat.Instance.of_cnf
+        ~name:(Printf.sprintf "job-%d" job.id)
+        job.formula
+    in
+    let rep =
+      Eda4sat.Pipeline.solve_direct ~limits ~interrupt:job.interrupt
+        ~simplify:true inst
+    in
+    (rep.Eda4sat.Pipeline.result, rep.Eda4sat.Pipeline.solver_stats)
+  | Portfolio { share_lbd; _ } ->
+    let pool = Option.get pool in
+    let strategies =
+      Portfolio.Strategy.default_pool
+        ~jobs:(Portfolio.Runner.pool_size pool)
+    in
+    let o =
+      Portfolio.Runner.run_in ~share_lbd ~limits ~interrupt:job.interrupt
+        pool strategies job.formula
+    in
+    (o.Portfolio.Runner.result, o.Portfolio.Runner.stats)
+
+let deadline_passed job now =
+  match job.deadline with Some d -> now >= d | None -> false
+
+let classify t job result stats solve_wall =
+  let verdict =
+    match result with
+    | Sat.Solver.Sat m ->
+      (* Never serve an unverified model: the check is linear in the
+         formula and turns any would-be wrong answer (a solver bug, a
+         lane mix-up) into an explicit failure. *)
+      if Cnf.Formula.eval job.formula m then Sat m
+      else Failed "model verification failed"
+    | Sat.Solver.Unsat -> Unsat
+    | Sat.Solver.Unknown ->
+      if job.timed_out || deadline_passed job (Sat.Wall.now ()) then Timeout
+      else if Atomic.get t.stopping then Failed "server shutdown"
+      else Timeout (* a configured base limit: still a resource answer *)
+  in
+  finalize t job ~verdict ~stats ~solve_wall
+
+let worker_loop t () =
+  let pool =
+    match t.cfg.mode with
+    | Portfolio { jobs; _ } -> Some (Portfolio.Runner.create_pool ~jobs ())
+    | Direct | Simplify -> None
+  in
+  let rec loop () =
+    match Job_queue.pop t.queue with
+    | None -> ()
+    | Some job ->
+      Mutex.lock job.jm;
+      let already_done = job.claimed in
+      if not already_done then job.running <- true;
+      Mutex.unlock job.jm;
+      (if already_done then () (* e.g. timed out while queued *)
+       else if Atomic.get t.stopping then
+         finalize t job ~verdict:(Failed "server shutdown")
+           ~stats:empty_stats ~solve_wall:0.0
+       else if deadline_passed job (Sat.Wall.now ()) then
+         finalize t job ~verdict:Timeout ~stats:empty_stats ~solve_wall:0.0
+       else begin
+         let t0 = Sat.Wall.now () in
+         match solve_job t pool job with
+         | result, stats ->
+           classify t job result stats (Sat.Wall.now () -. t0)
+         | exception e ->
+           finalize t job
+             ~verdict:(Failed (Printexc.to_string e))
+             ~stats:empty_stats
+             ~solve_wall:(Sat.Wall.now () -. t0)
+       end);
+      loop ()
+  in
+  loop ();
+  Option.iter Portfolio.Runner.shutdown_pool pool
+
+(* The deadline monitor: a few-millisecond heartbeat that scans the
+   in-flight table.  A queued job whose deadline passed resolves to
+   [Timeout] immediately (it never waits for a worker); a running one
+   gets its interrupt set and resolves within one solver budget tick. *)
+let monitor_loop t () =
+  while not (Atomic.get t.monitor_stop) do
+    Unix.sleepf 0.002;
+    let jobs =
+      Mutex.lock t.gm;
+      let js = Fp_tbl.fold (fun _ j acc -> j :: acc) t.inflight [] in
+      Mutex.unlock t.gm;
+      js
+    in
+    let now = Sat.Wall.now () in
+    List.iter
+      (fun job ->
+        if deadline_passed job now then begin
+          Mutex.lock job.jm;
+          let queued = (not job.claimed) && not job.running in
+          Mutex.unlock job.jm;
+          if queued then
+            finalize t job ~verdict:Timeout ~stats:empty_stats
+              ~solve_wall:0.0
+          else begin
+            job.timed_out <- true;
+            Sat.Solver.Interrupt.set job.interrupt
+          end
+        end)
+      jobs
+  done
+
+(* --- public API ------------------------------------------------------ *)
+
+let create ?(config = default_config) () =
+  if config.workers < 1 then invalid_arg "Engine.create: workers < 1";
+  let t =
+    {
+      cfg = config;
+      queue = Job_queue.create ~capacity:config.queue_capacity ();
+      cache = Cache.create ~capacity:config.cache_capacity ();
+      metrics = Metrics.create ();
+      inflight = Fp_tbl.create 64;
+      gm = Mutex.create ();
+      stopping = Atomic.make false;
+      monitor_stop = Atomic.make false;
+      next_id = 0;
+      domains = [];
+    }
+  in
+  let workers =
+    List.init config.workers (fun _ -> Domain.spawn (worker_loop t))
+  in
+  let monitor = Domain.spawn (monitor_loop t) in
+  t.domains <- monitor :: workers;
+  t
+
+let submit_live t ?deadline ~priority formula =
+  let now = Sat.Wall.now () in
+  let fp = Cnf.Fingerprint.of_formula formula in
+  let cached =
+    match Cache.find t.cache fp with
+    | None -> None
+    | Some e -> (
+      match e.Cache.verdict with
+      | Cache.Unsat -> Some (Unsat, e)
+      | Cache.Sat m ->
+        (* Verify against the formula actually submitted — equal
+           fingerprints guarantee equal model sets, so a failure here
+           is a detected hash collision: drop the entry and fall
+           through to a real solve. *)
+        if Cnf.Formula.eval formula m then Some (Sat (Array.copy m), e)
+        else begin
+          Cache.remove t.cache fp;
+          None
+        end)
+  in
+  match cached with
+  | Some (verdict, e) ->
+    let wall = Sat.Wall.now () -. now in
+    Metrics.record_cache_hit t.metrics ~latency_s:wall;
+    Ok
+      (T_ready
+         {
+           verdict;
+           source = Cache_hit;
+           wall;
+           solve_wall = e.Cache.solve_wall;
+           stats = e.Cache.stats;
+           fingerprint = fp;
+         })
+  | None ->
+    Mutex.lock t.gm;
+    if Atomic.get t.stopping then begin
+      Mutex.unlock t.gm;
+      Metrics.record_rejected t.metrics;
+      Error "server shutting down"
+    end
+    else begin
+      match Fp_tbl.find_opt t.inflight fp with
+      | Some job ->
+        job.join_subs <- now :: job.join_subs;
+        Mutex.unlock t.gm;
+        Metrics.record_dedup_join t.metrics;
+        Ok (T_job { job; source = Dedup_join; t_submit = now })
+      | None ->
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        let job =
+          {
+            id;
+            formula;
+            fp;
+            deadline =
+              (match deadline with
+               | Some s -> Some (now +. s)
+               | None ->
+                 Option.map (fun s -> now +. s) t.cfg.default_deadline);
+            submitted_at = now;
+            interrupt = Sat.Solver.Interrupt.create ();
+            jm = Mutex.create ();
+            jc = Condition.create ();
+            state = None;
+            claimed = false;
+            running = false;
+            timed_out = false;
+            join_subs = [];
+          }
+        in
+        (* In-flight before enqueue, so a concurrent identical submit
+           joins this job even while it is still queued. *)
+        Fp_tbl.replace t.inflight fp job;
+        if Job_queue.push t.queue ~priority job then begin
+          Mutex.unlock t.gm;
+          Metrics.record_submitted t.metrics;
+          Ok (T_job { job; source = Solved; t_submit = now })
+        end
+        else begin
+          Fp_tbl.remove t.inflight fp;
+          Mutex.unlock t.gm;
+          Metrics.record_rejected t.metrics;
+          Error
+            (Printf.sprintf "queue full (capacity %d)"
+               (Job_queue.capacity t.queue))
+        end
+    end
+
+(* The stopping check comes before the cache lookup: a shut-down
+   server rejects every submit, even one it could answer from memory
+   — [shutdown] means "this instance no longer answers". *)
+let submit t ?deadline ?(priority = 0) formula =
+  if Atomic.get t.stopping then begin
+    Metrics.record_rejected t.metrics;
+    Error "server shutting down"
+  end
+  else submit_live t ?deadline ~priority formula
+
+let answer_of_core job core ~source ~t_submit =
+  {
+    verdict = core.d_verdict;
+    source;
+    wall = core.d_done_at -. t_submit;
+    solve_wall = core.d_solve_wall;
+    stats = core.d_stats;
+    fingerprint = job.fp;
+  }
+
+let await _t = function
+  | T_ready a -> a
+  | T_job { job; source; t_submit } ->
+    Mutex.lock job.jm;
+    while job.state = None do
+      Condition.wait job.jc job.jm
+    done;
+    let core = Option.get job.state in
+    Mutex.unlock job.jm;
+    answer_of_core job core ~source ~t_submit
+
+let poll _t = function
+  | T_ready a -> Some a
+  | T_job { job; source; t_submit } ->
+    Mutex.lock job.jm;
+    let core = job.state in
+    Mutex.unlock job.jm;
+    Option.map (fun c -> answer_of_core job c ~source ~t_submit) core
+
+let solve t ?deadline ?priority formula =
+  Result.map (await t) (submit t ?deadline ?priority formula)
+
+let stats t =
+  let inflight =
+    Mutex.lock t.gm;
+    let n = Fp_tbl.length t.inflight in
+    Mutex.unlock t.gm;
+    n
+  in
+  Metrics.snapshot t.metrics
+    ~queue_depth:(Job_queue.length t.queue)
+    ~inflight
+    ~cache_entries:(Cache.length t.cache)
+
+let stats_json t = Metrics.to_json (stats t)
+
+let shutdown t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (* Cancel running solves; queued jobs are drained by the workers,
+       which answer them [Failed "server shutdown"] without solving. *)
+    Mutex.lock t.gm;
+    let jobs = Fp_tbl.fold (fun _ j acc -> j :: acc) t.inflight [] in
+    Mutex.unlock t.gm;
+    List.iter (fun job -> Sat.Solver.Interrupt.set job.interrupt) jobs;
+    Job_queue.close t.queue;
+    let domains = t.domains in
+    t.domains <- [];
+    Atomic.set t.monitor_stop true;
+    List.iter Domain.join domains
+  end

@@ -1,0 +1,122 @@
+(** The concurrent solve service: bounded priority queue, persistent
+    domain workers, fingerprint result cache, in-flight deduplication
+    and per-job deadlines.
+
+    {2 Life of a request}
+
+    [submit] fingerprints the formula ({!Cnf.Fingerprint}) and then:
+
+    + {b cache hit} — an earlier decisive answer for the same
+      canonical formula exists: the cached model is re-verified
+      against the submitted formula ([Cnf.Formula.eval], so a
+      fingerprint collision is detected, never served) and the ticket
+      is already resolved;
+    + {b dedup join} — a job with the same fingerprint is queued or
+      running: the ticket attaches to that job's future, no new work
+      is created;
+    + {b admission} — otherwise the request becomes a job in the
+      bounded priority queue.  A full queue {e rejects} the request
+      with a reason (backpressure at the edge);
+    + a persistent pool of worker domains pops jobs (highest priority
+      first) and dispatches each to the configured solve {!mode};
+    + the job's {b deadline} is enforced twice: as an absolute
+      {!Sat.Solver.limits.deadline} probed on the solver's budget
+      tick, and by a monitor domain that interrupts a running job
+      ({!Sat.Solver.Interrupt}) and fails a still-queued one the
+      moment its deadline passes — a deadline answers [Timeout], never
+      a hang;
+    + decisive answers (a verified model, or [Unsat]) enter the LRU
+      cache; [await] wakes every ticket attached to the job.
+
+    All entry points may be called from any domain. *)
+
+type verdict =
+  | Sat of bool array
+      (** a model over the submitted formula's variables, verified
+          with [Cnf.Formula.eval] before being reported — including
+          when it came from the cache *)
+  | Unsat
+  | Timeout  (** deadline or configured resource limit hit *)
+  | Failed of string
+      (** the solve raised, the server was shut down mid-job, or a
+          model failed verification *)
+
+type source =
+  | Solved      (** a fresh solve ran for this request *)
+  | Cache_hit   (** answered at submit time from the result cache *)
+  | Dedup_join  (** attached to a concurrently in-flight identical job *)
+
+type answer = {
+  verdict : verdict;
+  source : source;
+  wall : float;
+      (** this request's latency, submit to answer, in seconds *)
+  solve_wall : float;
+      (** wall seconds of the underlying solve (the {e original} cold
+          solve for cache hits — compare with [wall] for the saving) *)
+  stats : Sat.Solver.stats;  (** the underlying solve's statistics *)
+  fingerprint : Cnf.Fingerprint.t;
+}
+
+(** How a worker solves a job.  Every mode reports models over the
+    {e input} formula's variables (the service never serves a model of
+    a transformed formula). *)
+type mode =
+  | Direct  (** {!Sat.Solver.solve} on the submitted formula *)
+  | Simplify
+      (** proof-carrying CNF simplification, then solve, models
+          reconstructed ({!Eda4sat.Pipeline.solve_direct}
+          [~simplify:true]) *)
+  | Portfolio of { jobs : int; share_lbd : int }
+      (** each worker owns a persistent {!Portfolio.Runner.pool} of
+          [jobs] domains and races the direct strategy pool with
+          clause sharing ({!Portfolio.Strategy.default_pool}) *)
+
+type config = {
+  workers : int;         (** worker domains (default 4) *)
+  queue_capacity : int;  (** admission bound (default 64) *)
+  cache_capacity : int;  (** LRU entries (default 512) *)
+  mode : mode;           (** default [Direct] *)
+  limits : Sat.Solver.limits;
+      (** base per-job limits (the job deadline is layered on top) *)
+  default_deadline : float option;
+      (** seconds; applied when [submit] gives no deadline *)
+}
+
+val default_config : config
+
+type t
+type ticket
+
+val create : ?config:config -> unit -> t
+(** Start the service: spawns the worker domains and the deadline
+    monitor. *)
+
+val submit :
+  t -> ?deadline:float -> ?priority:int -> Cnf.Formula.t ->
+  (ticket, string) result
+(** Submit a formula.  [deadline] is in seconds from now; [priority]
+    (default 0, higher pops first) orders the admission queue.
+    [Error reason] is the backpressure path: the queue is full or the
+    server is shutting down — nothing was enqueued. *)
+
+val await : t -> ticket -> answer
+(** Block until the ticket's job resolves.  Any number of domains may
+    await (the same or different) tickets concurrently. *)
+
+val poll : t -> ticket -> answer option
+(** Non-blocking [await]. *)
+
+val solve :
+  t -> ?deadline:float -> ?priority:int -> Cnf.Formula.t ->
+  (answer, string) result
+(** [submit] then [await]. *)
+
+val stats : t -> Metrics.snapshot
+val stats_json : t -> string
+
+val shutdown : t -> unit
+(** Stop accepting work, cancel running jobs (their awaiters receive
+    [Failed "server shutdown"] — or their real answer if it won the
+    race with the cancellation), fail the still-queued jobs, join
+    every domain.  Idempotent; [submit] afterwards answers [Error]. *)

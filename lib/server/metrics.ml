@@ -1,0 +1,144 @@
+type snapshot = {
+  submitted : int;
+  completed : int;
+  solved_sat : int;
+  solved_unsat : int;
+  timeouts : int;
+  failures : int;
+  rejected : int;
+  cache_hits : int;
+  dedup_joins : int;
+  queue_depth : int;
+  inflight : int;
+  cache_entries : int;
+  latency_count : int;
+  p50_ms : float;
+  p95_ms : float;
+  max_ms : float;
+}
+
+let ring_capacity = 4096
+
+type t = {
+  m : Mutex.t;
+  mutable submitted : int;
+  mutable solved_sat : int;
+  mutable solved_unsat : int;
+  mutable timeouts : int;
+  mutable failures : int;
+  mutable rejected : int;
+  mutable cache_hits : int;
+  mutable dedup_joins : int;
+  (* Latency ring (seconds): the most recent [ring_capacity]
+     request-level latencies, plus a lifetime count and max. *)
+  ring : float array;
+  mutable ring_len : int;
+  mutable ring_pos : int;
+  mutable lat_count : int;
+  mutable lat_max : float;
+}
+
+let create () =
+  {
+    m = Mutex.create ();
+    submitted = 0;
+    solved_sat = 0;
+    solved_unsat = 0;
+    timeouts = 0;
+    failures = 0;
+    rejected = 0;
+    cache_hits = 0;
+    dedup_joins = 0;
+    ring = Array.make ring_capacity 0.0;
+    ring_len = 0;
+    ring_pos = 0;
+    lat_count = 0;
+    lat_max = 0.0;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let note_latency t s =
+  let s = if s < 0.0 then 0.0 else s in
+  t.ring.(t.ring_pos) <- s;
+  t.ring_pos <- (t.ring_pos + 1) mod ring_capacity;
+  if t.ring_len < ring_capacity then t.ring_len <- t.ring_len + 1;
+  t.lat_count <- t.lat_count + 1;
+  if s > t.lat_max then t.lat_max <- s
+
+let record_rejected t = locked t (fun () -> t.rejected <- t.rejected + 1)
+
+let record_cache_hit t ~latency_s =
+  locked t (fun () ->
+      t.cache_hits <- t.cache_hits + 1;
+      note_latency t latency_s)
+
+let record_dedup_join t =
+  locked t (fun () -> t.dedup_joins <- t.dedup_joins + 1)
+
+let record_submitted t = locked t (fun () -> t.submitted <- t.submitted + 1)
+
+let record_completed t ~outcome ~latency_s =
+  locked t (fun () ->
+      (match outcome with
+       | `Sat -> t.solved_sat <- t.solved_sat + 1
+       | `Unsat -> t.solved_unsat <- t.solved_unsat + 1
+       | `Timeout -> t.timeouts <- t.timeouts + 1
+       | `Failed -> t.failures <- t.failures + 1);
+      note_latency t latency_s)
+
+let record_join_latency t ~latency_s =
+  locked t (fun () -> note_latency t latency_s)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let idx = int_of_float (ceil (q *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) idx))
+
+let snapshot t ~queue_depth ~inflight ~cache_entries =
+  locked t (fun () ->
+      let window = Array.sub t.ring 0 t.ring_len in
+      Array.sort compare window;
+      {
+        submitted = t.submitted;
+        completed = t.solved_sat + t.solved_unsat + t.timeouts + t.failures;
+        solved_sat = t.solved_sat;
+        solved_unsat = t.solved_unsat;
+        timeouts = t.timeouts;
+        failures = t.failures;
+        rejected = t.rejected;
+        cache_hits = t.cache_hits;
+        dedup_joins = t.dedup_joins;
+        queue_depth;
+        inflight;
+        cache_entries;
+        latency_count = t.lat_count;
+        p50_ms = 1000.0 *. percentile window 0.50;
+        p95_ms = 1000.0 *. percentile window 0.95;
+        max_ms = 1000.0 *. t.lat_max;
+      })
+
+let to_json (s : snapshot) =
+  Printf.sprintf
+    "{\"submitted\": %d, \"completed\": %d, \"solved_sat\": %d, \
+     \"solved_unsat\": %d, \"timeouts\": %d, \"failures\": %d, \
+     \"rejected\": %d, \"cache_hits\": %d, \"dedup_joins\": %d, \
+     \"queue_depth\": %d, \"inflight\": %d, \"cache_entries\": %d, \
+     \"latency_count\": %d, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \
+     \"max_ms\": %.3f}"
+    s.submitted s.completed s.solved_sat s.solved_unsat s.timeouts s.failures
+    s.rejected s.cache_hits s.dedup_joins s.queue_depth s.inflight
+    s.cache_entries s.latency_count s.p50_ms s.p95_ms s.max_ms
+
+let pp ppf (s : snapshot) =
+  Format.fprintf ppf
+    "submitted=%d completed=%d sat=%d unsat=%d timeout=%d failed=%d \
+     rejected=%d cache_hits=%d dedup_joins=%d queue=%d inflight=%d \
+     p50=%.1fms p95=%.1fms"
+    s.submitted s.completed s.solved_sat s.solved_unsat s.timeouts s.failures
+    s.rejected s.cache_hits s.dedup_joins s.queue_depth s.inflight s.p50_ms
+    s.p95_ms

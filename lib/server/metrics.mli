@@ -1,0 +1,63 @@
+(** Service counters and latency percentiles.
+
+    One mutex-guarded accumulator per server.  Counters are grouped so
+    they {e reconcile}: every request that enters [submit] ends up in
+    exactly one of
+
+    - [rejected]        (queue full / server stopping — never ran),
+    - [cache_hits]      (answered at submit time from the cache),
+    - [dedup_joins]     (attached to an in-flight job's future),
+    - [submitted]       (became a new solve job);
+
+    and every submitted job eventually lands in exactly one of
+    [solved_sat], [solved_unsat], [timeouts] or [failures], whose sum
+    is [completed].  Latencies are request-level (submit to answer),
+    kept in a bounded ring of the most recent {!ring_capacity}
+    observations; [p50_ms]/[p95_ms] are computed over that window. *)
+
+type t
+
+type snapshot = {
+  submitted : int;
+  completed : int;
+  solved_sat : int;
+  solved_unsat : int;
+  timeouts : int;
+  failures : int;
+  rejected : int;
+  cache_hits : int;
+  dedup_joins : int;
+  queue_depth : int;   (** sampled at snapshot time *)
+  inflight : int;      (** jobs submitted but not yet completed *)
+  cache_entries : int; (** sampled at snapshot time *)
+  latency_count : int; (** latency observations ever recorded *)
+  p50_ms : float;      (** 0 when no observations *)
+  p95_ms : float;
+  max_ms : float;
+}
+
+val ring_capacity : int
+
+val create : unit -> t
+
+val record_rejected : t -> unit
+val record_cache_hit : t -> latency_s:float -> unit
+val record_dedup_join : t -> unit
+val record_submitted : t -> unit
+
+val record_completed :
+  t -> outcome:[ `Sat | `Unsat | `Timeout | `Failed ] -> latency_s:float ->
+  unit
+(** Completion of one submitted job; call once per job. *)
+
+val record_join_latency : t -> latency_s:float -> unit
+(** A dedup joiner's own request latency (counted in the percentile
+    window, not in [completed]). *)
+
+val snapshot :
+  t -> queue_depth:int -> inflight:int -> cache_entries:int -> snapshot
+
+val to_json : snapshot -> string
+(** Single-line JSON object; keys match the snapshot field names. *)
+
+val pp : Format.formatter -> snapshot -> unit

@@ -1,0 +1,181 @@
+let default_load path =
+  if Filename.check_suffix path ".aag" then
+    Eda4sat.Instance.direct_formula
+      (Eda4sat.Instance.of_circuit ~name:(Filename.basename path)
+         (Aig.Aiger_io.read_file path))
+  else Cnf.Dimacs.read_file path
+
+(* Answers print in request order while the engine solves out of
+   order: the reader pushes one item per request into this FIFO and a
+   printer domain resolves them head-first.  [Stats] and [Sync] are
+   barriers by construction — the printer only reaches them after
+   every earlier answer is out. *)
+type item =
+  | Answer of { seq : int; file : string; ticket : Engine.ticket }
+  | Lines of string list
+  | Stats
+  | Sync of { m : Mutex.t; c : Condition.t; mutable released : bool }
+  | Stop
+
+type fifo = {
+  q : item Queue.t;
+  m : Mutex.t;
+  c : Condition.t;
+}
+
+let fifo_push f item =
+  Mutex.lock f.m;
+  Queue.push item f.q;
+  Condition.signal f.c;
+  Mutex.unlock f.m
+
+let fifo_pop f =
+  Mutex.lock f.m;
+  while Queue.is_empty f.q do
+    Condition.wait f.c f.m
+  done;
+  let item = Queue.pop f.q in
+  Mutex.unlock f.m;
+  item
+
+let model_line m =
+  let buf = Buffer.create (4 * Array.length m) in
+  Buffer.add_char buf 'v';
+  Array.iteri
+    (fun i b ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int (if b then i + 1 else -(i + 1))))
+    m;
+  Buffer.add_string buf " 0";
+  Buffer.contents buf
+
+let source_name = function
+  | Engine.Solved -> "solved"
+  | Engine.Cache_hit -> "cache"
+  | Engine.Dedup_join -> "join"
+
+let print_answer oc ~seq ~file (a : Engine.answer) =
+  Printf.fprintf oc
+    "c job %d file=%s source=%s wall_ms=%.1f solve_ms=%.1f fingerprint=%s\n"
+    seq file (source_name a.Engine.source)
+    (1000.0 *. a.Engine.wall)
+    (1000.0 *. a.Engine.solve_wall)
+    (Cnf.Fingerprint.to_hex a.Engine.fingerprint);
+  (match a.Engine.verdict with
+   | Engine.Sat m ->
+     output_string oc "SAT\n";
+     output_string oc (model_line m);
+     output_char oc '\n'
+   | Engine.Unsat -> output_string oc "UNSAT\n"
+   | Engine.Timeout -> output_string oc "TIMEOUT\n"
+   | Engine.Failed msg -> Printf.fprintf oc "FAILED %s\n" msg);
+  flush oc
+
+let printer_loop engine oc fifo () =
+  let rec loop () =
+    match fifo_pop fifo with
+    | Stop -> ()
+    | Lines ls ->
+      List.iter (fun l -> output_string oc (l ^ "\n")) ls;
+      flush oc;
+      loop ()
+    | Stats ->
+      output_string oc (Engine.stats_json engine ^ "\n");
+      flush oc;
+      loop ()
+    | Sync s ->
+      output_string oc "c sync\n";
+      flush oc;
+      Mutex.lock s.m;
+      s.released <- true;
+      Condition.broadcast s.c;
+      Mutex.unlock s.m;
+      loop ()
+    | Answer { seq; file; ticket } ->
+      print_answer oc ~seq ~file (Engine.await engine ticket);
+      loop ()
+  in
+  loop ()
+
+let serve ?(load = default_load) engine ic oc =
+  let fifo = { q = Queue.create (); m = Mutex.create (); c = Condition.create () } in
+  let printer = Domain.spawn (printer_loop engine oc fifo) in
+  let seq = ref 0 in
+  let handle_solve args =
+    incr seq;
+    let n = !seq in
+    match args with
+    | file :: rest -> (
+      let deadline, priority =
+        match rest with
+        | [] -> (None, None)
+        | [ d ] -> (Some (float_of_string d /. 1000.0), None)
+        | [ d; p ] ->
+          (Some (float_of_string d /. 1000.0), Some (int_of_string p))
+        | _ -> failwith "SOLVE takes at most 3 operands"
+      in
+      match load file with
+      | exception e ->
+        fifo_push fifo
+          (Lines
+             [ Printf.sprintf "c job %d file=%s" n file;
+               Printf.sprintf "ERROR cannot load %s: %s" file
+                 (Printexc.to_string e) ])
+      | formula -> (
+        match Engine.submit engine ?deadline ?priority formula with
+        | Ok ticket -> fifo_push fifo (Answer { seq = n; file; ticket })
+        | Error reason ->
+          fifo_push fifo
+            (Lines
+               [ Printf.sprintf "c job %d file=%s" n file;
+                 "REJECTED " ^ reason ])))
+    | [] -> fifo_push fifo (Lines [ "ERROR SOLVE needs a file operand" ])
+  in
+  let rec read_loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line -> (
+      let words =
+        String.split_on_char ' ' (String.trim line)
+        |> List.filter (fun w -> w <> "")
+      in
+      match words with
+      | [] -> read_loop ()
+      | cmd :: args -> (
+        match (String.uppercase_ascii cmd, args) with
+        | "QUIT", _ -> ()
+        | ("C" | "#"), _ -> read_loop ()
+        | "SOLVE", args ->
+          (try handle_solve args
+           with e ->
+             fifo_push fifo
+               (Lines [ "ERROR bad SOLVE request: " ^ Printexc.to_string e ]));
+          read_loop ()
+        | "STATS", _ ->
+          fifo_push fifo Stats;
+          read_loop ()
+        | "SYNC", _ ->
+          let s =
+            Sync { m = Mutex.create (); c = Condition.create ();
+                   released = false }
+          in
+          fifo_push fifo s;
+          (match s with
+           | Sync sr ->
+             Mutex.lock sr.m;
+             while not sr.released do
+               Condition.wait sr.c sr.m
+             done;
+             Mutex.unlock sr.m
+           | _ -> assert false);
+          read_loop ()
+        | _ ->
+          fifo_push fifo (Lines [ "ERROR unknown command: " ^ cmd ]);
+          read_loop ()))
+  in
+  (* Lines starting with a lowercase 'c' comment marker parse as the
+     command "C" above; '#' likewise — both are accepted silently so
+     scripted sessions can annotate themselves. *)
+  read_loop ();
+  fifo_push fifo Stop;
+  Domain.join printer

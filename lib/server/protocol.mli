@@ -1,0 +1,45 @@
+(** The `eda4sat serve` wire protocol: a line-oriented request stream
+    with pipelined answers.
+
+    {2 Requests} (one per line, whitespace-separated)
+
+    - [SOLVE <file> [deadline_ms] [prio]] — submit the DIMACS (or
+      [.aag] AIGER) file.  [deadline_ms] bounds the job's wall clock;
+      [prio] (integer, higher first) orders admission.
+    - [STATS] — emit the metrics snapshot as one JSON line, computed
+      {e after} every earlier request has been answered.
+    - [SYNC] — barrier: block the request stream until every earlier
+      answer has been printed (emits [c sync]).  A scripted session
+      uses it to guarantee a later duplicate is a cache hit rather
+      than an in-flight join.
+    - [QUIT] — drain pending answers and return (EOF does the same).
+    - empty lines and lines starting with [c] or [#] are ignored.
+
+    {2 Answers}
+
+    Requests are submitted as they are read — the engine solves them
+    concurrently — but answers are printed in request order, each as
+
+    {[
+    c job <seq> file=<file> source=<solved|cache|join> wall_ms=<w> solve_ms=<s> fingerprint=<hex>
+    SAT            (followed by a DIMACS "v ... 0" model line)
+    UNSAT
+    TIMEOUT
+    REJECTED <reason>
+    ERROR <message>
+    ]}
+
+    [REJECTED] is the admission-control answer (queue full, server
+    stopping); [ERROR] covers unreadable files and malformed
+    requests.  SAT models are verified by the engine against the
+    submitted formula before being printed — cached answers
+    included. *)
+
+val serve :
+  ?load:(string -> Cnf.Formula.t) ->
+  Engine.t -> in_channel -> out_channel -> unit
+(** Run the protocol until EOF or [QUIT].  [load] (default: DIMACS
+    for [.cnf]/[.dimacs], AIGER for [.aag], via
+    {!Eda4sat.Instance.direct_formula}) maps a [SOLVE] operand to a
+    formula.  Does {e not} shut the engine down — the caller owns its
+    lifecycle. *)

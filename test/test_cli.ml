@@ -1,0 +1,265 @@
+(* End-to-end tests of the built binary: SAT-competition exit codes
+   for 'solve'/'portfolio', and a scripted 'serve' session exercising
+   cache hits, in-flight dedup, deadline timeouts and metrics
+   reconciliation over the wire protocol. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* The test runner lives in _build/default/test/, the CLI next door in
+   _build/default/bin/ — resolve relative to the runner itself so the
+   path works for both `dune runtest` and `dune exec`. *)
+let cli =
+  Filename.concat
+    (Filename.concat (Filename.dirname Sys.executable_name) Filename.parent_dir_name)
+    (Filename.concat "bin" "eda4sat_cli.exe")
+
+let dev_null_out () = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0
+
+(* Run the CLI with [stdin]/[stdout] redirected to the given files
+   (or /dev/null) and return its exit code. *)
+let run_cli ?stdin_file ?stdout_file args =
+  let fd_in =
+    match stdin_file with
+    | Some f -> Unix.openfile f [ Unix.O_RDONLY ] 0
+    | None -> Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0
+  in
+  let fd_out =
+    match stdout_file with
+    | Some f -> Unix.openfile f [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    | None -> dev_null_out ()
+  in
+  let fd_err = dev_null_out () in
+  let pid =
+    Unix.create_process cli (Array.of_list (cli :: args)) fd_in fd_out fd_err
+  in
+  Unix.close fd_in;
+  Unix.close fd_out;
+  Unix.close fd_err;
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED code -> code
+  | _, (Unix.WSIGNALED n | Unix.WSTOPPED n) ->
+    Alcotest.failf "CLI killed by signal %d" n
+
+let temp_dir = Filename.temp_file "eda4sat_cli_test" ""
+
+let () =
+  Sys.remove temp_dir;
+  Unix.mkdir temp_dir 0o755
+
+let file name = Filename.concat temp_dir name
+
+let write_cnf name f =
+  Cnf.Dimacs.write_file f (file name);
+  file name
+
+let tiny_sat =
+  Cnf.Formula.create ~num_vars:3 [ [| 1; 2 |]; [| -1; 3 |]; [| -2; 3 |] ]
+
+let tiny_unsat =
+  Cnf.Formula.create ~num_vars:2 [ [| 1 |]; [| -1; 2 |]; [| -2 |] ]
+
+let php n = Workloads.Satcomp.pigeonhole ~pigeons:n ~holes:(n - 1)
+
+(* --- exit codes ------------------------------------------------------ *)
+
+let test_solve_exit_codes () =
+  let sat = write_cnf "tiny_sat.cnf" tiny_sat in
+  let unsat = write_cnf "tiny_unsat.cnf" tiny_unsat in
+  let hard = write_cnf "php11.cnf" (php 11) in
+  check_int "SAT exits 10" 10
+    (run_cli [ "solve"; "--no-preprocess"; "-i"; sat ]);
+  check_int "UNSAT exits 20" 20
+    (run_cli [ "solve"; "--no-preprocess"; "-i"; unsat ]);
+  check_int "preprocessed SAT exits 10" 10 (run_cli [ "solve"; "-i"; sat ]);
+  check_int "timeout exits 0" 0
+    (run_cli [ "solve"; "--no-preprocess"; "--timeout"; "0.05"; "-i"; hard ])
+
+let test_portfolio_exit_codes () =
+  let sat = write_cnf "tiny_sat2.cnf" tiny_sat in
+  let unsat = write_cnf "tiny_unsat2.cnf" tiny_unsat in
+  check_int "portfolio SAT exits 10" 10
+    (run_cli [ "portfolio"; "--jobs"; "2"; "-i"; sat ]);
+  check_int "portfolio UNSAT exits 20" 20
+    (run_cli [ "portfolio"; "--jobs"; "2"; "-i"; unsat ])
+
+(* --- serve e2e ------------------------------------------------------- *)
+
+(* Pull "key": N out of the single-line STATS JSON. *)
+let json_int json key =
+  let pat = "\"" ^ key ^ "\": " in
+  match String.index_opt json '{' with
+  | None -> Alcotest.failf "not a JSON line: %s" json
+  | Some _ -> (
+    let rec find i =
+      if i + String.length pat > String.length json then
+        Alcotest.failf "key %s missing in %s" key json
+      else if String.sub json i (String.length pat) = pat then (
+        let j = ref (i + String.length pat) in
+        let start = !j in
+        while
+          !j < String.length json
+          && (match json.[!j] with '0' .. '9' | '-' -> true | _ -> false)
+        do
+          incr j
+        done;
+        int_of_string (String.sub json start (!j - start)))
+      else find (i + 1)
+    in
+    find 0)
+
+let test_serve_session () =
+  let rng = Aig.Rng.create 7 in
+  let r3 seed =
+    ignore seed;
+    Cnf.Formula.create ~num_vars:25
+      (List.init 100 (fun _ ->
+           Array.init 3 (fun _ ->
+               let v = 1 + Aig.Rng.int rng 25 in
+               if Aig.Rng.bool rng then v else -v)))
+  in
+  let blocker = write_cnf "blocker.cnf" (php 9) in
+  let dedup =
+    write_cnf "dedup.cnf"
+      (Cnf.Formula.create ~num_vars:4
+         [ [| 1; 2 |]; [| -1; 3 |]; [| -3; 4 |]; [| 2; -4 |] ])
+  in
+  let sat_base =
+    Cnf.Formula.create ~num_vars:5
+      [ [| 1; 2 |]; [| -2; 3 |]; [| -1; 4 |]; [| 4; 5 |]; [| -3; 5 |] ]
+  in
+  let base = write_cnf "sat_base.cnf" sat_base in
+  (* The same formula with clauses shuffled and literals duplicated: a
+     different file, the same canonical fingerprint. *)
+  let renamed =
+    write_cnf "sat_renamed.cnf"
+      (Cnf.Formula.create ~num_vars:5
+         [ [| 5; 4 |]; [| 2; 1; 2 |]; [| 5; -3 |]; [| 3; -2 |]; [| 4; -1 |] ])
+  in
+  let hard = write_cnf "php11_serve.cnf" (php 11) in
+  let fillers = List.init 15 (fun i -> write_cnf
+                                 (Printf.sprintf "r3_%d.cnf" i) (r3 i)) in
+  let script = file "session.txt" in
+  let oc = open_out script in
+  (* 21 SOLVE requests: a slow blocker, a back-to-back duplicate pair
+     (in-flight join), a known-SAT base, 15 fillers, a deadlined hard
+     instance, then — after a SYNC barrier — a renamed duplicate of
+     the base that must answer from the cache. *)
+  output_string oc ("SOLVE " ^ blocker ^ "\n");
+  output_string oc ("SOLVE " ^ dedup ^ "\n");
+  output_string oc ("SOLVE " ^ dedup ^ "\n");
+  output_string oc ("SOLVE " ^ base ^ "\n");
+  List.iter (fun f -> output_string oc ("SOLVE " ^ f ^ "\n")) fillers;
+  output_string oc ("SOLVE " ^ hard ^ " 100\n");
+  output_string oc "SYNC\n";
+  output_string oc ("SOLVE " ^ renamed ^ "\n");
+  output_string oc "STATS\n";
+  output_string oc "QUIT\n";
+  close_out oc;
+  let out = file "session.out" in
+  check_int "serve exits 0" 0
+    (run_cli ~stdin_file:script ~stdout_file:out
+       [ "serve"; "--workers"; "1"; "--queue"; "64" ]);
+  let lines =
+    let ic = open_in out in
+    let rec go acc =
+      match input_line ic with
+      | l -> go (l :: acc)
+      | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    in
+    go []
+  in
+  let count p = List.length (List.filter p lines) in
+  let has_sub sub l =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length l && (String.sub l i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  check_int "21 answers" 21 (count (has_sub "c job "));
+  check_int "one join" 1 (count (has_sub "source=join"));
+  check_int "one cache hit" 1 (count (has_sub "source=cache"));
+  check_int "one timeout" 1 (count (fun l -> l = "TIMEOUT"));
+  check_int "no failures on the wire" 0
+    (count (fun l -> has_sub "FAILED" l || has_sub "REJECTED" l
+                     || has_sub "ERROR" l));
+  let answer_blocks =
+    (* (header, verdict-and-model lines) per job, in print order. *)
+    let rec go acc cur = function
+      | [] -> List.rev (match cur with None -> acc | Some c -> c :: acc)
+      | l :: rest ->
+        if has_sub "c job " l then
+          go (match cur with None -> acc | Some c -> c :: acc)
+            (Some (l, [])) rest
+        else (
+          match cur with
+          | Some (h, body) -> go acc (Some (h, body @ [ l ])) rest
+          | None -> go acc None rest)
+    in
+    go [] None
+      (List.filter
+         (fun l ->
+           (not (has_sub "c sync" l))
+           && (String.length l = 0 || l.[0] <> '{'))
+         lines)
+  in
+  let body_of pred =
+    List.filter_map
+      (fun (h, body) -> if pred h then Some body else None)
+      answer_blocks
+  in
+  (match body_of (has_sub "dedup.cnf") with
+   | [ b1; b2 ] ->
+     Alcotest.(check (list string)) "join serves the same answer" b1 b2
+   | bs -> Alcotest.failf "expected 2 dedup answers, got %d" (List.length bs));
+  (match
+     ( body_of (fun h -> has_sub "sat_base.cnf" h),
+       body_of (fun h -> has_sub "sat_renamed.cnf" h) )
+   with
+   | [ b1 ], [ b2 ] ->
+     Alcotest.(check (list string))
+       "cache hit is bit-identical across files" b1 b2;
+     (match b2 with
+      | verdict :: v :: _ when verdict = "SAT" ->
+        (* The served model must satisfy the formula actually
+           submitted under the renamed file. *)
+        let m = Array.make 5 false in
+        String.split_on_char ' ' v
+        |> List.iter (fun tok ->
+               match int_of_string_opt tok with
+               | Some l when l > 0 && l <= 5 -> m.(l - 1) <- true
+               | _ -> ());
+        check_bool "cached model satisfies the duplicate file" true
+          (Cnf.Formula.eval sat_base m)
+      | _ -> Alcotest.fail "renamed duplicate did not answer SAT")
+   | _ -> Alcotest.fail "base/renamed answers missing");
+  let stats_line =
+    match List.filter (has_sub "\"submitted\"") lines with
+    | [ l ] -> l
+    | ls -> Alcotest.failf "expected 1 STATS line, got %d" (List.length ls)
+  in
+  let g k = json_int stats_line k in
+  check_int "requests reconcile: submitted + cache + join + rejected = 21" 21
+    (g "submitted" + g "cache_hits" + g "dedup_joins" + g "rejected");
+  check_int "every job completed" (g "submitted") (g "completed");
+  check_int "outcomes reconcile" (g "completed")
+    (g "solved_sat" + g "solved_unsat" + g "timeouts" + g "failures");
+  check_int "no failures" 0 (g "failures");
+  check_int "one deadline enforced" 1 (g "timeouts");
+  check_int "one cache hit in stats" 1 (g "cache_hits");
+  check_int "one dedup join in stats" 1 (g "dedup_joins");
+  (* The deadlined job is resolved by the monitor while still queued;
+     its stale heap entry may not have been popped yet when STATS is
+     computed, so the depth is 0 or 1 — never a real waiter. *)
+  check_bool "queue drained" true (g "queue_depth" <= 1);
+  check_int "nothing left in flight" 0 (g "inflight")
+
+let suite =
+  [
+    ("solve exit codes", `Quick, test_solve_exit_codes);
+    ("portfolio exit codes", `Quick, test_portfolio_exit_codes);
+    ("serve e2e session", `Quick, test_serve_session);
+  ]

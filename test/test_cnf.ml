@@ -552,3 +552,92 @@ let suite =
   suite
   @ [ ("pg drops one-sided clauses", `Quick, test_pg_drops_onset_clauses) ]
   @ qsuite [ test_pg_smaller_and_equisat ]
+
+(* --- Fingerprint: canonical-form invariance and collision smoke ------ *)
+
+let fp = Cnf.Fingerprint.of_formula
+
+let test_fingerprint_invariance () =
+  let a =
+    Cnf.Formula.create ~num_vars:4 [ [| 1; -2; 3 |]; [| -4 |]; [| 2; 4 |] ]
+  in
+  (* Clause order, literal order within a clause, duplicated literals
+     and duplicated clauses all wash out in the canonical form. *)
+  let b =
+    Cnf.Formula.create ~num_vars:4
+      [ [| 2; 4 |]; [| 3; 1; -2; 1 |]; [| -4; -4 |]; [| 2; 4 |] ]
+  in
+  check_bool "canonically equal" true (Cnf.Fingerprint.equal (fp a) (fp b));
+  check "compare" 0 (Cnf.Fingerprint.compare (fp a) (fp b));
+  check "hash" (Cnf.Fingerprint.hash (fp a)) (Cnf.Fingerprint.hash (fp b));
+  Alcotest.(check string)
+    "hex" (Cnf.Fingerprint.to_hex (fp a)) (Cnf.Fingerprint.to_hex (fp b));
+  check "hex width" 32 (String.length (Cnf.Fingerprint.to_hex (fp a)))
+
+let test_fingerprint_tautologies_dropped () =
+  let a = Cnf.Formula.create ~num_vars:3 [ [| 1; 2 |] ] in
+  let b = Cnf.Formula.create ~num_vars:3 [ [| 1; 2 |]; [| 3; -3; 1 |] ] in
+  check_bool "tautology invisible" true
+    (Cnf.Fingerprint.equal (fp a) (fp b))
+
+let test_fingerprint_distinguishes () =
+  let a = Cnf.Formula.create ~num_vars:3 [ [| 1; 2 |] ] in
+  (* Same clauses, different variable universe: models differ, so the
+     fingerprint must too. *)
+  let b = Cnf.Formula.create ~num_vars:4 [ [| 1; 2 |] ] in
+  let c = Cnf.Formula.create ~num_vars:3 [ [| 1; -2 |] ] in
+  check_bool "num_vars matters" false (Cnf.Fingerprint.equal (fp a) (fp b));
+  check_bool "polarity matters" false (Cnf.Fingerprint.equal (fp a) (fp c))
+
+let test_fingerprint_collision_smoke () =
+  (* Hash a few thousand structurally distinct formulas and demand
+     zero collisions across the 128-bit pair. *)
+  let rng = Aig.Rng.create 20260806 in
+  let tbl = Hashtbl.create 4096 in
+  let canon = Hashtbl.create 4096 in
+  for i = 0 to 2999 do
+    let nvars = 3 + Aig.Rng.int rng 12 in
+    let clauses =
+      List.init
+        (1 + Aig.Rng.int rng 9)
+        (fun _ ->
+          Array.init
+            (1 + Aig.Rng.int rng 4)
+            (fun _ ->
+              let v = 1 + Aig.Rng.int rng nvars in
+              if Aig.Rng.bool rng then v else -v))
+    in
+    let f = Cnf.Formula.create ~num_vars:nvars clauses in
+    (* Canonical key mirroring the fingerprint's normal form, so
+       canonically-equal duplicates are expected hash-equal. *)
+    let key =
+      ( nvars,
+        List.sort_uniq compare
+          (List.filter_map
+             (fun c ->
+               let l = List.sort_uniq compare (Array.to_list c) in
+               if List.exists (fun x -> List.mem (-x) l) l then None
+               else Some l)
+             clauses) )
+    in
+    let h = fp f in
+    (match Hashtbl.find_opt tbl h with
+     | Some k when k <> key ->
+       Alcotest.failf "collision at case %d: %s" i (Cnf.Fingerprint.to_hex h)
+     | _ -> ());
+    Hashtbl.replace tbl h key;
+    Hashtbl.replace canon key h
+  done;
+  check "distinct fingerprints = distinct canonical forms"
+    (Hashtbl.length canon) (Hashtbl.length tbl)
+
+let suite =
+  suite
+  @ [
+      ("fingerprint invariance", `Quick, test_fingerprint_invariance);
+      ("fingerprint drops tautologies", `Quick,
+       test_fingerprint_tautologies_dropped);
+      ("fingerprint distinguishes", `Quick, test_fingerprint_distinguishes);
+      ("fingerprint collision smoke", `Quick,
+       test_fingerprint_collision_smoke);
+    ]

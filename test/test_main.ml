@@ -11,6 +11,8 @@ let () =
       ("rl", Test_rl.suite);
       ("core", Test_core.suite);
       ("portfolio", Test_portfolio.suite);
+      ("server", Test_server.suite);
+      ("cli", Test_cli.suite);
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
     ]

@@ -1,0 +1,251 @@
+(* The concurrent solve service: queue semantics, cache hits serving
+   bit-identical verified models, in-flight deduplication, deadline
+   enforcement, admission control, and a multi-domain submit/await
+   fuzz with metrics reconciliation. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let config ?(workers = 2) ?(queue = 64) ?(cache = 64) () =
+  {
+    Server.workers;
+    queue_capacity = queue;
+    cache_capacity = cache;
+    mode = Server.Direct;
+    limits = Sat.Solver.no_limits;
+    default_deadline = None;
+  }
+
+let with_engine ?workers ?queue ?cache f =
+  let e = Server.create ~config:(config ?workers ?queue ?cache ()) () in
+  Fun.protect ~finally:(fun () -> Server.shutdown e) (fun () -> f e)
+
+let submit_ok e ?deadline ?priority f =
+  match Server.submit e ?deadline ?priority f with
+  | Ok t -> t
+  | Error r -> Alcotest.failf "submit rejected: %s" r
+
+let brute_force_sat f =
+  let n = f.Cnf.Formula.num_vars in
+  assert (n <= 14);
+  let rec try_assignment m =
+    m < 1 lsl n
+    && (Cnf.Formula.eval f (Array.init n (fun i -> m land (1 lsl i) <> 0))
+        || try_assignment (m + 1))
+  in
+  try_assignment 0
+
+let random_formula rng =
+  let nvars = 2 + Aig.Rng.int rng 11 in
+  let nclauses = 1 + Aig.Rng.int rng (4 * nvars) in
+  Cnf.Formula.create ~num_vars:nvars
+    (List.init nclauses (fun _ ->
+         Array.init
+           (1 + Aig.Rng.int rng 4)
+           (fun _ ->
+             let v = 1 + Aig.Rng.int rng nvars in
+             if Aig.Rng.bool rng then v else -v)))
+
+let php n = Workloads.Satcomp.pigeonhole ~pigeons:n ~holes:(n - 1)
+
+(* --- basics ---------------------------------------------------------- *)
+
+let test_solve_basics () =
+  with_engine (fun e ->
+      let sat = Cnf.Formula.create ~num_vars:3 [ [| 1; 2 |]; [| -1; 3 |] ] in
+      (match Server.solve e sat with
+       | Ok { Server.verdict = Server.Sat m; source = Server.Solved; _ } ->
+         check_bool "model satisfies" true (Cnf.Formula.eval sat m)
+       | Ok _ -> Alcotest.fail "expected a fresh SAT answer"
+       | Error r -> Alcotest.failf "rejected: %s" r);
+      match Server.solve e (php 5) with
+      | Ok { Server.verdict = Server.Unsat; _ } -> ()
+      | Ok _ -> Alcotest.fail "php(5,4) must be UNSAT"
+      | Error r -> Alcotest.failf "rejected: %s" r)
+
+let test_cache_hit_bit_identical () =
+  with_engine (fun e ->
+      let f =
+        Cnf.Formula.create ~num_vars:4
+          [ [| 1; 2 |]; [| -1; 3 |]; [| -3; 4 |]; [| 2; -4 |] ]
+      in
+      let cold =
+        match Server.solve e f with
+        | Ok a -> a
+        | Error r -> Alcotest.failf "cold solve rejected: %s" r
+      in
+      let m0 =
+        match cold.Server.verdict with
+        | Server.Sat m -> m
+        | _ -> Alcotest.fail "formula is satisfiable"
+      in
+      (* Clause order and duplicate literals differ; the canonical
+         fingerprint matches, so this must answer from the cache with
+         the very same model. *)
+      let g =
+        Cnf.Formula.create ~num_vars:4
+          [ [| 2; -4; 2 |]; [| 4; -3 |]; [| 2; 1 |]; [| 3; -1 |] ]
+      in
+      match Server.solve e g with
+      | Ok { Server.verdict = Server.Sat m; source = Server.Cache_hit; _ } ->
+        Alcotest.(check (array bool)) "bit-identical model" m0 m;
+        check_bool "valid for the renamed duplicate" true
+          (Cnf.Formula.eval g m);
+        check_int "one cache hit" 1 (Server.stats e).Server.Metrics.cache_hits
+      | Ok a ->
+        Alcotest.failf "expected cache hit, got source=%s"
+          (match a.Server.source with
+           | Server.Solved -> "solved"
+           | Server.Cache_hit -> "cache"
+           | Server.Dedup_join -> "join")
+      | Error r -> Alcotest.failf "rejected: %s" r)
+
+let test_dedup_solves_once () =
+  with_engine ~workers:1 (fun e ->
+      (* A busy worker keeps [f] queued, so the second submit of the
+         same formula must attach to the first job instead of creating
+         a new one. *)
+      let blocker = submit_ok e (php 9) in
+      let f = Cnf.Formula.create ~num_vars:3 [ [| 1; 2 |]; [| -2; 3 |] ] in
+      let t1 = submit_ok e f in
+      let t2 = submit_ok e f in
+      let a1 = Server.await e t1 in
+      let a2 = Server.await e t2 in
+      ignore (Server.await e blocker);
+      let model = function
+        | { Server.verdict = Server.Sat m; _ } -> m
+        | _ -> Alcotest.fail "satisfiable formula"
+      in
+      Alcotest.(check (array bool)) "same answer" (model a1) (model a2);
+      check_bool "one of the two joined" true
+        (a1.Server.source = Server.Dedup_join
+         || a2.Server.source = Server.Dedup_join);
+      let s = Server.stats e in
+      check_int "dedup recorded" 1 s.Server.Metrics.dedup_joins;
+      (* blocker + f: exactly two jobs actually entered the queue. *)
+      check_int "two jobs created" 2 s.Server.Metrics.submitted)
+
+let test_deadline_timeout () =
+  with_engine ~workers:1 (fun e ->
+      let t0 = Unix.gettimeofday () in
+      match Server.solve e ~deadline:0.15 (php 11) with
+      | Ok { Server.verdict = Server.Timeout; _ } ->
+        let took = Unix.gettimeofday () -. t0 in
+        check_bool
+          (Printf.sprintf "answered near the deadline (%.2fs)" took)
+          true (took < 5.0);
+        check_int "timeout counted" 1 (Server.stats e).Server.Metrics.timeouts
+      | Ok _ -> Alcotest.fail "php(11,10) cannot finish in 150ms here"
+      | Error r -> Alcotest.failf "rejected: %s" r)
+
+let test_queue_full_rejection () =
+  with_engine ~workers:1 ~queue:2 (fun e ->
+      let _blocker = submit_ok e (php 11) in
+      (* Let the single worker pop the blocker so the queue is empty
+         but the worker is busy for a long time. *)
+      Unix.sleepf 0.05;
+      let _q1 = submit_ok e (php 12) in
+      let _q2 = submit_ok e (php 13) in
+      (match Server.submit e (php 14) with
+       | Error reason ->
+         check_bool "reason mentions the queue" true
+           (String.length reason > 0)
+       | Ok _ -> Alcotest.fail "queue of 2 accepted a third waiter");
+      let s = Server.stats e in
+      check_int "rejection counted" 1 s.Server.Metrics.rejected;
+      check_int "queue depth at capacity" 2 s.Server.Metrics.queue_depth)
+  (* shutdown interrupts the running php(11,10) and fails the queued
+     jobs; with_engine's finally exercises that path. *)
+
+let test_shutdown_idempotent () =
+  let e = Server.create ~config:(config ()) () in
+  let f = Cnf.Formula.create ~num_vars:2 [ [| 1 |]; [| 2 |] ] in
+  (match Server.solve e f with
+   | Ok { Server.verdict = Server.Sat _; _ } -> ()
+   | _ -> Alcotest.fail "simple solve failed");
+  Server.shutdown e;
+  Server.shutdown e;
+  match Server.submit e f with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "submit accepted after shutdown"
+
+let test_concurrent_fuzz () =
+  with_engine ~workers:3 ~queue:256 (fun e ->
+      let n_domains = 4 and per_domain = 20 in
+      let failures = Atomic.make 0 in
+      let complain fmt =
+        Printf.ksprintf
+          (fun msg ->
+            Atomic.incr failures;
+            print_endline ("fuzz: " ^ msg))
+          fmt
+      in
+      let worker d () =
+        (* Overlapping seed ranges across domains provoke dedup joins
+           and cache hits alongside fresh solves. *)
+        for i = 0 to per_domain - 1 do
+          let rng = Aig.Rng.create (1000 + ((d + i) mod 17)) in
+          let f = random_formula rng in
+          match Server.solve e f with
+          | Error r -> complain "domain %d case %d rejected: %s" d i r
+          | Ok a -> (
+            match a.Server.verdict with
+            | Server.Sat m ->
+              if not (Cnf.Formula.eval f m) then
+                complain "domain %d case %d: bad model" d i
+            | Server.Unsat ->
+              if brute_force_sat f then
+                complain "domain %d case %d: wrong UNSAT" d i
+            | Server.Timeout | Server.Failed _ ->
+              complain "domain %d case %d: unexpected non-answer" d i)
+        done
+      in
+      let ds = List.init n_domains (fun d -> Domain.spawn (worker d)) in
+      List.iter Domain.join ds;
+      check_int "no failures" 0 (Atomic.get failures);
+      let s = Server.stats e in
+      check_int "every request accounted"
+        (n_domains * per_domain)
+        (s.Server.Metrics.submitted + s.Server.Metrics.cache_hits
+        + s.Server.Metrics.dedup_joins);
+      check_int "every job completed" s.Server.Metrics.submitted
+        s.Server.Metrics.completed;
+      check_int "all answers decisive" s.Server.Metrics.completed
+        (s.Server.Metrics.solved_sat + s.Server.Metrics.solved_unsat);
+      check_bool "cache or dedup observed" true
+        (s.Server.Metrics.cache_hits + s.Server.Metrics.dedup_joins > 0))
+
+(* --- job queue ------------------------------------------------------- *)
+
+let test_job_queue_ordering () =
+  let q = Server.Job_queue.create ~capacity:8 () in
+  check_bool "push a" true (Server.Job_queue.push q ~priority:0 "a");
+  check_bool "push b" true (Server.Job_queue.push q ~priority:5 "b");
+  check_bool "push c" true (Server.Job_queue.push q ~priority:5 "c");
+  check_bool "push d" true (Server.Job_queue.push q ~priority:(-1) "d");
+  Server.Job_queue.close q;
+  let drain = List.filter_map (fun () -> Server.Job_queue.pop q)
+      [ (); (); (); () ] in
+  Alcotest.(check (list string))
+    "priority order, FIFO within a priority" [ "b"; "c"; "a"; "d" ] drain;
+  check_bool "drained" true (Server.Job_queue.pop q = None)
+
+let test_job_queue_backpressure () =
+  let q = Server.Job_queue.create ~capacity:2 () in
+  check_bool "1 fits" true (Server.Job_queue.push q ~priority:0 1);
+  check_bool "2 fits" true (Server.Job_queue.push q ~priority:9 2);
+  check_bool "3 rejected" false (Server.Job_queue.push q ~priority:99 3);
+  check_int "length" 2 (Server.Job_queue.length q)
+
+let suite =
+  [
+    ("solve basics", `Quick, test_solve_basics);
+    ("cache hit is bit-identical", `Quick, test_cache_hit_bit_identical);
+    ("dedup solves once", `Quick, test_dedup_solves_once);
+    ("deadline answers TIMEOUT", `Quick, test_deadline_timeout);
+    ("full queue rejects", `Quick, test_queue_full_rejection);
+    ("shutdown idempotent", `Quick, test_shutdown_idempotent);
+    ("concurrent submit/await fuzz", `Quick, test_concurrent_fuzz);
+    ("job queue ordering", `Quick, test_job_queue_ordering);
+    ("job queue backpressure", `Quick, test_job_queue_backpressure);
+  ]
