@@ -122,6 +122,8 @@ let () =
       mode = Server.Direct;
       limits = Sat.Solver.no_limits;
       default_deadline = None;
+      session_capacity = 64;
+      session_ttl = None;
     }
   in
   let engine = Server.create ~config () in

@@ -314,7 +314,8 @@ let portfolio_cmd =
 (* --- serve ------------------------------------------------------------ *)
 
 let serve_cmd =
-  let run verbose workers queue cache mode jobs share_lbd timeout deadline_ms =
+  let run verbose workers queue cache mode jobs share_lbd timeout deadline_ms
+      sessions session_ttl_ms =
     setup_logs verbose;
     let mode =
       match mode with
@@ -331,6 +332,11 @@ let serve_cmd =
         mode;
         limits = limits_of_timeout timeout;
         default_deadline = Option.map (fun ms -> ms /. 1000.0) deadline_ms;
+        session_capacity = sessions;
+        session_ttl =
+          (match session_ttl_ms with
+           | Some ms when ms <= 0.0 -> None (* 0 disables TTL eviction *)
+           | ttl -> Option.map (fun ms -> ms /. 1000.0) ttl);
       }
     in
     let engine = Server.create ~config () in
@@ -375,13 +381,27 @@ let serve_cmd =
          & info [ "deadline-ms" ] ~docv:"MS"
              ~doc:"Default per-job deadline when a SOLVE line gives none.")
   in
+  let sessions =
+    Arg.(value & opt int 64
+         & info [ "sessions" ] ~docv:"N"
+             ~doc:"Maximum live incremental sessions; OPEN past the \
+                   bound LRU-evicts an idle session or is REJECTED.")
+  in
+  let session_ttl_ms =
+    Arg.(value & opt (some float) (Some 600_000.0)
+         & info [ "session-ttl-ms" ] ~docv:"MS"
+             ~doc:"Evict sessions idle this long (0 disables).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the concurrent solve service on stdin/stdout: SOLVE \
-             <file> [deadline_ms] [prio] per line; answers carry a \
-             cache/dedup source tag; STATS prints a metrics JSON line.")
+             <file> [deadline_ms] [prio] per line, plus incremental \
+             sessions (OPEN, then ADD/ASSUME/SOLVE/PUSH/POP/CLOSE \
+             <sid>); answers carry a cache/dedup source tag; STATS \
+             prints a metrics JSON line.")
     Term.(const run $ verbose_arg $ workers $ queue $ cache $ mode $ jobs
-          $ share_lbd $ timeout_arg $ deadline_ms)
+          $ share_lbd $ timeout_arg $ deadline_ms $ sessions
+          $ session_ttl_ms)
 
 (* --- preprocess ------------------------------------------------------ *)
 

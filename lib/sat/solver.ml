@@ -1640,6 +1640,17 @@ module Incremental = struct
           ~minor_words ~major_collections )
     in
     session.core <- [||];
+    (* A recorder sealed by an earlier refutation (its empty clause is
+       already logged) must not absorb steps from a later solve on a
+       reused session: disable logging for this call explicitly by
+       dropping the recorder, instead of relying on every log site to
+       probe the seal.  The broken path below keeps its recorder — its
+       re-seal of an already-sealed log is a documented no-op. *)
+    let proof =
+      match proof with
+      | Some p when Proof.sealed p && not session.broken -> None
+      | p -> p
+    in
     if session.broken then begin
       (* The contradiction arose from level-0 unit propagation over the
          accumulated clauses (in {!add_clause} or an earlier call), so

@@ -244,7 +244,11 @@ module Incremental : sig
       far.  The log is terminated with the empty clause only when a
       call answers [Unsat] with no assumptions involved in the
       conflict; an [Unsat] {e under assumptions} is not a DRAT-provable
-      fact and leaves the log open. *)
+      fact and leaves the log open.  A [proof] that is already
+      {!Proof.sealed} when [solve] is called (a completed refutation
+      reused across queries) is left untouched: logging for that call
+      is an explicit no-op, so the sealed log stays exactly the
+      checkable refutation it was. *)
 
   val last_core : session -> int array
   (** After an [Unsat] answer under assumptions: a subset of the

@@ -30,6 +30,8 @@ type config = {
   mode : mode;
   limits : Sat.Solver.limits;
   default_deadline : float option;
+  session_capacity : int;
+  session_ttl : float option;
 }
 
 let default_config =
@@ -40,7 +42,18 @@ let default_config =
     mode = Direct;
     limits = Sat.Solver.no_limits;
     default_deadline = None;
+    session_capacity = 64;
+    session_ttl = Some 600.0;
   }
+
+(* A relative deadline must compose into a meaningful absolute instant:
+   [now +. nan] poisons every later comparison ([deadline_passed] is
+   never true, so the job runs unbounded — the monitor cannot save it),
+   and a negative deadline is a caller unit mistake (ms passed as s,
+   or vice versa) better rejected loudly than answered [Timeout]. *)
+let valid_deadline = function
+  | None -> true
+  | Some s -> Float.is_finite s && s >= 0.0
 
 let empty_stats =
   {
@@ -95,16 +108,29 @@ module Fp_tbl = Hashtbl.Make (struct
   let hash = Cnf.Fingerprint.hash
 end)
 
+(* The shared work queue carries both one-shot jobs and session
+   scheduling tokens.  A token makes a worker run exactly one of that
+   session's pending ops and then re-enqueue the token (if more ops
+   wait) — so a session with a thousand queued ops interleaves with
+   one-shot jobs and other sessions at op granularity instead of
+   holding a worker until drained. *)
+type work =
+  | W_job of job
+  | W_session of Session.t
+
 type t = {
   cfg : config;
-  queue : job Job_queue.t;
+  queue : work Job_queue.t;
   cache : Cache.t;
   metrics : Metrics.t;
   inflight : job Fp_tbl.t;  (* guarded by [gm] *)
+  sessions : (int, Session.t) Hashtbl.t;  (* guarded by [gm] *)
+  retired : (int, [ `Closed | `Evicted ]) Hashtbl.t;  (* guarded by [gm] *)
   gm : Mutex.t;
   stopping : bool Atomic.t;
   monitor_stop : bool Atomic.t;
   mutable next_id : int;  (* guarded by [gm] *)
+  mutable next_sid : int;  (* guarded by [gm] *)
   mutable domains : unit Domain.t list;  (* workers + monitor *)
 }
 
@@ -201,9 +227,18 @@ let classify t job result stats solve_wall =
   let verdict =
     match result with
     | Sat.Solver.Sat m ->
-      (* Never serve an unverified model: the check is linear in the
-         formula and turns any would-be wrong answer (a solver bug, a
-         lane mix-up) into an explicit failure. *)
+      (* Normalize the model to exactly [num_vars] entries first —
+         reconstruction paths (Simplify, Portfolio) may answer with
+         auxiliary variables appended, and [Formula.eval] raises on a
+         size mismatch.  Then never serve an unverified model: the
+         check is linear in the formula and turns any would-be wrong
+         answer (a solver bug, a lane mix-up) into an explicit
+         failure. *)
+      let nv = job.formula.Cnf.Formula.num_vars in
+      let m =
+        if Array.length m = nv then m
+        else Array.init nv (fun i -> i < Array.length m && m.(i))
+      in
       if Cnf.Formula.eval job.formula m then Sat m
       else Failed "model verification failed"
     | Sat.Solver.Unsat -> Unsat
@@ -214,6 +249,45 @@ let classify t job result stats solve_wall =
   in
   finalize t job ~verdict ~stats ~solve_wall
 
+(* Remove a self-closed session from the live table.  The session may
+   already be gone (evicted by the monitor in the same instant); the
+   retired mark keeps later ops on its id answering deterministically. *)
+let retire_closed t s =
+  let sid = Session.id s in
+  Mutex.lock t.gm;
+  let was_live = Hashtbl.mem t.sessions sid in
+  if was_live then begin
+    Hashtbl.remove t.sessions sid;
+    Hashtbl.replace t.retired sid `Closed
+  end;
+  Mutex.unlock t.gm;
+  if was_live then Metrics.record_session_closed t.metrics
+
+let note_session_step t (step : Session.step) =
+  match step.Session.executed with
+  | Some (Session.Solve _, a) ->
+    Metrics.record_session_solve t.metrics ~latency_s:a.Session.wall
+  | _ -> ()
+
+let run_session_token t s =
+  let step =
+    Session.run_one ~limits:t.cfg.limits
+      ~stopping:(fun () -> Atomic.get t.stopping)
+      s
+  in
+  note_session_step t step;
+  match step.Session.next with
+  | `More ->
+    (* Session tokens ride at priority 0 — the one-shot default — so
+       round-robin fairness falls out of the queue's FIFO-within-
+       priority order.  [push_force] cannot bounce off the admission
+       cap; it fails only on a closed queue (shutdown), where the
+       pending ops are failed by the shutdown sweep. *)
+    if not (Job_queue.push_force t.queue ~priority:0 (W_session s)) then
+      Session.kill s "server shutdown"
+  | `Idle -> ()
+  | `Closed -> retire_closed t s
+
 let worker_loop t () =
   let pool =
     match t.cfg.mode with
@@ -223,7 +297,10 @@ let worker_loop t () =
   let rec loop () =
     match Job_queue.pop t.queue with
     | None -> ()
-    | Some job ->
+    | Some (W_session s) ->
+      run_session_token t s;
+      loop ()
+    | Some (W_job job) ->
       Mutex.lock job.jm;
       let already_done = job.claimed in
       if not already_done then job.running <- true;
@@ -250,18 +327,52 @@ let worker_loop t () =
   loop ();
   Option.iter Portfolio.Runner.shutdown_pool pool
 
+(* Idle-TTL sweep: evict sessions idle past the configured TTL.
+   Re-checked under [gm] so a session that just accepted an op is
+   spared; the [Session.evict] call itself runs outside [gm] (lock
+   order is gm before the session mutex, and evict takes the latter). *)
+let evict_expired_sessions t ~now =
+  match t.cfg.session_ttl with
+  | None -> ()
+  | Some ttl ->
+    let expired =
+      Mutex.lock t.gm;
+      let es =
+        Hashtbl.fold
+          (fun sid s acc ->
+            if Session.is_idle s && now -. Session.last_use s >= ttl then
+              (sid, s) :: acc
+            else acc)
+          t.sessions []
+      in
+      List.iter
+        (fun (sid, _) ->
+          Hashtbl.remove t.sessions sid;
+          Hashtbl.replace t.retired sid `Evicted)
+        es;
+      Mutex.unlock t.gm;
+      es
+    in
+    List.iter
+      (fun (_, s) ->
+        Session.evict s;
+        Metrics.record_session_evicted t.metrics)
+      expired
+
 (* The deadline monitor: a few-millisecond heartbeat that scans the
-   in-flight table.  A queued job whose deadline passed resolves to
-   [Timeout] immediately (it never waits for a worker); a running one
-   gets its interrupt set and resolves within one solver budget tick. *)
+   in-flight table and the session table.  A queued job whose deadline
+   passed resolves to [Timeout] immediately (it never waits for a
+   worker); a running one — one-shot or mid-session — gets its
+   interrupt set and resolves within one solver budget tick. *)
 let monitor_loop t () =
   while not (Atomic.get t.monitor_stop) do
     Unix.sleepf 0.002;
-    let jobs =
+    let jobs, sessions =
       Mutex.lock t.gm;
       let js = Fp_tbl.fold (fun _ j acc -> j :: acc) t.inflight [] in
+      let ss = Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions [] in
       Mutex.unlock t.gm;
-      js
+      (js, ss)
     in
     let now = Sat.Wall.now () in
     List.iter
@@ -278,13 +389,23 @@ let monitor_loop t () =
             Sat.Solver.Interrupt.set job.interrupt
           end
         end)
-      jobs
+      jobs;
+    List.iter (fun s -> Session.interrupt_if_overdue s ~now) sessions;
+    evict_expired_sessions t ~now
   done
 
 (* --- public API ------------------------------------------------------ *)
 
 let create ?(config = default_config) () =
   if config.workers < 1 then invalid_arg "Engine.create: workers < 1";
+  if config.session_capacity < 1 then
+    invalid_arg "Engine.create: session_capacity < 1";
+  if not (valid_deadline config.default_deadline) then
+    invalid_arg "Engine.create: bad default_deadline";
+  (match config.session_ttl with
+   | Some ttl when not (Float.is_finite ttl && ttl > 0.0) ->
+     invalid_arg "Engine.create: bad session_ttl"
+   | _ -> ());
   let t =
     {
       cfg = config;
@@ -292,10 +413,13 @@ let create ?(config = default_config) () =
       cache = Cache.create ~capacity:config.cache_capacity ();
       metrics = Metrics.create ();
       inflight = Fp_tbl.create 64;
+      sessions = Hashtbl.create 64;
+      retired = Hashtbl.create 64;
       gm = Mutex.create ();
       stopping = Atomic.make false;
       monitor_stop = Atomic.make false;
       next_id = 0;
+      next_sid = 0;
       domains = [];
     }
   in
@@ -381,7 +505,7 @@ let submit_live t ?deadline ~priority formula =
         (* In-flight before enqueue, so a concurrent identical submit
            joins this job even while it is still queued. *)
         Fp_tbl.replace t.inflight fp job;
-        if Job_queue.push t.queue ~priority job then begin
+        if Job_queue.push t.queue ~priority (W_job job) then begin
           Mutex.unlock t.gm;
           Metrics.record_submitted t.metrics;
           Ok (T_job { job; source = Solved; t_submit = now })
@@ -403,6 +527,10 @@ let submit t ?deadline ?(priority = 0) formula =
   if Atomic.get t.stopping then begin
     Metrics.record_rejected t.metrics;
     Error "server shutting down"
+  end
+  else if not (valid_deadline deadline) then begin
+    Metrics.record_rejected t.metrics;
+    Error "bad-deadline"
   end
   else submit_live t ?deadline ~priority formula
 
@@ -438,28 +566,181 @@ let poll _t = function
 let solve t ?deadline ?priority formula =
   Result.map (await t) (submit t ?deadline ?priority formula)
 
+(* --- sessions -------------------------------------------------------- *)
+
+(* LRU victim among the idle live sessions; caller holds [gm]. *)
+let lru_idle_session t =
+  Hashtbl.fold
+    (fun sid s best ->
+      if not (Session.is_idle s) then best
+      else
+        match best with
+        | Some (_, bs) when Session.last_use bs <= Session.last_use s ->
+          best
+        | _ -> Some (sid, s))
+    t.sessions None
+
+let open_session t =
+  if Atomic.get t.stopping then begin
+    Metrics.record_rejected t.metrics;
+    Error "server shutting down"
+  end
+  else begin
+    Mutex.lock t.gm;
+    let victim =
+      if Hashtbl.length t.sessions >= t.cfg.session_capacity then begin
+        match lru_idle_session t with
+        | Some (vsid, vs) ->
+          Hashtbl.remove t.sessions vsid;
+          Hashtbl.replace t.retired vsid `Evicted;
+          Some vs
+        | None -> None
+      end
+      else None
+    in
+    let full = Hashtbl.length t.sessions >= t.cfg.session_capacity in
+    let opened =
+      if full then None
+      else begin
+        let sid = t.next_sid in
+        t.next_sid <- sid + 1;
+        let s = Session.create ~id:sid () in
+        Hashtbl.replace t.sessions sid s;
+        Some sid
+      end
+    in
+    Mutex.unlock t.gm;
+    (match victim with
+     | Some vs ->
+       Session.evict vs;
+       Metrics.record_session_evicted t.metrics
+     | None -> ());
+    match opened with
+    | Some sid ->
+      Metrics.record_session_opened t.metrics;
+      Ok sid
+    | None ->
+      (* At capacity with every session busy — admission control at
+         the session-table edge, same refusal shape as a full queue. *)
+      Metrics.record_rejected t.metrics;
+      Error
+        (Printf.sprintf "session table full (capacity %d)"
+           t.cfg.session_capacity)
+  end
+
+let session_submit t sid op =
+  if Atomic.get t.stopping then begin
+    Metrics.record_rejected t.metrics;
+    Error "server shutting down"
+  end
+  else begin
+    Mutex.lock t.gm;
+    let found =
+      match Hashtbl.find_opt t.sessions sid with
+      | Some s -> `Live s
+      | None -> (
+        match Hashtbl.find_opt t.retired sid with
+        | Some r -> `Retired r
+        | None -> `Unknown)
+    in
+    Mutex.unlock t.gm;
+    match found with
+    | `Unknown ->
+      Metrics.record_rejected t.metrics;
+      Error "unknown session"
+    | `Retired r ->
+      (* A deterministic answer for the id's afterlife: ops on a
+         closed or evicted session resolve immediately instead of
+         erroring — the client learns the lifecycle state. *)
+      Metrics.record_session_op t.metrics;
+      let outcome =
+        match r with
+        | `Evicted -> Session.Evicted
+        | `Closed -> Session.Failed "session closed"
+      in
+      Ok (Session.resolved_ticket op outcome)
+    | `Live s -> (
+      match Session.enqueue s op with
+      | `Full ->
+        Metrics.record_rejected t.metrics;
+        Error "session queue full"
+      | `Queued ticket ->
+        Metrics.record_session_op t.metrics;
+        Ok ticket
+      | `Scheduled ticket ->
+        Metrics.record_session_op t.metrics;
+        if not (Job_queue.push_force t.queue ~priority:0 (W_session s))
+        then Session.kill s "server shutdown";
+        Ok ticket)
+  end
+
+let session_await _t ticket = Session.await ticket
+let session_poll _t ticket = Session.poll ticket
+
+let session_op t sid op = Result.map (Session.await) (session_submit t sid op)
+let session_add t sid clauses = session_op t sid (Session.Add clauses)
+let session_assume t sid lits = session_op t sid (Session.Assume lits)
+let session_push t sid = session_op t sid Session.Push
+let session_pop t sid = session_op t sid Session.Pop
+let close_session t sid = session_op t sid Session.Close
+
+let submit_session_solve t ?deadline sid =
+  if not (valid_deadline deadline) then begin
+    Metrics.record_rejected t.metrics;
+    Error "bad-deadline"
+  end
+  else begin
+    let deadline = Option.map (fun s -> Sat.Wall.now () +. s) deadline in
+    session_submit t sid (Session.Solve { deadline })
+  end
+
+let solve_session t ?deadline ?assumptions sid =
+  if not (valid_deadline deadline) then begin
+    Metrics.record_rejected t.metrics;
+    Error "bad-deadline"
+  end
+  else begin
+    (match assumptions with
+     | Some lits -> ignore (session_submit t sid (Session.Assume lits))
+     | None -> ());
+    Result.map Session.await (submit_session_solve t ?deadline sid)
+  end
+
+let sessions_live t =
+  Mutex.lock t.gm;
+  let n = Hashtbl.length t.sessions in
+  Mutex.unlock t.gm;
+  n
+
 let stats t =
-  let inflight =
+  let inflight, live =
     Mutex.lock t.gm;
     let n = Fp_tbl.length t.inflight in
+    let l = Hashtbl.length t.sessions in
     Mutex.unlock t.gm;
-    n
+    (n, l)
   in
   Metrics.snapshot t.metrics
     ~queue_depth:(Job_queue.length t.queue)
     ~inflight
     ~cache_entries:(Cache.length t.cache)
+    ~sessions_live:live
 
 let stats_json t = Metrics.to_json (stats t)
 
 let shutdown t =
   if not (Atomic.exchange t.stopping true) then begin
     (* Cancel running solves; queued jobs are drained by the workers,
-       which answer them [Failed "server shutdown"] without solving. *)
+       which answer them [Failed "server shutdown"] without solving.
+       Sessions are killed the same way: their running solve is
+       interrupted and every queued op answers [Failed] — [resolve] is
+       idempotent, so racing an executing worker is harmless. *)
     Mutex.lock t.gm;
     let jobs = Fp_tbl.fold (fun _ j acc -> j :: acc) t.inflight [] in
+    let sessions = Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions [] in
     Mutex.unlock t.gm;
     List.iter (fun job -> Sat.Solver.Interrupt.set job.interrupt) jobs;
+    List.iter (fun s -> Session.kill s "server shutdown") sessions;
     Job_queue.close t.queue;
     let domains = t.domains in
     t.domains <- [];

@@ -28,6 +28,24 @@
     + decisive answers (a verified model, or [Unsat]) enter the LRU
       cache; [await] wakes every ticket attached to the job.
 
+    {2 Incremental sessions}
+
+    [open_session] allocates a persistent {!Session.t} wrapping one
+    {!Sat.Solver.Incremental.session}.  Session operations
+    ([session_add] / [session_assume] / [session_push] /
+    [session_pop] / [solve_session] / [close_session]) queue on the
+    session's private FIFO and execute {e in submission order} on the
+    same worker pool as one-shot jobs, one op per scheduling token —
+    so sessions round-robin with each other and with one-shot solves
+    instead of monopolizing a worker.  The session table is bounded
+    ([session_capacity]): opening past the bound evicts the
+    least-recently-used {e idle} session (its pending ops answer
+    [Evicted]); if every session is busy the open is rejected.
+    Sessions idle past [session_ttl] are evicted by the monitor
+    domain, which also interrupts session solves that run past their
+    deadline.  Operations addressed to a closed or evicted session id
+    answer [Failed "session closed"] / [Evicted] rather than erroring.
+
     All entry points may be called from any domain. *)
 
 type verdict =
@@ -81,6 +99,12 @@ type config = {
       (** base per-job limits (the job deadline is layered on top) *)
   default_deadline : float option;
       (** seconds; applied when [submit] gives no deadline *)
+  session_capacity : int;
+      (** max live sessions (default 64); opening past the bound
+          LRU-evicts an idle session or rejects *)
+  session_ttl : float option;
+      (** idle seconds before the monitor evicts a session
+          (default 600); [None] disables TTL eviction *)
 }
 
 val default_config : config
@@ -95,10 +119,13 @@ val create : ?config:config -> unit -> t
 val submit :
   t -> ?deadline:float -> ?priority:int -> Cnf.Formula.t ->
   (ticket, string) result
-(** Submit a formula.  [deadline] is in seconds from now; [priority]
-    (default 0, higher pops first) orders the admission queue.
-    [Error reason] is the backpressure path: the queue is full or the
-    server is shutting down — nothing was enqueued. *)
+(** Submit a formula.  [deadline] is in seconds from now — a negative
+    or non-finite value answers [Error "bad-deadline"] (a NaN deadline
+    would otherwise compose into an absolute instant that never
+    passes, i.e. an unkillable job); [priority] (default 0, higher
+    pops first) orders the admission queue.  [Error reason] is the
+    backpressure path: the queue is full or the server is shutting
+    down — nothing was enqueued. *)
 
 val await : t -> ticket -> answer
 (** Block until the ticket's job resolves.  Any number of domains may
@@ -111,6 +138,56 @@ val solve :
   t -> ?deadline:float -> ?priority:int -> Cnf.Formula.t ->
   (answer, string) result
 (** [submit] then [await]. *)
+
+(** {2 Session API} *)
+
+val open_session : t -> (int, string) result
+(** Allocate a fresh live session and answer its id.  [Error] when
+    the table is at capacity with no idle session to LRU-evict, or the
+    server is shutting down. *)
+
+val session_submit : t -> int -> Session.op -> (Session.ticket, string) result
+(** Queue one operation on a session's FIFO.  For a retired
+    (closed/evicted) id the ticket comes back already resolved with
+    the lifecycle outcome.  [Error] on an unknown id, a full session
+    FIFO, or a shutting-down server.  A [Session.Solve] op's deadline
+    must already be an absolute instant — prefer [solve_session],
+    which validates and composes it. *)
+
+val session_await : t -> Session.ticket -> Session.answer
+val session_poll : t -> Session.ticket -> Session.answer option
+
+val session_add :
+  t -> int -> int array list -> (Session.answer, string) result
+(** Append clauses (client DIMACS literals).  Under a pushed frame the
+    clauses retire with the frame's [session_pop]. *)
+
+val session_assume : t -> int -> int array -> (Session.answer, string) result
+(** Set the assumption literals for the next [solve_session] on this
+    session (IPASIR convention: cleared once that solve answers). *)
+
+val session_push : t -> int -> (Session.answer, string) result
+val session_pop : t -> int -> (Session.answer, string) result
+
+val submit_session_solve :
+  t -> ?deadline:float -> int -> (Session.ticket, string) result
+(** Non-blocking [solve_session]: validates [deadline] (seconds from
+    now, [Error "bad-deadline"] like {!submit}), composes the absolute
+    instant and queues the [Solve] op. *)
+
+val solve_session :
+  t -> ?deadline:float -> ?assumptions:int array -> int ->
+  (Session.answer, string) result
+(** Solve the session's accumulated clauses under the pending (or
+    given) assumptions.  [deadline] is in seconds from now, validated
+    like {!submit} ([Error "bad-deadline"]).  Blocks until the solve
+    answers; earlier queued ops of the same session run first (FIFO). *)
+
+val close_session : t -> int -> (Session.answer, string) result
+(** Mark the session closed and retire it once its FIFO drains.
+    Later ops on the id answer [Failed "session closed"]. *)
+
+val sessions_live : t -> int
 
 val stats : t -> Metrics.snapshot
 val stats_json : t -> string

@@ -5,8 +5,8 @@
 type 'a cell = { prio : int; seq : int; item : 'a }
 
 type 'a t = {
-  cap : int;
-  heap : 'a cell option array;
+  cap : int;  (* admission bound for [push]; [push_force] may exceed it *)
+  mutable heap : 'a cell option array;
   mutable size : int;
   mutable next_seq : int;
   mutable closed : bool;
@@ -62,16 +62,33 @@ let rec sift_down h size i =
     sift_down h size !best
   end
 
+let push_cell t ~priority item =
+  if t.size >= Array.length t.heap then begin
+    let grown = Array.make (2 * Array.length t.heap) None in
+    Array.blit t.heap 0 grown 0 t.size;
+    t.heap <- grown
+  end;
+  t.heap.(t.size) <- Some { prio = priority; seq = t.next_seq; item };
+  t.next_seq <- t.next_seq + 1;
+  sift_up t.heap t.size;
+  t.size <- t.size + 1;
+  Condition.signal t.c
+
 let push t ~priority item =
   Mutex.lock t.m;
   let ok = (not t.closed) && t.size < t.cap in
-  if ok then begin
-    t.heap.(t.size) <- Some { prio = priority; seq = t.next_seq; item };
-    t.next_seq <- t.next_seq + 1;
-    sift_up t.heap t.size;
-    t.size <- t.size + 1;
-    Condition.signal t.c
-  end;
+  if ok then push_cell t ~priority item;
+  Mutex.unlock t.m;
+  ok
+
+(* Scheduling tokens (one per live session) must never bounce off the
+   admission bound — a bounced token would strand the session's
+   pending ops.  Their population is bounded by the session table, not
+   by [cap], so the heap grows past [cap] when needed. *)
+let push_force t ~priority item =
+  Mutex.lock t.m;
+  let ok = not t.closed in
+  if ok then push_cell t ~priority item;
   Mutex.unlock t.m;
   ok
 

@@ -25,6 +25,13 @@ val length : 'a t -> int
 val push : 'a t -> priority:int -> 'a -> bool
 (** Enqueue; [false] when the queue is full or closed. *)
 
+val push_force : 'a t -> priority:int -> 'a -> bool
+(** Enqueue past the admission bound (the backing heap grows);
+    [false] only when the queue is closed.  Reserved for items whose
+    population is bounded elsewhere — the engine's session scheduling
+    tokens (at most one per live session) — so client-facing
+    backpressure semantics of {!push} are unaffected. *)
+
 val pop : 'a t -> 'a option
 (** Block until an item is available ([Some]) or the queue is closed
     {e and} drained ([None]).  Items still queued at {!close} time are

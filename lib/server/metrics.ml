@@ -8,6 +8,12 @@ type snapshot = {
   rejected : int;
   cache_hits : int;
   dedup_joins : int;
+  session_ops : int;
+  sessions_opened : int;
+  sessions_closed : int;
+  sessions_evicted : int;
+  session_solves : int;
+  sessions_live : int;
   queue_depth : int;
   inflight : int;
   cache_entries : int;
@@ -29,6 +35,11 @@ type t = {
   mutable rejected : int;
   mutable cache_hits : int;
   mutable dedup_joins : int;
+  mutable session_ops : int;
+  mutable sessions_opened : int;
+  mutable sessions_closed : int;
+  mutable sessions_evicted : int;
+  mutable session_solves : int;
   (* Latency ring (seconds): the most recent [ring_capacity]
      request-level latencies, plus a lifetime count and max. *)
   ring : float array;
@@ -49,6 +60,11 @@ let create () =
     rejected = 0;
     cache_hits = 0;
     dedup_joins = 0;
+    session_ops = 0;
+    sessions_opened = 0;
+    sessions_closed = 0;
+    sessions_evicted = 0;
+    session_solves = 0;
     ring = Array.make ring_capacity 0.0;
     ring_len = 0;
     ring_pos = 0;
@@ -78,6 +94,23 @@ let record_cache_hit t ~latency_s =
 let record_dedup_join t =
   locked t (fun () -> t.dedup_joins <- t.dedup_joins + 1)
 
+let record_session_op t =
+  locked t (fun () -> t.session_ops <- t.session_ops + 1)
+
+let record_session_opened t =
+  locked t (fun () -> t.sessions_opened <- t.sessions_opened + 1)
+
+let record_session_closed t =
+  locked t (fun () -> t.sessions_closed <- t.sessions_closed + 1)
+
+let record_session_evicted t =
+  locked t (fun () -> t.sessions_evicted <- t.sessions_evicted + 1)
+
+let record_session_solve t ~latency_s =
+  locked t (fun () ->
+      t.session_solves <- t.session_solves + 1;
+      note_latency t latency_s)
+
 let record_submitted t = locked t (fun () -> t.submitted <- t.submitted + 1)
 
 let record_completed t ~outcome ~latency_s =
@@ -99,7 +132,7 @@ let percentile sorted q =
     let idx = int_of_float (ceil (q *. float_of_int n)) - 1 in
     sorted.(max 0 (min (n - 1) idx))
 
-let snapshot t ~queue_depth ~inflight ~cache_entries =
+let snapshot t ~queue_depth ~inflight ~cache_entries ~sessions_live =
   locked t (fun () ->
       let window = Array.sub t.ring 0 t.ring_len in
       Array.sort compare window;
@@ -113,6 +146,12 @@ let snapshot t ~queue_depth ~inflight ~cache_entries =
         rejected = t.rejected;
         cache_hits = t.cache_hits;
         dedup_joins = t.dedup_joins;
+        session_ops = t.session_ops;
+        sessions_opened = t.sessions_opened;
+        sessions_closed = t.sessions_closed;
+        sessions_evicted = t.sessions_evicted;
+        session_solves = t.session_solves;
+        sessions_live;
         queue_depth;
         inflight;
         cache_entries;
@@ -127,18 +166,24 @@ let to_json (s : snapshot) =
     "{\"submitted\": %d, \"completed\": %d, \"solved_sat\": %d, \
      \"solved_unsat\": %d, \"timeouts\": %d, \"failures\": %d, \
      \"rejected\": %d, \"cache_hits\": %d, \"dedup_joins\": %d, \
+     \"session_ops\": %d, \"sessions_opened\": %d, \
+     \"sessions_closed\": %d, \"sessions_evicted\": %d, \
+     \"session_solves\": %d, \"sessions_live\": %d, \
      \"queue_depth\": %d, \"inflight\": %d, \"cache_entries\": %d, \
      \"latency_count\": %d, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \
      \"max_ms\": %.3f}"
     s.submitted s.completed s.solved_sat s.solved_unsat s.timeouts s.failures
-    s.rejected s.cache_hits s.dedup_joins s.queue_depth s.inflight
-    s.cache_entries s.latency_count s.p50_ms s.p95_ms s.max_ms
+    s.rejected s.cache_hits s.dedup_joins s.session_ops s.sessions_opened
+    s.sessions_closed s.sessions_evicted s.session_solves s.sessions_live
+    s.queue_depth s.inflight s.cache_entries s.latency_count s.p50_ms
+    s.p95_ms s.max_ms
 
 let pp ppf (s : snapshot) =
   Format.fprintf ppf
     "submitted=%d completed=%d sat=%d unsat=%d timeout=%d failed=%d \
-     rejected=%d cache_hits=%d dedup_joins=%d queue=%d inflight=%d \
-     p50=%.1fms p95=%.1fms"
+     rejected=%d cache_hits=%d dedup_joins=%d session_ops=%d \
+     sessions=%d/%d/%d queue=%d inflight=%d p50=%.1fms p95=%.1fms"
     s.submitted s.completed s.solved_sat s.solved_unsat s.timeouts s.failures
-    s.rejected s.cache_hits s.dedup_joins s.queue_depth s.inflight s.p50_ms
+    s.rejected s.cache_hits s.dedup_joins s.session_ops s.sessions_opened
+    s.sessions_closed s.sessions_evicted s.queue_depth s.inflight s.p50_ms
     s.p95_ms

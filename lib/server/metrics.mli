@@ -4,12 +4,16 @@
     they {e reconcile}: every request that enters [submit] ends up in
     exactly one of
 
-    - [rejected]        (queue full / server stopping — never ran),
+    - [rejected]        (queue full / bad deadline / server stopping —
+                         never ran),
     - [cache_hits]      (answered at submit time from the cache),
     - [dedup_joins]     (attached to an in-flight job's future),
-    - [submitted]       (became a new solve job);
+    - [session_ops]     (accepted onto a session's op FIFO),
+    - [submitted]       (became a new one-shot solve job);
 
-    and every submitted job eventually lands in exactly one of
+    so [requests = submitted + cache_hits + dedup_joins + rejected +
+    session_ops] holds exactly, and every submitted job eventually
+    lands in exactly one of
     [solved_sat], [solved_unsat], [timeouts] or [failures], whose sum
     is [completed].  Latencies are request-level (submit to answer),
     kept in a bounded ring of the most recent {!ring_capacity}
@@ -27,6 +31,12 @@ type snapshot = {
   rejected : int;
   cache_hits : int;
   dedup_joins : int;
+  session_ops : int;      (** session operations accepted *)
+  sessions_opened : int;
+  sessions_closed : int;
+  sessions_evicted : int; (** LRU or idle-TTL evictions *)
+  session_solves : int;   (** [Solve] ops that reached the solver *)
+  sessions_live : int;    (** sampled at snapshot time *)
   queue_depth : int;   (** sampled at snapshot time *)
   inflight : int;      (** jobs submitted but not yet completed *)
   cache_entries : int; (** sampled at snapshot time *)
@@ -45,6 +55,18 @@ val record_cache_hit : t -> latency_s:float -> unit
 val record_dedup_join : t -> unit
 val record_submitted : t -> unit
 
+val record_session_op : t -> unit
+(** One session operation accepted onto a session FIFO (or answered
+    immediately for a retired session id). *)
+
+val record_session_opened : t -> unit
+val record_session_closed : t -> unit
+val record_session_evicted : t -> unit
+
+val record_session_solve : t -> latency_s:float -> unit
+(** A session [Solve] op that reached the solver; its latency joins
+    the percentile window. *)
+
 val record_completed :
   t -> outcome:[ `Sat | `Unsat | `Timeout | `Failed ] -> latency_s:float ->
   unit
@@ -55,7 +77,12 @@ val record_join_latency : t -> latency_s:float -> unit
     window, not in [completed]). *)
 
 val snapshot :
-  t -> queue_depth:int -> inflight:int -> cache_entries:int -> snapshot
+  t ->
+  queue_depth:int ->
+  inflight:int ->
+  cache_entries:int ->
+  sessions_live:int ->
+  snapshot
 
 val to_json : snapshot -> string
 (** Single-line JSON object; keys match the snapshot field names. *)

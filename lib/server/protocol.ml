@@ -5,13 +5,31 @@ let default_load path =
          (Aig.Aiger_io.read_file path))
   else Cnf.Dimacs.read_file path
 
+(* The wire takes milliseconds; engine deadlines are seconds from now.
+   This is the only ms→s conversion in the stack — the engine then
+   validates the value and composes the absolute instant, so a NaN or
+   negative wire deadline answers [REJECTED bad-deadline] instead of
+   poisoning the instant arithmetic. *)
+let deadline_of_ms_string d = float_of_string d /. 1000.0
+
 (* Answers print in request order while the engine solves out of
    order: the reader pushes one item per request into this FIFO and a
    printer domain resolves them head-first.  [Stats] and [Sync] are
    barriers by construction — the printer only reaches them after
    every earlier answer is out. *)
 type item =
-  | Answer of { seq : int; file : string; ticket : Engine.ticket }
+  | Answer of {
+      seq : int;
+      file : string;
+      num_vars : int;
+      ticket : Engine.ticket;
+    }
+  | S_answer of {
+      seq : int;
+      sid : int;
+      verb : string;
+      ticket : Session.ticket;
+    }
   | Lines of string list
   | Stats
   | Sync of { m : Mutex.t; c : Condition.t; mutable released : bool }
@@ -38,14 +56,19 @@ let fifo_pop f =
   Mutex.unlock f.m;
   item
 
-let model_line m =
-  let buf = Buffer.create (4 * Array.length m) in
+(* Exactly [num_vars] literals, whatever the model array's length:
+   reconstruction paths may answer with auxiliary variables appended
+   (clamp), and a model shorter than the declared variable count pads
+   with the negative phase — a "v" line is only well-formed when it
+   assigns the declared variables, all of them, and nothing else. *)
+let model_line ~num_vars m =
+  let buf = Buffer.create (4 * num_vars) in
   Buffer.add_char buf 'v';
-  Array.iteri
-    (fun i b ->
-      Buffer.add_char buf ' ';
-      Buffer.add_string buf (string_of_int (if b then i + 1 else -(i + 1))))
-    m;
+  for i = 0 to num_vars - 1 do
+    let b = i < Array.length m && m.(i) in
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (string_of_int (if b then i + 1 else -(i + 1)))
+  done;
   Buffer.add_string buf " 0";
   Buffer.contents buf
 
@@ -54,7 +77,7 @@ let source_name = function
   | Engine.Cache_hit -> "cache"
   | Engine.Dedup_join -> "join"
 
-let print_answer oc ~seq ~file (a : Engine.answer) =
+let print_answer oc ~seq ~file ~num_vars (a : Engine.answer) =
   Printf.fprintf oc
     "c job %d file=%s source=%s wall_ms=%.1f solve_ms=%.1f fingerprint=%s\n"
     seq file (source_name a.Engine.source)
@@ -64,11 +87,38 @@ let print_answer oc ~seq ~file (a : Engine.answer) =
   (match a.Engine.verdict with
    | Engine.Sat m ->
      output_string oc "SAT\n";
-     output_string oc (model_line m);
+     output_string oc (model_line ~num_vars m);
      output_char oc '\n'
    | Engine.Unsat -> output_string oc "UNSAT\n"
    | Engine.Timeout -> output_string oc "TIMEOUT\n"
    | Engine.Failed msg -> Printf.fprintf oc "FAILED %s\n" msg);
+  flush oc
+
+let print_session_answer oc ~seq ~sid ~verb (a : Session.answer) =
+  Printf.fprintf oc "c session %d job %d op=%s wall_ms=%.1f solve_ms=%.1f\n"
+    sid seq verb
+    (1000.0 *. a.Session.wall)
+    (1000.0 *. a.Session.solve_wall);
+  (match a.Session.outcome with
+   | Session.Ok_done -> output_string oc "OK\n"
+   | Session.Sat m ->
+     output_string oc "SAT\n";
+     output_string oc (model_line ~num_vars:(Array.length m) m);
+     output_char oc '\n'
+   | Session.Unsat core ->
+     output_string oc "UNSAT\n";
+     let buf = Buffer.create 32 in
+     Buffer.add_string buf "c core";
+     Array.iter
+       (fun l ->
+         Buffer.add_char buf ' ';
+         Buffer.add_string buf (string_of_int l))
+       core;
+     Buffer.add_string buf " 0\n";
+     output_string oc (Buffer.contents buf)
+   | Session.Timeout -> output_string oc "TIMEOUT\n"
+   | Session.Evicted -> output_string oc "EVICTED\n"
+   | Session.Failed msg -> Printf.fprintf oc "FAILED %s\n" msg);
   flush oc
 
 let printer_loop engine oc fifo () =
@@ -91,11 +141,45 @@ let printer_loop engine oc fifo () =
       Condition.broadcast s.c;
       Mutex.unlock s.m;
       loop ()
-    | Answer { seq; file; ticket } ->
-      print_answer oc ~seq ~file (Engine.await engine ticket);
+    | Answer { seq; file; num_vars; ticket } ->
+      print_answer oc ~seq ~file ~num_vars (Engine.await engine ticket);
+      loop ()
+    | S_answer { seq; sid; verb; ticket } ->
+      print_session_answer oc ~seq ~sid ~verb
+        (Engine.session_await engine ticket);
       loop ()
   in
   loop ()
+
+(* --- request parsing helpers ----------------------------------------- *)
+
+let is_int_string s =
+  s <> "" && String.for_all (fun ch -> ch >= '0' && ch <= '9') s
+
+(* 0-terminated clause groups, DIMACS style: "1 2 0 -1 3 0". *)
+let parse_clauses words =
+  let cur = ref [] and out = ref [] in
+  List.iter
+    (fun w ->
+      let l = int_of_string w in
+      if l = 0 then begin
+        out := Array.of_list (List.rev !cur) :: !out;
+        cur := []
+      end
+      else cur := l :: !cur)
+    words;
+  if !cur <> [] then failwith "clause not 0-terminated";
+  if !out = [] then failwith "no clauses";
+  List.rev !out
+
+(* Assumption literals; one trailing 0 tolerated, embedded 0 is not. *)
+let parse_lits words =
+  let lits = List.map int_of_string words in
+  let lits =
+    match List.rev lits with 0 :: rest -> List.rev rest | _ -> lits
+  in
+  if List.exists (fun l -> l = 0) lits then failwith "literal 0";
+  Array.of_list lits
 
 let serve ?(load = default_load) engine ic oc =
   let fifo = { q = Queue.create (); m = Mutex.create (); c = Condition.create () } in
@@ -109,9 +193,9 @@ let serve ?(load = default_load) engine ic oc =
       let deadline, priority =
         match rest with
         | [] -> (None, None)
-        | [ d ] -> (Some (float_of_string d /. 1000.0), None)
+        | [ d ] -> (Some (deadline_of_ms_string d), None)
         | [ d; p ] ->
-          (Some (float_of_string d /. 1000.0), Some (int_of_string p))
+          (Some (deadline_of_ms_string d), Some (int_of_string p))
         | _ -> failwith "SOLVE takes at most 3 operands"
       in
       match load file with
@@ -123,13 +207,64 @@ let serve ?(load = default_load) engine ic oc =
                  (Printexc.to_string e) ])
       | formula -> (
         match Engine.submit engine ?deadline ?priority formula with
-        | Ok ticket -> fifo_push fifo (Answer { seq = n; file; ticket })
+        | Ok ticket ->
+          fifo_push fifo
+            (Answer
+               { seq = n; file;
+                 num_vars = formula.Cnf.Formula.num_vars; ticket })
         | Error reason ->
           fifo_push fifo
             (Lines
                [ Printf.sprintf "c job %d file=%s" n file;
                  "REJECTED " ^ reason ])))
     | [] -> fifo_push fifo (Lines [ "ERROR SOLVE needs a file operand" ])
+  in
+  let session_header sid n verb =
+    Printf.sprintf "c session %d job %d op=%s" sid n verb
+  in
+  let push_session_result sid verb = function
+    | Ok ticket ->
+      fifo_push fifo (S_answer { seq = !seq; sid; verb; ticket })
+    | Error reason ->
+      fifo_push fifo
+        (Lines [ session_header sid !seq verb; "REJECTED " ^ reason ])
+  in
+  let handle_session_op sid verb op =
+    incr seq;
+    push_session_result sid verb (Engine.session_submit engine sid op)
+  in
+  let handle_session_solve sid rest =
+    incr seq;
+    let deadline =
+      match rest with
+      | [] -> None
+      | [ d ] -> Some (deadline_of_ms_string d)
+      | _ -> failwith "session SOLVE takes at most one deadline operand"
+    in
+    push_session_result sid "solve"
+      (Engine.submit_session_solve engine ?deadline sid)
+  in
+  let handle_open () =
+    incr seq;
+    let n = !seq in
+    match Engine.open_session engine with
+    | Ok sid ->
+      fifo_push fifo
+        (Lines
+           [ Printf.sprintf "c job %d op=open" n;
+             Printf.sprintf "OPENED %d" sid ])
+    | Error reason ->
+      fifo_push fifo
+        (Lines
+           [ Printf.sprintf "c job %d op=open" n; "REJECTED " ^ reason ])
+  in
+  let protected name f =
+    try f ()
+    with e ->
+      fifo_push fifo
+        (Lines
+           [ Printf.sprintf "ERROR bad %s request: %s" name
+               (Printexc.to_string e) ])
   in
   let rec read_loop () =
     match input_line ic with
@@ -145,11 +280,41 @@ let serve ?(load = default_load) engine ic oc =
         match (String.uppercase_ascii cmd, args) with
         | "QUIT", _ -> ()
         | ("C" | "#"), _ -> read_loop ()
+        (* A first SOLVE operand that is all digits addresses a
+           session; a file named like a bare integer needs a path
+           prefix ("./42"). *)
+        | "SOLVE", sid :: rest when is_int_string sid ->
+          protected "SOLVE" (fun () ->
+              handle_session_solve (int_of_string sid) rest);
+          read_loop ()
         | "SOLVE", args ->
-          (try handle_solve args
-           with e ->
-             fifo_push fifo
-               (Lines [ "ERROR bad SOLVE request: " ^ Printexc.to_string e ]));
+          protected "SOLVE" (fun () -> handle_solve args);
+          read_loop ()
+        | "OPEN", _ ->
+          handle_open ();
+          read_loop ()
+        | "ADD", sid :: lits when is_int_string sid ->
+          protected "ADD" (fun () ->
+              handle_session_op (int_of_string sid) "add"
+                (Session.Add (parse_clauses lits)));
+          read_loop ()
+        | "ASSUME", sid :: lits when is_int_string sid ->
+          protected "ASSUME" (fun () ->
+              handle_session_op (int_of_string sid) "assume"
+                (Session.Assume (parse_lits lits)));
+          read_loop ()
+        | "PUSH", [ sid ] when is_int_string sid ->
+          handle_session_op (int_of_string sid) "push" Session.Push;
+          read_loop ()
+        | "POP", [ sid ] when is_int_string sid ->
+          handle_session_op (int_of_string sid) "pop" Session.Pop;
+          read_loop ()
+        | "CLOSE", [ sid ] when is_int_string sid ->
+          handle_session_op (int_of_string sid) "close" Session.Close;
+          read_loop ()
+        | ("ADD" | "ASSUME" | "PUSH" | "POP" | "CLOSE"), _ ->
+          fifo_push fifo
+            (Lines [ "ERROR " ^ cmd ^ " needs a session id operand" ]);
           read_loop ()
         | "STATS", _ ->
           fifo_push fifo Stats;
@@ -177,5 +342,12 @@ let serve ?(load = default_load) engine ic oc =
      command "C" above; '#' likewise — both are accepted silently so
      scripted sessions can annotate themselves. *)
   read_loop ();
+  (* EOF (and QUIT) is an implicit SYNC-and-drain: [Stop] enters the
+     FIFO after every pending answer item, so the printer resolves and
+     prints them all before the join — including the answer to a final
+     command that arrived without a trailing newline, which
+     [input_line] still delivers as a line.  The final flush covers a
+     caller that closes [oc] immediately after [serve] returns. *)
   fifo_push fifo Stop;
-  Domain.join printer
+  Domain.join printer;
+  flush oc

@@ -1,10 +1,11 @@
 (** The `eda4sat serve` wire protocol: a line-oriented request stream
     with pipelined answers.
 
-    {2 Requests} (one per line, whitespace-separated)
+    {2 One-shot requests} (one per line, whitespace-separated)
 
     - [SOLVE <file> [deadline_ms] [prio]] — submit the DIMACS (or
-      [.aag] AIGER) file.  [deadline_ms] bounds the job's wall clock;
+      [.aag] AIGER) file.  [deadline_ms] bounds the job's wall clock
+      (a negative or NaN value answers [REJECTED bad-deadline]);
       [prio] (integer, higher first) orders admission.
     - [STATS] — emit the metrics snapshot as one JSON line, computed
       {e after} every earlier request has been answered.
@@ -12,13 +13,32 @@
       answer has been printed (emits [c sync]).  A scripted session
       uses it to guarantee a later duplicate is a cache hit rather
       than an in-flight join.
-    - [QUIT] — drain pending answers and return (EOF does the same).
+    - [QUIT] — drain pending answers and return.  EOF does the same,
+      including for a final command without a trailing newline.
     - empty lines and lines starting with [c] or [#] are ignored.
+
+    {2 Session requests}
+
+    - [OPEN] — allocate an incremental session; answers [OPENED <sid>]
+      (or [REJECTED] when the session table is full).
+    - [ADD <sid> <lits...>] — append 0-terminated clauses, DIMACS
+      style: [ADD 0 1 2 0 -1 3 0].
+    - [ASSUME <sid> <lits...>] — assumption literals for the next
+      solve of the session (optional trailing 0).
+    - [SOLVE <sid> [deadline_ms]] — solve the session's accumulated
+      clauses under the pending assumptions.  A first operand that is
+      all digits addresses a session; name files with a path prefix
+      ("./42") to disambiguate.
+    - [PUSH <sid>] / [POP <sid>] — open / retire an activation frame
+      (clauses added under the frame retire with it).
+    - [CLOSE <sid>] — close the session; later ops on the id answer
+      [FAILED session closed].
 
     {2 Answers}
 
     Requests are submitted as they are read — the engine solves them
-    concurrently — but answers are printed in request order, each as
+    concurrently — but answers are printed in request order.  One-shot
+    answers are
 
     {[
     c job <seq> file=<file> source=<solved|cache|join> wall_ms=<w> solve_ms=<s> fingerprint=<hex>
@@ -29,11 +49,31 @@
     ERROR <message>
     ]}
 
-    [REJECTED] is the admission-control answer (queue full, server
-    stopping); [ERROR] covers unreadable files and malformed
-    requests.  SAT models are verified by the engine against the
-    submitted formula before being printed — cached answers
+    and session answers
+
+    {[
+    c session <sid> job <seq> op=<verb> wall_ms=<w> solve_ms=<s>
+    OK                          (ADD / ASSUME / PUSH / POP / CLOSE)
+    SAT                         (followed by a "v ... 0" model line)
+    UNSAT                       (followed by "c core <lits> 0", the
+                                 failed-assumption core)
+    TIMEOUT
+    EVICTED                     (the session was LRU/TTL-evicted)
+    FAILED <message>
+    ]}
+
+    [REJECTED] is the admission-control answer (queue full, bad
+    deadline, unknown session, server stopping); [ERROR] covers
+    unreadable files and malformed requests.  SAT models are verified
+    by the engine against the submitted formula (one-shot) or the
+    session's live clauses before being printed — cached answers
     included. *)
+
+val model_line : num_vars:int -> bool array -> string
+(** The DIMACS ["v ... 0"] model line, clamped/padded to exactly
+    [num_vars] literals (missing entries print as the negative
+    phase) — a model array longer or shorter than the formula's
+    declared variable count never produces a malformed line. *)
 
 val serve :
   ?load:(string -> Cnf.Formula.t) ->

@@ -8,4 +8,5 @@ include Engine
 module Job_queue = Job_queue
 module Cache = Cache
 module Metrics = Metrics
+module Session = Session
 module Protocol = Protocol

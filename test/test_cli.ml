@@ -257,9 +257,174 @@ let test_serve_session () =
   check_bool "queue drained" true (g "queue_depth" <= 1);
   check_int "nothing left in flight" 0 (g "inflight")
 
+(* --- serve: incremental session verbs -------------------------------- *)
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | l -> go (l :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let has_sub sub l =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length l && (String.sub l i n = sub || go (i + 1))
+  in
+  go 0
+
+let starts_with p l =
+  String.length l >= String.length p && String.sub l 0 (String.length p) = p
+
+(* Parse a "v 1 -2 3 0" line into a model array and check it against a
+   formula over the same client variables. *)
+let v_line_satisfies f line =
+  let m = Array.make f.Cnf.Formula.num_vars false in
+  String.split_on_char ' ' line
+  |> List.iter (fun tok ->
+         match int_of_string_opt tok with
+         | Some l when l > 0 && l <= f.Cnf.Formula.num_vars ->
+           m.(l - 1) <- true
+         | _ -> ());
+  Cnf.Formula.eval f m
+
+let test_serve_session_verbs () =
+  (* The session's client-side formula: (1|2)(-1|3).  Assuming -2
+     forces 1 and 3; a pushed frame adding -3 makes assumption 1
+     contradictory with core {1}; popping restores satisfiability. *)
+  let base =
+    Cnf.Formula.create ~num_vars:3 [ [| 1; 2 |]; [| -1; 3 |] ]
+  in
+  let script = file "verbs.txt" in
+  let oc = open_out script in
+  output_string oc "OPEN\n";
+  output_string oc "ADD 0 1 2 0 -1 3 0\n";
+  output_string oc "ASSUME 0 -2\n";
+  output_string oc "SOLVE 0\n";
+  output_string oc "PUSH 0\n";
+  output_string oc "ADD 0 -3 0\n";
+  output_string oc "ASSUME 0 1\n";
+  output_string oc "SOLVE 0\n";
+  output_string oc "POP 0\n";
+  output_string oc "SOLVE 0\n";
+  output_string oc "CLOSE 0\n";
+  output_string oc "STATS\n";
+  output_string oc "QUIT\n";
+  close_out oc;
+  let out = file "verbs.out" in
+  check_int "serve exits 0" 0
+    (run_cli ~stdin_file:script ~stdout_file:out
+       [ "serve"; "--workers"; "2"; "--queue"; "64" ]);
+  let lines = read_lines out in
+  (* Strip per-answer headers and the STATS JSON; what remains is the
+     ordered verdict stream, which must match the script exactly. *)
+  let significant =
+    List.filter
+      (fun l ->
+        String.length l > 0
+        && l.[0] <> '{'
+        && (not (starts_with "c job" l))
+        && not (starts_with "c session" l))
+      lines
+  in
+  (match significant with
+   | [ "OPENED 0"; "OK"; "OK"; "SAT"; v1; "OK"; "OK"; "OK"; "UNSAT";
+       core; "OK"; "SAT"; v2; "OK" ] ->
+     check_bool "first model satisfies base" true (v_line_satisfies base v1);
+     check_bool "first model honors assumption -2" true
+       (not (v_line_satisfies (Cnf.Formula.create ~num_vars:3 [ [| 2 |] ]) v1));
+     Alcotest.(check string) "unsat core is the failed assumption"
+       "c core 1 0" core;
+     check_bool "post-pop model satisfies base" true (v_line_satisfies base v2)
+   | ls ->
+     Alcotest.failf "unexpected answer stream (%d lines):\n%s"
+       (List.length ls) (String.concat "\n" ls));
+  let stats_line =
+    match List.filter (has_sub "\"submitted\"") lines with
+    | [ l ] -> l
+    | ls -> Alcotest.failf "expected 1 STATS line, got %d" (List.length ls)
+  in
+  let g k = json_int stats_line k in
+  check_int "ten session ops" 10 (g "session_ops");
+  check_int "one session opened" 1 (g "sessions_opened");
+  check_int "three session solves" 3 (g "session_solves");
+  check_int "no one-shot traffic" 0
+    (g "submitted" + g "cache_hits" + g "dedup_joins" + g "rejected");
+  check_int "requests reconcile: 10 session ops, nothing else" 10
+    (g "submitted" + g "cache_hits" + g "dedup_joins" + g "rejected"
+     + g "session_ops")
+
+(* --- serve: wire deadlines are milliseconds, validated --------------- *)
+
+let test_serve_bad_deadline () =
+  let sat = write_cnf "deadline_sat.cnf" tiny_sat in
+  let script = file "deadline.txt" in
+  let oc = open_out script in
+  (* Negative and NaN deadline_ms must answer REJECTED bad-deadline —
+     a NaN composed into an absolute instant would never fire and the
+     job would hang forever.  The same validation guards the session
+     SOLVE path.  A generous valid deadline still solves. *)
+  output_string oc ("SOLVE " ^ sat ^ " -100\n");
+  output_string oc ("SOLVE " ^ sat ^ " nan\n");
+  output_string oc ("SOLVE " ^ sat ^ " 5000\n");
+  output_string oc "OPEN\n";
+  output_string oc "SOLVE 0 -1\n";
+  output_string oc "SOLVE 0 nan\n";
+  output_string oc "CLOSE 0\n";
+  output_string oc "STATS\n";
+  output_string oc "QUIT\n";
+  close_out oc;
+  let out = file "deadline.out" in
+  check_int "serve exits 0" 0
+    (run_cli ~stdin_file:script ~stdout_file:out
+       [ "serve"; "--workers"; "1"; "--queue"; "16" ]);
+  let lines = read_lines out in
+  let count p = List.length (List.filter p lines) in
+  check_int "four bad deadlines rejected" 4
+    (count (has_sub "REJECTED bad-deadline"));
+  check_int "valid deadline still solves" 1 (count (fun l -> l = "SAT"));
+  let stats_line =
+    match List.filter (has_sub "\"submitted\"") lines with
+    | [ l ] -> l
+    | ls -> Alcotest.failf "expected 1 STATS line, got %d" (List.length ls)
+  in
+  let g k = json_int stats_line k in
+  check_int "rejections counted" 4 (g "rejected");
+  check_int "one job submitted" 1 (g "submitted");
+  check_int "close counted as a session op" 1 (g "session_ops")
+
+(* --- serve: EOF is an implicit SYNC-and-drain ------------------------ *)
+
+let test_serve_eof_drain () =
+  let sat = write_cnf "eof_sat.cnf" tiny_sat in
+  let unsat = write_cnf "eof_unsat.cnf" tiny_unsat in
+  let script = file "eof.txt" in
+  let oc = open_out script in
+  (* No QUIT, and the final command has no trailing newline: EOF must
+     still drain and print every answer before the process exits. *)
+  output_string oc ("SOLVE " ^ sat ^ "\n");
+  output_string oc ("SOLVE " ^ unsat);
+  close_out oc;
+  let out = file "eof.out" in
+  check_int "serve exits 0" 0
+    (run_cli ~stdin_file:script ~stdout_file:out
+       [ "serve"; "--workers"; "1"; "--queue"; "16" ]);
+  let lines = read_lines out in
+  let count p = List.length (List.filter p lines) in
+  check_int "both answers printed" 2 (count (has_sub "c job "));
+  check_int "SAT answer present" 1 (count (fun l -> l = "SAT"));
+  check_int "UNSAT answer not lost at EOF" 1 (count (fun l -> l = "UNSAT"))
+
 let suite =
   [
     ("solve exit codes", `Quick, test_solve_exit_codes);
     ("portfolio exit codes", `Quick, test_portfolio_exit_codes);
     ("serve e2e session", `Quick, test_serve_session);
+    ("serve session verbs", `Quick, test_serve_session_verbs);
+    ("serve bad deadline rejected", `Quick, test_serve_bad_deadline);
+    ("serve eof drains answers", `Quick, test_serve_eof_drain);
   ]

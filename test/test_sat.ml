@@ -712,6 +712,42 @@ let test_incremental_proof_across_calls () =
    | _ -> Alcotest.fail "php(4,3) unsat once complete");
   check_bool "cross-call proof validates" true (Sat.Proof.check f proof)
 
+let test_incremental_sealed_proof_reuse () =
+  (* A recorder sealed by a refutation must stay exactly that checkable
+     refutation when sessions keep solving with it — reuse must not
+     append steps past the seal. *)
+  let f = pigeonhole ~pigeons:5 ~holes:4 in
+  let s = Sat.Solver.Incremental.create () in
+  Sat.Solver.Incremental.add_formula s f;
+  let proof = Sat.Proof.create () in
+  (match fst (Sat.Solver.Incremental.solve ~proof s) with
+   | Sat.Solver.Unsat -> ()
+   | _ -> Alcotest.fail "php(5,4) unsat");
+  check_bool "proof sealed by the refutation" true (Sat.Proof.sealed proof);
+  check_bool "sealed proof validates" true (Sat.Proof.check f proof);
+  let steps = Sat.Proof.num_steps proof in
+  (* Solve again on the (now broken) session with the same recorder:
+     the re-seal is a no-op. *)
+  (match fst (Sat.Solver.Incremental.solve ~proof s) with
+   | Sat.Solver.Unsat -> ()
+   | _ -> Alcotest.fail "a broken session answers Unsat forever");
+  check "no steps appended on reuse" steps (Sat.Proof.num_steps proof);
+  check_bool "still validates after reuse" true (Sat.Proof.check f proof);
+  (* A fresh, healthy session handed the already-sealed recorder must
+     leave it untouched too: logging is disabled for that call rather
+     than silently interleaving a second derivation. *)
+  let s2 = Sat.Solver.Incremental.create () in
+  List.iter
+    (Sat.Solver.Incremental.add_clause s2)
+    [ [| 1; 2 |]; [| -1; 2 |]; [| 1; -2 |]; [| -1; -2 |] ];
+  (match fst (Sat.Solver.Incremental.solve ~proof s2) with
+   | Sat.Solver.Unsat -> ()
+   | _ -> Alcotest.fail "contradictory binaries unsat");
+  check "sealed recorder untouched by a later session" steps
+    (Sat.Proof.num_steps proof);
+  check_bool "the original refutation still validates" true
+    (Sat.Proof.check f proof)
+
 let test_glucose_restarts () =
   (match
      fst (Sat.Solver.solve ~restarts:`Glucose (pigeonhole ~pigeons:7 ~holes:6))
@@ -817,6 +853,8 @@ let suite =
       ("incremental drat proof", `Quick, test_incremental_proof_logged);
       ("incremental drat proof across calls", `Quick,
        test_incremental_proof_across_calls);
+      ("incremental sealed drat proof on reuse", `Quick,
+       test_incremental_sealed_proof_reuse);
       ("glucose restarts", `Quick, test_glucose_restarts);
     ]
 

@@ -6,7 +6,8 @@
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
-let config ?(workers = 2) ?(queue = 64) ?(cache = 64) () =
+let config ?(workers = 2) ?(queue = 64) ?(cache = 64) ?(sessions = 64)
+    ?session_ttl () =
   {
     Server.workers;
     queue_capacity = queue;
@@ -14,10 +15,16 @@ let config ?(workers = 2) ?(queue = 64) ?(cache = 64) () =
     mode = Server.Direct;
     limits = Sat.Solver.no_limits;
     default_deadline = None;
+    session_capacity = sessions;
+    session_ttl;
   }
 
-let with_engine ?workers ?queue ?cache f =
-  let e = Server.create ~config:(config ?workers ?queue ?cache ()) () in
+let with_engine ?workers ?queue ?cache ?sessions ?session_ttl f =
+  let e =
+    Server.create
+      ~config:(config ?workers ?queue ?cache ?sessions ?session_ttl ())
+      ()
+  in
   Fun.protect ~finally:(fun () -> Server.shutdown e) (fun () -> f e)
 
 let submit_ok e ?deadline ?priority f =
@@ -215,6 +222,393 @@ let test_concurrent_fuzz () =
       check_bool "cache or dedup observed" true
         (s.Server.Metrics.cache_hits + s.Server.Metrics.dedup_joins > 0))
 
+(* --- sessions -------------------------------------------------------- *)
+
+let session_ok = function
+  | Ok (a : Server.Session.answer) -> a
+  | Error r -> Alcotest.failf "session op rejected: %s" r
+
+let open_ok e =
+  match Server.open_session e with
+  | Ok sid -> sid
+  | Error r -> Alcotest.failf "open_session rejected: %s" r
+
+let outcome_name = function
+  | Server.Session.Ok_done -> "OK"
+  | Server.Session.Sat _ -> "SAT"
+  | Server.Session.Unsat _ -> "UNSAT"
+  | Server.Session.Timeout -> "TIMEOUT"
+  | Server.Session.Evicted -> "EVICTED"
+  | Server.Session.Failed m -> "FAILED " ^ m
+
+(* Pad/clamp a session model (client variables in first-use order) to
+   a formula's declared width; unconstrained variables are free. *)
+let fit_model ~num_vars m =
+  Array.init num_vars (fun i -> i < Array.length m && m.(i))
+
+(* A Close answer resolves before the worker retires the session from
+   the engine table, so lifecycle counters may trail the awaited
+   answer by a scheduler beat — poll briefly before asserting. *)
+let await_counter name get expected =
+  let tries = ref 300 in
+  while get () <> expected && !tries > 0 do
+    decr tries;
+    Unix.sleepf 0.005
+  done;
+  check_int name expected (get ())
+
+let test_session_basics () =
+  with_engine (fun e ->
+      let sid = open_ok e in
+      (match
+         (session_ok (Server.session_add e sid [ [| 1; 2 |]; [| -1; 3 |] ]))
+           .Server.Session.outcome
+       with
+       | Server.Session.Ok_done -> ()
+       | o -> Alcotest.failf "ADD answered %s" (outcome_name o));
+      (match
+         (session_ok (Server.solve_session e sid)).Server.Session.outcome
+       with
+       | Server.Session.Sat m ->
+         check_int "model covers the client variables" 3 (Array.length m);
+         check_bool "satisfies 1|2" true (m.(0) || m.(1));
+         check_bool "satisfies -1|3" true ((not m.(0)) || m.(2))
+       | o -> Alcotest.failf "SOLVE answered %s" (outcome_name o));
+      ignore (session_ok (Server.session_add e sid [ [| -2 |] ]));
+      (* (1|2)(-1|3)(-2) under assumption -1: 2 is forced, conflict —
+         the failed-assumption core must name client literals only. *)
+      (match
+         (session_ok (Server.solve_session e ~assumptions:[| -1; -3 |] sid))
+           .Server.Session.outcome
+       with
+       | Server.Session.Unsat core ->
+         check_bool "core nonempty" true (Array.length core >= 1);
+         check_bool "core drawn from the assumptions" true
+           (Array.for_all (fun l -> l = -1 || l = -3) core)
+       | o -> Alcotest.failf "assumed SOLVE answered %s" (outcome_name o));
+      (* IPASIR: assumptions cleared once the solve answered. *)
+      (match
+         (session_ok (Server.solve_session e sid)).Server.Session.outcome
+       with
+       | Server.Session.Sat _ -> ()
+       | o -> Alcotest.failf "post-assumption SOLVE answered %s"
+                (outcome_name o));
+      (match
+         (session_ok (Server.close_session e sid)).Server.Session.outcome
+       with
+       | Server.Session.Ok_done -> ()
+       | o -> Alcotest.failf "CLOSE answered %s" (outcome_name o));
+      (match
+         (session_ok (Server.session_push e sid)).Server.Session.outcome
+       with
+       | Server.Session.Failed _ -> ()
+       | o -> Alcotest.failf "op on a closed session answered %s"
+                (outcome_name o));
+      check_int "opens counted" 1
+        (Server.stats e).Server.Metrics.sessions_opened;
+      await_counter "closes counted"
+        (fun () -> (Server.stats e).Server.Metrics.sessions_closed)
+        1;
+      (* add, solve, add, (assume + solve), solve, close, push: 8 ops *)
+      check_int "session ops counted" 8
+        (Server.stats e).Server.Metrics.session_ops;
+      check_int "session solves counted" 3
+        (Server.stats e).Server.Metrics.session_solves)
+
+let test_session_push_pop () =
+  with_engine (fun e ->
+      let sid = open_ok e in
+      ignore (session_ok (Server.session_add e sid [ [| 1; 2 |] ]));
+      ignore (session_ok (Server.session_push e sid));
+      ignore (session_ok (Server.session_add e sid [ [| -1 |]; [| -2 |] ]));
+      (match
+         (session_ok (Server.solve_session e sid)).Server.Session.outcome
+       with
+       | Server.Session.Unsat core ->
+         (* The conflict is carried by the frame's activation literal,
+            which is not client-visible: the reported core is empty. *)
+         check_int "activation-only core filtered" 0 (Array.length core)
+       | o -> Alcotest.failf "framed SOLVE answered %s" (outcome_name o));
+      ignore (session_ok (Server.session_pop e sid));
+      (match
+         (session_ok (Server.solve_session e sid)).Server.Session.outcome
+       with
+       | Server.Session.Sat m ->
+         check_bool "base clause satisfied" true (m.(0) || m.(1))
+       | o -> Alcotest.failf "post-POP SOLVE answered %s" (outcome_name o));
+      match (session_ok (Server.session_pop e sid)).Server.Session.outcome
+      with
+      | Server.Session.Failed _ -> ()
+      | o -> Alcotest.failf "unmatched POP answered %s" (outcome_name o))
+
+let test_session_eviction_lru () =
+  with_engine ~sessions:2 (fun e ->
+      let s0 = open_ok e in
+      let s1 = open_ok e in
+      ignore (session_ok (Server.session_add e s1 [ [| 1 |] ]));
+      (* Table full, both idle: the third OPEN evicts s0 (LRU). *)
+      let s2 = open_ok e in
+      (match
+         (session_ok (Server.session_push e s0)).Server.Session.outcome
+       with
+       | Server.Session.Evicted -> ()
+       | o -> Alcotest.failf "op on the evicted session answered %s"
+                (outcome_name o));
+      (* The survivors still work. *)
+      (match
+         (session_ok (Server.solve_session e s1)).Server.Session.outcome
+       with
+       | Server.Session.Sat _ -> ()
+       | o -> Alcotest.failf "s1 SOLVE answered %s" (outcome_name o));
+      ignore (session_ok (Server.session_add e s2 [ [| -1 |] ]));
+      let s = Server.stats e in
+      check_int "one eviction" 1 s.Server.Metrics.sessions_evicted;
+      check_int "two live sessions" 2 s.Server.Metrics.sessions_live)
+
+let test_session_table_full_when_busy () =
+  with_engine ~workers:1 ~sessions:1 (fun e ->
+      let s0 = open_ok e in
+      ignore
+        (session_ok
+           (Server.session_add e s0
+              (Array.to_list (php 11).Cnf.Formula.clauses)));
+      (* Queue a long solve without awaiting: the session is no longer
+         idle, so it is not an eviction victim and OPEN must reject. *)
+      (match
+         Server.session_submit e s0
+           (Server.Session.Solve { deadline = None })
+       with
+       | Ok _ -> ()
+       | Error r -> Alcotest.failf "solve submit rejected: %s" r);
+      (match Server.open_session e with
+       | Error _ -> ()
+       | Ok _ -> Alcotest.fail "OPEN found a victim in a busy table");
+      check_int "the refusal is a rejection" 1
+        (Server.stats e).Server.Metrics.rejected)
+  (* with_engine's finally shuts down mid-solve: the interrupt path
+     for a running session op. *)
+
+let test_session_ttl_eviction () =
+  with_engine ~session_ttl:0.05 (fun e ->
+      let sid = open_ok e in
+      Unix.sleepf 0.3;
+      (match
+         (session_ok (Server.session_add e sid [ [| 1 |] ]))
+           .Server.Session.outcome
+       with
+       | Server.Session.Evicted -> ()
+       | o -> Alcotest.failf "op after the TTL answered %s"
+                (outcome_name o));
+      let s = Server.stats e in
+      check_int "TTL eviction counted" 1 s.Server.Metrics.sessions_evicted;
+      check_int "no live sessions" 0 s.Server.Metrics.sessions_live)
+
+let test_session_deadline_interrupt () =
+  with_engine ~workers:1 (fun e ->
+      let sid = open_ok e in
+      ignore (session_ok (Server.session_push e sid));
+      ignore
+        (session_ok
+           (Server.session_add e sid
+              (Array.to_list (php 11).Cnf.Formula.clauses)));
+      let t0 = Unix.gettimeofday () in
+      (match
+         (session_ok (Server.solve_session e ~deadline:0.15 sid))
+           .Server.Session.outcome
+       with
+       | Server.Session.Timeout ->
+         let took = Unix.gettimeofday () -. t0 in
+         check_bool
+           (Printf.sprintf "answered near the deadline (%.2fs)" took)
+           true (took < 5.0)
+       | o -> Alcotest.failf "php(11,10) in 150ms answered %s"
+                (outcome_name o));
+      (* The interrupted session stays usable: retire the frame and
+         the remaining (empty) problem is satisfiable. *)
+      ignore (session_ok (Server.session_pop e sid));
+      match
+        (session_ok (Server.solve_session e sid)).Server.Session.outcome
+      with
+      | Server.Session.Sat _ -> ()
+      | o -> Alcotest.failf "post-interrupt SOLVE answered %s"
+               (outcome_name o))
+
+let test_bad_deadline_rejected () =
+  with_engine (fun e ->
+      let f = Cnf.Formula.create ~num_vars:1 [ [| 1 |] ] in
+      let expect_bad = function
+        | Error "bad-deadline" -> ()
+        | Error r -> Alcotest.failf "expected bad-deadline, got %s" r
+        | Ok _ -> Alcotest.fail "invalid deadline was accepted"
+      in
+      (match Server.submit e ~deadline:Float.nan f with
+       | Ok _ -> Alcotest.fail "NaN deadline was accepted"
+       | Error r -> Alcotest.(check string) "NaN rejected" "bad-deadline" r);
+      (match Server.submit e ~deadline:(-0.5) f with
+       | Ok _ -> Alcotest.fail "negative deadline was accepted"
+       | Error r ->
+         Alcotest.(check string) "negative rejected" "bad-deadline" r);
+      let sid = open_ok e in
+      expect_bad
+        (Result.map (fun (_ : Server.Session.answer) -> ())
+           (Server.solve_session e ~deadline:Float.nan sid));
+      expect_bad
+        (Result.map
+           (fun (_ : Server.Session.ticket) -> ())
+           (Server.submit_session_solve e ~deadline:Float.neg_infinity sid));
+      check_int "all four rejections counted" 4
+        (Server.stats e).Server.Metrics.rejected;
+      (* A generous but valid deadline still solves. *)
+      match Server.solve e ~deadline:5.0 f with
+      | Ok { Server.verdict = Server.Sat _; _ } -> ()
+      | _ -> Alcotest.fail "valid deadline must solve")
+
+let test_model_line_clamps () =
+  Alcotest.(check string) "clamps extra entries" "v 1 -2 3 0"
+    (Server.Protocol.model_line ~num_vars:3
+       [| true; false; true; true; false |]);
+  Alcotest.(check string) "pads missing entries negative" "v 1 -2 -3 0"
+    (Server.Protocol.model_line ~num_vars:3 [| true |]);
+  Alcotest.(check string) "exact width unchanged" "v -1 2 0"
+    (Server.Protocol.model_line ~num_vars:2 [| false; true |]);
+  Alcotest.(check string) "no variables" "v 0"
+    (Server.Protocol.model_line ~num_vars:0 [||])
+
+let test_session_fuzz () =
+  (* 4 domains × (one-shot + framed session round) against brute
+     force, over a 3-session table so concurrent OPENs LRU-evict
+     idle sessions out from under their owners (an owner that finds
+     its session evicted reopens and carries on).  Every engine
+     request is counted at the call site, so the reconciliation
+     invariant (requests = submitted + cache_hits + dedup_joins +
+     rejected + session_ops) is checked exactly. *)
+  with_engine ~workers:3 ~queue:256 ~sessions:3 (fun e ->
+      let n_domains = 4 and per_domain = 6 in
+      let failures = Atomic.make 0 in
+      let oneshots = Atomic.make 0 in
+      let session_ops = Atomic.make 0 in
+      let opens = Atomic.make 0 in
+      let open_rejects = Atomic.make 0 in
+      let complain fmt =
+        Printf.ksprintf
+          (fun msg ->
+            Atomic.incr failures;
+            print_endline ("session fuzz: " ^ msg))
+          fmt
+      in
+      (* All three table slots can be momentarily busy (four domains):
+         a rejected OPEN counts toward [rejected] and is retried. *)
+      let rec open_counted () =
+        match Server.open_session e with
+        | Ok sid ->
+          Atomic.incr opens;
+          sid
+        | Error _ ->
+          Atomic.incr open_rejects;
+          Unix.sleepf 0.002;
+          open_counted ()
+      in
+      let sop sid op =
+        Atomic.incr session_ops;
+        match Server.session_submit e sid op with
+        | Ok ticket -> Server.session_await e ticket
+        | Error r -> Alcotest.failf "session op rejected: %s" r
+      in
+      let worker d () =
+        let rng = Aig.Rng.create (0x5e5510 + d) in
+        let sid = ref (open_counted ()) in
+        for i = 1 to per_domain do
+          let f = random_formula rng in
+          let expected = brute_force_sat f in
+          Atomic.incr oneshots;
+          (match Server.solve e f with
+           | Ok a -> (
+             match a.Server.verdict with
+             | Server.Sat m ->
+               if not (Cnf.Formula.eval f m) then
+                 complain "domain %d case %d: bad one-shot model" d i
+             | Server.Unsat ->
+               if expected then
+                 complain "domain %d case %d: wrong one-shot UNSAT" d i
+             | Server.Timeout | Server.Failed _ ->
+               complain "domain %d case %d: one-shot non-answer" d i)
+           | Error r ->
+             complain "domain %d case %d: one-shot rejected: %s" d i r);
+          (* Mirror the same formula in the session, under a frame so
+             the session resets between rounds.  [finish] reopens
+             after an eviction and replays the round. *)
+          let rec session_round attempts =
+            if attempts > 3 then
+              complain "domain %d case %d: evicted repeatedly" d i
+            else begin
+              let evicted = ref false in
+              let step op =
+                if not !evicted then begin
+                  let a = sop !sid op in
+                  match a.Server.Session.outcome with
+                  | Server.Session.Evicted -> evicted := true; None
+                  | o -> Some o
+                end
+                else None
+              in
+              ignore (step Server.Session.Push);
+              ignore
+                (step
+                   (Server.Session.Add
+                      (Array.to_list f.Cnf.Formula.clauses)));
+              (match step (Server.Session.Solve { deadline = None }) with
+               | Some (Server.Session.Sat m) ->
+                 if not expected then
+                   complain "domain %d case %d: session SAT vs UNSAT" d i
+                 else if
+                   not
+                     (Cnf.Formula.eval f
+                        (fit_model ~num_vars:f.Cnf.Formula.num_vars m))
+                 then complain "domain %d case %d: bad session model" d i
+               | Some (Server.Session.Unsat _) ->
+                 if expected then
+                   complain "domain %d case %d: session UNSAT vs SAT" d i
+               | Some o ->
+                 complain "domain %d case %d: session answered %s" d i
+                   (outcome_name o)
+               | None -> ());
+              ignore (step Server.Session.Pop);
+              if !evicted then begin
+                sid := open_counted ();
+                session_round (attempts + 1)
+              end
+            end
+          in
+          session_round 0
+        done;
+        ignore (sop !sid Server.Session.Close)
+      in
+      let ds = List.init n_domains (fun d -> Domain.spawn (worker d)) in
+      List.iter Domain.join ds;
+      check_int "no failures" 0 (Atomic.get failures);
+      (* Close retirements land asynchronously; wait for every opened
+         session to reach a terminal state before reconciling. *)
+      await_counter "every session accounted"
+        (fun () ->
+          let s = Server.stats e in
+          s.Server.Metrics.sessions_closed
+          + s.Server.Metrics.sessions_evicted)
+        (Atomic.get opens);
+      let s = Server.stats e in
+      check_int "no sessions left live" 0 s.Server.Metrics.sessions_live;
+      check_int "session ops reconcile exactly" (Atomic.get session_ops)
+        s.Server.Metrics.session_ops;
+      check_int "requests reconcile exactly"
+        (Atomic.get oneshots + Atomic.get session_ops
+        + Atomic.get open_rejects)
+        (s.Server.Metrics.submitted + s.Server.Metrics.cache_hits
+        + s.Server.Metrics.dedup_joins + s.Server.Metrics.rejected
+        + s.Server.Metrics.session_ops);
+      check_int "opens reconcile" (Atomic.get opens)
+        s.Server.Metrics.sessions_opened;
+      check_int "every job completed" s.Server.Metrics.submitted
+        s.Server.Metrics.completed)
+
 (* --- job queue ------------------------------------------------------- *)
 
 let test_job_queue_ordering () =
@@ -248,4 +642,13 @@ let suite =
     ("concurrent submit/await fuzz", `Quick, test_concurrent_fuzz);
     ("job queue ordering", `Quick, test_job_queue_ordering);
     ("job queue backpressure", `Quick, test_job_queue_backpressure);
+    ("session basics", `Quick, test_session_basics);
+    ("session push/pop", `Quick, test_session_push_pop);
+    ("session LRU eviction", `Quick, test_session_eviction_lru);
+    ("session table full when busy", `Quick, test_session_table_full_when_busy);
+    ("session TTL eviction", `Quick, test_session_ttl_eviction);
+    ("session deadline interrupt", `Quick, test_session_deadline_interrupt);
+    ("bad deadline rejected", `Quick, test_bad_deadline_rejected);
+    ("model line clamps/pads", `Quick, test_model_line_clamps);
+    ("concurrent session fuzz", `Quick, test_session_fuzz);
   ]
