@@ -313,9 +313,26 @@ let portfolio_cmd =
 
 (* --- serve ------------------------------------------------------------ *)
 
+(* "HOST:PORT" (":PORT" and "PORT" bind every interface). *)
+let parse_listen spec =
+  match String.rindex_opt spec ':' with
+  | None -> (
+    match int_of_string_opt spec with
+    | Some port -> ("0.0.0.0", port)
+    | None -> failwith ("bad --listen " ^ spec ^ ": expected HOST:PORT"))
+  | Some i -> (
+    let host = String.sub spec 0 i in
+    let host = if host = "" then "0.0.0.0" else host in
+    match
+      int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1))
+    with
+    | Some port -> (host, port)
+    | None -> failwith ("bad --listen " ^ spec ^ ": expected HOST:PORT"))
+
 let serve_cmd =
   let run verbose workers queue cache mode jobs share_lbd timeout deadline_ms
-      sessions session_ttl_ms =
+      sessions session_ttl_ms listen unix_path stdio max_clients conn_buffer
+      quota priority_floor tenant_specs =
     setup_logs verbose;
     let mode =
       match mode with
@@ -339,10 +356,48 @@ let serve_cmd =
            | ttl -> Option.map (fun ms -> ms /. 1000.0) ttl);
       }
     in
+    let tenant_limits =
+      List.map
+        (fun spec ->
+          match Net.Tenant.parse_spec spec with
+          | Ok x -> x
+          | Error msg -> failwith msg)
+        tenant_specs
+    in
+    let net_config =
+      {
+        Net.Event_loop.default_config with
+        max_clients;
+        conn_buffer;
+        default_limits = { Net.Tenant.quota; priority_floor };
+        tenant_limits;
+      }
+    in
     let engine = Server.create ~config () in
     Fun.protect
       ~finally:(fun () -> Server.shutdown engine)
-      (fun () -> Server.Protocol.serve engine stdin stdout);
+      (fun () ->
+        let loop = Net.Event_loop.create ~config:net_config engine in
+        (match listen with
+         | Some spec ->
+           let host, port = parse_listen spec in
+           let host, port = Net.Event_loop.add_tcp loop ~host ~port in
+           Printf.printf "c listening on %s:%d\n%!" host port
+         | None -> ());
+        (match unix_path with
+         | Some path ->
+           Net.Event_loop.add_unix loop path;
+           Printf.printf "c listening on unix:%s\n%!" path
+         | None -> ());
+        if stdio || (listen = None && unix_path = None) then
+          Net.Event_loop.add_stdio loop;
+        (* A client that vanishes mid-write must look like EPIPE on the
+           loop's non-blocking write, never kill the process. *)
+        Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+        let drain _ = Net.Event_loop.request_drain loop in
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
+        Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
+        Net.Event_loop.run loop);
     0
   in
   let workers =
@@ -392,16 +447,71 @@ let serve_cmd =
          & info [ "session-ttl-ms" ] ~docv:"MS"
              ~doc:"Evict sessions idle this long (0 disables).")
   in
+  let listen =
+    Arg.(value & opt (some string) None
+         & info [ "listen" ] ~docv:"HOST:PORT"
+             ~doc:"Accept TCP connections on HOST:PORT (port 0 picks a \
+                   free port; the bound address is announced as 'c \
+                   listening on HOST:PORT').")
+  in
+  let unix_path =
+    Arg.(value & opt (some string) None
+         & info [ "unix" ] ~docv:"PATH"
+             ~doc:"Accept connections on a Unix-domain socket at PATH.")
+  in
+  let stdio =
+    Arg.(value & flag
+         & info [ "stdio" ]
+             ~doc:"Also serve stdin/stdout as one more connection \
+                   (implied when neither --listen nor --unix is \
+                   given).")
+  in
+  let max_clients =
+    Arg.(value & opt int 256
+         & info [ "max-clients" ] ~docv:"N"
+             ~doc:"Concurrent connections; further accepts answer \
+                   REJECTED overloaded and close.")
+  in
+  let conn_buffer =
+    Arg.(value & opt int (4 * 1024 * 1024)
+         & info [ "conn-buffer" ] ~docv:"BYTES"
+             ~doc:"Per-connection write-buffer bound.  Past half of it \
+                   new commands are REJECTED overloaded; past all of \
+                   it the slow client is disconnected.")
+  in
+  let quota =
+    Arg.(value & opt int 0
+         & info [ "quota" ] ~docv:"N"
+             ~doc:"Default per-client in-flight command quota (0 = \
+                   unlimited); commands past it answer REJECTED \
+                   quota.")
+  in
+  let priority_floor =
+    Arg.(value & opt int 0
+         & info [ "priority-floor" ] ~docv:"P"
+             ~doc:"Minimum effective priority of every submitted job.")
+  in
+  let tenant_specs =
+    Arg.(value & opt_all string []
+         & info [ "tenant" ] ~docv:"NAME=QUOTA[:FLOOR]"
+             ~doc:"Per-client override of quota and priority floor \
+                   (repeatable); clients declare themselves with the \
+                   CLIENT verb.")
+  in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Run the concurrent solve service on stdin/stdout: SOLVE \
-             <file> [deadline_ms] [prio] per line, plus incremental \
-             sessions (OPEN, then ADD/ASSUME/SOLVE/PUSH/POP/CLOSE \
-             <sid>); answers carry a cache/dedup source tag; STATS \
-             prints a metrics JSON line.")
+       ~doc:"Run the concurrent solve service over stdin/stdout, TCP \
+             (--listen) and Unix-domain sockets (--unix): SOLVE <file> \
+             [deadline_ms] [prio] per line, plus incremental sessions \
+             (OPEN, then ADD/ASSUME/SOLVE/PUSH/POP/CLOSE <sid>), \
+             PING/METRICS health probes and per-client quotas (CLIENT \
+             <name>, --quota, --tenant); answers carry a cache/dedup \
+             source tag; STATS prints a metrics JSON line; SIGTERM \
+             drains gracefully.")
     Term.(const run $ verbose_arg $ workers $ queue $ cache $ mode $ jobs
           $ share_lbd $ timeout_arg $ deadline_ms $ sessions
-          $ session_ttl_ms)
+          $ session_ttl_ms $ listen $ unix_path $ stdio $ max_clients
+          $ conn_buffer $ quota $ priority_floor $ tenant_specs)
 
 (* --- preprocess ------------------------------------------------------ *)
 

@@ -1,0 +1,86 @@
+type pending = { mutable lines : string list option }
+
+type item =
+  | Lines of string list
+  | Pending of pending
+  | Stats_here
+  | Sync_here
+
+type t = {
+  id : int;
+  fd_in : Unix.file_descr;
+  fd_out : Unix.file_descr;
+  owns_fds : bool;
+  peer : string;
+  framing : Framing.t;
+  items : item Queue.t;
+  mutable lines_pending : string list;
+  mutable blocked : bool;
+  mutable eof : bool;
+  mutable closed : bool;
+  out : Buffer.t;
+  mutable out_off : int;
+  max_out : int;
+  mutable tenant : Tenant.tenant;
+  mutable seq : int;
+}
+
+let create ~id ~fd_in ~fd_out ~owns_fds ~peer ~max_out ~max_line ~tenant =
+  {
+    id;
+    fd_in;
+    fd_out;
+    owns_fds;
+    peer;
+    framing = Framing.create ~max_line ();
+    items = Queue.create ();
+    lines_pending = [];
+    blocked = false;
+    eof = false;
+    closed = false;
+    out = Buffer.create 4096;
+    out_off = 0;
+    max_out;
+    tenant;
+    seq = 0;
+  }
+
+let pending_out t = Buffer.length t.out - t.out_off
+
+let compact t =
+  if t.out_off >= Buffer.length t.out then begin
+    Buffer.clear t.out;
+    t.out_off <- 0
+  end
+
+let append_lines t lines =
+  List.iter
+    (fun l ->
+      Buffer.add_string t.out l;
+      Buffer.add_char t.out '\n')
+    lines
+
+(* Write as much of the out buffer as the kernel will take without
+   blocking.  [`Peer_gone] covers EPIPE/ECONNRESET — the caller must
+   drop the connection; EAGAIN just leaves the rest for the next
+   writable event. *)
+let rec try_write t =
+  let len = pending_out t in
+  if len <= 0 then begin
+    compact t;
+    `Ok
+  end
+  else
+    let chunk = min len 65536 in
+    let s = Buffer.sub t.out t.out_off chunk in
+    match Unix.write_substring t.fd_out s 0 chunk with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      `Ok
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> try_write t
+    | exception Unix.Unix_error (_, _, _) -> `Peer_gone
+    | n ->
+      t.out_off <- t.out_off + n;
+      if n < chunk then `Ok else try_write t
+
+let overloaded t = t.max_out > 0 && pending_out t > t.max_out / 2
+let over_hard_limit t = t.max_out > 0 && pending_out t > t.max_out

@@ -1,0 +1,94 @@
+(** The socket front-end: one single-threaded [Unix.select] event
+    loop multiplexing many concurrent TCP / Unix-domain / stdio
+    connections over one shared {!Server} engine.
+
+    {2 Architecture}
+
+    The loop owns every connection ({!Conn.t}): it accepts, reads,
+    frames ({!Framing}), parses ({!Server.Protocol.parse_request}),
+    dispatches to the engine, renders answers and writes — all on one
+    thread, so no per-connection state needs locking.  Solves
+    themselves run on the engine's worker domains; completion flows
+    back through {!Server.on_answer} / {!Server.Session.on_answer}
+    callbacks that fill the connection's pending answer slot under the
+    loop's completion mutex and wake the loop through a self-pipe.
+    The loop never blocks on the engine and never blocks on a client:
+    reads and writes are non-blocking, answers buffer per connection
+    (bounded), and a slow client is first refused new work
+    ([REJECTED overloaded] past half its buffer bound) and then
+    disconnected (past the full bound).
+
+    Each client observes its own answers in submission order —
+    {!Conn.item} FIFOs make an early-resolving answer wait for the
+    ones submitted before it — while different connections proceed
+    independently.
+
+    {2 Multi-tenancy}
+
+    Connections start as the ["anon"] tenant and may declare a client
+    id with [CLIENT <name>] (answered [HELLO <name>]).  A tenant's
+    {!Tenant.limits} cap its in-flight engine commands across all of
+    its connections ([REJECTED quota]) and floor its job priorities.
+    Sessions are owned by the tenant that [OPEN]ed them; other tenants
+    get [REJECTED not-owner].  Per-tenant request/answered/rejected
+    counters land in {!Server.Metrics} and come back in STATS/METRICS
+    JSON under ["clients"].
+
+    [PING] ([PONG]) and [METRICS] answer {e out of band} — ahead of
+    queued answers — so health probes work on a connection that is
+    waiting on a long solve.
+
+    {2 Drain}
+
+    {!request_drain} (the SIGINT/SIGTERM path) closes the listeners,
+    stops reading, drops commands that were buffered but never
+    dispatched, finishes every dispatched command, flushes every
+    buffer and lets {!run} return — zero in-flight answers are
+    lost. *)
+
+type config = {
+  max_clients : int;   (** accepted connections at once (default 256) *)
+  conn_buffer : int;
+      (** per-connection write-buffer bound in bytes (default 4 MiB);
+          half of it is the overload watermark *)
+  max_line : int;      (** per-line input bound (default 1 MiB) *)
+  default_limits : Tenant.limits;  (** limits of undeclared tenants *)
+  tenant_limits : (string * Tenant.limits) list;
+      (** per-tenant overrides, applied at startup *)
+  load : string -> Cnf.Formula.t;
+      (** SOLVE operand loader (default {!Server.Protocol.default_load}) *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> Server.t -> t
+(** A loop bound to an engine.  Does not own the engine's lifecycle:
+    the caller shuts it down after {!run} returns. *)
+
+val add_tcp : t -> host:string -> port:int -> string * int
+(** Bind and listen on [host:port]; [port = 0] picks a free port.
+    Returns the bound address and port. *)
+
+val add_unix : t -> string -> unit
+(** Bind and listen on a Unix-domain socket path.  A stale socket
+    file left by a dead server is replaced; any other existing file is
+    an error.  The path is unlinked when the listener closes. *)
+
+val add_stdio : t -> unit
+(** Attach stdin/stdout as one more connection — the [serve] pipe
+    mode runs through the same loop, framing and dispatch as socket
+    clients (unbounded out-buffer, fds not closed). *)
+
+val request_drain : t -> unit
+(** Begin graceful shutdown (async-signal safe: a flag and a self-pipe
+    byte).  {!run} returns once every connection has drained. *)
+
+val draining : t -> bool
+val connections : t -> int
+
+val run : t -> unit
+(** Drive the loop until done: no listeners left (never added, or
+    closed by drain) and no connections left.  With only stdio
+    attached this returns at EOF/QUIT, like the channel transport. *)

@@ -1,0 +1,38 @@
+type t = {
+  max_line : int;
+  buf : Buffer.t;  (* the current partial line (no newline seen yet) *)
+}
+
+let create ?(max_line = 1 lsl 20) () =
+  if max_line < 1 then invalid_arg "Framing.create: max_line < 1";
+  { max_line; buf = Buffer.create 256 }
+
+let buffered t = Buffer.length t.buf
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let take_line t =
+  let line = strip_cr (Buffer.contents t.buf) in
+  Buffer.clear t.buf;
+  line
+
+let feed t bytes len =
+  let lines = ref [] in
+  let start = ref 0 in
+  for i = 0 to len - 1 do
+    if Bytes.get bytes i = '\n' then begin
+      Buffer.add_subbytes t.buf bytes !start (i - !start);
+      lines := take_line t :: !lines;
+      start := i + 1
+    end
+  done;
+  Buffer.add_subbytes t.buf bytes !start (len - !start);
+  (* The partial-line bound is the anti-flooding edge: a peer that
+     streams without ever sending a newline must not grow our memory
+     without bound. *)
+  if Buffer.length t.buf > t.max_line then Error `Line_too_long
+  else Ok (List.rev !lines)
+
+let finish t = if Buffer.length t.buf = 0 then None else Some (take_line t)

@@ -1,0 +1,29 @@
+(** Incremental newline framing for non-blocking transports.
+
+    A [Framing.t] accumulates raw chunks as they arrive from a socket
+    and yields complete lines.  The contract matches the stdin
+    protocol reader: lines end at ['\n'], an optional trailing ['\r']
+    is stripped (telnet/nc on Windows), and a final unterminated line
+    is delivered at EOF via {!finish}.
+
+    The accumulator is bounded: a peer that streams more than
+    [max_line] bytes without a newline gets [`Line_too_long], which the
+    connection layer turns into a protocol error and disconnect —
+    framing is the first backpressure edge against hostile input. *)
+
+type t
+
+val create : ?max_line:int -> unit -> t
+(** [max_line] (default 1 MiB) bounds the partial-line buffer. *)
+
+val feed : t -> bytes -> int -> (string list, [ `Line_too_long ]) result
+(** [feed t bytes len] consumes [len] bytes from the front of [bytes]
+    and returns the complete lines they finish, in arrival order.
+    Partial trailing input is buffered for the next call. *)
+
+val finish : t -> string option
+(** The buffered unterminated line at EOF, if any.  Resets the
+    buffer. *)
+
+val buffered : t -> int
+(** Bytes currently buffered awaiting a newline. *)

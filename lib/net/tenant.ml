@@ -1,0 +1,95 @@
+type limits = {
+  quota : int;
+  priority_floor : int;
+}
+
+let unlimited = { quota = 0; priority_floor = 0 }
+
+type tenant = {
+  name : string;
+  mutable limits : limits;
+  mutable inflight : int;
+}
+
+type t = {
+  m : Mutex.t;
+  default : limits;
+  overrides : (string, limits) Hashtbl.t;
+  tenants : (string, tenant) Hashtbl.t;
+}
+
+let create ?(default = unlimited) () =
+  {
+    m = Mutex.create ();
+    default;
+    overrides = Hashtbl.create 8;
+    tenants = Hashtbl.create 16;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let set_limits t name limits =
+  locked t (fun () ->
+      Hashtbl.replace t.overrides name limits;
+      match Hashtbl.find_opt t.tenants name with
+      | Some cell -> cell.limits <- limits
+      | None -> ())
+
+let find t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tenants name with
+      | Some cell -> cell
+      | None ->
+        let limits =
+          match Hashtbl.find_opt t.overrides name with
+          | Some l -> l
+          | None -> t.default
+        in
+        let cell = { name; limits; inflight = 0 } in
+        Hashtbl.replace t.tenants name cell;
+        cell)
+
+let name cell = cell.name
+let limits cell = cell.limits
+let inflight t cell = locked t (fun () -> cell.inflight)
+
+let try_acquire t cell =
+  locked t (fun () ->
+      if cell.limits.quota > 0 && cell.inflight >= cell.limits.quota then false
+      else begin
+        cell.inflight <- cell.inflight + 1;
+        true
+      end)
+
+let release t cell =
+  locked t (fun () -> if cell.inflight > 0 then cell.inflight <- cell.inflight - 1)
+
+let effective_priority cell requested =
+  let p = match requested with Some p -> p | None -> 0 in
+  if p < cell.limits.priority_floor then cell.limits.priority_floor else p
+
+(* "name=QUOTA" or "name=QUOTA:FLOOR" *)
+let parse_spec spec =
+  match String.index_opt spec '=' with
+  | None -> Error (Printf.sprintf "bad tenant spec %S: expected name=QUOTA[:FLOOR]" spec)
+  | Some eq ->
+    let name = String.sub spec 0 eq in
+    let rest = String.sub spec (eq + 1) (String.length spec - eq - 1) in
+    if name = "" then Error (Printf.sprintf "bad tenant spec %S: empty name" spec)
+    else
+      let quota_s, floor_s =
+        match String.index_opt rest ':' with
+        | None -> (rest, "0")
+        | Some c ->
+          ( String.sub rest 0 c,
+            String.sub rest (c + 1) (String.length rest - c - 1) )
+      in
+      (match (int_of_string_opt quota_s, int_of_string_opt floor_s) with
+       | Some q, Some f when q >= 0 ->
+         Ok (name, { quota = q; priority_floor = f })
+       | _ ->
+         Error
+           (Printf.sprintf "bad tenant spec %S: expected name=QUOTA[:FLOOR]"
+              spec))

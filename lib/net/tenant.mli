@@ -1,0 +1,52 @@
+(** Multi-tenant admission state for the socket front-end.
+
+    Each connection runs on behalf of a {e tenant} (client id),
+    declared with the [CLIENT] verb; connections that never declare
+    one share the ["anon"] tenant.  A tenant carries two limits:
+
+    - [quota]: maximum engine commands in flight at once across all of
+      the tenant's connections (0 = unlimited).  Admission is
+      [try_acquire]/[release] around each engine submission; a failed
+      acquire answers [REJECTED quota] without touching the engine.
+    - [priority_floor]: every job the tenant submits is raised to at
+      least this priority, so an operator can keep an interactive
+      tenant responsive under batch load.
+
+    The registry resolves a tenant's limits once, at first sight:
+    startup [set_limits] overrides win over the default. *)
+
+type limits = {
+  quota : int;          (** max in-flight engine commands; 0 = unlimited *)
+  priority_floor : int; (** minimum effective job priority *)
+}
+
+val unlimited : limits
+
+type tenant
+type t
+
+val create : ?default:limits -> unit -> t
+val set_limits : t -> string -> limits -> unit
+
+val find : t -> string -> tenant
+(** Get-or-create the tenant record for a client id. *)
+
+val name : tenant -> string
+val limits : tenant -> limits
+val inflight : t -> tenant -> int
+
+val try_acquire : t -> tenant -> bool
+(** Reserve one in-flight slot; [false] means the quota is exhausted
+    and the command must be rejected. *)
+
+val release : t -> tenant -> unit
+(** Return a slot reserved by [try_acquire].  Call exactly once per
+    successful acquire, when the command's answer resolves or its
+    submission fails. *)
+
+val effective_priority : tenant -> int option -> int
+(** The requested priority (default 0) raised to the tenant's
+    floor. *)
+
+val parse_spec : string -> (string * limits, string) result
+(** Parse a [--tenant NAME=QUOTA[:FLOOR]] command-line spec. *)

@@ -95,6 +95,9 @@ type job = {
   mutable running : bool;      (* set by the worker at dequeue (under jm) *)
   mutable timed_out : bool;    (* set by the monitor with the interrupt *)
   mutable join_subs : float list;  (* dedup joiners' submit times *)
+  mutable waiters : (done_core -> unit) list;
+      (* async-completion callbacks (under jm); run once, after
+         [publish] releases the job mutex, on the resolver's domain *)
 }
 
 type ticket =
@@ -154,7 +157,14 @@ let publish job core =
   Mutex.lock job.jm;
   job.state <- Some core;
   Condition.broadcast job.jc;
-  Mutex.unlock job.jm
+  let waiters = job.waiters in
+  job.waiters <- [];
+  Mutex.unlock job.jm;
+  (* Callbacks run outside every engine lock, so they may re-enter the
+     engine (submit a follow-up, read stats) without deadlocking.  A
+     raising callback must not take the resolver down with it — the
+     other waiters still deserve their wake-up. *)
+  List.iter (fun k -> try k core with _ -> ()) waiters
 
 let finalize t job ~verdict ~stats ~solve_wall =
   if try_claim job then begin
@@ -500,6 +510,7 @@ let submit_live t ?deadline ~priority formula =
             running = false;
             timed_out = false;
             join_subs = [];
+            waiters = [];
           }
         in
         (* In-flight before enqueue, so a concurrent identical submit
@@ -562,6 +573,21 @@ let poll _t = function
     let core = job.state in
     Mutex.unlock job.jm;
     Option.map (fun c -> answer_of_core job c ~source ~t_submit) core
+
+let on_answer _t ticket k =
+  match ticket with
+  | T_ready a -> k a
+  | T_job { job; source; t_submit } ->
+    Mutex.lock job.jm;
+    (match job.state with
+     | Some core ->
+       Mutex.unlock job.jm;
+       k (answer_of_core job core ~source ~t_submit)
+     | None ->
+       job.waiters <-
+         (fun core -> k (answer_of_core job core ~source ~t_submit))
+         :: job.waiters;
+       Mutex.unlock job.jm)
 
 let solve t ?deadline ?priority formula =
   Result.map (await t) (submit t ?deadline ?priority formula)
@@ -727,6 +753,7 @@ let stats t =
     ~sessions_live:live
 
 let stats_json t = Metrics.to_json (stats t)
+let metrics t = t.metrics
 
 let shutdown t =
   if not (Atomic.exchange t.stopping true) then begin

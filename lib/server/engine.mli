@@ -134,6 +134,17 @@ val await : t -> ticket -> answer
 val poll : t -> ticket -> answer option
 (** Non-blocking [await]. *)
 
+val on_answer : t -> ticket -> (answer -> unit) -> unit
+(** Asynchronous [await]: run the callback once, when (or if already)
+    the ticket's job resolves.  An unresolved ticket's callback runs
+    on the resolving domain (a worker, the deadline monitor, or the
+    shutdown path) with {e no} engine lock held, so it may re-enter
+    the engine — but it must return quickly: it runs on the solve hot
+    path.  A resolved ticket's callback runs synchronously on the
+    calling domain before [on_answer] returns.  This is the completion
+    hook the network front-end ({!Net.Event_loop}) uses to stream
+    answers back without parking a domain per request. *)
+
 val solve :
   t -> ?deadline:float -> ?priority:int -> Cnf.Formula.t ->
   (answer, string) result
@@ -191,6 +202,12 @@ val sessions_live : t -> int
 
 val stats : t -> Metrics.snapshot
 val stats_json : t -> string
+
+val metrics : t -> Metrics.t
+(** The engine's live metrics accumulator.  Exposed so transport
+    front-ends (the socket server) can record per-client counters into
+    the same snapshot that [stats]/[stats_json] serve — one source of
+    truth for reconciliation. *)
 
 val shutdown : t -> unit
 (** Stop accepting work, cancel running jobs (their awaiters receive

@@ -1,3 +1,9 @@
+type client_counts = {
+  requests : int;
+  answered : int;
+  rejected : int;
+}
+
 type snapshot = {
   submitted : int;
   completed : int;
@@ -21,9 +27,16 @@ type snapshot = {
   p50_ms : float;
   p95_ms : float;
   max_ms : float;
+  clients : (string * client_counts) list;
 }
 
 let ring_capacity = 4096
+
+type client_cell = {
+  mutable c_requests : int;
+  mutable c_answered : int;
+  mutable c_rejected : int;
+}
 
 type t = {
   m : Mutex.t;
@@ -47,6 +60,9 @@ type t = {
   mutable ring_pos : int;
   mutable lat_count : int;
   mutable lat_max : float;
+  (* Per-client (tenant) counters, recorded by transport front-ends.
+     Client ids are free-form strings chosen at the wire edge. *)
+  clients : (string, client_cell) Hashtbl.t;
 }
 
 let create () =
@@ -70,6 +86,7 @@ let create () =
     ring_pos = 0;
     lat_count = 0;
     lat_max = 0.0;
+    clients = Hashtbl.create 16;
   }
 
 let locked t f =
@@ -125,6 +142,31 @@ let record_completed t ~outcome ~latency_s =
 let record_join_latency t ~latency_s =
   locked t (fun () -> note_latency t latency_s)
 
+(* --- per-client counters --------------------------------------------- *)
+
+let client_cell t client =
+  match Hashtbl.find_opt t.clients client with
+  | Some c -> c
+  | None ->
+    let c = { c_requests = 0; c_answered = 0; c_rejected = 0 } in
+    Hashtbl.replace t.clients client c;
+    c
+
+let record_client_request t ~client =
+  locked t (fun () ->
+      let c = client_cell t client in
+      c.c_requests <- c.c_requests + 1)
+
+let record_client_answered t ~client =
+  locked t (fun () ->
+      let c = client_cell t client in
+      c.c_answered <- c.c_answered + 1)
+
+let record_client_rejected t ~client =
+  locked t (fun () ->
+      let c = client_cell t client in
+      c.c_rejected <- c.c_rejected + 1)
+
 let percentile sorted q =
   let n = Array.length sorted in
   if n = 0 then 0.0
@@ -159,7 +201,47 @@ let snapshot t ~queue_depth ~inflight ~cache_entries ~sessions_live =
         p50_ms = 1000.0 *. percentile window 0.50;
         p95_ms = 1000.0 *. percentile window 0.95;
         max_ms = 1000.0 *. t.lat_max;
+        clients =
+          Hashtbl.fold
+            (fun name c acc ->
+              ( name,
+                {
+                  requests = c.c_requests;
+                  answered = c.c_answered;
+                  rejected = c.c_rejected;
+                } )
+              :: acc)
+            t.clients []
+          |> List.sort (fun (a, _) (b, _) -> compare a b);
       })
+
+let json_escape name =
+  let buf = Buffer.create (String.length name) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' | '\\' ->
+        Buffer.add_char buf '\\';
+        Buffer.add_char buf ch
+      | '\x00' .. '\x1f' -> Buffer.add_string buf "_"
+      | ch -> Buffer.add_char buf ch)
+    name;
+  Buffer.contents buf
+
+(* The clients object comes last so flat "key": N scanners keep
+   resolving the top-level counters to their first (top-level)
+   occurrence. *)
+let clients_json clients =
+  "{"
+  ^ String.concat ", "
+      (List.map
+         (fun (name, c) ->
+           Printf.sprintf
+             "\"%s\": {\"requests\": %d, \"answered\": %d, \
+              \"rejected\": %d}"
+             (json_escape name) c.requests c.answered c.rejected)
+         clients)
+  ^ "}"
 
 let to_json (s : snapshot) =
   Printf.sprintf
@@ -171,12 +253,12 @@ let to_json (s : snapshot) =
      \"session_solves\": %d, \"sessions_live\": %d, \
      \"queue_depth\": %d, \"inflight\": %d, \"cache_entries\": %d, \
      \"latency_count\": %d, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \
-     \"max_ms\": %.3f}"
+     \"max_ms\": %.3f, \"clients\": %s}"
     s.submitted s.completed s.solved_sat s.solved_unsat s.timeouts s.failures
     s.rejected s.cache_hits s.dedup_joins s.session_ops s.sessions_opened
     s.sessions_closed s.sessions_evicted s.session_solves s.sessions_live
     s.queue_depth s.inflight s.cache_entries s.latency_count s.p50_ms
-    s.p95_ms s.max_ms
+    s.p95_ms s.max_ms (clients_json s.clients)
 
 let pp ppf (s : snapshot) =
   Format.fprintf ppf

@@ -21,6 +21,12 @@
 
 type t
 
+type client_counts = {
+  requests : int;  (** commands this client handed to the engine *)
+  answered : int;  (** answers delivered back to this client *)
+  rejected : int;  (** quota, overload or engine rejections *)
+}
+
 type snapshot = {
   submitted : int;
   completed : int;
@@ -44,6 +50,9 @@ type snapshot = {
   p50_ms : float;      (** 0 when no observations *)
   p95_ms : float;
   max_ms : float;
+  clients : (string * client_counts) list;
+      (** per-client (tenant) counters recorded by transport
+          front-ends, sorted by client id *)
 }
 
 val ring_capacity : int
@@ -75,6 +84,17 @@ val record_completed :
 val record_join_latency : t -> latency_s:float -> unit
 (** A dedup joiner's own request latency (counted in the percentile
     window, not in [completed]). *)
+
+(** {2 Per-client counters}
+
+    Recorded by transport front-ends (the socket server's connection
+    layer) against the client id a connection declared.  They live in
+    the same accumulator as the engine counters so one [snapshot]
+    reconciles both views. *)
+
+val record_client_request : t -> client:string -> unit
+val record_client_answered : t -> client:string -> unit
+val record_client_rejected : t -> client:string -> unit
 
 val snapshot :
   t ->

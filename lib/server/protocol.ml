@@ -12,146 +12,12 @@ let default_load path =
    poisoning the instant arithmetic. *)
 let deadline_of_ms_string d = float_of_string d /. 1000.0
 
-(* Answers print in request order while the engine solves out of
-   order: the reader pushes one item per request into this FIFO and a
-   printer domain resolves them head-first.  [Stats] and [Sync] are
-   barriers by construction — the printer only reaches them after
-   every earlier answer is out. *)
-type item =
-  | Answer of {
-      seq : int;
-      file : string;
-      num_vars : int;
-      ticket : Engine.ticket;
-    }
-  | S_answer of {
-      seq : int;
-      sid : int;
-      verb : string;
-      ticket : Session.ticket;
-    }
-  | Lines of string list
-  | Stats
-  | Sync of { m : Mutex.t; c : Condition.t; mutable released : bool }
-  | Stop
+(* --- request parsing --------------------------------------------------
 
-type fifo = {
-  q : item Queue.t;
-  m : Mutex.t;
-  c : Condition.t;
-}
-
-let fifo_push f item =
-  Mutex.lock f.m;
-  Queue.push item f.q;
-  Condition.signal f.c;
-  Mutex.unlock f.m
-
-let fifo_pop f =
-  Mutex.lock f.m;
-  while Queue.is_empty f.q do
-    Condition.wait f.c f.m
-  done;
-  let item = Queue.pop f.q in
-  Mutex.unlock f.m;
-  item
-
-(* Exactly [num_vars] literals, whatever the model array's length:
-   reconstruction paths may answer with auxiliary variables appended
-   (clamp), and a model shorter than the declared variable count pads
-   with the negative phase — a "v" line is only well-formed when it
-   assigns the declared variables, all of them, and nothing else. *)
-let model_line ~num_vars m =
-  let buf = Buffer.create (4 * num_vars) in
-  Buffer.add_char buf 'v';
-  for i = 0 to num_vars - 1 do
-    let b = i < Array.length m && m.(i) in
-    Buffer.add_char buf ' ';
-    Buffer.add_string buf (string_of_int (if b then i + 1 else -(i + 1)))
-  done;
-  Buffer.add_string buf " 0";
-  Buffer.contents buf
-
-let source_name = function
-  | Engine.Solved -> "solved"
-  | Engine.Cache_hit -> "cache"
-  | Engine.Dedup_join -> "join"
-
-let print_answer oc ~seq ~file ~num_vars (a : Engine.answer) =
-  Printf.fprintf oc
-    "c job %d file=%s source=%s wall_ms=%.1f solve_ms=%.1f fingerprint=%s\n"
-    seq file (source_name a.Engine.source)
-    (1000.0 *. a.Engine.wall)
-    (1000.0 *. a.Engine.solve_wall)
-    (Cnf.Fingerprint.to_hex a.Engine.fingerprint);
-  (match a.Engine.verdict with
-   | Engine.Sat m ->
-     output_string oc "SAT\n";
-     output_string oc (model_line ~num_vars m);
-     output_char oc '\n'
-   | Engine.Unsat -> output_string oc "UNSAT\n"
-   | Engine.Timeout -> output_string oc "TIMEOUT\n"
-   | Engine.Failed msg -> Printf.fprintf oc "FAILED %s\n" msg);
-  flush oc
-
-let print_session_answer oc ~seq ~sid ~verb (a : Session.answer) =
-  Printf.fprintf oc "c session %d job %d op=%s wall_ms=%.1f solve_ms=%.1f\n"
-    sid seq verb
-    (1000.0 *. a.Session.wall)
-    (1000.0 *. a.Session.solve_wall);
-  (match a.Session.outcome with
-   | Session.Ok_done -> output_string oc "OK\n"
-   | Session.Sat m ->
-     output_string oc "SAT\n";
-     output_string oc (model_line ~num_vars:(Array.length m) m);
-     output_char oc '\n'
-   | Session.Unsat core ->
-     output_string oc "UNSAT\n";
-     let buf = Buffer.create 32 in
-     Buffer.add_string buf "c core";
-     Array.iter
-       (fun l ->
-         Buffer.add_char buf ' ';
-         Buffer.add_string buf (string_of_int l))
-       core;
-     Buffer.add_string buf " 0\n";
-     output_string oc (Buffer.contents buf)
-   | Session.Timeout -> output_string oc "TIMEOUT\n"
-   | Session.Evicted -> output_string oc "EVICTED\n"
-   | Session.Failed msg -> Printf.fprintf oc "FAILED %s\n" msg);
-  flush oc
-
-let printer_loop engine oc fifo () =
-  let rec loop () =
-    match fifo_pop fifo with
-    | Stop -> ()
-    | Lines ls ->
-      List.iter (fun l -> output_string oc (l ^ "\n")) ls;
-      flush oc;
-      loop ()
-    | Stats ->
-      output_string oc (Engine.stats_json engine ^ "\n");
-      flush oc;
-      loop ()
-    | Sync s ->
-      output_string oc "c sync\n";
-      flush oc;
-      Mutex.lock s.m;
-      s.released <- true;
-      Condition.broadcast s.c;
-      Mutex.unlock s.m;
-      loop ()
-    | Answer { seq; file; num_vars; ticket } ->
-      print_answer oc ~seq ~file ~num_vars (Engine.await engine ticket);
-      loop ()
-    | S_answer { seq; sid; verb; ticket } ->
-      print_session_answer oc ~seq ~sid ~verb
-        (Engine.session_await engine ticket);
-      loop ()
-  in
-  loop ()
-
-(* --- request parsing helpers ----------------------------------------- *)
+   One grammar for every transport: the stdin/channel loop below and
+   the socket front-end (lib/net) both parse lines with
+   [parse_request], so a command means the same thing over a pipe, a
+   TCP connection and a Unix socket. *)
 
 let is_int_string s =
   s <> "" && String.for_all (fun ch -> ch >= '0' && ch <= '9') s
@@ -181,68 +47,309 @@ let parse_lits words =
   if List.exists (fun l -> l = 0) lits then failwith "literal 0";
   Array.of_list lits
 
+type request =
+  | Solve_file of {
+      file : string;
+      deadline : float option;  (* seconds from now, may be non-finite *)
+      priority : int option;
+    }
+  | Session_solve of { sid : int; deadline : float option }
+  | Session_op of { sid : int; verb : string; op : Session.op }
+  | Open_session
+  | Client of string  (* declare this connection's client (tenant) id *)
+  | Stats
+  | Metrics_now
+  | Sync
+  | Ping
+  | Quit
+  | Comment
+  | Bad of string  (* the ERROR line to answer *)
+
+(* Client ids end up as JSON keys in METRICS/STATS output and in log
+   lines; keep them to a tame identifier alphabet. *)
+let valid_client_name name =
+  name <> ""
+  && String.length name <= 64
+  && String.for_all
+       (fun ch ->
+         match ch with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' | ':' ->
+           true
+         | _ -> false)
+       name
+
+let parse_request line =
+  let guarded name f =
+    try f ()
+    with e ->
+      Bad
+        (Printf.sprintf "ERROR bad %s request: %s" name
+           (Printexc.to_string e))
+  in
+  let words =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [] -> Comment
+  | cmd :: args -> (
+    match (String.uppercase_ascii cmd, args) with
+    | "QUIT", _ -> Quit
+    (* Lines starting with a lowercase 'c' comment marker parse as the
+       command "C"; '#' likewise — both are accepted silently so
+       scripted sessions can annotate themselves. *)
+    | ("C" | "#"), _ -> Comment
+    | "PING", _ -> Ping
+    | "METRICS", _ -> Metrics_now
+    | "STATS", _ -> Stats
+    | "SYNC", _ -> Sync
+    | "OPEN", _ -> Open_session
+    | "CLIENT", [ name ] when valid_client_name name -> Client name
+    | "CLIENT", _ ->
+      Bad
+        "ERROR CLIENT needs one identifier operand \
+         ([A-Za-z0-9._:-], at most 64 chars)"
+    (* A first SOLVE operand that is all digits addresses a session; a
+       file named like a bare integer needs a path prefix ("./42"). *)
+    | "SOLVE", sid :: rest when is_int_string sid ->
+      guarded "SOLVE" (fun () ->
+          let deadline =
+            match rest with
+            | [] -> None
+            | [ d ] -> Some (deadline_of_ms_string d)
+            | _ -> failwith "session SOLVE takes at most one deadline operand"
+          in
+          Session_solve { sid = int_of_string sid; deadline })
+    | "SOLVE", file :: rest ->
+      guarded "SOLVE" (fun () ->
+          let deadline, priority =
+            match rest with
+            | [] -> (None, None)
+            | [ d ] -> (Some (deadline_of_ms_string d), None)
+            | [ d; p ] ->
+              (Some (deadline_of_ms_string d), Some (int_of_string p))
+            | _ -> failwith "SOLVE takes at most 3 operands"
+          in
+          Solve_file { file; deadline; priority })
+    | "SOLVE", [] -> Bad "ERROR SOLVE needs a file operand"
+    | "ADD", sid :: lits when is_int_string sid ->
+      guarded "ADD" (fun () ->
+          Session_op
+            { sid = int_of_string sid; verb = "add";
+              op = Session.Add (parse_clauses lits) })
+    | "ASSUME", sid :: lits when is_int_string sid ->
+      guarded "ASSUME" (fun () ->
+          Session_op
+            { sid = int_of_string sid; verb = "assume";
+              op = Session.Assume (parse_lits lits) })
+    | "PUSH", [ sid ] when is_int_string sid ->
+      Session_op { sid = int_of_string sid; verb = "push"; op = Session.Push }
+    | "POP", [ sid ] when is_int_string sid ->
+      Session_op { sid = int_of_string sid; verb = "pop"; op = Session.Pop }
+    | "CLOSE", [ sid ] when is_int_string sid ->
+      Session_op
+        { sid = int_of_string sid; verb = "close"; op = Session.Close }
+    | ("ADD" | "ASSUME" | "PUSH" | "POP" | "CLOSE"), _ ->
+      Bad ("ERROR " ^ cmd ^ " needs a session id operand")
+    | _ -> Bad ("ERROR unknown command: " ^ cmd))
+
+(* --- answer rendering -------------------------------------------------
+
+   Shared by both transports so a scripted client sees byte-identical
+   answers whether it spoke over stdin or a socket. *)
+
+(* Exactly [num_vars] literals, whatever the model array's length:
+   reconstruction paths may answer with auxiliary variables appended
+   (clamp), and a model shorter than the declared variable count pads
+   with the negative phase — a "v" line is only well-formed when it
+   assigns the declared variables, all of them, and nothing else. *)
+let model_line ~num_vars m =
+  let buf = Buffer.create (4 * num_vars) in
+  Buffer.add_char buf 'v';
+  for i = 0 to num_vars - 1 do
+    let b = i < Array.length m && m.(i) in
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (string_of_int (if b then i + 1 else -(i + 1)))
+  done;
+  Buffer.add_string buf " 0";
+  Buffer.contents buf
+
+let source_name = function
+  | Engine.Solved -> "solved"
+  | Engine.Cache_hit -> "cache"
+  | Engine.Dedup_join -> "join"
+
+let job_header ~seq ~file = Printf.sprintf "c job %d file=%s" seq file
+let open_header ~seq = Printf.sprintf "c job %d op=open" seq
+
+let session_header ~sid ~seq ~verb =
+  Printf.sprintf "c session %d job %d op=%s" sid seq verb
+
+let answer_lines ~seq ~file ~num_vars (a : Engine.answer) =
+  let header =
+    Printf.sprintf
+      "c job %d file=%s source=%s wall_ms=%.1f solve_ms=%.1f fingerprint=%s"
+      seq file (source_name a.Engine.source)
+      (1000.0 *. a.Engine.wall)
+      (1000.0 *. a.Engine.solve_wall)
+      (Cnf.Fingerprint.to_hex a.Engine.fingerprint)
+  in
+  header
+  ::
+  (match a.Engine.verdict with
+   | Engine.Sat m -> [ "SAT"; model_line ~num_vars m ]
+   | Engine.Unsat -> [ "UNSAT" ]
+   | Engine.Timeout -> [ "TIMEOUT" ]
+   | Engine.Failed msg -> [ "FAILED " ^ msg ])
+
+let session_answer_lines ~seq ~sid ~verb (a : Session.answer) =
+  let header =
+    Printf.sprintf "c session %d job %d op=%s wall_ms=%.1f solve_ms=%.1f"
+      sid seq verb
+      (1000.0 *. a.Session.wall)
+      (1000.0 *. a.Session.solve_wall)
+  in
+  header
+  ::
+  (match a.Session.outcome with
+   | Session.Ok_done -> [ "OK" ]
+   | Session.Sat m -> [ "SAT"; model_line ~num_vars:(Array.length m) m ]
+   | Session.Unsat core ->
+     let buf = Buffer.create 32 in
+     Buffer.add_string buf "c core";
+     Array.iter
+       (fun l ->
+         Buffer.add_char buf ' ';
+         Buffer.add_string buf (string_of_int l))
+       core;
+     Buffer.add_string buf " 0";
+     [ "UNSAT"; Buffer.contents buf ]
+   | Session.Timeout -> [ "TIMEOUT" ]
+   | Session.Evicted -> [ "EVICTED" ]
+   | Session.Failed msg -> [ "FAILED " ^ msg ])
+
+(* --- the channel transport --------------------------------------------
+
+   Answers print in request order while the engine solves out of
+   order: the reader pushes one item per request into this FIFO and a
+   printer domain resolves them head-first.  [Stats] and [Sync] are
+   barriers by construction — the printer only reaches them after
+   every earlier answer is out.  The socket transport (lib/net)
+   implements the same ordering with per-connection queues inside one
+   event loop instead of a printer domain. *)
+
+type sync_point = {
+  sm : Mutex.t;
+  sc : Condition.t;
+  mutable released : bool;
+}
+
+type item =
+  | Answer of {
+      seq : int;
+      file : string;
+      num_vars : int;
+      ticket : Engine.ticket;
+    }
+  | S_answer of {
+      seq : int;
+      sid : int;
+      verb : string;
+      ticket : Session.ticket;
+    }
+  | Lines of string list
+  | Stats_item
+  | Sync_item of sync_point
+  | Stop
+
+type fifo = {
+  q : item Queue.t;
+  m : Mutex.t;
+  c : Condition.t;
+}
+
+let fifo_push f item =
+  Mutex.lock f.m;
+  Queue.push item f.q;
+  Condition.signal f.c;
+  Mutex.unlock f.m
+
+let fifo_pop f =
+  Mutex.lock f.m;
+  while Queue.is_empty f.q do
+    Condition.wait f.c f.m
+  done;
+  let item = Queue.pop f.q in
+  Mutex.unlock f.m;
+  item
+
+let print_lines oc lines =
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  flush oc
+
+let printer_loop engine oc fifo () =
+  let rec loop () =
+    match fifo_pop fifo with
+    | Stop -> ()
+    | Lines ls ->
+      print_lines oc ls;
+      loop ()
+    | Stats_item ->
+      print_lines oc [ Engine.stats_json engine ];
+      loop ()
+    | Sync_item s ->
+      print_lines oc [ "c sync" ];
+      Mutex.lock s.sm;
+      s.released <- true;
+      Condition.broadcast s.sc;
+      Mutex.unlock s.sm;
+      loop ()
+    | Answer { seq; file; num_vars; ticket } ->
+      print_lines oc
+        (answer_lines ~seq ~file ~num_vars (Engine.await engine ticket));
+      loop ()
+    | S_answer { seq; sid; verb; ticket } ->
+      print_lines oc
+        (session_answer_lines ~seq ~sid ~verb
+           (Engine.session_await engine ticket));
+      loop ()
+  in
+  loop ()
+
 let serve ?(load = default_load) engine ic oc =
-  let fifo = { q = Queue.create (); m = Mutex.create (); c = Condition.create () } in
+  let fifo =
+    { q = Queue.create (); m = Mutex.create (); c = Condition.create () }
+  in
   let printer = Domain.spawn (printer_loop engine oc fifo) in
   let seq = ref 0 in
-  let handle_solve args =
+  let handle_solve ~file ~deadline ~priority =
     incr seq;
     let n = !seq in
-    match args with
-    | file :: rest -> (
-      let deadline, priority =
-        match rest with
-        | [] -> (None, None)
-        | [ d ] -> (Some (deadline_of_ms_string d), None)
-        | [ d; p ] ->
-          (Some (deadline_of_ms_string d), Some (int_of_string p))
-        | _ -> failwith "SOLVE takes at most 3 operands"
-      in
-      match load file with
-      | exception e ->
+    match load file with
+    | exception e ->
+      fifo_push fifo
+        (Lines
+           [ job_header ~seq:n ~file;
+             Printf.sprintf "ERROR cannot load %s: %s" file
+               (Printexc.to_string e) ])
+    | formula -> (
+      match Engine.submit engine ?deadline ?priority formula with
+      | Ok ticket ->
         fifo_push fifo
-          (Lines
-             [ Printf.sprintf "c job %d file=%s" n file;
-               Printf.sprintf "ERROR cannot load %s: %s" file
-                 (Printexc.to_string e) ])
-      | formula -> (
-        match Engine.submit engine ?deadline ?priority formula with
-        | Ok ticket ->
-          fifo_push fifo
-            (Answer
-               { seq = n; file;
-                 num_vars = formula.Cnf.Formula.num_vars; ticket })
-        | Error reason ->
-          fifo_push fifo
-            (Lines
-               [ Printf.sprintf "c job %d file=%s" n file;
-                 "REJECTED " ^ reason ])))
-    | [] -> fifo_push fifo (Lines [ "ERROR SOLVE needs a file operand" ])
-  in
-  let session_header sid n verb =
-    Printf.sprintf "c session %d job %d op=%s" sid n verb
+          (Answer
+             { seq = n; file;
+               num_vars = formula.Cnf.Formula.num_vars; ticket })
+      | Error reason ->
+        fifo_push fifo
+          (Lines [ job_header ~seq:n ~file; "REJECTED " ^ reason ]))
   in
   let push_session_result sid verb = function
     | Ok ticket ->
       fifo_push fifo (S_answer { seq = !seq; sid; verb; ticket })
     | Error reason ->
       fifo_push fifo
-        (Lines [ session_header sid !seq verb; "REJECTED " ^ reason ])
-  in
-  let handle_session_op sid verb op =
-    incr seq;
-    push_session_result sid verb (Engine.session_submit engine sid op)
-  in
-  let handle_session_solve sid rest =
-    incr seq;
-    let deadline =
-      match rest with
-      | [] -> None
-      | [ d ] -> Some (deadline_of_ms_string d)
-      | _ -> failwith "session SOLVE takes at most one deadline operand"
-    in
-    push_session_result sid "solve"
-      (Engine.submit_session_solve engine ?deadline sid)
+        (Lines
+           [ session_header ~sid ~seq:!seq ~verb; "REJECTED " ^ reason ])
   in
   let handle_open () =
     incr seq;
@@ -250,97 +357,62 @@ let serve ?(load = default_load) engine ic oc =
     match Engine.open_session engine with
     | Ok sid ->
       fifo_push fifo
-        (Lines
-           [ Printf.sprintf "c job %d op=open" n;
-             Printf.sprintf "OPENED %d" sid ])
+        (Lines [ open_header ~seq:n; Printf.sprintf "OPENED %d" sid ])
     | Error reason ->
-      fifo_push fifo
-        (Lines
-           [ Printf.sprintf "c job %d op=open" n; "REJECTED " ^ reason ])
-  in
-  let protected name f =
-    try f ()
-    with e ->
-      fifo_push fifo
-        (Lines
-           [ Printf.sprintf "ERROR bad %s request: %s" name
-               (Printexc.to_string e) ])
+      fifo_push fifo (Lines [ open_header ~seq:n; "REJECTED " ^ reason ])
   in
   let rec read_loop () =
     match input_line ic with
     | exception End_of_file -> ()
     | line -> (
-      let words =
-        String.split_on_char ' ' (String.trim line)
-        |> List.filter (fun w -> w <> "")
-      in
-      match words with
-      | [] -> read_loop ()
-      | cmd :: args -> (
-        match (String.uppercase_ascii cmd, args) with
-        | "QUIT", _ -> ()
-        | ("C" | "#"), _ -> read_loop ()
-        (* A first SOLVE operand that is all digits addresses a
-           session; a file named like a bare integer needs a path
-           prefix ("./42"). *)
-        | "SOLVE", sid :: rest when is_int_string sid ->
-          protected "SOLVE" (fun () ->
-              handle_session_solve (int_of_string sid) rest);
-          read_loop ()
-        | "SOLVE", args ->
-          protected "SOLVE" (fun () -> handle_solve args);
-          read_loop ()
-        | "OPEN", _ ->
-          handle_open ();
-          read_loop ()
-        | "ADD", sid :: lits when is_int_string sid ->
-          protected "ADD" (fun () ->
-              handle_session_op (int_of_string sid) "add"
-                (Session.Add (parse_clauses lits)));
-          read_loop ()
-        | "ASSUME", sid :: lits when is_int_string sid ->
-          protected "ASSUME" (fun () ->
-              handle_session_op (int_of_string sid) "assume"
-                (Session.Assume (parse_lits lits)));
-          read_loop ()
-        | "PUSH", [ sid ] when is_int_string sid ->
-          handle_session_op (int_of_string sid) "push" Session.Push;
-          read_loop ()
-        | "POP", [ sid ] when is_int_string sid ->
-          handle_session_op (int_of_string sid) "pop" Session.Pop;
-          read_loop ()
-        | "CLOSE", [ sid ] when is_int_string sid ->
-          handle_session_op (int_of_string sid) "close" Session.Close;
-          read_loop ()
-        | ("ADD" | "ASSUME" | "PUSH" | "POP" | "CLOSE"), _ ->
-          fifo_push fifo
-            (Lines [ "ERROR " ^ cmd ^ " needs a session id operand" ]);
-          read_loop ()
-        | "STATS", _ ->
-          fifo_push fifo Stats;
-          read_loop ()
-        | "SYNC", _ ->
-          let s =
-            Sync { m = Mutex.create (); c = Condition.create ();
-                   released = false }
-          in
-          fifo_push fifo s;
-          (match s with
-           | Sync sr ->
-             Mutex.lock sr.m;
-             while not sr.released do
-               Condition.wait sr.c sr.m
-             done;
-             Mutex.unlock sr.m
-           | _ -> assert false);
-          read_loop ()
-        | _ ->
-          fifo_push fifo (Lines [ "ERROR unknown command: " ^ cmd ]);
-          read_loop ()))
+      match parse_request line with
+      | Quit -> ()
+      | Comment -> read_loop ()
+      | Bad msg ->
+        fifo_push fifo (Lines [ msg ]);
+        read_loop ()
+      | Ping ->
+        (* Ordered on this transport (one writer: the printer domain);
+           the socket transport answers PONG out of band instead. *)
+        fifo_push fifo (Lines [ "PONG" ]);
+        read_loop ()
+      | Client name ->
+        (* The channel transport is single-client; the declaration is
+           acknowledged for script compatibility but has no quota
+           attached (quotas live in the socket front-end). *)
+        fifo_push fifo (Lines [ "HELLO " ^ name ]);
+        read_loop ()
+      | Solve_file { file; deadline; priority } ->
+        handle_solve ~file ~deadline ~priority;
+        read_loop ()
+      | Session_solve { sid; deadline } ->
+        incr seq;
+        push_session_result sid "solve"
+          (Engine.submit_session_solve engine ?deadline sid);
+        read_loop ()
+      | Session_op { sid; verb; op } ->
+        incr seq;
+        push_session_result sid verb (Engine.session_submit engine sid op);
+        read_loop ()
+      | Open_session ->
+        handle_open ();
+        read_loop ()
+      | Stats | Metrics_now ->
+        fifo_push fifo Stats_item;
+        read_loop ()
+      | Sync ->
+        let s =
+          { sm = Mutex.create (); sc = Condition.create ();
+            released = false }
+        in
+        fifo_push fifo (Sync_item s);
+        Mutex.lock s.sm;
+        while not s.released do
+          Condition.wait s.sc s.sm
+        done;
+        Mutex.unlock s.sm;
+        read_loop ())
   in
-  (* Lines starting with a lowercase 'c' comment marker parse as the
-     command "C" above; '#' likewise — both are accepted silently so
-     scripted sessions can annotate themselves. *)
   read_loop ();
   (* EOF (and QUIT) is an implicit SYNC-and-drain: [Stop] enters the
      FIFO after every pending answer item, so the printer resolves and

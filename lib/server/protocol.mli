@@ -75,6 +75,53 @@ val model_line : num_vars:int -> bool array -> string
     phase) — a model array longer or shorter than the formula's
     declared variable count never produces a malformed line. *)
 
+(** {2 Shared grammar and renderers}
+
+    One parser and one set of answer renderers for every transport:
+    the channel loop below and the socket front-end ({!Net.Event_loop})
+    both go through these, so a command means the same thing — and an
+    answer is byte-identical — over a pipe, a TCP connection and a
+    Unix socket. *)
+
+type request =
+  | Solve_file of {
+      file : string;
+      deadline : float option;  (** seconds from now, may be non-finite *)
+      priority : int option;
+    }
+  | Session_solve of { sid : int; deadline : float option }
+  | Session_op of { sid : int; verb : string; op : Session.op }
+  | Open_session
+  | Client of string
+      (** declare this connection's client (tenant) id *)
+  | Stats
+  | Metrics_now  (** [METRICS]: immediate snapshot, no barrier *)
+  | Sync
+  | Ping
+  | Quit
+  | Comment
+  | Bad of string  (** the ERROR line to answer *)
+
+val parse_request : string -> request
+
+val default_load : string -> Cnf.Formula.t
+(** DIMACS for [.cnf]/[.dimacs], AIGER for [.aag] — the default
+    [SOLVE] operand loader of both transports. *)
+
+val job_header : seq:int -> file:string -> string
+val open_header : seq:int -> string
+val session_header : sid:int -> seq:int -> verb:string -> string
+(** The pre-answer headers used for REJECTED/ERROR lines, where no
+    engine answer exists to render timing from. *)
+
+val answer_lines :
+  seq:int -> file:string -> num_vars:int -> Engine.answer -> string list
+(** Render a one-shot answer: header, verdict, model line for SAT. *)
+
+val session_answer_lines :
+  seq:int -> sid:int -> verb:string -> Session.answer -> string list
+(** Render a session answer: header, outcome, model or core line. *)
+
 val serve :
   ?load:(string -> Cnf.Formula.t) ->
   Engine.t -> in_channel -> out_channel -> unit

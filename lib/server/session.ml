@@ -45,6 +45,9 @@ type ticket = {
   tc : Condition.t;
   mutable result : answer option;
   submitted_at : float;
+  mutable callbacks : (answer -> unit) list;
+      (* async-completion hooks (under tm); run once, after [resolve]
+         releases the ticket mutex, on the resolving domain *)
 }
 
 (* A pushed frame: its activation variable (internal solver numbering,
@@ -108,18 +111,30 @@ let locked t f =
 
 let resolve ticket outcome ~solve_wall ~stats =
   Mutex.lock ticket.tm;
-  if ticket.result = None then begin
-    ticket.result <-
-      Some
+  let run, answer =
+    if ticket.result = None then begin
+      let a =
         {
           outcome;
           wall = Sat.Wall.now () -. ticket.submitted_at;
           solve_wall;
           stats;
-        };
-    Condition.broadcast ticket.tc
-  end;
-  Mutex.unlock ticket.tm
+        }
+      in
+      ticket.result <- Some a;
+      Condition.broadcast ticket.tc;
+      let ks = ticket.callbacks in
+      ticket.callbacks <- [];
+      (ks, Some a)
+    end
+    else ([], None)
+  in
+  Mutex.unlock ticket.tm;
+  (* Outside the ticket mutex so a callback may await/poll freely; a
+     raising callback must not starve the rest. *)
+  match answer with
+  | Some a -> List.iter (fun k -> try k a with _ -> ()) run
+  | None -> ()
 
 let resolve_plain ticket outcome =
   resolve ticket outcome ~solve_wall:0.0 ~stats:empty_stats
@@ -131,6 +146,7 @@ let fresh_ticket op =
     tc = Condition.create ();
     result = None;
     submitted_at = Sat.Wall.now ();
+    callbacks = [];
   }
 
 let resolved_ticket op outcome =
@@ -152,6 +168,16 @@ let poll ticket =
   let r = ticket.result in
   Mutex.unlock ticket.tm;
   r
+
+let on_answer ticket k =
+  Mutex.lock ticket.tm;
+  match ticket.result with
+  | Some a ->
+    Mutex.unlock ticket.tm;
+    k a
+  | None ->
+    ticket.callbacks <- k :: ticket.callbacks;
+    Mutex.unlock ticket.tm
 
 let enqueue t op =
   let ticket = fresh_ticket op in

@@ -80,6 +80,13 @@ val enqueue : t -> op -> [ `Scheduled of ticket | `Queued of ticket | `Full ]
 val await : ticket -> answer
 val poll : ticket -> answer option
 
+val on_answer : ticket -> (answer -> unit) -> unit
+(** Asynchronous [await]: run the callback once, when (or if already)
+    the ticket resolves.  Same contract as {!Engine.on_answer}: an
+    unresolved ticket's callback runs on the resolving domain with no
+    session lock held and must return quickly; a resolved ticket's
+    callback runs synchronously on the calling domain. *)
+
 val resolved_ticket : op -> outcome -> ticket
 (** A ticket already carrying [outcome] — the engine's deterministic
     answer for ops addressed to a retired (closed/evicted) session

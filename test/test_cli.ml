@@ -419,6 +419,211 @@ let test_serve_eof_drain () =
   check_int "SAT answer present" 1 (count (fun l -> l = "SAT"));
   check_int "UNSAT answer not lost at EOF" 1 (count (fun l -> l = "UNSAT"))
 
+(* --- serve: socket front-end ----------------------------------------- *)
+
+(* Spawn the CLI without waiting; the caller owns the pid. *)
+let spawn_cli ?stdout_file args =
+  let fd_in = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let fd_out =
+    match stdout_file with
+    | Some f ->
+      Unix.openfile f [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    | None -> dev_null_out ()
+  in
+  let fd_err = dev_null_out () in
+  let pid =
+    Unix.create_process cli (Array.of_list (cli :: args)) fd_in fd_out fd_err
+  in
+  Unix.close fd_in;
+  Unix.close fd_out;
+  Unix.close fd_err;
+  pid
+
+(* Poll the server's stdout for the "c listening on HOST:PORT" line. *)
+let wait_port out_file =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec go () =
+    if Unix.gettimeofday () > deadline then
+      Alcotest.fail "server never announced its port";
+    let announced =
+      match read_lines out_file with
+      | exception _ -> None
+      | lines ->
+        List.find_map
+          (fun l ->
+            if starts_with "c listening on " l then
+              match String.rindex_opt l ':' with
+              | Some i ->
+                int_of_string_opt
+                  (String.sub l (i + 1) (String.length l - i - 1))
+              | None -> None
+            else None)
+          lines
+    in
+    match announced with
+    | Some port -> port
+    | None ->
+      Unix.sleepf 0.02;
+      go ()
+  in
+  go ()
+
+let test_serve_socket_multiclient () =
+  let sat = write_cnf "mc_sat.cnf" tiny_sat in
+  let unsat = write_cnf "mc_unsat.cnf" tiny_unsat in
+  let hard = write_cnf "mc_php11.cnf" (php 11) in
+  let out = file "mc_serve.out" in
+  let pid =
+    spawn_cli ~stdout_file:out
+      [ "serve"; "--workers"; "2"; "--listen"; "127.0.0.1:0";
+        "--tenant"; "limited=1" ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with _ -> ());
+      try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let port = wait_port out in
+  (* Everyone submits before anyone reads: 8 one-shot clients, a
+     session client, a quota-capped client and an undeclared slow
+     reader all run concurrently through one event loop. *)
+  let clients =
+    List.init 8 (fun i ->
+        let c = Test_net.connect port in
+        Test_net.send c
+          (Printf.sprintf "CLIENT mc%d\nSOLVE %s\nSOLVE %s\nQUIT\n" i sat
+             unsat);
+        c)
+  in
+  let s = Test_net.connect port in
+  Test_net.send s
+    "CLIENT sess\nOPEN\nADD 0 1 2 0 -1 3 0\nASSUME 0 -2\nSOLVE 0\nCLOSE \
+     0\nQUIT\n";
+  let q = Test_net.connect port in
+  Test_net.send q
+    (Printf.sprintf "CLIENT limited\nSOLVE %s 300\nSOLVE %s 300\nQUIT\n"
+       hard hard);
+  let slow = Test_net.connect port in
+  Test_net.send slow (Printf.sprintf "SOLVE %s\nQUIT\n" sat);
+  (* Per-connection answers arrive in submission order, whatever the
+     engine's completion order across 11 concurrent connections. *)
+  List.iteri
+    (fun i c ->
+      match Test_net.read_to_eof c with
+      | [ hello; h1; "SAT"; v; h2; "UNSAT" ] ->
+        Alcotest.(check string) "hello" (Printf.sprintf "HELLO mc%d" i) hello;
+        check_bool "job 1 header" true (starts_with "c job 1" h1);
+        check_bool "model line" true (starts_with "v " v);
+        check_bool "job 2 header" true (starts_with "c job 2" h2)
+      | ls ->
+        Alcotest.failf "client %d: unexpected stream (%d lines):\n%s" i
+          (List.length ls) (String.concat "\n" ls))
+    clients;
+  (match Test_net.read_to_eof s with
+   | [ "HELLO sess"; oh; "OPENED 0"; ah; "OK"; sh; "OK"; vh; "SAT"; v;
+       ch; "OK" ] ->
+     check_bool "open header" true (starts_with "c job 1 op=open" oh);
+     check_bool "add header" true (starts_with "c session 0 job 2 op=add" ah);
+     check_bool "assume header" true
+       (starts_with "c session 0 job 3 op=assume" sh);
+     check_bool "solve header" true
+       (starts_with "c session 0 job 4 op=solve" vh);
+     check_bool "close header" true
+       (starts_with "c session 0 job 5 op=close" ch);
+     check_bool "session model" true (starts_with "v " v)
+   | ls ->
+     Alcotest.failf "session client: unexpected stream (%d lines):\n%s"
+       (List.length ls) (String.concat "\n" ls));
+  (match Test_net.read_to_eof q with
+   | [ "HELLO limited"; h1; "TIMEOUT"; h2; "REJECTED quota" ] ->
+     check_bool "quota job 1 header" true (starts_with "c job 1" h1);
+     check_bool "quota job 2 header" true (starts_with "c job 2" h2)
+   | ls ->
+     Alcotest.failf "quota client: unexpected stream (%d lines):\n%s"
+       (List.length ls) (String.concat "\n" ls));
+  (* The slow reader only drains now: its answer waited in the
+     connection buffer without ever blocking the loop or the others. *)
+  (match Test_net.read_to_eof slow with
+   | [ h1; "SAT"; _v ] ->
+     check_bool "slow reader header" true (starts_with "c job 1" h1)
+   | ls ->
+     Alcotest.failf "slow client: unexpected stream (%d lines):\n%s"
+       (List.length ls) (String.concat "\n" ls));
+  (* Engine counters and per-client transport counters reconcile over
+     one more connection. *)
+  let st = Test_net.connect port in
+  Test_net.send st "STATS\nQUIT\n";
+  let stats_line =
+    match
+      List.filter (has_sub "\"submitted\"") (Test_net.read_to_eof st)
+    with
+    | [ l ] -> l
+    | ls -> Alcotest.failf "expected 1 STATS line, got %d" (List.length ls)
+  in
+  let g k = json_int stats_line k in
+  (* 17 distinct-or-duplicate one-shots reached the engine (8x2 + the
+     slow reader's) plus the quota client's first; its second was
+     refused at the net layer and never became an engine request. *)
+  check_int "engine accepted 18 one-shots" 18
+    (g "submitted" + g "cache_hits" + g "dedup_joins");
+  check_int "no engine rejections" 0 (g "rejected");
+  check_int "four session ops" 4 (g "session_ops");
+  check_int "one session opened" 1 (g "sessions_opened");
+  check_int "one session closed" 1 (g "sessions_closed");
+  check_int "the deadlined job timed out" 1 (g "timeouts");
+  check_int "everything else completed" (g "submitted") (g "completed");
+  check_bool "per-client counters: one-shot tenant" true
+    (has_sub "\"mc3\": {\"requests\": 2, \"answered\": 2, \"rejected\": 0}"
+       stats_line);
+  check_bool "per-client counters: session tenant" true
+    (has_sub "\"sess\": {\"requests\": 5, \"answered\": 5, \"rejected\": 0}"
+       stats_line);
+  check_bool "per-client counters: quota rejection recorded" true
+    (has_sub
+       "\"limited\": {\"requests\": 2, \"answered\": 1, \"rejected\": 1}"
+       stats_line);
+  check_bool "per-client counters: undeclared client is anon" true
+    (has_sub "\"anon\": {\"requests\": 1, \"answered\": 1, \"rejected\": 0}"
+       stats_line);
+  (* Shut the server down for real and insist on a clean exit. *)
+  Unix.kill pid Sys.sigterm;
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, st -> (
+    match st with
+    | Unix.WEXITED c -> Alcotest.failf "server exited %d" c
+    | _ -> Alcotest.fail "server killed by signal")
+
+let test_serve_sigterm_drain () =
+  let hard = write_cnf "drain_php11.cnf" (php 11) in
+  let out = file "drain_serve.out" in
+  let pid =
+    spawn_cli ~stdout_file:out
+      [ "serve"; "--workers"; "1"; "--listen"; "127.0.0.1:0" ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with _ -> ());
+      try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let port = wait_port out in
+  let c = Test_net.connect port in
+  (* No QUIT: only SIGTERM ends this connection.  The in-flight solve
+     must still answer before the server exits. *)
+  Test_net.send c (Printf.sprintf "SOLVE %s 300\n" hard);
+  Unix.sleepf 0.1;
+  Unix.kill pid Sys.sigterm;
+  let lines = Test_net.read_to_eof c in
+  Test_net.close_client c;
+  check_bool "in-flight header survived the drain" true
+    (List.exists (starts_with "c job 1") lines);
+  check_bool "in-flight answer survived the drain" true
+    (List.exists (fun l -> l = "TIMEOUT") lines);
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED c -> Alcotest.failf "drained server exited %d" c
+  | _ -> Alcotest.fail "drained server killed by signal"
+
 let suite =
   [
     ("solve exit codes", `Quick, test_solve_exit_codes);
@@ -427,4 +632,6 @@ let suite =
     ("serve session verbs", `Quick, test_serve_session_verbs);
     ("serve bad deadline rejected", `Quick, test_serve_bad_deadline);
     ("serve eof drains answers", `Quick, test_serve_eof_drain);
+    ("serve socket multi-client", `Quick, test_serve_socket_multiclient);
+    ("serve SIGTERM graceful drain", `Quick, test_serve_sigterm_drain);
   ]

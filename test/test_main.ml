@@ -12,6 +12,7 @@ let () =
       ("core", Test_core.suite);
       ("portfolio", Test_portfolio.suite);
       ("server", Test_server.suite);
+      ("net", Test_net.suite);
       ("cli", Test_cli.suite);
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
