@@ -119,6 +119,9 @@ let () =
       Server.workers;
       queue_capacity = max 64 (2 * total_jobs);
       cache_capacity = 2 * total_jobs;
+      (* warm starts off: this bench isolates the verdict cache, and a
+         warm resume would blur the cold-vs-repeat contrast *)
+      warm_capacity = 0;
       mode = Server.Direct;
       limits = Sat.Solver.no_limits;
       default_deadline = None;

@@ -169,6 +169,7 @@ let () =
       Server.workers;
       queue_capacity = max 64 (2 * total);
       cache_capacity = 2 * total;
+      warm_capacity = 0;  (* isolate incremental-vs-cold, no warm resume *)
       mode = Server.Direct;
       limits = Sat.Solver.no_limits;
       default_deadline = None;

@@ -330,9 +330,9 @@ let parse_listen spec =
     | None -> failwith ("bad --listen " ^ spec ^ ": expected HOST:PORT"))
 
 let serve_cmd =
-  let run verbose workers queue cache mode jobs share_lbd timeout deadline_ms
-      sessions session_ttl_ms listen unix_path stdio max_clients conn_buffer
-      quota priority_floor tenant_specs =
+  let run verbose workers queue cache warm mode jobs share_lbd timeout
+      deadline_ms sessions session_ttl_ms listen unix_path stdio max_clients
+      conn_buffer quota priority_floor tenant_specs =
     setup_logs verbose;
     let mode =
       match mode with
@@ -346,6 +346,7 @@ let serve_cmd =
         Server.workers;
         queue_capacity = queue;
         cache_capacity = cache;
+        warm_capacity = warm;
         mode;
         limits = limits_of_timeout timeout;
         default_deadline = Option.map (fun ms -> ms /. 1000.0) deadline_ms;
@@ -413,6 +414,14 @@ let serve_cmd =
   let cache =
     Arg.(value & opt int 512
          & info [ "cache" ] ~docv:"N" ~doc:"Result cache capacity (LRU).")
+  in
+  let warm =
+    Arg.(value & opt int 256
+         & info [ "warm" ] ~docv:"N"
+             ~doc:"Warm-start snapshot cache capacity (LRU): resubmitted \
+                   formulas resume from the previous solve's learnt \
+                   clauses, phases and activity order instead of \
+                   restarting (0 disables; mode=direct only).")
   in
   let mode =
     Arg.(value & opt string "direct"
@@ -508,8 +517,8 @@ let serve_cmd =
              <name>, --quota, --tenant); answers carry a cache/dedup \
              source tag; STATS prints a metrics JSON line; SIGTERM \
              drains gracefully.")
-    Term.(const run $ verbose_arg $ workers $ queue $ cache $ mode $ jobs
-          $ share_lbd $ timeout_arg $ deadline_ms $ sessions
+    Term.(const run $ verbose_arg $ workers $ queue $ cache $ warm $ mode
+          $ jobs $ share_lbd $ timeout_arg $ deadline_ms $ sessions
           $ session_ttl_ms $ listen $ unix_path $ stdio $ max_clients
           $ conn_buffer $ quota $ priority_floor $ tenant_specs)
 

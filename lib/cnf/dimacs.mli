@@ -9,4 +9,16 @@ val read_string : string -> Formula.t
 (** Accepts comment lines, a ["p cnf"] header and zero-terminated
     clauses possibly spanning lines.  @raise Parse_error otherwise. *)
 
+val read_flat_string : string -> Flat.t
+(** Same grammar and error messages as {!read_string}, but emits the
+    flat CSR store directly — no per-clause arrays or clause lists. *)
+
+val read_flat_file : string -> Flat.t
+(** {!read_flat_string} over an [Unix.map_file]-mapped view of the
+    file: bytes go straight from the page cache into the CSR arrays.
+    Falls back to a channel read for non-regular or empty files.
+    Missing files raise [Sys_error] as before. *)
+
 val read_file : string -> Formula.t
+(** [read_flat_file] followed by {!Flat.to_formula}; errors are
+    byte-for-byte those of the string reader. *)

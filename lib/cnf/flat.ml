@@ -1,0 +1,74 @@
+type t = {
+  num_vars : int;
+  offsets : int array;
+  lits : int array;
+}
+
+let num_clauses t = Array.length t.offsets - 1
+let num_literals t = t.offsets.(num_clauses t)
+let clause_size t i = t.offsets.(i + 1) - t.offsets.(i)
+
+let validate t =
+  let n = Array.length t.offsets in
+  if n < 1 || t.offsets.(0) <> 0 then invalid_arg "Flat: bad offsets";
+  for i = 1 to n - 1 do
+    if t.offsets.(i) < t.offsets.(i - 1) then invalid_arg "Flat: bad offsets"
+  done;
+  if t.offsets.(n - 1) <> Array.length t.lits then
+    invalid_arg "Flat: bad offsets";
+  if t.num_vars < 0 then invalid_arg "Formula.create: negative num_vars";
+  Array.iter
+    (fun l ->
+      if l = 0 || abs l > t.num_vars then
+        invalid_arg
+          (Printf.sprintf "Formula: literal %d out of range (1..%d)" l
+             t.num_vars))
+    t.lits
+
+let of_formula (f : Formula.t) =
+  let nc = Array.length f.Formula.clauses in
+  let offsets = Array.make (nc + 1) 0 in
+  for i = 0 to nc - 1 do
+    offsets.(i + 1) <- offsets.(i) + Array.length f.Formula.clauses.(i)
+  done;
+  let lits = Array.make offsets.(nc) 0 in
+  for i = 0 to nc - 1 do
+    Array.blit f.Formula.clauses.(i) 0 lits offsets.(i)
+      (Array.length f.Formula.clauses.(i))
+  done;
+  { num_vars = f.Formula.num_vars; offsets; lits }
+
+let to_formula t =
+  let nc = num_clauses t in
+  let clauses =
+    Array.init nc (fun i ->
+        Array.sub t.lits t.offsets.(i) (clause_size t i))
+  in
+  { Formula.num_vars = t.num_vars; clauses }
+
+let eval t assignment =
+  if Array.length assignment <> t.num_vars then
+    invalid_arg "Formula.eval: assignment size mismatch";
+  let nc = num_clauses t in
+  let sat_clause i =
+    let stop = t.offsets.(i + 1) in
+    let rec go k =
+      if k >= stop then false
+      else
+        let l = Array.unsafe_get t.lits k in
+        let v = Array.unsafe_get assignment (abs l - 1) in
+        if (if l > 0 then v else not v) then true else go (k + 1)
+    in
+    go t.offsets.(i)
+  in
+  let rec all i = if i >= nc then true else sat_clause i && all (i + 1) in
+  all 0
+
+let pp ppf t =
+  Format.fprintf ppf "p cnf %d %d@." t.num_vars (num_clauses t);
+  for i = 0 to num_clauses t - 1 do
+    for k = t.offsets.(i) to t.offsets.(i + 1) - 1 do
+      Format.fprintf ppf "%d " t.lits.(k)
+    done;
+    Format.fprintf ppf "0@."
+  done

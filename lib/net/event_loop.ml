@@ -4,7 +4,7 @@ type config = {
   max_line : int;
   default_limits : Tenant.limits;
   tenant_limits : (string * Tenant.limits) list;
-  load : string -> Cnf.Formula.t;
+  load : string -> Server.input;
 }
 
 let default_config =
@@ -14,7 +14,7 @@ let default_config =
     max_line = 1 lsl 20;
     default_limits = Tenant.unlimited;
     tenant_limits = [];
-    load = Server.Protocol.default_load;
+    load = Server.Protocol.default_load_input;
   }
 
 let anon_client = "anon"
@@ -271,7 +271,8 @@ let handle_solve_file t conn ~file ~deadline ~priority =
     m_rejected t client;
     push_lines t conn [ header; "REJECTED quota" ]
   end
-  else
+  else begin
+    let t0 = Sat.Wall.now () in
     match t.cfg.load file with
     | exception e ->
       Tenant.release t.tenants ten;
@@ -280,9 +281,11 @@ let handle_solve_file t conn ~file ~deadline ~priority =
         [ header;
           Printf.sprintf "ERROR cannot load %s: %s" file
             (Printexc.to_string e) ]
-    | formula -> (
+    | input -> (
+      Server.Metrics.record_parse (Server.metrics t.engine)
+        ~latency_s:(Sat.Wall.now () -. t0);
       let priority = Tenant.effective_priority ten priority in
-      match Server.submit t.engine ?deadline ~priority formula with
+      match Server.submit_input t.engine ?deadline ~priority input with
       | Error reason ->
         Tenant.release t.tenants ten;
         m_rejected t client;
@@ -290,12 +293,13 @@ let handle_solve_file t conn ~file ~deadline ~priority =
       | Ok ticket ->
         let p = { Conn.lines = None } in
         push_item t conn (Conn.Pending p);
-        let num_vars = formula.Cnf.Formula.num_vars in
+        let num_vars = Server.input_num_vars input in
         Server.on_answer t.engine ticket (fun a ->
             Tenant.release t.tenants ten;
             m_answered t client;
             complete t conn p
               (Server.Protocol.answer_lines ~seq:n ~file ~num_vars a)))
+  end
 
 let handle_session t conn ~sid ~verb submit =
   conn.Conn.seq <- conn.Conn.seq + 1;

@@ -765,6 +765,26 @@ let add_long s lits learnt lbd =
   end;
   c
 
+(* [add_long] over the first [n] entries of a reusable scratch buffer:
+   the literals are blitted straight into the arena, so the flat-ingest
+   path ([prepare_flat]) attaches every clause with zero per-clause
+   allocation. *)
+let add_long_slice s b n learnt lbd =
+  arena_ensure s (n + 2);
+  let c = s.arena_size in
+  let a = s.arena in
+  a.(c) <- mk_header ~size:n ~learnt ~lbd;
+  a.(c + 1) <- 0;
+  Array.blit b 0 a (c + 2) n;
+  s.arena_size <- c + 2 + n;
+  wl_push s.watches.(neg b.(0)) c b.(1);
+  wl_push s.watches.(neg b.(1)) c b.(0);
+  if learnt then begin
+    vec_push s.learnts c;
+    s.st_learned <- s.st_learned + 1
+  end;
+  c
+
 (* A clause currently used as a reason must survive reduction. *)
 let is_reason s c =
   let n = clause_size s c in
@@ -1431,6 +1451,208 @@ let prepare f =
     f.Cnf.Formula.clauses;
   if !ok then Ready (s, !units) else Trivially_unsat
 
+(* [prepare] over a flat CSR store: the same normalization (internal
+   encoding, per-clause sort + dedupe, tautology drop) runs in one
+   reusable scratch buffer and long clauses are blitted straight into
+   the arena via [add_long_slice] — zero allocation per clause, and a
+   solver state identical to [prepare (Flat.to_formula fl)]. *)
+let prepare_flat (fl : Cnf.Flat.t) =
+  let nvars = fl.Cnf.Flat.num_vars in
+  let s = create nvars in
+  let units = ref [] in
+  let ok = ref true in
+  let offsets = fl.Cnf.Flat.offsets in
+  let lits = fl.Cnf.Flat.lits in
+  let nc = Array.length offsets - 1 in
+  let buf = ref (Array.make 64 0) in
+  let i = ref 0 in
+  while !ok && !i < nc do
+    let st = offsets.(!i) and en = offsets.(!i + 1) in
+    let len = en - st in
+    if Array.length !buf < len then
+      buf := Array.make (max len (2 * Array.length !buf)) 0;
+    let b = !buf in
+    (* Sorted-insert each literal, skipping duplicates: clauses are
+       short, and the result matches [List.sort_uniq compare]. *)
+    let n = ref 0 in
+    for k = st to en - 1 do
+      let dl = Array.unsafe_get lits k in
+      let l = lit_of_var (abs dl - 1) (dl < 0) in
+      let j = ref !n in
+      while !j > 0 && Array.unsafe_get b (!j - 1) > l do
+        Array.unsafe_set b !j (Array.unsafe_get b (!j - 1));
+        decr j
+      done;
+      if !j > 0 && Array.unsafe_get b (!j - 1) = l then begin
+        let k' = ref !j in
+        while !k' < !n do
+          Array.unsafe_set b !k' (Array.unsafe_get b (!k' + 1));
+          incr k'
+        done
+      end
+      else begin
+        Array.unsafe_set b !j l;
+        incr n
+      end
+    done;
+    let n = !n in
+    let taut =
+      let rec chk j = j + 1 < n && (b.(j) lxor b.(j + 1) = 1 || chk (j + 1)) in
+      chk 0
+    in
+    if not taut then begin
+      match n with
+      | 0 -> ok := false
+      | 1 -> units := b.(0) :: !units
+      | 2 -> add_binary s b.(0) b.(1)
+      | _ -> ignore (add_long_slice s b n false 0)
+    end;
+    incr i
+  done;
+  if !ok then Ready (s, !units) else Trivially_unsat
+
+(* --- warm-start snapshots ------------------------------------------ *)
+
+type seed = {
+  seed_clauses : (int array * int) array;
+  seed_phases : bool array;
+  seed_order : int array;
+}
+
+(* Capture policy: the snapshot is bounded — at most
+   [snapshot_max_clauses] long learnt clauses, preferring the lowest
+   LBDs (the threshold is tightened until the budget fits) while
+   keeping learn order, plus every level-0 trail literal as a unit
+   clause.  Learnt binaries live in the watch lists unindexed and are
+   not captured. *)
+let snapshot_max_lbd = 6
+let snapshot_max_clauses = 4096
+
+let capture_seed s =
+  let seed_phases = Array.init s.nvars (fun v -> s.polarity.(v)) in
+  let seed_order = Array.init s.nvars (fun v -> v) in
+  Array.sort
+    (fun a b ->
+      let c = compare s.var_activity.(b) s.var_activity.(a) in
+      if c <> 0 then c else compare a b)
+    seed_order;
+  let units = ref [] in
+  for i = s.trail_size - 1 downto 0 do
+    let l = s.trail.(i) in
+    if s.level.(var l) = 0 then
+      units := ([| dimacs_of_lit l |], 1) :: !units
+  done;
+  let counts = Array.make (snapshot_max_lbd + 1) 0 in
+  for i = 0 to s.learnts.size - 1 do
+    let c = s.learnts.data.(i) in
+    if s.arena.(c) land hdr_deleted = 0 then begin
+      let lbd = clause_lbd s c in
+      if lbd <= snapshot_max_lbd then counts.(lbd) <- counts.(lbd) + 1
+    end
+  done;
+  let cap_lbd = ref snapshot_max_lbd in
+  let total = ref (Array.fold_left ( + ) 0 counts) in
+  while !total > snapshot_max_clauses && !cap_lbd > 1 do
+    total := !total - counts.(!cap_lbd);
+    decr cap_lbd
+  done;
+  let taken = ref 0 in
+  let acc = ref [] in
+  for i = 0 to s.learnts.size - 1 do
+    let c = s.learnts.data.(i) in
+    if !taken < snapshot_max_clauses && s.arena.(c) land hdr_deleted = 0
+    then begin
+      let lbd = clause_lbd s c in
+      if lbd <= !cap_lbd then begin
+        acc := (Array.map dimacs_of_lit (clause_lits s c), max 1 lbd) :: !acc;
+        incr taken
+      end
+    end
+  done;
+  { seed_clauses = Array.of_list (!units @ List.rev !acc);
+    seed_phases; seed_order }
+
+(* Saved phases and the activity order are pure heuristics: phases are
+   copied in, and activities get a decreasing ramp in (0, 1] so the
+   donor's branching order survives until live bumps take over. *)
+let apply_seed_heuristics s sd =
+  let n = min (Array.length sd.seed_phases) s.nvars in
+  for v = 0 to n - 1 do
+    s.polarity.(v) <- sd.seed_phases.(v)
+  done;
+  let m = Array.length sd.seed_order in
+  let denom = float_of_int (max 1 m) in
+  Array.iteri
+    (fun rank v ->
+      if v >= 0 && v < s.nvars then
+        s.var_activity.(v) <- float_of_int (m - rank) /. denom)
+    sd.seed_order
+
+(* Attach one snapshot clause at decision level 0, with the same
+   normalization as a portfolio import.  Seed clauses are trusted to be
+   implied by the formula (the warm cache keys snapshots by canonical
+   fingerprint, and equal fingerprints mean equal model sets) — except
+   when a DRAT [proof] is being recorded: then [rup_only] admits a
+   clause only if it is RUP against the current database, logging it
+   before attaching, so the proof stays checkable end to end; the rest
+   are silently dropped and the search re-derives what it needs. *)
+let seed_clause s ~proof ~rup_only (clause, lbd) =
+  if Array.for_all (fun l -> l <> 0 && abs l <= s.nvars) clause then begin
+    let lits =
+      Array.to_list clause
+      |> List.map (fun l -> lit_of_var (abs l - 1) (l < 0))
+      |> List.sort_uniq compare
+    in
+    let taut =
+      let rec chk = function
+        | a :: (b :: _ as rest) -> a lxor b = 1 || chk rest
+        | _ -> false
+      in
+      chk lits
+    in
+    if (not taut) && not (List.exists (fun l -> lit_value s l = 1) lits)
+    then begin
+      let lits = List.filter (fun l -> lit_value s l <> 0) lits in
+      if not rup_only then
+        match lits with
+        | [] ->
+          (* Falsified under the level-0 assignment: refuted.  [proof]
+             is [None] on this path, so no logging is needed. *)
+          raise Unsat_at_level0
+        | [ l ] ->
+          enqueue s l reason_none;
+          confirm_level0 s ~proof
+        | [ a; b ] ->
+          add_binary s a b;
+          s.st_learned <- s.st_learned + 1
+        | lits -> ignore (add_long s (Array.of_list lits) true (max 1 lbd))
+      else
+        match lits with
+        | [] -> ()
+        | lits ->
+          (* RUP probe: assume the negations on a pseudo level and
+             propagate; a conflict certifies the clause. *)
+          push_pseudo_level s;
+          List.iter
+            (fun l -> if lit_value s l < 0 then enqueue s (neg l) reason_none)
+            lits;
+          let conflict = propagate s <> None in
+          cancel_until s 0;
+          if conflict then begin
+            let arr = Array.of_list lits in
+            log_add proof arr;
+            match Array.length arr with
+            | 1 ->
+              enqueue s arr.(0) reason_none;
+              confirm_level0 s ~proof
+            | 2 ->
+              add_binary s arr.(0) arr.(1);
+              s.st_learned <- s.st_learned + 1
+            | _ -> ignore (add_long s arr true (max 1 lbd))
+          end
+    end
+  end
+
 let make_stats s ~wall ~cpu ~minor_words ~major_collections =
   {
     decisions = s.st_decisions;
@@ -1458,9 +1680,9 @@ let gc_origin () = (Gc.minor_words (), (Gc.quick_stat ()).Gc.major_collections)
 let gc_deltas (mw0, mc0) =
   (Gc.minor_words () -. mw0, (Gc.quick_stat ()).Gc.major_collections - mc0)
 
-let solve ?(limits = no_limits) ?proof ?(heuristic = `Evsids)
-    ?(restarts = `Luby) ?(reduce_base = 2000) ?(reduce_inc = 512) ?inprocess
-    ?on_learnt ?interrupt ?export ?(export_lbd = max_int) ?import f =
+let solve_core ~limits ~proof ~heuristic ~restarts ~reduce_base ~reduce_inc
+    ~inprocess ~on_learnt ~interrupt ~export ~export_lbd ~import ~seed
+    ~snapshot prep =
   let t0 = Wall.now () in
   let c0 = Sys.time () in
   let gc0 = gc_origin () in
@@ -1469,12 +1691,19 @@ let solve ?(limits = no_limits) ?proof ?(heuristic = `Evsids)
     make_stats s ~wall:(Wall.now () -. t0) ~cpu:(Sys.time () -. c0)
       ~minor_words ~major_collections
   in
-  match prepare f with
+  match prep () with
   | Trivially_unsat ->
     log_add proof [||];
     (Unsat, stats_of (create 0))
   | Ready (s, units) ->
     s.lrb <- (heuristic = `Lrb);
+    (* The snapshot is taken on every exit — Sat, Unsat, Unknown — so
+       an interrupted or deadline-cut solve still donates its learnt
+       clauses, phases and activity order to a later warm start. *)
+    let finish r =
+      (match snapshot with None -> () | Some f -> f (capture_seed s));
+      (r, stats_of s)
+    in
     let exception Done of result in
     (try
        (* Level-0 units. *)
@@ -1491,6 +1720,13 @@ let solve ?(limits = no_limits) ?proof ?(heuristic = `Evsids)
          log_add proof [||];
          raise (Done Unsat)
        end;
+       (match seed with
+        | None -> ()
+        | Some sd ->
+          apply_seed_heuristics s sd;
+          let rup_only = proof <> None in
+          Array.iter (seed_clause s ~proof ~rup_only) sd.seed_clauses;
+          confirm_level0 s ~proof);
        for v = 0 to s.nvars - 1 do
          if s.assigns.(v) < 0 then heap_insert s v
        done;
@@ -1506,7 +1742,25 @@ let solve ?(limits = no_limits) ?proof ?(heuristic = `Evsids)
          | S_unknown -> Unknown
        in
        raise (Done r)
-     with Done r -> (r, stats_of s))
+     with
+     | Done r -> finish r
+     | Unsat_at_level0 -> finish Unsat)
+
+let solve ?(limits = no_limits) ?proof ?(heuristic = `Evsids)
+    ?(restarts = `Luby) ?(reduce_base = 2000) ?(reduce_inc = 512) ?inprocess
+    ?on_learnt ?interrupt ?export ?(export_lbd = max_int) ?import ?seed
+    ?snapshot f =
+  solve_core ~limits ~proof ~heuristic ~restarts ~reduce_base ~reduce_inc
+    ~inprocess ~on_learnt ~interrupt ~export ~export_lbd ~import ~seed
+    ~snapshot (fun () -> prepare f)
+
+let solve_flat ?(limits = no_limits) ?proof ?(heuristic = `Evsids)
+    ?(restarts = `Luby) ?(reduce_base = 2000) ?(reduce_inc = 512) ?inprocess
+    ?on_learnt ?interrupt ?export ?(export_lbd = max_int) ?import ?seed
+    ?snapshot fl =
+  solve_core ~limits ~proof ~heuristic ~restarts ~reduce_base ~reduce_inc
+    ~inprocess ~on_learnt ~interrupt ~export ~export_lbd ~import ~seed
+    ~snapshot (fun () -> prepare_flat fl)
 
 let decisions_or_max ?(limits = no_limits) f =
   let result, st = solve ~limits f in

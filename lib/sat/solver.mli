@@ -133,6 +133,28 @@ val default_inprocess : inprocess
 (** [{ inproc_interval = 4; probe_limit = 64; vivify_limit = 32;
       subsume_window = 32 }] *)
 
+(** A warm-start snapshot: the transferable part of a finished (or
+    interrupted) solve's state.  [seed_clauses] are (DIMACS literals,
+    LBD) pairs — level-0 units first, then the lowest-LBD long learnt
+    clauses in learn order, bounded (at most 4096 clauses of glue at
+    most 6, tightening the glue threshold first when over budget).
+    [seed_phases.(v)] is the saved phase of 0-based variable [v];
+    [seed_order] lists variables most-active-first.
+
+    A snapshot is only sound to seed into a solve of a formula with
+    the {e same canonical fingerprint} ({!Cnf.Fingerprint}): equal
+    fingerprints mean equal model sets, so every captured clause is
+    implied by the receiving formula.  The seeding path re-validates
+    shape (range, tautology, satisfaction at level 0) like a portfolio
+    import, but implication is by construction, not re-checked —
+    except under a DRAT recorder, where each seed clause is admitted
+    only if RUP (see {!solve}). *)
+type seed = {
+  seed_clauses : (int array * int) array;
+  seed_phases : bool array;
+  seed_order : int array;
+}
+
 val solve :
   ?limits:limits -> ?proof:Proof.t -> ?heuristic:[ `Evsids | `Lrb ] ->
   ?restarts:[ `Luby | `Glucose ] ->
@@ -144,6 +166,8 @@ val solve :
   ?export:(int array -> int -> unit) ->
   ?export_lbd:int ->
   ?import:(unit -> (int array * int) list) ->
+  ?seed:seed ->
+  ?snapshot:(seed -> unit) ->
   Cnf.Formula.t -> result * stats
 (** Solve a formula from scratch.  When the result is [Sat m], [m]
     satisfies the formula (checked cheaply by the caller via
@@ -189,7 +213,41 @@ val solve :
 
     The hooks run in the solving domain; [export]/[import] callbacks
     must themselves be safe to call from that domain (the portfolio's
-    clause bus is mutex-guarded). *)
+    clause bus is mutex-guarded).
+
+    [seed] warm-starts the solve from a {!seed} snapshot captured on
+    an earlier solve of a formula with the same canonical fingerprint:
+    phases and activity order are installed, and the snapshot clauses
+    join the learnt database at level 0 before the first decision.
+    Without [proof], seed clauses are attached as implied (the
+    fingerprint contract); with [proof], each is admitted only if RUP
+    against the current database — logged, then attached — and
+    silently dropped otherwise, so an UNSAT answer's DRAT log still
+    validates under {!Proof.check}.  [snapshot] is invoked once, with
+    the state captured at exit, on {e every} outcome — including
+    [Unknown] from an interrupt or deadline, which is what lets a
+    timed-out job resume on resubmission.  With both absent the
+    trajectory is bit-identical to the solver without this feature. *)
+
+val solve_flat :
+  ?limits:limits -> ?proof:Proof.t -> ?heuristic:[ `Evsids | `Lrb ] ->
+  ?restarts:[ `Luby | `Glucose ] ->
+  ?reduce_base:int ->
+  ?reduce_inc:int ->
+  ?inprocess:inprocess ->
+  ?on_learnt:(int array -> int -> unit) ->
+  ?interrupt:Interrupt.t ->
+  ?export:(int array -> int -> unit) ->
+  ?export_lbd:int ->
+  ?import:(unit -> (int array * int) list) ->
+  ?seed:seed ->
+  ?snapshot:(seed -> unit) ->
+  Cnf.Flat.t -> result * stats
+(** {!solve} over a flat CSR store ({!Cnf.Flat}), loading clauses
+    straight from the CSR arrays into the clause arena with zero
+    per-clause allocation.  Produces a solver state — and therefore a
+    search trajectory and stats — identical to
+    [solve (Flat.to_formula fl)]. *)
 
 val decisions_or_max : ?limits:limits -> Cnf.Formula.t -> int
 (** Convenience for the RL reward: the decision count of a solve, or

@@ -8,15 +8,6 @@ type entry = {
   solve_wall : float;
 }
 
-(* Doubly-linked recency list threaded through the table's nodes:
-   head = most recent, tail = eviction candidate. *)
-type node = {
-  key : Cnf.Fingerprint.t;
-  mutable entry : entry;
-  mutable prev : node option;
-  mutable next : node option;
-}
-
 module Tbl = Hashtbl.Make (struct
   type t = Cnf.Fingerprint.t
 
@@ -24,72 +15,104 @@ module Tbl = Hashtbl.Make (struct
   let hash = Cnf.Fingerprint.hash
 end)
 
-type t = {
-  cap : int;
-  tbl : node Tbl.t;
-  mutable head : node option;
-  mutable tail : node option;
-  m : Mutex.t;
-}
+(* One mutex-guarded LRU over fingerprints, generic in the payload: it
+   backs both the verdict cache ([entry] below) and the warm-start
+   snapshot cache ([Warm], payload [Sat.Solver.seed]).  Recency is a
+   doubly-linked list threaded through the table's nodes: head = most
+   recent, tail = eviction candidate. *)
+module Lru = struct
+  type 'v node = {
+    key : Cnf.Fingerprint.t;
+    mutable entry : 'v;
+    mutable prev : 'v node option;
+    mutable next : 'v node option;
+  }
 
-let create ~capacity () =
-  if capacity < 1 then invalid_arg "Cache.create: capacity < 1";
-  { cap = capacity; tbl = Tbl.create 64; head = None; tail = None;
-    m = Mutex.create () }
+  type 'v t = {
+    cap : int;
+    tbl : 'v node Tbl.t;
+    mutable head : 'v node option;
+    mutable tail : 'v node option;
+    m : Mutex.t;
+  }
 
-let unlink t n =
-  (match n.prev with
-   | Some p -> p.next <- n.next
-   | None -> t.head <- n.next);
-  (match n.next with
-   | Some s -> s.prev <- n.prev
-   | None -> t.tail <- n.prev);
-  n.prev <- None;
-  n.next <- None
+  let create ~capacity () =
+    if capacity < 1 then invalid_arg "Cache.create: capacity < 1";
+    { cap = capacity; tbl = Tbl.create 64; head = None; tail = None;
+      m = Mutex.create () }
 
-let push_front t n =
-  n.next <- t.head;
-  n.prev <- None;
-  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
-  t.head <- Some n
+  let unlink t n =
+    (match n.prev with
+     | Some p -> p.next <- n.next
+     | None -> t.head <- n.next);
+    (match n.next with
+     | Some s -> s.prev <- n.prev
+     | None -> t.tail <- n.prev);
+    n.prev <- None;
+    n.next <- None
 
-let locked t f =
-  Mutex.lock t.m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+  let push_front t n =
+    n.next <- t.head;
+    n.prev <- None;
+    (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+    t.head <- Some n
 
-let find t key =
-  locked t (fun () ->
-      match Tbl.find_opt t.tbl key with
-      | None -> None
-      | Some n ->
-        unlink t n;
-        push_front t n;
-        Some n.entry)
+  let locked t f =
+    Mutex.lock t.m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
 
-let add t key entry =
-  locked t (fun () ->
-      match Tbl.find_opt t.tbl key with
-      | Some n ->
-        n.entry <- entry;
-        unlink t n;
-        push_front t n
-      | None ->
-        if Tbl.length t.tbl >= t.cap then (
-          match t.tail with
-          | Some lru ->
-            unlink t lru;
-            Tbl.remove t.tbl lru.key
-          | None -> ());
-        let n = { key; entry; prev = None; next = None } in
-        push_front t n;
-        Tbl.replace t.tbl key n)
+  let find t key =
+    locked t (fun () ->
+        match Tbl.find_opt t.tbl key with
+        | None -> None
+        | Some n ->
+          unlink t n;
+          push_front t n;
+          Some n.entry)
 
-let remove t key =
-  locked t (fun () ->
-      match Tbl.find_opt t.tbl key with
-      | None -> ()
-      | Some n ->
-        unlink t n;
-        Tbl.remove t.tbl key)
+  let add t key entry =
+    locked t (fun () ->
+        match Tbl.find_opt t.tbl key with
+        | Some n ->
+          n.entry <- entry;
+          unlink t n;
+          push_front t n
+        | None ->
+          if Tbl.length t.tbl >= t.cap then (
+            match t.tail with
+            | Some lru ->
+              unlink t lru;
+              Tbl.remove t.tbl lru.key
+            | None -> ());
+          let n = { key; entry; prev = None; next = None } in
+          push_front t n;
+          Tbl.replace t.tbl key n)
 
-let length t = locked t (fun () -> Tbl.length t.tbl)
+  let remove t key =
+    locked t (fun () ->
+        match Tbl.find_opt t.tbl key with
+        | None -> ()
+        | Some n ->
+          unlink t n;
+          Tbl.remove t.tbl key)
+
+  let length t = locked t (fun () -> Tbl.length t.tbl)
+end
+
+type t = entry Lru.t
+
+let create = Lru.create
+let find = Lru.find
+let add = Lru.add
+let remove = Lru.remove
+let length = Lru.length
+
+module Warm = struct
+  type t = Sat.Solver.seed Lru.t
+
+  let create = Lru.create
+  let find = Lru.find
+  let add = Lru.add
+  let remove = Lru.remove
+  let length = Lru.length
+end

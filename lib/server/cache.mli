@@ -1,9 +1,14 @@
-(** LRU result cache keyed by canonical CNF fingerprint.
+(** LRU caches keyed by canonical CNF fingerprint: verdicts (the main
+    type below) and warm-start solver snapshots ({!Warm}).
 
-    Stores {e decisive} answers only — a [Sat] model or an [Unsat]
-    verdict with the solving stats that produced it.  Timeouts are
-    never cached: they are a property of the job's deadline, not of
-    the formula.
+    The verdict cache stores {e decisive} answers only — a [Sat] model
+    or an [Unsat] verdict with the solving stats that produced it.
+    Timeouts are never cached: they are a property of the job's
+    deadline, not of the formula.  The {!Warm} cache is the
+    complement: it keeps bounded {!Sat.Solver.seed} snapshots of
+    solver {e state} (low-LBD learnt clauses, saved phases, activity
+    order) for every solve — including interrupted and timed-out ones
+    — so a resubmitted formula resumes instead of restarting.
 
     Keys are {!Cnf.Fingerprint.t}, so a resubmitted formula hits even
     when its clauses are permuted, duplicated or carry repeated
@@ -41,3 +46,20 @@ val remove : t -> Cnf.Fingerprint.t -> unit
     i.e. a detected fingerprint collision). *)
 
 val length : t -> int
+
+(** LRU of warm-start snapshots, same recency/eviction discipline and
+    the same key type as the verdict cache.  A snapshot is only sound
+    to seed into a formula with the {e same} fingerprint (equal
+    fingerprints mean equal model sets, so the captured clauses are
+    implied); the engine guarantees this by construction — it looks
+    snapshots up under the exact fingerprint of the submitted
+    formula. *)
+module Warm : sig
+  type t
+
+  val create : capacity:int -> unit -> t
+  val find : t -> Cnf.Fingerprint.t -> Sat.Solver.seed option
+  val add : t -> Cnf.Fingerprint.t -> Sat.Solver.seed -> unit
+  val remove : t -> Cnf.Fingerprint.t -> unit
+  val length : t -> int
+end

@@ -27,6 +27,7 @@ type config = {
   workers : int;
   queue_capacity : int;
   cache_capacity : int;
+  warm_capacity : int;
   mode : mode;
   limits : Sat.Solver.limits;
   default_deadline : float option;
@@ -39,12 +40,39 @@ let default_config =
     workers = 4;
     queue_capacity = 64;
     cache_capacity = 512;
+    warm_capacity = 256;
     mode = Direct;
     limits = Sat.Solver.no_limits;
     default_deadline = None;
     session_capacity = 64;
     session_ttl = Some 600.0;
   }
+
+(* A submitted formula: the classic array-of-arrays view, or the flat
+   CSR store the mmap parser emits.  Flat submissions solve through
+   [Sat.Solver.solve_flat] (bytes -> arena, no per-clause allocation);
+   the Formula view is materialized only where a consumer needs it
+   (the Simplify/Portfolio pipelines). *)
+type input =
+  | Formula of Cnf.Formula.t
+  | Flat of Cnf.Flat.t
+
+let input_num_vars = function
+  | Formula f -> f.Cnf.Formula.num_vars
+  | Flat fl -> fl.Cnf.Flat.num_vars
+
+let input_eval input m =
+  match input with
+  | Formula f -> Cnf.Formula.eval f m
+  | Flat fl -> Cnf.Flat.eval fl m
+
+let input_formula = function
+  | Formula f -> f
+  | Flat fl -> Cnf.Flat.to_formula fl
+
+let input_fingerprint = function
+  | Formula f -> Cnf.Fingerprint.of_formula f
+  | Flat fl -> Cnf.Fingerprint.of_flat fl
 
 (* A relative deadline must compose into a meaningful absolute instant:
    [now +. nan] poisons every later comparison ([deadline_passed] is
@@ -83,8 +111,9 @@ type done_core = {
 
 type job = {
   id : int;
-  formula : Cnf.Formula.t;
+  input : input;
   fp : Cnf.Fingerprint.t;
+  warm : Sat.Solver.seed option;  (* snapshot found at submit time *)
   deadline : float option;  (* absolute Wall.now instant *)
   submitted_at : float;
   interrupt : Sat.Solver.Interrupt.t;
@@ -125,6 +154,11 @@ type t = {
   cfg : config;
   queue : work Job_queue.t;
   cache : Cache.t;
+  (* Warm-start snapshots; [None] when disabled ([warm_capacity = 0])
+     or when the mode cannot seed (Simplify transforms the formula,
+     Portfolio lanes race diversified configurations — neither takes a
+     snapshot today, so keeping a warm cache there would only miss). *)
+  warm : Cache.Warm.t option;
   metrics : Metrics.t;
   inflight : job Fp_tbl.t;  (* guarded by [gm] *)
   sessions : (int, Session.t) Hashtbl.t;  (* guarded by [gm] *)
@@ -166,7 +200,7 @@ let publish job core =
      other waiters still deserve their wake-up. *)
   List.iter (fun k -> try k core with _ -> ()) waiters
 
-let finalize t job ~verdict ~stats ~solve_wall =
+let finalize t job ?snapshot ~verdict ~stats ~solve_wall () =
   if try_claim job then begin
     let core =
       { d_verdict = verdict; d_stats = stats; d_solve_wall = solve_wall;
@@ -180,6 +214,14 @@ let finalize t job ~verdict ~stats ~solve_wall =
        Cache.add t.cache job.fp
          { Cache.verdict = Cache.Unsat; stats; solve_wall }
      | Timeout | Failed _ -> ());
+    (* The warm cache keeps snapshots for every outcome that produced
+       one — crucially including [Timeout], which the verdict cache
+       never stores: a resubmitted timed-out job resumes from the
+       interrupted state instead of restarting, and repeated deadline
+       slices accumulate progress. *)
+    (match (t.warm, snapshot) with
+     | Some w, Some sd -> Cache.Warm.add w job.fp sd
+     | _ -> ());
     Mutex.lock t.gm;
     Fp_tbl.remove t.inflight job.fp;
     let joins = job.join_subs in
@@ -203,21 +245,46 @@ let finalize t job ~verdict ~stats ~solve_wall =
 
 (* --- solving --------------------------------------------------------- *)
 
+(* Run one job's solve.  In [Direct] mode the solve is warm-start
+   aware: a snapshot found at submit time seeds it, and the state at
+   exit is captured for the warm cache (returned as the third
+   component).  Flat inputs load through [solve_flat]'s zero-copy
+   path.  [Simplify]/[Portfolio] solve a transformed formula or race
+   diversified lanes; neither seeds nor captures. *)
 let solve_job t pool job =
   let limits = { t.cfg.limits with Sat.Solver.deadline = job.deadline } in
   match t.cfg.mode with
-  | Direct -> Sat.Solver.solve ~limits ~interrupt:job.interrupt job.formula
+  | Direct ->
+    (match job.warm with
+     | Some _ -> Metrics.record_warm_seeded t.metrics
+     | None -> ());
+    let snap = ref None in
+    let snapshot =
+      match t.warm with
+      | Some _ -> Some (fun sd -> snap := Some sd)
+      | None -> None
+    in
+    let result, stats =
+      match job.input with
+      | Formula f ->
+        Sat.Solver.solve ~limits ~interrupt:job.interrupt ?seed:job.warm
+          ?snapshot f
+      | Flat fl ->
+        Sat.Solver.solve_flat ~limits ~interrupt:job.interrupt
+          ?seed:job.warm ?snapshot fl
+    in
+    (result, stats, !snap)
   | Simplify ->
     let inst =
       Eda4sat.Instance.of_cnf
         ~name:(Printf.sprintf "job-%d" job.id)
-        job.formula
+        (input_formula job.input)
     in
     let rep =
       Eda4sat.Pipeline.solve_direct ~limits ~interrupt:job.interrupt
         ~simplify:true inst
     in
-    (rep.Eda4sat.Pipeline.result, rep.Eda4sat.Pipeline.solver_stats)
+    (rep.Eda4sat.Pipeline.result, rep.Eda4sat.Pipeline.solver_stats, None)
   | Portfolio { share_lbd; _ } ->
     let pool = Option.get pool in
     let strategies =
@@ -226,14 +293,14 @@ let solve_job t pool job =
     in
     let o =
       Portfolio.Runner.run_in ~share_lbd ~limits ~interrupt:job.interrupt
-        pool strategies job.formula
+        pool strategies (input_formula job.input)
     in
-    (o.Portfolio.Runner.result, o.Portfolio.Runner.stats)
+    (o.Portfolio.Runner.result, o.Portfolio.Runner.stats, None)
 
 let deadline_passed job now =
   match job.deadline with Some d -> now >= d | None -> false
 
-let classify t job result stats solve_wall =
+let classify t job result stats solve_wall snapshot =
   let verdict =
     match result with
     | Sat.Solver.Sat m ->
@@ -242,14 +309,14 @@ let classify t job result stats solve_wall =
          auxiliary variables appended, and [Formula.eval] raises on a
          size mismatch.  Then never serve an unverified model: the
          check is linear in the formula and turns any would-be wrong
-         answer (a solver bug, a lane mix-up) into an explicit
-         failure. *)
-      let nv = job.formula.Cnf.Formula.num_vars in
+         answer (a solver bug, a lane mix-up, a corrupt warm seed)
+         into an explicit failure. *)
+      let nv = input_num_vars job.input in
       let m =
         if Array.length m = nv then m
         else Array.init nv (fun i -> i < Array.length m && m.(i))
       in
-      if Cnf.Formula.eval job.formula m then Sat m
+      if input_eval job.input m then Sat m
       else Failed "model verification failed"
     | Sat.Solver.Unsat -> Unsat
     | Sat.Solver.Unknown ->
@@ -257,7 +324,7 @@ let classify t job result stats solve_wall =
       else if Atomic.get t.stopping then Failed "server shutdown"
       else Timeout (* a configured base limit: still a resource answer *)
   in
-  finalize t job ~verdict ~stats ~solve_wall
+  finalize t job ?snapshot ~verdict ~stats ~solve_wall ()
 
 (* Remove a self-closed session from the live table.  The session may
    already be gone (evicted by the monitor in the same instant); the
@@ -318,19 +385,21 @@ let worker_loop t () =
       (if already_done then () (* e.g. timed out while queued *)
        else if Atomic.get t.stopping then
          finalize t job ~verdict:(Failed "server shutdown")
-           ~stats:empty_stats ~solve_wall:0.0
+           ~stats:empty_stats ~solve_wall:0.0 ()
        else if deadline_passed job (Sat.Wall.now ()) then
          finalize t job ~verdict:Timeout ~stats:empty_stats ~solve_wall:0.0
+           ()
        else begin
          let t0 = Sat.Wall.now () in
          match solve_job t pool job with
-         | result, stats ->
-           classify t job result stats (Sat.Wall.now () -. t0)
+         | result, stats, snapshot ->
+           classify t job result stats (Sat.Wall.now () -. t0) snapshot
          | exception e ->
            finalize t job
              ~verdict:(Failed (Printexc.to_string e))
              ~stats:empty_stats
              ~solve_wall:(Sat.Wall.now () -. t0)
+             ()
        end);
       loop ()
   in
@@ -393,7 +462,7 @@ let monitor_loop t () =
           Mutex.unlock job.jm;
           if queued then
             finalize t job ~verdict:Timeout ~stats:empty_stats
-              ~solve_wall:0.0
+              ~solve_wall:0.0 ()
           else begin
             job.timed_out <- true;
             Sat.Solver.Interrupt.set job.interrupt
@@ -408,6 +477,8 @@ let monitor_loop t () =
 
 let create ?(config = default_config) () =
   if config.workers < 1 then invalid_arg "Engine.create: workers < 1";
+  if config.warm_capacity < 0 then
+    invalid_arg "Engine.create: warm_capacity < 0";
   if config.session_capacity < 1 then
     invalid_arg "Engine.create: session_capacity < 1";
   if not (valid_deadline config.default_deadline) then
@@ -421,6 +492,10 @@ let create ?(config = default_config) () =
       cfg = config;
       queue = Job_queue.create ~capacity:config.queue_capacity ();
       cache = Cache.create ~capacity:config.cache_capacity ();
+      warm =
+        (if config.warm_capacity > 0 && config.mode = Direct then
+           Some (Cache.Warm.create ~capacity:config.warm_capacity ())
+         else None);
       metrics = Metrics.create ();
       inflight = Fp_tbl.create 64;
       sessions = Hashtbl.create 64;
@@ -440,9 +515,9 @@ let create ?(config = default_config) () =
   t.domains <- monitor :: workers;
   t
 
-let submit_live t ?deadline ~priority formula =
+let submit_live t ?deadline ~priority input =
   let now = Sat.Wall.now () in
-  let fp = Cnf.Fingerprint.of_formula formula in
+  let fp = input_fingerprint input in
   let cached =
     match Cache.find t.cache fp with
     | None -> None
@@ -454,7 +529,7 @@ let submit_live t ?deadline ~priority formula =
            fingerprints guarantee equal model sets, so a failure here
            is a detected hash collision: drop the entry and fall
            through to a real solve. *)
-        if Cnf.Formula.eval formula m then Some (Sat (Array.copy m), e)
+        if input_eval input m then Some (Sat (Array.copy m), e)
         else begin
           Cache.remove t.cache fp;
           None
@@ -491,11 +566,20 @@ let submit_live t ?deadline ~priority formula =
       | None ->
         let id = t.next_id in
         t.next_id <- id + 1;
+        (* Warm lookup happens at submit time (not solve time) so the
+           snapshot travels with the job even if the warm cache evicts
+           the entry while the job is queued. *)
+        let warm =
+          match t.warm with
+          | Some w -> Cache.Warm.find w fp
+          | None -> None
+        in
         let job =
           {
             id;
-            formula;
+            input;
             fp;
+            warm;
             deadline =
               (match deadline with
                | Some s -> Some (now +. s)
@@ -518,7 +602,12 @@ let submit_live t ?deadline ~priority formula =
         Fp_tbl.replace t.inflight fp job;
         if Job_queue.push t.queue ~priority (W_job job) then begin
           Mutex.unlock t.gm;
-          Metrics.record_submitted t.metrics;
+          (* A warm-started submit counts as [warm_hits], not
+             [submitted] — the two are disjoint legs of the request
+             reconciliation. *)
+          (match job.warm with
+           | Some _ -> Metrics.record_warm_hit t.metrics
+           | None -> Metrics.record_submitted t.metrics);
           Ok (T_job { job; source = Solved; t_submit = now })
         end
         else begin
@@ -534,7 +623,7 @@ let submit_live t ?deadline ~priority formula =
 (* The stopping check comes before the cache lookup: a shut-down
    server rejects every submit, even one it could answer from memory
    — [shutdown] means "this instance no longer answers". *)
-let submit t ?deadline ?(priority = 0) formula =
+let submit_input t ?deadline ?(priority = 0) input =
   if Atomic.get t.stopping then begin
     Metrics.record_rejected t.metrics;
     Error "server shutting down"
@@ -543,7 +632,20 @@ let submit t ?deadline ?(priority = 0) formula =
     Metrics.record_rejected t.metrics;
     Error "bad-deadline"
   end
-  else submit_live t ?deadline ~priority formula
+  else submit_live t ?deadline ~priority input
+
+let submit t ?deadline ?priority formula =
+  submit_input t ?deadline ?priority (Formula formula)
+
+let submit_flat t ?deadline ?priority fl =
+  submit_input t ?deadline ?priority (Flat fl)
+
+(* Drop a fingerprint's {e verdict} while keeping its warm snapshot —
+   the next identical submit re-solves, seeded.  This is the knob the
+   warm-start bench turns to measure resume-vs-restart without the
+   verdict cache short-circuiting the resubmit; it is also useful when
+   a client wants a fresh model for a formula it already solved. *)
+let forget_verdict t fp = Cache.remove t.cache fp
 
 let answer_of_core job core ~source ~t_submit =
   {
@@ -591,6 +693,9 @@ let on_answer _t ticket k =
 
 let solve t ?deadline ?priority formula =
   Result.map (await t) (submit t ?deadline ?priority formula)
+
+let solve_flat t ?deadline ?priority fl =
+  Result.map (await t) (submit_flat t ?deadline ?priority fl)
 
 (* --- sessions -------------------------------------------------------- *)
 

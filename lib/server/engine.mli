@@ -28,6 +28,22 @@
     + decisive answers (a verified model, or [Unsat]) enter the LRU
       cache; [await] wakes every ticket attached to the job.
 
+    {2 Warm starts}
+
+    In [Direct] mode the engine also keeps a bounded LRU of
+    {!Sat.Solver.seed} snapshots ({!Cache.Warm}), keyed by the same
+    canonical fingerprint as the verdict cache.  Every finished solve
+    — including one that timed out — snapshots its low-LBD learnt
+    clauses, saved phases and activity order; a later submit of the
+    same canonical formula that misses the verdict cache {e resumes}
+    from the snapshot instead of restarting ([warm_hits] in
+    {!Metrics}).  Soundness is by construction: equal fingerprints
+    mean equal model sets, so the snapshot's learnt clauses are
+    implied by the resubmitted formula; and a warm answer is never
+    trusted blind — models are re-verified and UNSAT proofs (when
+    requested via the direct pipeline) remain checkable because the
+    seeding path RUP-filters the injected clauses.
+
     {2 Incremental sessions}
 
     [open_session] allocates a persistent {!Session.t} wrapping one
@@ -94,6 +110,10 @@ type config = {
   workers : int;         (** worker domains (default 4) *)
   queue_capacity : int;  (** admission bound (default 64) *)
   cache_capacity : int;  (** LRU entries (default 512) *)
+  warm_capacity : int;
+      (** warm-start snapshot LRU entries (default 256); [0] disables
+          warm starts.  Only effective in [Direct] mode — the other
+          modes neither seed nor snapshot. *)
   mode : mode;           (** default [Direct] *)
   limits : Sat.Solver.limits;
       (** base per-job limits (the job deadline is layered on top) *)
@@ -112,6 +132,19 @@ val default_config : config
 type t
 type ticket
 
+(** A submitted formula: the array-of-arrays view, or the flat CSR
+    store the zero-copy DIMACS parser emits
+    ({!Cnf.Dimacs.read_flat_file}).  Flat submissions solve through
+    {!Sat.Solver.solve_flat} in [Direct] mode — clause bytes go
+    straight into the solver arena with no intermediate per-clause
+    arrays. *)
+type input =
+  | Formula of Cnf.Formula.t
+  | Flat of Cnf.Flat.t
+
+val input_num_vars : input -> int
+(** The submitted formula's declared variable count (either view). *)
+
 val create : ?config:config -> unit -> t
 (** Start the service: spawns the worker domains and the deadline
     monitor. *)
@@ -126,6 +159,17 @@ val submit :
     pops first) orders the admission queue.  [Error reason] is the
     backpressure path: the queue is full or the server is shutting
     down — nothing was enqueued. *)
+
+val submit_flat :
+  t -> ?deadline:float -> ?priority:int -> Cnf.Flat.t ->
+  (ticket, string) result
+(** [submit] for a flat CSR formula.  Same semantics (fingerprinting,
+    caching, dedup, warm starts); in [Direct] mode the solve loads the
+    CSR store into the arena directly. *)
+
+val submit_input :
+  t -> ?deadline:float -> ?priority:int -> input -> (ticket, string) result
+(** The general form both wrappers above delegate to. *)
 
 val await : t -> ticket -> answer
 (** Block until the ticket's job resolves.  Any number of domains may
@@ -149,6 +193,18 @@ val solve :
   t -> ?deadline:float -> ?priority:int -> Cnf.Formula.t ->
   (answer, string) result
 (** [submit] then [await]. *)
+
+val solve_flat :
+  t -> ?deadline:float -> ?priority:int -> Cnf.Flat.t ->
+  (answer, string) result
+(** [submit_flat] then [await]. *)
+
+val forget_verdict : t -> Cnf.Fingerprint.t -> unit
+(** Drop the fingerprint's verdict-cache entry (if any) while keeping
+    its warm snapshot: the next identical submit re-solves, seeded.
+    For clients that want a fresh solve of a known formula — and for
+    benchmarking resume-vs-restart without the verdict cache
+    short-circuiting the resubmit. *)
 
 (** {2 Session API} *)
 

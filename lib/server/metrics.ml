@@ -13,6 +13,8 @@ type snapshot = {
   failures : int;
   rejected : int;
   cache_hits : int;
+  warm_hits : int;
+  warm_seeded : int;
   dedup_joins : int;
   session_ops : int;
   sessions_opened : int;
@@ -27,6 +29,10 @@ type snapshot = {
   p50_ms : float;
   p95_ms : float;
   max_ms : float;
+  parse_count : int;
+  parse_p50_ms : float;
+  parse_p95_ms : float;
+  parse_max_ms : float;
   clients : (string * client_counts) list;
 }
 
@@ -47,6 +53,8 @@ type t = {
   mutable failures : int;
   mutable rejected : int;
   mutable cache_hits : int;
+  mutable warm_hits : int;
+  mutable warm_seeded : int;
   mutable dedup_joins : int;
   mutable session_ops : int;
   mutable sessions_opened : int;
@@ -60,6 +68,13 @@ type t = {
   mutable ring_pos : int;
   mutable lat_count : int;
   mutable lat_max : float;
+  (* Parse-latency ring (seconds): per-load DIMACS/AIGER ingest times
+     recorded by the transport front-ends, same shape as [ring]. *)
+  parse_ring : float array;
+  mutable parse_len : int;
+  mutable parse_pos : int;
+  mutable parse_count : int;
+  mutable parse_max : float;
   (* Per-client (tenant) counters, recorded by transport front-ends.
      Client ids are free-form strings chosen at the wire edge. *)
   clients : (string, client_cell) Hashtbl.t;
@@ -75,6 +90,8 @@ let create () =
     failures = 0;
     rejected = 0;
     cache_hits = 0;
+    warm_hits = 0;
+    warm_seeded = 0;
     dedup_joins = 0;
     session_ops = 0;
     sessions_opened = 0;
@@ -86,6 +103,11 @@ let create () =
     ring_pos = 0;
     lat_count = 0;
     lat_max = 0.0;
+    parse_ring = Array.make ring_capacity 0.0;
+    parse_len = 0;
+    parse_pos = 0;
+    parse_count = 0;
+    parse_max = 0.0;
     clients = Hashtbl.create 16;
   }
 
@@ -107,6 +129,20 @@ let record_cache_hit t ~latency_s =
   locked t (fun () ->
       t.cache_hits <- t.cache_hits + 1;
       note_latency t latency_s)
+
+let record_warm_hit t = locked t (fun () -> t.warm_hits <- t.warm_hits + 1)
+
+let record_warm_seeded t =
+  locked t (fun () -> t.warm_seeded <- t.warm_seeded + 1)
+
+let record_parse t ~latency_s =
+  locked t (fun () ->
+      let s = if latency_s < 0.0 then 0.0 else latency_s in
+      t.parse_ring.(t.parse_pos) <- s;
+      t.parse_pos <- (t.parse_pos + 1) mod ring_capacity;
+      if t.parse_len < ring_capacity then t.parse_len <- t.parse_len + 1;
+      t.parse_count <- t.parse_count + 1;
+      if s > t.parse_max then t.parse_max <- s)
 
 let record_dedup_join t =
   locked t (fun () -> t.dedup_joins <- t.dedup_joins + 1)
@@ -178,6 +214,8 @@ let snapshot t ~queue_depth ~inflight ~cache_entries ~sessions_live =
   locked t (fun () ->
       let window = Array.sub t.ring 0 t.ring_len in
       Array.sort compare window;
+      let parse_window = Array.sub t.parse_ring 0 t.parse_len in
+      Array.sort compare parse_window;
       {
         submitted = t.submitted;
         completed = t.solved_sat + t.solved_unsat + t.timeouts + t.failures;
@@ -187,6 +225,8 @@ let snapshot t ~queue_depth ~inflight ~cache_entries ~sessions_live =
         failures = t.failures;
         rejected = t.rejected;
         cache_hits = t.cache_hits;
+        warm_hits = t.warm_hits;
+        warm_seeded = t.warm_seeded;
         dedup_joins = t.dedup_joins;
         session_ops = t.session_ops;
         sessions_opened = t.sessions_opened;
@@ -201,6 +241,10 @@ let snapshot t ~queue_depth ~inflight ~cache_entries ~sessions_live =
         p50_ms = 1000.0 *. percentile window 0.50;
         p95_ms = 1000.0 *. percentile window 0.95;
         max_ms = 1000.0 *. t.lat_max;
+        parse_count = t.parse_count;
+        parse_p50_ms = 1000.0 *. percentile parse_window 0.50;
+        parse_p95_ms = 1000.0 *. percentile parse_window 0.95;
+        parse_max_ms = 1000.0 *. t.parse_max;
         clients =
           Hashtbl.fold
             (fun name c acc ->
@@ -247,25 +291,29 @@ let to_json (s : snapshot) =
   Printf.sprintf
     "{\"submitted\": %d, \"completed\": %d, \"solved_sat\": %d, \
      \"solved_unsat\": %d, \"timeouts\": %d, \"failures\": %d, \
-     \"rejected\": %d, \"cache_hits\": %d, \"dedup_joins\": %d, \
+     \"rejected\": %d, \"cache_hits\": %d, \"warm_hits\": %d, \
+     \"warm_seeded\": %d, \"dedup_joins\": %d, \
      \"session_ops\": %d, \"sessions_opened\": %d, \
      \"sessions_closed\": %d, \"sessions_evicted\": %d, \
      \"session_solves\": %d, \"sessions_live\": %d, \
      \"queue_depth\": %d, \"inflight\": %d, \"cache_entries\": %d, \
      \"latency_count\": %d, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \
-     \"max_ms\": %.3f, \"clients\": %s}"
+     \"max_ms\": %.3f, \"parse_count\": %d, \"parse_p50_ms\": %.3f, \
+     \"parse_p95_ms\": %.3f, \"parse_max_ms\": %.3f, \
+     \"clients\": %s}"
     s.submitted s.completed s.solved_sat s.solved_unsat s.timeouts s.failures
-    s.rejected s.cache_hits s.dedup_joins s.session_ops s.sessions_opened
-    s.sessions_closed s.sessions_evicted s.session_solves s.sessions_live
-    s.queue_depth s.inflight s.cache_entries s.latency_count s.p50_ms
-    s.p95_ms s.max_ms (clients_json s.clients)
+    s.rejected s.cache_hits s.warm_hits s.warm_seeded s.dedup_joins
+    s.session_ops s.sessions_opened s.sessions_closed s.sessions_evicted
+    s.session_solves s.sessions_live s.queue_depth s.inflight s.cache_entries
+    s.latency_count s.p50_ms s.p95_ms s.max_ms s.parse_count s.parse_p50_ms
+    s.parse_p95_ms s.parse_max_ms (clients_json s.clients)
 
 let pp ppf (s : snapshot) =
   Format.fprintf ppf
     "submitted=%d completed=%d sat=%d unsat=%d timeout=%d failed=%d \
-     rejected=%d cache_hits=%d dedup_joins=%d session_ops=%d \
+     rejected=%d cache_hits=%d warm=%d/%d dedup_joins=%d session_ops=%d \
      sessions=%d/%d/%d queue=%d inflight=%d p50=%.1fms p95=%.1fms"
     s.submitted s.completed s.solved_sat s.solved_unsat s.timeouts s.failures
-    s.rejected s.cache_hits s.dedup_joins s.session_ops s.sessions_opened
-    s.sessions_closed s.sessions_evicted s.queue_depth s.inflight s.p50_ms
-    s.p95_ms
+    s.rejected s.cache_hits s.warm_hits s.warm_seeded s.dedup_joins
+    s.session_ops s.sessions_opened s.sessions_closed s.sessions_evicted
+    s.queue_depth s.inflight s.p50_ms s.p95_ms

@@ -7,12 +7,14 @@
     - [rejected]        (queue full / bad deadline / server stopping —
                          never ran),
     - [cache_hits]      (answered at submit time from the cache),
+    - [warm_hits]       (cache miss, but a warm-start snapshot for the
+                         fingerprint was found: the job solves, seeded),
     - [dedup_joins]     (attached to an in-flight job's future),
     - [session_ops]     (accepted onto a session's op FIFO),
-    - [submitted]       (became a new one-shot solve job);
+    - [submitted]       (became a new cold one-shot solve job);
 
-    so [requests = submitted + cache_hits + dedup_joins + rejected +
-    session_ops] holds exactly, and every submitted job eventually
+    so [requests = submitted + cache_hits + warm_hits + dedup_joins +
+    rejected + session_ops] holds exactly, and every submitted job eventually
     lands in exactly one of
     [solved_sat], [solved_unsat], [timeouts] or [failures], whose sum
     is [completed].  Latencies are request-level (submit to answer),
@@ -36,6 +38,13 @@ type snapshot = {
   failures : int;
   rejected : int;
   cache_hits : int;
+  warm_hits : int;
+      (** submits that found a warm-start snapshot (counted instead of
+          [submitted]) *)
+  warm_seeded : int;
+      (** solves that actually started from a snapshot — at most
+          [warm_hits]; a warm job cancelled before it ran never
+          seeds *)
   dedup_joins : int;
   session_ops : int;      (** session operations accepted *)
   sessions_opened : int;
@@ -50,6 +59,12 @@ type snapshot = {
   p50_ms : float;      (** 0 when no observations *)
   p95_ms : float;
   max_ms : float;
+  parse_count : int;   (** formula-load observations ever recorded *)
+  parse_p50_ms : float;
+      (** over its own bounded ring of the most recent
+          {!ring_capacity} loads; 0 when no observations *)
+  parse_p95_ms : float;
+  parse_max_ms : float;
   clients : (string * client_counts) list;
       (** per-client (tenant) counters recorded by transport
           front-ends, sorted by client id *)
@@ -63,6 +78,19 @@ val record_rejected : t -> unit
 val record_cache_hit : t -> latency_s:float -> unit
 val record_dedup_join : t -> unit
 val record_submitted : t -> unit
+
+val record_warm_hit : t -> unit
+(** A submit that found a warm-start snapshot for its fingerprint;
+    counted {e instead of} [record_submitted] so the request
+    reconciliation stays exact.  The job's completion and latency are
+    recorded by {!record_completed} as usual. *)
+
+val record_warm_seeded : t -> unit
+(** A solve that actually started from a snapshot. *)
+
+val record_parse : t -> latency_s:float -> unit
+(** One formula load (file read + parse) at a transport front-end;
+    feeds the [parse_*] ring, not the request-latency window. *)
 
 val record_session_op : t -> unit
 (** One session operation accepted onto a session FIFO (or answered

@@ -5,6 +5,15 @@ let default_load path =
          (Aig.Aiger_io.read_file path))
   else Cnf.Dimacs.read_file path
 
+(* The transport-default loader: AIGER still goes through the circuit
+   pipeline (it needs Tseitin encoding anyway), but DIMACS files take
+   the zero-copy path — mmap the bytes, parse into a flat CSR store,
+   and let the engine load that store straight into the solver arena. *)
+let default_load_input path =
+  if Filename.check_suffix path ".aag" then
+    Engine.Formula (default_load path)
+  else Engine.Flat (Cnf.Dimacs.read_flat_file path)
+
 (* The wire takes milliseconds; engine deadlines are seconds from now.
    This is the only ms→s conversion in the stack — the engine then
    validates the value and composes the absolute instant, so a NaN or
@@ -316,7 +325,7 @@ let printer_loop engine oc fifo () =
   in
   loop ()
 
-let serve ?(load = default_load) engine ic oc =
+let serve ?(load = default_load_input) engine ic oc =
   let fifo =
     { q = Queue.create (); m = Mutex.create (); c = Condition.create () }
   in
@@ -325,6 +334,7 @@ let serve ?(load = default_load) engine ic oc =
   let handle_solve ~file ~deadline ~priority =
     incr seq;
     let n = !seq in
+    let t0 = Sat.Wall.now () in
     match load file with
     | exception e ->
       fifo_push fifo
@@ -332,13 +342,15 @@ let serve ?(load = default_load) engine ic oc =
            [ job_header ~seq:n ~file;
              Printf.sprintf "ERROR cannot load %s: %s" file
                (Printexc.to_string e) ])
-    | formula -> (
-      match Engine.submit engine ?deadline ?priority formula with
+    | input -> (
+      Metrics.record_parse (Engine.metrics engine)
+        ~latency_s:(Sat.Wall.now () -. t0);
+      match Engine.submit_input engine ?deadline ?priority input with
       | Ok ticket ->
         fifo_push fifo
           (Answer
              { seq = n; file;
-               num_vars = formula.Cnf.Formula.num_vars; ticket })
+               num_vars = Engine.input_num_vars input; ticket })
       | Error reason ->
         fifo_push fifo
           (Lines [ job_header ~seq:n ~file; "REJECTED " ^ reason ]))

@@ -105,8 +105,14 @@ type request =
 val parse_request : string -> request
 
 val default_load : string -> Cnf.Formula.t
-(** DIMACS for [.cnf]/[.dimacs], AIGER for [.aag] — the default
-    [SOLVE] operand loader of both transports. *)
+(** DIMACS for [.cnf]/[.dimacs], AIGER for [.aag] — the classic
+    array-of-arrays loader. *)
+
+val default_load_input : string -> Engine.input
+(** The default [SOLVE] operand loader of both transports: AIGER files
+    load through the circuit pipeline as [Formula]; everything else is
+    treated as DIMACS and loads through the zero-copy mmap parser
+    ({!Cnf.Dimacs.read_flat_file}) as [Flat]. *)
 
 val job_header : seq:int -> file:string -> string
 val open_header : seq:int -> string
@@ -123,10 +129,9 @@ val session_answer_lines :
 (** Render a session answer: header, outcome, model or core line. *)
 
 val serve :
-  ?load:(string -> Cnf.Formula.t) ->
+  ?load:(string -> Engine.input) ->
   Engine.t -> in_channel -> out_channel -> unit
-(** Run the protocol until EOF or [QUIT].  [load] (default: DIMACS
-    for [.cnf]/[.dimacs], AIGER for [.aag], via
-    {!Eda4sat.Instance.direct_formula}) maps a [SOLVE] operand to a
-    formula.  Does {e not} shut the engine down — the caller owns its
-    lifecycle. *)
+(** Run the protocol until EOF or [QUIT].  [load] (default
+    {!default_load_input}) maps a [SOLVE] operand to an engine input;
+    each successful load is timed into {!Metrics.record_parse}.  Does
+    {e not} shut the engine down — the caller owns its lifecycle. *)

@@ -242,15 +242,25 @@ let test_serve_session () =
     | ls -> Alcotest.failf "expected 1 STATS line, got %d" (List.length ls)
   in
   let g k = json_int stats_line k in
-  check_int "requests reconcile: submitted + cache + join + rejected = 21" 21
-    (g "submitted" + g "cache_hits" + g "dedup_joins" + g "rejected");
-  check_int "every job completed" (g "submitted") (g "completed");
+  check_int "requests reconcile: submitted + cache + warm + join + rejected"
+    21
+    (g "submitted" + g "cache_hits" + g "warm_hits" + g "dedup_joins"
+    + g "rejected");
+  check_int "every job completed"
+    (g "submitted" + g "warm_hits")
+    (g "completed");
   check_int "outcomes reconcile" (g "completed")
     (g "solved_sat" + g "solved_unsat" + g "timeouts" + g "failures");
   check_int "no failures" 0 (g "failures");
   check_int "one deadline enforced" 1 (g "timeouts");
   check_int "one cache hit in stats" 1 (g "cache_hits");
   check_int "one dedup join in stats" 1 (g "dedup_joins");
+  (* Every SOLVE operand went through the transport loader, and each
+     successful load lands in the parse-latency ring. *)
+  check_int "every load parse-timed" 21 (g "parse_count");
+  check_bool "parse p95 present" true (g "parse_p95_ms" >= 0);
+  check_bool "warm snapshots coherent" true
+    (g "warm_seeded" <= g "warm_hits");
   (* The deadlined job is resolved by the monitor while still queued;
      its stale heap entry may not have been popped yet when STATS is
      computed, so the depth is 0 or 1 — never a real waiter. *)
@@ -353,10 +363,11 @@ let test_serve_session_verbs () =
   check_int "one session opened" 1 (g "sessions_opened");
   check_int "three session solves" 3 (g "session_solves");
   check_int "no one-shot traffic" 0
-    (g "submitted" + g "cache_hits" + g "dedup_joins" + g "rejected");
+    (g "submitted" + g "cache_hits" + g "warm_hits" + g "dedup_joins"
+    + g "rejected");
   check_int "requests reconcile: 10 session ops, nothing else" 10
-    (g "submitted" + g "cache_hits" + g "dedup_joins" + g "rejected"
-     + g "session_ops")
+    (g "submitted" + g "cache_hits" + g "warm_hits" + g "dedup_joins"
+    + g "rejected" + g "session_ops")
 
 (* --- serve: wire deadlines are milliseconds, validated --------------- *)
 
@@ -565,13 +576,15 @@ let test_serve_socket_multiclient () =
      slow reader's) plus the quota client's first; its second was
      refused at the net layer and never became an engine request. *)
   check_int "engine accepted 18 one-shots" 18
-    (g "submitted" + g "cache_hits" + g "dedup_joins");
+    (g "submitted" + g "cache_hits" + g "warm_hits" + g "dedup_joins");
   check_int "no engine rejections" 0 (g "rejected");
   check_int "four session ops" 4 (g "session_ops");
   check_int "one session opened" 1 (g "sessions_opened");
   check_int "one session closed" 1 (g "sessions_closed");
   check_int "the deadlined job timed out" 1 (g "timeouts");
-  check_int "everything else completed" (g "submitted") (g "completed");
+  check_int "everything else completed"
+    (g "submitted" + g "warm_hits")
+    (g "completed");
   check_bool "per-client counters: one-shot tenant" true
     (has_sub "\"mc3\": {\"requests\": 2, \"answered\": 2, \"rejected\": 0}"
        stats_line);

@@ -641,3 +641,227 @@ let suite =
       ("fingerprint collision smoke", `Quick,
        test_fingerprint_collision_smoke);
     ]
+
+(* --- Flat CSR store and the zero-copy DIMACS parser ------------------ *)
+
+let test_flat_roundtrip () =
+  let f =
+    Cnf.Formula.create ~num_vars:4
+      [ [| 1; -2; 3 |]; [| -4 |]; [||]; [| 2; 4 |] ]
+  in
+  let fl = Cnf.Flat.of_formula f in
+  check "vars" 4 (fl.Cnf.Flat.num_vars);
+  check "clauses" 4 (Cnf.Flat.num_clauses fl);
+  check "lits" 6 (Cnf.Flat.num_literals fl);
+  check "clause sizes" 0 (Cnf.Flat.clause_size fl 2);
+  let f' = Cnf.Flat.to_formula fl in
+  Alcotest.(check (array (array int)))
+    "round-trips clause-exact" f.Cnf.Formula.clauses f'.Cnf.Formula.clauses;
+  (* eval agrees with the Formula view on every assignment of 4 vars *)
+  for m = 0 to 15 do
+    let a = Array.init 4 (fun i -> m land (1 lsl i) <> 0) in
+    check_bool "eval agrees" (Cnf.Formula.eval f a) (Cnf.Flat.eval fl a)
+  done
+
+(* Legacy string reader vs. the flat cursor parser: identical formulas
+   on every accepted input, identical exceptions (constructor AND
+   message) on every rejected one. *)
+let flat_vs_legacy s =
+  let legacy =
+    match Cnf.Dimacs.read_string s with
+    | f -> Ok f
+    | exception Cnf.Dimacs.Parse_error m -> Error m
+  in
+  let flat =
+    match Cnf.Dimacs.read_flat_string s with
+    | fl -> Ok (Cnf.Flat.to_formula fl)
+    | exception Cnf.Dimacs.Parse_error m -> Error m
+  in
+  match (legacy, flat) with
+  | Error a, Error b ->
+    Alcotest.(check string) ("error text for " ^ String.escaped s) a b
+  | Ok a, Ok b ->
+    check ("num_vars for " ^ String.escaped s) a.Cnf.Formula.num_vars
+      b.Cnf.Formula.num_vars;
+    Alcotest.(check (array (array int)))
+      ("clauses for " ^ String.escaped s)
+      a.Cnf.Formula.clauses b.Cnf.Formula.clauses
+  | Ok _, Error m ->
+    Alcotest.failf "flat rejected %S (%s), legacy accepted" s m
+  | Error m, Ok _ ->
+    Alcotest.failf "legacy rejected %S (%s), flat accepted" s m
+
+let test_flat_parser_edge_cases () =
+  List.iter flat_vs_legacy
+    [
+      (* accepted layouts *)
+      "p cnf 3 2\n1 -2\n0\n2 3 0\n";
+      "c head\np cnf 2 1\nc mid\n1 2 0\nc tail\n";
+      "p cnf 2 1\r\n1 2 0\r\n";                    (* CRLF *)
+      "p cnf 2 1\n1 2 0";                          (* no trailing newline *)
+      "p cnf 2 1\n+1 +2 0\n";                      (* '+' signs *)
+      "p cnf 3 2\n1\n-2\n0 3 0\n";                 (* clauses span lines *)
+      "p cnf 2 1\n1 2 0\n% trailer\n0\n";          (* %-style trailer *)
+      "p    cnf   2   1  \n 1 2 0\n";              (* elastic whitespace *)
+      "p cnf 0 0\n";                               (* empty formula *)
+      "p cnf 2 2\n1 0 0\n";                        (* empty clause *)
+      (* rejected layouts — messages must match byte-for-byte *)
+      "";
+      "c only a comment\n";
+      "p cnf 2 1\n1 2\n";                          (* unterminated *)
+      "p cnf 2 2\n1 0\n";                          (* count mismatch *)
+      "p cnf 1 1\n7 0\n";                          (* literal out of range *)
+      "p cnf 1 1\n-7 0\n";
+      "p cnf -1 0\n";                              (* negative num_vars *)
+      "p cnf 2\n";                                 (* short p-line *)
+      "q cnf 2 1\n1 2 0\n";                        (* bad header *)
+      "p cnf 2 1\n1 x 0\n";                        (* bad token *)
+      "p cnf 2 1\n1 99999999999999999999 0\n";     (* overflow literal *)
+      "p cnf 2 1\n1 - 2 0\n";                      (* bare sign *)
+      "p cnf 2 1\n1 2 0\ntrailing junk\n";
+    ]
+
+let prop_flat_differential =
+  QCheck.Test.make ~name:"dimacs: flat parser == legacy parser" ~count:500
+    QCheck.(triple (int_bound 10000000) (int_range 1 12) (int_range 0 30))
+    (fun (seed, nvars, nclauses) ->
+      let rng = Aig.Rng.create seed in
+      let clauses =
+        List.init nclauses (fun _ ->
+            Array.init (Aig.Rng.int rng 5) (fun _ ->
+                let v = 1 + Aig.Rng.int rng nvars in
+                if Aig.Rng.bool rng then v else -v))
+      in
+      let f = Cnf.Formula.create ~num_vars:nvars clauses in
+      let s = Cnf.Dimacs.write_string f in
+      (* Random textual perturbations that must not change the parse:
+         comment insertion, CRLF line ends, trailing-newline removal. *)
+      let s =
+        match Aig.Rng.int rng 4 with
+        | 0 -> "c prefix\n" ^ s
+        | 1 ->
+          String.concat "\r\n" (String.split_on_char '\n' s)
+        | 2 ->
+          if String.length s > 0 && s.[String.length s - 1] = '\n' then
+            String.sub s 0 (String.length s - 1)
+          else s
+        | _ -> s
+      in
+      let a = Cnf.Dimacs.read_string s in
+      let b = Cnf.Flat.to_formula (Cnf.Dimacs.read_flat_string s) in
+      a.Cnf.Formula.num_vars = b.Cnf.Formula.num_vars
+      && a.Cnf.Formula.clauses = b.Cnf.Formula.clauses
+      (* and the streaming fingerprint agrees with the materialized one *)
+      && Cnf.Fingerprint.equal
+           (Cnf.Fingerprint.of_flat (Cnf.Dimacs.read_flat_string s))
+           (Cnf.Fingerprint.of_formula a))
+
+let prop_of_flat_equals_of_formula =
+  QCheck.Test.make ~name:"fingerprint: of_flat == of_formula" ~count:500
+    QCheck.(triple (int_bound 10000000) (int_range 1 14) (int_range 0 40))
+    (fun (seed, nvars, nclauses) ->
+      let rng = Aig.Rng.create seed in
+      let clauses =
+        List.init nclauses (fun _ ->
+            (* duplicates and tautologies on purpose: both paths must
+               normalize them identically *)
+            Array.init (Aig.Rng.int rng 6) (fun _ ->
+                let v = 1 + Aig.Rng.int rng nvars in
+                if Aig.Rng.bool rng then v else -v))
+      in
+      let f = Cnf.Formula.create ~num_vars:nvars clauses in
+      Cnf.Fingerprint.equal
+        (Cnf.Fingerprint.of_flat (Cnf.Flat.of_formula f))
+        (Cnf.Fingerprint.of_formula f))
+
+let test_flat_mmap_file () =
+  let f =
+    Cnf.Formula.create ~num_vars:5
+      [ [| 1; -2; 3 |]; [| -4 |]; [| 2; 4; 5 |]; [| -5; 1 |] ]
+  in
+  let path = Filename.temp_file "eda4sat_mmap" ".cnf" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Cnf.Dimacs.write_file f path;
+      let fl = Cnf.Dimacs.read_flat_file path in
+      Alcotest.(check (array (array int)))
+        "mmap parse round-trips"
+        f.Cnf.Formula.clauses
+        (Cnf.Flat.to_formula fl).Cnf.Formula.clauses;
+      Alcotest.(check (array (array int)))
+        "read_file goes through the same path"
+        f.Cnf.Formula.clauses
+        (Cnf.Dimacs.read_file path).Cnf.Formula.clauses;
+      (* A truncated file must answer the same error as the string
+         parser on the same bytes. *)
+      let full = Cnf.Dimacs.write_string f in
+      let cut = String.sub full 0 (String.length full - 3) in
+      let oc = open_out path in
+      output_string oc cut;
+      close_out oc;
+      let from_string =
+        match Cnf.Dimacs.read_string cut with
+        | _ -> Alcotest.fail "truncated input accepted"
+        | exception Cnf.Dimacs.Parse_error m -> m
+      in
+      (match Cnf.Dimacs.read_flat_file path with
+       | _ -> Alcotest.fail "truncated file accepted"
+       | exception Cnf.Dimacs.Parse_error m ->
+         Alcotest.(check string) "same error via mmap" from_string m));
+  (* missing files still raise Sys_error, like the channel reader *)
+  match Cnf.Dimacs.read_flat_file "/nonexistent/eda4sat.cnf" with
+  | _ -> Alcotest.fail "missing file accepted"
+  | exception Sys_error _ -> ()
+
+let test_flat_fingerprint_collision_smoke () =
+  (* The of_flat collision smoke twin: same 3000-case generator seeded
+     differently, hashing through the CSR path, zero collisions. *)
+  let rng = Aig.Rng.create 20260806 in
+  let tbl = Hashtbl.create 4096 in
+  for i = 0 to 2999 do
+    let nvars = 3 + Aig.Rng.int rng 12 in
+    let clauses =
+      List.init
+        (1 + Aig.Rng.int rng 9)
+        (fun _ ->
+          Array.init
+            (1 + Aig.Rng.int rng 4)
+            (fun _ ->
+              let v = 1 + Aig.Rng.int rng nvars in
+              if Aig.Rng.bool rng then v else -v))
+    in
+    let f = Cnf.Formula.create ~num_vars:nvars clauses in
+    let key =
+      ( nvars,
+        List.sort_uniq compare
+          (List.filter_map
+             (fun c ->
+               let l = List.sort_uniq compare (Array.to_list c) in
+               if List.exists (fun x -> List.mem (-x) l) l then None
+               else Some l)
+             clauses) )
+    in
+    let h = Cnf.Fingerprint.of_flat (Cnf.Flat.of_formula f) in
+    check_bool
+      (Printf.sprintf "of_flat matches of_formula at case %d" i)
+      true
+      (Cnf.Fingerprint.equal h (Cnf.Fingerprint.of_formula f));
+    (match Hashtbl.find_opt tbl h with
+     | Some k when k <> key ->
+       Alcotest.failf "of_flat collision at case %d: %s" i
+         (Cnf.Fingerprint.to_hex h)
+     | _ -> ());
+    Hashtbl.replace tbl h key
+  done
+
+let suite =
+  suite
+  @ [
+      ("flat CSR round-trip", `Quick, test_flat_roundtrip);
+      ("flat parser edge cases", `Quick, test_flat_parser_edge_cases);
+      ("flat mmap file reader", `Quick, test_flat_mmap_file);
+      ("of_flat collision smoke", `Quick,
+       test_flat_fingerprint_collision_smoke);
+    ]
+  @ qsuite [ prop_flat_differential; prop_of_flat_equals_of_formula ]

@@ -939,3 +939,176 @@ let suite =
       ("inprocessing: incremental sessions", `Quick,
        test_inprocess_incremental);
     ]
+
+(* --- warm starts: seed/snapshot and the flat solve path -------------- *)
+
+let stats_triple (s : Sat.Solver.stats) =
+  (s.Sat.Solver.decisions, s.Sat.Solver.conflicts, s.Sat.Solver.propagations)
+
+let test_solve_flat_bit_identical () =
+  (* The flat prepare path must produce the same trajectory as the
+     array-of-arrays path: same result, same decision/conflict/
+     propagation counts, clause by clause. *)
+  List.iter
+    (fun f ->
+      let fl = Cnf.Flat.of_formula f in
+      let r1, s1 = Sat.Solver.solve f in
+      let r2, s2 = Sat.Solver.solve_flat fl in
+      (match (r1, r2) with
+       | Sat.Solver.Sat m1, Sat.Solver.Sat m2 ->
+         Alcotest.(check (array bool)) "same model" m1 m2
+       | Sat.Solver.Unsat, Sat.Solver.Unsat -> ()
+       | _ -> Alcotest.fail "flat/formula verdicts differ");
+      Alcotest.(check (triple int int int))
+        "same trajectory" (stats_triple s1) (stats_triple s2))
+    [
+      pigeonhole ~pigeons:7 ~holes:6;
+      random_formula 42 12 50 4;
+      Cnf.Formula.create ~num_vars:3 [ [| 1; -1 |]; [||]; [| 2 |] ];
+      Cnf.Formula.create ~num_vars:2 [ [| 1; 1 |]; [| -1; 2; 2 |] ];
+    ]
+
+let test_snapshot_fires_and_seed_resumes () =
+  let f = pigeonhole ~pigeons:7 ~holes:6 in
+  let snap = ref None in
+  let r1, s1 = Sat.Solver.solve ~snapshot:(fun sd -> snap := Some sd) f in
+  (match r1 with
+   | Sat.Solver.Unsat -> ()
+   | _ -> Alcotest.fail "php(7,6) is unsat");
+  let sd = match !snap with
+    | Some sd -> sd
+    | None -> Alcotest.fail "snapshot callback did not fire"
+  in
+  check_bool "cold solve had conflicts" true (s1.Sat.Solver.conflicts > 0);
+  (* Re-solving seeded with the full snapshot must be decisively
+     cheaper: the learnt clauses carry the refutation. *)
+  let r2, s2 = Sat.Solver.solve ~seed:sd f in
+  (match r2 with
+   | Sat.Solver.Unsat -> ()
+   | _ -> Alcotest.fail "seeded solve changed the verdict");
+  check_bool "seeded solve is cheaper" true
+    (s2.Sat.Solver.conflicts < s1.Sat.Solver.conflicts)
+
+let test_seeded_unsat_proof_checks () =
+  (* A seeded solve with a proof recorder must still produce a
+     checkable DRAT stream: injected clauses are RUP-filtered and
+     logged, so the checker never sees an unjustified step. *)
+  let f = pigeonhole ~pigeons:6 ~holes:5 in
+  let snap = ref None in
+  (match fst (Sat.Solver.solve ~snapshot:(fun sd -> snap := Some sd) f) with
+   | Sat.Solver.Unsat -> ()
+   | _ -> Alcotest.fail "php(6,5) is unsat");
+  let sd = Option.get !snap in
+  let proof = Sat.Proof.create () in
+  (match fst (Sat.Solver.solve ~proof ~seed:sd f) with
+   | Sat.Solver.Unsat -> ()
+   | _ -> Alcotest.fail "seeded+proof solve changed the verdict");
+  check_bool "seeded proof sealed" true (Sat.Proof.sealed proof);
+  check_bool "seeded proof checks" true (Sat.Proof.check f proof)
+
+let test_no_seed_no_snapshot_bit_identical () =
+  (* Passing neither option must leave the trajectory untouched
+     relative to the pre-warm-start solver — guarded here by comparing
+     a solve against itself with an ignored snapshot. *)
+  let f = random_formula 7 14 58 4 in
+  let r1, s1 = Sat.Solver.solve f in
+  let r2, s2 = Sat.Solver.solve ~snapshot:(fun _ -> ()) f in
+  (match (r1, r2) with
+   | Sat.Solver.Sat a, Sat.Solver.Sat b ->
+     Alcotest.(check (array bool)) "same model" a b
+   | Sat.Solver.Unsat, Sat.Solver.Unsat -> ()
+   | _ -> Alcotest.fail "snapshot observation changed the verdict");
+  Alcotest.(check (triple int int int))
+    "snapshot observation is free" (stats_triple s1) (stats_triple s2)
+
+let prop_warm_start_sound =
+  (* Soundness fuzz: capture a snapshot from a full solve, re-solve
+     seeded, and demand (a) verdicts agree with brute force, (b) SAT
+     models verify, (c) UNSAT solves under a recorder stay
+     DRAT-checkable.  Never trust the warm answer blind. *)
+  QCheck.Test.make ~name:"warm start: seeded solves stay sound" ~count:120
+    QCheck.(
+      quad (int_bound 10000000) (int_range 2 9) (int_range 1 38)
+        (int_range 1 4))
+    (fun (seed, nvars, nclauses, maxlen) ->
+      let f = random_formula seed nvars nclauses maxlen in
+      let expected = Option.is_some (brute_force f) in
+      let snap = ref None in
+      let cold = fst (Sat.Solver.solve ~snapshot:(fun s -> snap := Some s) f)
+      in
+      let cold_ok =
+        match cold with
+        | Sat.Solver.Sat m -> expected && Cnf.Formula.eval f m
+        | Sat.Solver.Unsat -> not expected
+        | Sat.Solver.Unknown -> false
+      in
+      match !snap with
+      | None -> false
+      | Some sd -> (
+        cold_ok
+        &&
+        let proof = Sat.Proof.create () in
+        match fst (Sat.Solver.solve ~proof ~seed:sd f) with
+        | Sat.Solver.Sat m -> expected && Cnf.Formula.eval f m
+        | Sat.Solver.Unsat ->
+          (not expected) && Sat.Proof.sealed proof
+          && Sat.Proof.check f proof
+        | Sat.Solver.Unknown -> false))
+
+let prop_warm_start_flat_sound =
+  (* The same soundness contract through the flat path, with the
+     snapshot crossing representations: captured from a Formula solve,
+     seeded into a Flat solve of the same canonical instance. *)
+  QCheck.Test.make ~name:"warm start: flat-seeded solves stay sound"
+    ~count:120
+    QCheck.(
+      quad (int_bound 10000000) (int_range 2 9) (int_range 1 38)
+        (int_range 1 4))
+    (fun (seed, nvars, nclauses, maxlen) ->
+      let f = random_formula seed nvars nclauses maxlen in
+      let expected = Option.is_some (brute_force f) in
+      let snap = ref None in
+      ignore (Sat.Solver.solve ~snapshot:(fun s -> snap := Some s) f);
+      match !snap with
+      | None -> false
+      | Some sd -> (
+        match
+          fst (Sat.Solver.solve_flat ~seed:sd (Cnf.Flat.of_formula f))
+        with
+        | Sat.Solver.Sat m -> expected && Cnf.Formula.eval f m
+        | Sat.Solver.Unsat -> not expected
+        | Sat.Solver.Unknown -> false))
+
+let test_interrupted_snapshot_resumes () =
+  (* A conflict-limited solve answers Unknown but still snapshots;
+     resuming from that snapshot must preserve the verdict of a fresh
+     unlimited solve. *)
+  let f = pigeonhole ~pigeons:7 ~holes:6 in
+  let snap = ref None in
+  let limits = { Sat.Solver.no_limits with Sat.Solver.max_conflicts = Some 60 } in
+  (match
+     fst (Sat.Solver.solve ~limits ~snapshot:(fun s -> snap := Some s) f)
+   with
+   | Sat.Solver.Unknown -> ()
+   | _ -> Alcotest.fail "expected the conflict limit to trip");
+  let sd = Option.get !snap in
+  check_bool "interrupted snapshot captured clauses" true
+    (Array.length sd.Sat.Solver.seed_clauses > 0);
+  match fst (Sat.Solver.solve ~seed:sd f) with
+  | Sat.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "resumed solve lost the refutation"
+
+let suite =
+  suite
+  @ [
+      ("solve_flat is bit-identical", `Quick, test_solve_flat_bit_identical);
+      ("snapshot fires, seed resumes", `Quick,
+       test_snapshot_fires_and_seed_resumes);
+      ("seeded UNSAT keeps DRAT checkable", `Quick,
+       test_seeded_unsat_proof_checks);
+      ("snapshot observation is free", `Quick,
+       test_no_seed_no_snapshot_bit_identical);
+      ("interrupted snapshot resumes", `Quick,
+       test_interrupted_snapshot_resumes);
+    ]
+  @ qsuite [ prop_warm_start_sound; prop_warm_start_flat_sound ]

@@ -6,12 +6,13 @@
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
-let config ?(workers = 2) ?(queue = 64) ?(cache = 64) ?(sessions = 64)
-    ?session_ttl () =
+let config ?(workers = 2) ?(queue = 64) ?(cache = 64) ?(warm = 64)
+    ?(sessions = 64) ?session_ttl () =
   {
     Server.workers;
     queue_capacity = queue;
     cache_capacity = cache;
+    warm_capacity = warm;
     mode = Server.Direct;
     limits = Sat.Solver.no_limits;
     default_deadline = None;
@@ -19,10 +20,10 @@ let config ?(workers = 2) ?(queue = 64) ?(cache = 64) ?(sessions = 64)
     session_ttl;
   }
 
-let with_engine ?workers ?queue ?cache ?sessions ?session_ttl f =
+let with_engine ?workers ?queue ?cache ?warm ?sessions ?session_ttl f =
   let e =
     Server.create
-      ~config:(config ?workers ?queue ?cache ?sessions ?session_ttl ())
+      ~config:(config ?workers ?queue ?cache ?warm ?sessions ?session_ttl ())
       ()
   in
   Fun.protect ~finally:(fun () -> Server.shutdown e) (fun () -> f e)
@@ -214,8 +215,9 @@ let test_concurrent_fuzz () =
       check_int "every request accounted"
         (n_domains * per_domain)
         (s.Server.Metrics.submitted + s.Server.Metrics.cache_hits
-        + s.Server.Metrics.dedup_joins);
-      check_int "every job completed" s.Server.Metrics.submitted
+        + s.Server.Metrics.warm_hits + s.Server.Metrics.dedup_joins);
+      check_int "every job completed"
+        (s.Server.Metrics.submitted + s.Server.Metrics.warm_hits)
         s.Server.Metrics.completed;
       check_int "all answers decisive" s.Server.Metrics.completed
         (s.Server.Metrics.solved_sat + s.Server.Metrics.solved_unsat);
@@ -480,8 +482,8 @@ let test_session_fuzz () =
      idle sessions out from under their owners (an owner that finds
      its session evicted reopens and carries on).  Every engine
      request is counted at the call site, so the reconciliation
-     invariant (requests = submitted + cache_hits + dedup_joins +
-     rejected + session_ops) is checked exactly. *)
+     invariant (requests = submitted + cache_hits + warm_hits +
+     dedup_joins + rejected + session_ops) is checked exactly. *)
   with_engine ~workers:3 ~queue:256 ~sessions:3 (fun e ->
       let n_domains = 4 and per_domain = 6 in
       let failures = Atomic.make 0 in
@@ -602,12 +604,170 @@ let test_session_fuzz () =
         (Atomic.get oneshots + Atomic.get session_ops
         + Atomic.get open_rejects)
         (s.Server.Metrics.submitted + s.Server.Metrics.cache_hits
-        + s.Server.Metrics.dedup_joins + s.Server.Metrics.rejected
-        + s.Server.Metrics.session_ops);
+        + s.Server.Metrics.warm_hits + s.Server.Metrics.dedup_joins
+        + s.Server.Metrics.rejected + s.Server.Metrics.session_ops);
       check_int "opens reconcile" (Atomic.get opens)
         s.Server.Metrics.sessions_opened;
-      check_int "every job completed" s.Server.Metrics.submitted
+      check_int "every job completed"
+        (s.Server.Metrics.submitted + s.Server.Metrics.warm_hits)
         s.Server.Metrics.completed)
+
+(* --- warm starts ----------------------------------------------------- *)
+
+let test_warm_resume_after_forget () =
+  with_engine ~workers:1 (fun e ->
+      let f = php 8 in
+      let cold =
+        match Server.solve e f with
+        | Ok a -> a
+        | Error r -> Alcotest.failf "cold solve rejected: %s" r
+      in
+      check_bool "php(8,7) UNSAT" true (cold.Server.verdict = Server.Unsat);
+      check_bool "cold answer is fresh" true
+        (cold.Server.source = Server.Solved);
+      (* Drop the verdict but keep the snapshot: the resubmission must
+         miss the result cache and resume from the warm seed instead. *)
+      Server.forget_verdict e (Cnf.Fingerprint.of_formula f);
+      let warm =
+        match Server.solve e f with
+        | Ok a -> a
+        | Error r -> Alcotest.failf "warm solve rejected: %s" r
+      in
+      check_bool "warm answer is fresh, not cached" true
+        (warm.Server.source = Server.Solved);
+      check_bool "warm verdict agrees" true
+        (warm.Server.verdict = Server.Unsat);
+      let s = Server.stats e in
+      check_int "one warm hit" 1 s.Server.Metrics.warm_hits;
+      check_int "the hit was seeded into a solver" 1
+        s.Server.Metrics.warm_seeded;
+      check_int "only the cold pass counted as submitted" 1
+        s.Server.Metrics.submitted;
+      check_int "both passes completed" 2 s.Server.Metrics.completed;
+      check_bool "seeded resume refutes with fewer conflicts" true
+        (warm.Server.stats.Sat.Solver.conflicts
+         < cold.Server.stats.Sat.Solver.conflicts))
+
+let test_warm_disabled_when_zero () =
+  with_engine ~warm:0 (fun e ->
+      let f = php 7 in
+      (match Server.solve e f with
+       | Ok { Server.verdict = Server.Unsat; _ } -> ()
+       | _ -> Alcotest.fail "php(7,6) must be UNSAT");
+      Server.forget_verdict e (Cnf.Fingerprint.of_formula f);
+      (match Server.solve e f with
+       | Ok { Server.verdict = Server.Unsat; source = Server.Solved; _ } -> ()
+       | _ -> Alcotest.fail "resubmission must be a fresh cold solve");
+      let s = Server.stats e in
+      check_int "no warm hits with warm_capacity = 0" 0
+        s.Server.Metrics.warm_hits;
+      check_int "no warm seeds" 0 s.Server.Metrics.warm_seeded;
+      check_int "both solves were cold" 2 s.Server.Metrics.submitted)
+
+let test_warm_timeout_resume () =
+  with_engine ~workers:1 (fun e ->
+      let f = php 9 in
+      match Server.solve e ~deadline:0.02 f with
+      | Error r -> Alcotest.failf "rejected: %s" r
+      | Ok { Server.verdict = Server.Unsat; _ } ->
+        (* The machine beat the tight deadline — nothing to resume. *)
+        ()
+      | Ok { Server.verdict = Server.Timeout; _ } ->
+        (* A timeout never enters the verdict cache, but the
+           interrupted run's snapshot does enter the warm cache: the
+           resubmission resumes from it instead of restarting. *)
+        (match Server.solve e f with
+         | Ok { Server.verdict = Server.Unsat; source = Server.Solved; _ } ->
+           ()
+         | Ok _ -> Alcotest.fail "resumed php(9,8) must refute"
+         | Error r -> Alcotest.failf "resume rejected: %s" r);
+        let s = Server.stats e in
+        check_int "the resume was a warm hit" 1 s.Server.Metrics.warm_hits;
+        check_int "the interrupted snapshot was seeded" 1
+          s.Server.Metrics.warm_seeded
+      | Ok _ -> Alcotest.fail "php(9,8) answers UNSAT or Timeout")
+
+let test_flat_bridges_verdict_cache () =
+  with_engine (fun e ->
+      let f =
+        Cnf.Formula.create ~num_vars:4
+          [ [| 1; 2 |]; [| -1; 3 |]; [| -3; 4 |]; [| 2; -4 |] ]
+      in
+      let m0 =
+        match Server.solve e f with
+        | Ok { Server.verdict = Server.Sat m; _ } -> m
+        | _ -> Alcotest.fail "formula is satisfiable"
+      in
+      (* The same clauses, shuffled and with a duplicate literal, as a
+         flat CSR store: the canonical fingerprint matches, so the
+         answer must come from the cache — both ingest paths share one
+         verdict space. *)
+      let g =
+        Cnf.Flat.of_formula
+          (Cnf.Formula.create ~num_vars:4
+             [ [| 2; -4; 2 |]; [| 4; -3 |]; [| 2; 1 |]; [| 3; -1 |] ])
+      in
+      (match Server.solve_flat e g with
+       | Ok { Server.verdict = Server.Sat m; source = Server.Cache_hit; _ } ->
+         Alcotest.(check (array bool)) "bit-identical model" m0 m
+       | Ok _ -> Alcotest.fail "expected a cache hit for the flat twin"
+       | Error r -> Alcotest.failf "flat submit rejected: %s" r);
+      (* And the other direction: a flat-first solve caches the answer
+         a later Formula submission picks up. *)
+      let h = Cnf.Formula.create ~num_vars:2 [ [| 1 |]; [| -1; 2 |] ] in
+      (match Server.solve_flat e (Cnf.Flat.of_formula h) with
+       | Ok { Server.verdict = Server.Sat _; source = Server.Solved; _ } -> ()
+       | _ -> Alcotest.fail "flat solve should be fresh");
+      match Server.solve e h with
+      | Ok { Server.verdict = Server.Sat _; source = Server.Cache_hit; _ } ->
+        ()
+      | _ -> Alcotest.fail "formula twin should hit the flat-built cache")
+
+(* Two passes over a random batch with every verdict forgotten in
+   between: the second pass runs on warm resumes, and the ledger still
+   reconciles to the request count exactly. *)
+let test_warm_fuzz () =
+  with_engine ~workers:3 ~cache:256 ~warm:256 (fun e ->
+      let rng = Aig.Rng.create 20260808 in
+      let formulas = List.init 40 (fun _ -> random_formula rng) in
+      let pass () =
+        List.map (fun f -> (f, submit_ok e f)) formulas
+        |> List.map (fun (f, t) -> (f, Server.await e t))
+      in
+      let first = pass () in
+      List.iter
+        (fun (f, (a : Server.answer)) ->
+          match a.Server.verdict with
+          | Server.Sat m ->
+            check_bool "model satisfies" true (Cnf.Formula.eval f m)
+          | Server.Unsat ->
+            check_bool "brute force agrees UNSAT" false (brute_force_sat f)
+          | _ -> Alcotest.fail "unexpected cold verdict")
+        first;
+      List.iter
+        (fun f -> Server.forget_verdict e (Cnf.Fingerprint.of_formula f))
+        formulas;
+      let second = pass () in
+      List.iter2
+        (fun (_, (a : Server.answer)) (_, (b : Server.answer)) ->
+          check_bool "warm verdict agrees with cold" true
+            (match (a.Server.verdict, b.Server.verdict) with
+             | Server.Sat _, Server.Sat _ -> true
+             | Server.Unsat, Server.Unsat -> true
+             | _ -> false))
+        first second;
+      let s = Server.stats e in
+      check_int "every request accounted" 80
+        (s.Server.Metrics.submitted + s.Server.Metrics.cache_hits
+        + s.Server.Metrics.warm_hits + s.Server.Metrics.dedup_joins
+        + s.Server.Metrics.rejected);
+      check_int "every job completed"
+        (s.Server.Metrics.submitted + s.Server.Metrics.warm_hits)
+        s.Server.Metrics.completed;
+      check_bool "seeds never exceed hits" true
+        (s.Server.Metrics.warm_seeded <= s.Server.Metrics.warm_hits);
+      check_bool "the second pass warm-resumed" true
+        (s.Server.Metrics.warm_hits > 0))
 
 (* --- job queue ------------------------------------------------------- *)
 
@@ -640,6 +800,11 @@ let suite =
     ("full queue rejects", `Quick, test_queue_full_rejection);
     ("shutdown idempotent", `Quick, test_shutdown_idempotent);
     ("concurrent submit/await fuzz", `Quick, test_concurrent_fuzz);
+    ("warm start resumes after forget", `Quick, test_warm_resume_after_forget);
+    ("warm starts disabled at capacity 0", `Quick, test_warm_disabled_when_zero);
+    ("timeout snapshot resumes warm", `Quick, test_warm_timeout_resume);
+    ("flat and formula share the cache", `Quick, test_flat_bridges_verdict_cache);
+    ("warm two-pass fuzz reconciles", `Quick, test_warm_fuzz);
     ("job queue ordering", `Quick, test_job_queue_ordering);
     ("job queue backpressure", `Quick, test_job_queue_backpressure);
     ("session basics", `Quick, test_session_basics);
