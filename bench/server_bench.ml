@@ -127,6 +127,7 @@ let () =
       default_deadline = None;
       session_capacity = 64;
       session_ttl = None;
+      cube = None;
     }
   in
   let engine = Server.create ~config () in

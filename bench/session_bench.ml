@@ -175,6 +175,7 @@ let () =
       default_deadline = None;
       session_capacity = max 8 (List.length suite);
       session_ttl = None;
+      cube = None;
     }
   in
   let engine = Server.create ~config () in

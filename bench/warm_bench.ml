@@ -171,6 +171,7 @@ let () =
       default_deadline = None;
       session_capacity = 8;
       session_ttl = None;
+      cube = None;
     }
   in
   let engine = Server.create ~config () in

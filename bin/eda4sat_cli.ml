@@ -11,8 +11,9 @@
    Inputs ending in .cnf/.dimacs are DIMACS; .aag files are ASCII
    AIGER circuits.
 
-   'solve' and 'portfolio' exit with the SAT-competition convention:
-   10 = SATISFIABLE, 20 = UNSATISFIABLE, 0 = UNKNOWN (timeout). *)
+   'solve', 'portfolio' and 'cube' exit with the SAT-competition
+   convention: 10 = SATISFIABLE, 20 = UNSATISFIABLE, 0 = UNKNOWN
+   (timeout). *)
 
 open Cmdliner
 
@@ -311,6 +312,93 @@ let portfolio_cmd =
     Term.(const run $ verbose_arg $ input_arg $ timeout_arg $ jobs $ share_lbd
           $ mapper_arg $ recipe_arg $ agent_arg)
 
+(* --- cube ------------------------------------------------------------- *)
+
+let cube_cmd =
+  let run verbose input timeout cubes jobs probe_limit proof_file =
+    setup_logs verbose;
+    let inst = read_instance input in
+    let limits = limits_of_timeout timeout in
+    let proof = Option.map (fun _ -> Sat.Proof.create ()) proof_file in
+    let report, cr =
+      Eda4sat.Pipeline.solve_cube ~limits ~cubes ~probe_limit ~jobs ?proof
+        ~log:(fun msg -> Printf.printf "c %s\n%!" msg)
+        inst
+    in
+    let count p =
+      Array.fold_left
+        (fun n o -> if p o then n + 1 else n)
+        0 cr.Portfolio.Cuber.outcomes
+    in
+    Printf.printf
+      "c cubes=%d (dead=%d) refuted=%d cancelled=%d solved=%d steals=%d \
+       wall=%.3fs\n"
+      (Array.length cr.Portfolio.Cuber.cubes)
+      (Array.fold_left
+         (fun n c -> if c.Portfolio.Cuber.dead then n + 1 else n)
+         0 cr.Portfolio.Cuber.cubes)
+      (count (fun o -> o = Portfolio.Cuber.Cube_refuted))
+      (count (fun o -> o = Portfolio.Cuber.Cube_cancelled))
+      cr.Portfolio.Cuber.solved cr.Portfolio.Cuber.steals
+      cr.Portfolio.Cuber.wall;
+    (match cr.Portfolio.Cuber.failure with
+     | Some msg -> Printf.printf "c cube failure: %s\n" msg
+     | None -> ());
+    let code =
+      match cr.Portfolio.Cuber.result with
+      | Sat.Solver.Sat m ->
+        print_endline "s SATISFIABLE";
+        print_model m;
+        exit_sat
+      | Sat.Solver.Unsat ->
+        (* solve_cube publishes Unsat only when every cube is refuted;
+           with --proof the stitched stream is sealed through the empty
+           clause. *)
+        write_proof proof_file proof;
+        print_endline "s UNSATISFIABLE";
+        exit_unsat
+      | Sat.Solver.Unknown ->
+        print_endline "s UNKNOWN";
+        exit_unknown
+    in
+    Format.printf "c %a@." Sat.Solver.pp_stats
+      report.Eda4sat.Pipeline.solver_stats;
+    code
+  in
+  let cubes =
+    Arg.(value & opt int 8
+         & info [ "cubes" ] ~docv:"N"
+             ~doc:"Target cube count; the lookahead tree splits until it \
+                   has N leaves (rounded to the tree shape).")
+  in
+  let jobs =
+    Arg.(value & opt int 4
+         & info [ "j"; "cube-jobs"; "jobs" ] ~docv:"N"
+             ~doc:"Worker domains conquering cubes (1 = deterministic \
+                   sequential, bit-identical cube order).")
+  in
+  let probe_limit =
+    Arg.(value & opt int 32
+         & info [ "cube-probe-limit" ] ~docv:"N"
+             ~doc:"Lookahead probe budget: candidate split variables \
+                   propagated (both phases) per tree node.")
+  in
+  let proof_file =
+    Arg.(value & opt (some string) None
+         & info [ "proof" ] ~docv:"FILE"
+             ~doc:"On UNSAT, write the stitched cube→conquer→stitch DRAT \
+                   stream (each refuted cube's clauses, then the \
+                   case-split tree bottom-up to the empty clause).")
+  in
+  Cmd.v
+    (Cmd.info "cube"
+       ~doc:"Cube-and-conquer: lookahead-split the instance into cubes, \
+             conquer them in parallel with work stealing and first-SAT \
+             cancellation, and stitch per-cube refutations into one \
+             checkable DRAT proof.")
+    Term.(const run $ verbose_arg $ input_arg $ timeout_arg $ cubes $ jobs
+          $ probe_limit $ proof_file)
+
 (* --- serve ------------------------------------------------------------ *)
 
 (* "HOST:PORT" (":PORT" and "PORT" bind every interface). *)
@@ -331,8 +419,9 @@ let parse_listen spec =
 
 let serve_cmd =
   let run verbose workers queue cache warm mode jobs share_lbd timeout
-      deadline_ms sessions session_ttl_ms listen unix_path stdio max_clients
-      conn_buffer quota priority_floor tenant_specs =
+      deadline_ms sessions session_ttl_ms cube_conflicts cube_count cube_jobs
+      cube_probe_limit listen unix_path stdio max_clients conn_buffer quota
+      priority_floor tenant_specs =
     setup_logs verbose;
     let mode =
       match mode with
@@ -340,6 +429,17 @@ let serve_cmd =
       | "simplify" -> Server.Simplify
       | "portfolio" -> Server.Portfolio { jobs; share_lbd }
       | m -> failwith ("unknown mode: " ^ m ^ " (direct|simplify|portfolio)")
+    in
+    let cube =
+      if cube_conflicts <= 0 then None
+      else
+        Some
+          {
+            Server.cube_trigger = cube_conflicts;
+            cube_count;
+            cube_jobs;
+            cube_probe_limit;
+          }
     in
     let config =
       {
@@ -355,6 +455,7 @@ let serve_cmd =
           (match session_ttl_ms with
            | Some ms when ms <= 0.0 -> None (* 0 disables TTL eviction *)
            | ttl -> Option.map (fun ms -> ms /. 1000.0) ttl);
+        cube;
       }
     in
     let tenant_limits =
@@ -456,6 +557,32 @@ let serve_cmd =
          & info [ "session-ttl-ms" ] ~docv:"MS"
              ~doc:"Evict sessions idle this long (0 disables).")
   in
+  let cube_conflicts =
+    Arg.(value & opt int 0
+         & info [ "cube-conflicts" ] ~docv:"N"
+             ~doc:"Hardness trigger for cube-and-conquer (mode=direct): a \
+                   job still open after N conflicts is re-solved by \
+                   cubing; its remaining budget is spent conquering \
+                   cubes in parallel (0 disables cubing).")
+  in
+  let cube_count =
+    Arg.(value & opt int 8
+         & info [ "cubes" ] ~docv:"N"
+             ~doc:"Target cube count per escalated job \
+                   (--cube-conflicts).")
+  in
+  let cube_jobs =
+    Arg.(value & opt int 4
+         & info [ "cube-jobs" ] ~docv:"N"
+             ~doc:"Worker domains conquering an escalated job's cubes \
+                   (1 = sequential).")
+  in
+  let cube_probe_limit =
+    Arg.(value & opt int 32
+         & info [ "cube-probe-limit" ] ~docv:"N"
+             ~doc:"Lookahead probe budget per cube-tree node \
+                   (--cube-conflicts).")
+  in
   let listen =
     Arg.(value & opt (some string) None
          & info [ "listen" ] ~docv:"HOST:PORT"
@@ -519,7 +646,8 @@ let serve_cmd =
              drains gracefully.")
     Term.(const run $ verbose_arg $ workers $ queue $ cache $ warm $ mode
           $ jobs $ share_lbd $ timeout_arg $ deadline_ms $ sessions
-          $ session_ttl_ms $ listen $ unix_path $ stdio $ max_clients
+          $ session_ttl_ms $ cube_conflicts $ cube_count $ cube_jobs
+          $ cube_probe_limit $ listen $ unix_path $ stdio $ max_clients
           $ conn_buffer $ quota $ priority_floor $ tenant_specs)
 
 (* --- preprocess ------------------------------------------------------ *)
@@ -746,5 +874,6 @@ let () =
   let doc = "EDA-driven preprocessing for SAT solving" in
   let info = Cmd.info "eda4sat" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
-                     [ solve_cmd; portfolio_cmd; serve_cmd; preprocess_cmd;
-                       train_cmd; generate_cmd; tables_cmd; map_cmd ]))
+                     [ solve_cmd; portfolio_cmd; cube_cmd; serve_cmd;
+                       preprocess_cmd; train_cmd; generate_cmd; tables_cmd;
+                       map_cmd ]))

@@ -384,6 +384,32 @@ let run_portfolio ?(limits = Sat.Solver.no_limits) ?(jobs = 4)
   in
   (report, outcome)
 
+let solve_cube ?(limits = Sat.Solver.no_limits) ?cubes ?probe_limit ?jobs
+    ?proof ?interrupt ?log inst =
+  let f = Instance.direct_formula inst in
+  let cr =
+    Portfolio.Cuber.solve ?cubes ?probe_limit ?jobs ~limits ?proof ?interrupt
+      ?log f
+  in
+  let report =
+    {
+      instance = inst.Instance.name;
+      recipe_used = [];
+      vars = f.Cnf.Formula.num_vars;
+      clauses = Cnf.Formula.num_clauses f;
+      t_agent = 0.0;
+      t_trans = 0.0;
+      t_solve = cr.Portfolio.Cuber.wall;
+      result = cr.Portfolio.Cuber.result;
+      solver_stats = cr.Portfolio.Cuber.stats;
+      aig_before = None;
+      aig_after = None;
+      netlist_luts = 0;
+      netlist_levels = 0;
+    }
+  in
+  (report, cr)
+
 let reduction ~baseline r =
   let tb = t_all baseline in
   if tb <= 0.0 then 0.0 else 100.0 *. (tb -. t_all r) /. tb

@@ -147,6 +147,27 @@ val run_portfolio :
     refutes the input formula) and the [jobs = 1] deterministic
     sequential fallback. *)
 
+(** {1 Cube-and-conquer} *)
+
+val solve_cube :
+  ?limits:Sat.Solver.limits ->
+  ?cubes:int ->
+  ?probe_limit:int ->
+  ?jobs:int ->
+  ?proof:Sat.Proof.t ->
+  ?interrupt:Sat.Solver.Interrupt.t ->
+  ?log:(string -> unit) ->
+  Instance.t ->
+  report * Portfolio.Cuber.report
+(** Cube-and-conquer the instance's direct formula with
+    {!Portfolio.Cuber.solve}: lookahead-split into up to [cubes]
+    cubes, conquer them on [jobs] domains with work stealing and
+    first-SAT sibling cancellation, and — with [proof] — stitch each
+    refuted cube's [¬cube] clause into one RUP-checkable DRAT stream
+    closed by the empty clause.  [limits] bound each cube job
+    separately.  The report's [t_solve] is the whole
+    cube→conquer→stitch wall time; [jobs = 1] is deterministic. *)
+
 val reduction : baseline:report -> report -> float
 (** Percentage reduction of T_all versus the baseline ("Red." columns). *)
 

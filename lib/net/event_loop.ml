@@ -19,6 +19,22 @@ let default_config =
 
 let anon_client = "anon"
 
+(* [Unix.select] only handles file descriptors numbered below
+   FD_SETSIZE (1024 on Linux).  An accepted socket at or past that
+   number would make every subsequent select fail with EINVAL and take
+   the whole loop down, so the connection budget is validated against
+   the fd space up front and every accepted fd is checked numerically
+   before it joins the select sets. *)
+let fd_setsize = 1024
+
+(* Head room kept under FD_SETSIZE for the wake pipe, the listeners,
+   stdio and whatever descriptors the rest of the process holds open
+   (instance files being loaded, the engine's own plumbing). *)
+let fd_reserve = 32
+
+(* On Unix a [Unix.file_descr] is the plain fd number. *)
+let fd_int (fd : Unix.file_descr) : int = Obj.magic fd
+
 type listener = {
   lfd : Unix.file_descr;
   l_desc : string;
@@ -28,6 +44,14 @@ type listener = {
 type t = {
   engine : Server.t;
   cfg : config;
+  max_clients : int;
+      (* [cfg.max_clients] clamped to the select fd budget
+         ([fd_setsize - fd_reserve]) at create time *)
+  mutable spare_fd : Unix.file_descr option;
+      (* sacrificial descriptor: on EMFILE/ENFILE it is closed to free
+         one slot so the pending connection can still be accepted,
+         refused and closed, instead of leaving the listener readable
+         forever *)
   tenants : Tenant.t;
   mutable listeners : listener list;
   conns : (int, Conn.t) Hashtbl.t;  (* loop thread only *)
@@ -57,9 +81,16 @@ let create ?(config = default_config) engine =
   let wake_r, wake_w = Unix.pipe ~cloexec:true () in
   Unix.set_nonblock wake_r;
   Unix.set_nonblock wake_w;
+  let max_clients = min config.max_clients (fd_setsize - fd_reserve) in
+  let spare_fd =
+    try Some (Unix.openfile "/dev/null" [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0)
+    with _ -> None
+  in
   {
     engine;
     cfg = config;
+    max_clients;
+    spare_fd;
     tenants;
     listeners = [];
     conns = Hashtbl.create 32;
@@ -95,6 +126,7 @@ let request_drain t =
 
 let draining t = Atomic.get t.draining
 let connections t = Hashtbl.length t.conns
+let effective_max_clients t = t.max_clients
 
 (* --- listeners -------------------------------------------------------- *)
 
@@ -444,6 +476,16 @@ let handle_read t conn scratch =
       conn.Conn.lines_pending <- conn.Conn.lines_pending @ lines;
       process_lines t conn)
 
+(* Refuse an accepted connection: answer, count, close.  Used for the
+   connection-count bound, for fds select could not handle, and for
+   the EMFILE shed path. *)
+let refuse_accept t fd =
+  m_rejected t anon_client;
+  let msg = "REJECTED overloaded\n" in
+  (try ignore (Unix.write_substring fd msg 0 (String.length msg))
+   with _ -> ());
+  try Unix.close fd with _ -> ()
+
 let handle_accept t l =
   match Unix.accept ~cloexec:true l.lfd with
   | exception
@@ -451,13 +493,28 @@ let handle_accept t l =
         ( ( Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR
           | Unix.ECONNABORTED ),
           _, _ ) -> ()
+  | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) -> (
+    (* The process is out of descriptors.  Sacrifice the spare fd so
+       the waiting connection can be accepted and told why it is being
+       turned away; otherwise the listener stays readable and the loop
+       spins on a connection it can never service. *)
+    match t.spare_fd with
+    | None -> ()
+    | Some spare ->
+      t.spare_fd <- None;
+      (try Unix.close spare with _ -> ());
+      (match Unix.accept ~cloexec:true l.lfd with
+       | exception _ -> ()
+       | fd, _ -> refuse_accept t fd);
+      (try
+         t.spare_fd <-
+           Some
+             (Unix.openfile "/dev/null"
+                [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0)
+       with _ -> ()))
   | fd, peer_addr ->
-    if Hashtbl.length t.conns >= t.cfg.max_clients then begin
-      let msg = "REJECTED overloaded\n" in
-      (try ignore (Unix.write_substring fd msg 0 (String.length msg))
-       with _ -> ());
-      try Unix.close fd with _ -> ()
-    end
+    if Hashtbl.length t.conns >= t.max_clients || fd_int fd >= fd_setsize
+    then refuse_accept t fd
     else begin
       Unix.set_nonblock fd;
       let peer =
@@ -521,8 +578,10 @@ let run t =
     if Hashtbl.length t.conns = 0 && t.listeners = [] then stop := true
     else begin
       let reads = ref [ t.wake_r ] in
-      if Hashtbl.length t.conns < t.cfg.max_clients then
-        List.iter (fun l -> reads := l.lfd :: !reads) t.listeners;
+      (* Listeners stay selectable at capacity: the accept path itself
+         refuses the surplus connection with an answer, which beats
+         letting it sit unanswered in the backlog. *)
+      List.iter (fun l -> reads := l.lfd :: !reads) t.listeners;
       Hashtbl.iter
         (fun _ c ->
           if (not c.Conn.eof) && not c.Conn.blocked then

@@ -47,7 +47,14 @@
     lost. *)
 
 type config = {
-  max_clients : int;   (** accepted connections at once (default 256) *)
+  max_clients : int;
+      (** accepted connections at once (default 256).  [Unix.select]
+          cannot watch descriptors numbered past FD_SETSIZE (1024), so
+          the effective bound is clamped at {!create} to the fd budget
+          — FD_SETSIZE minus head room for the wake pipe, listeners,
+          stdio and the process's other descriptors; see
+          {!effective_max_clients}.  Surplus connections are answered
+          [REJECTED overloaded] and closed. *)
   conn_buffer : int;
       (** per-connection write-buffer bound in bytes (default 4 MiB);
           half of it is the overload watermark *)
@@ -90,6 +97,16 @@ val request_drain : t -> unit
 
 val draining : t -> bool
 val connections : t -> int
+
+val effective_max_clients : t -> int
+(** The connection bound actually enforced: [config.max_clients]
+    clamped to the select fd budget (FD_SETSIZE = 1024 minus reserved
+    head room).  A [--max-clients 100000] server therefore refuses its
+    993rd concurrent connection instead of crashing the event loop the
+    first time an accepted fd reaches 1024.  Independently of the
+    count, any accepted descriptor numbered ≥ FD_SETSIZE is refused,
+    and an accept failing with EMFILE/ENFILE sheds the pending
+    connection gracefully through a sacrificial spare descriptor. *)
 
 val run : t -> unit
 (** Drive the loop until done: no listeners left (never added, or

@@ -197,6 +197,32 @@ let shutdown_pool pool =
   Mutex.unlock pool.pm;
   if first then Array.iter Domain.join pool.domains
 
+(* Fan a batch of thunks onto the pool and wait for all of them — the
+   cube scheduler's dispatch primitive.  Thunk exceptions are swallowed
+   (each thunk is expected to record its own outcome); the latch always
+   reaches zero. *)
+let dispatch pool thunks =
+  let n = Array.length thunks in
+  if n > 0 then begin
+    let remaining = ref n in
+    let lm = Mutex.create () in
+    let lc = Condition.create () in
+    Array.iter
+      (fun thunk ->
+        submit_task pool (fun () ->
+            (try thunk () with _ -> ());
+            Mutex.lock lm;
+            decr remaining;
+            if !remaining = 0 then Condition.broadcast lc;
+            Mutex.unlock lm))
+      thunks;
+    Mutex.lock lm;
+    while !remaining > 0 do
+      Condition.wait lc lm
+    done;
+    Mutex.unlock lm
+  end
+
 (* --- parallel race --------------------------------------------------- *)
 
 let run_in ?(share_lbd = 4) ?(limits = Sat.Solver.no_limits) ?proof ?interrupt

@@ -134,6 +134,14 @@ val run_in :
     each race may start with fewer domains than [pool_size].
     @raise Invalid_argument after {!shutdown_pool}. *)
 
+val dispatch : pool -> (unit -> unit) array -> unit
+(** Submit every thunk onto the pool and block until all of them have
+    run — the cube scheduler's fan-out/join primitive.  A thunk's
+    exception is swallowed (each thunk records its own outcome), so
+    [dispatch] always returns.  Like {!run_in}, concurrent dispatches
+    on one pool are safe but share workers.
+    @raise Invalid_argument after {!shutdown_pool}. *)
+
 val shutdown_pool : pool -> unit
 (** Drain nothing, wake every idle worker and join the domains.
     Outstanding races must have returned; idempotent otherwise. *)

@@ -1938,3 +1938,149 @@ module Incremental = struct
         finish Unsat
     end
 end
+
+(* ------------------------------------------------------------------ *)
+(* Cube-and-conquer surface: lookahead probing and assumption jobs *)
+
+type prober = { ps : t; order : int array }
+
+let prober f =
+  match prepare f with
+  | Trivially_unsat -> `Unsat
+  | Ready (s, units) -> (
+    try
+      List.iter
+        (fun l ->
+          match lit_value s l with
+          | 1 -> ()
+          | 0 -> raise Unsat_at_level0
+          | _ -> enqueue s l reason_none)
+        units;
+      if propagate s <> None then raise Unsat_at_level0;
+      (* Candidates most-occurring-first, ties on the variable index,
+         so the order — and every split derived from it — is
+         deterministic for a given formula. *)
+      let occ = Array.make (max 1 s.nvars) 0 in
+      Array.iter
+        (fun clause ->
+          Array.iter
+            (fun l ->
+              let v = abs l - 1 in
+              if v >= 0 && v < s.nvars then occ.(v) <- occ.(v) + 1)
+            clause)
+        f.Cnf.Formula.clauses;
+      let order = Array.init s.nvars (fun v -> v) in
+      Array.sort
+        (fun a b ->
+          if occ.(a) <> occ.(b) then compare occ.(b) occ.(a)
+          else compare a b)
+        order;
+      `Prober { ps = s; order }
+    with Unsat_at_level0 -> `Unsat)
+
+exception Probe_dead
+exception Probe_model of bool array
+
+let probe_split p ~prefix ~limit =
+  let s = p.ps in
+  let limit = max 1 limit in
+  cancel_until s 0;
+  let model () = Array.init s.nvars (fun v -> s.assigns.(v) = 1) in
+  try
+    (* Place the cube prefix on pseudo decision levels, propagating
+       after each literal.  A falsified literal or a conflict refutes
+       the prefix by unit propagation alone — [¬prefix] is RUP against
+       the original formula. *)
+    Array.iter
+      (fun dl ->
+        let v = abs dl - 1 in
+        if v < 0 || v >= s.nvars then
+          invalid_arg "Solver.probe_split: literal out of range";
+        let l = lit_of_var v (dl < 0) in
+        match lit_value s l with
+        | 1 -> ()
+        | 0 -> raise Probe_dead
+        | _ ->
+          push_pseudo_level s;
+          enqueue s l reason_none;
+          if propagate s <> None then raise Probe_dead)
+      prefix;
+    if s.trail_size >= s.nvars then raise (Probe_model (model ()));
+    let plevel = decision_level s in
+    let base = s.trail_size in
+    let best = ref (-1) and best_score = ref min_int in
+    let probed = ref 0 and i = ref 0 in
+    let n = Array.length p.order in
+    while !probed < limit && !i < n do
+      let v = p.order.(!i) in
+      incr i;
+      if s.assigns.(v) < 0 then begin
+        incr probed;
+        (* Propagation lookahead on both phases: the trail growth is
+           the clause-reduction proxy; a conflicting phase means the
+           split hands one child a free UP refutation. *)
+        let gain sign =
+          push_pseudo_level s;
+          enqueue s (lit_of_var v sign) reason_none;
+          let g =
+            match propagate s with
+            | Some _ -> -1
+            | None ->
+              if s.trail_size >= s.nvars then raise (Probe_model (model ()));
+              s.trail_size - base
+          in
+          cancel_until s plevel;
+          g
+        in
+        let gp = gain false in
+        let gn = gain true in
+        let score =
+          if gp < 0 && gn < 0 then max_int
+          else if gp < 0 || gn < 0 then max_int - 1
+          else (gp * gn * 64) + gp + gn
+        in
+        if score > !best_score then begin
+          best_score := score;
+          best := v
+        end
+      end
+    done;
+    cancel_until s 0;
+    let v =
+      match !best with
+      | -1 ->
+        (* Unreachable (an unfilled trail leaves a probe candidate),
+           but fall back to the first unassigned variable. *)
+        let rec first i =
+          if s.assigns.(p.order.(i)) < 0 then p.order.(i) else first (i + 1)
+        in
+        first 0
+      | v -> v
+    in
+    `Split (v + 1)
+  with
+  | Probe_dead ->
+    cancel_until s 0;
+    `Unsat
+  | Probe_model m ->
+    cancel_until s 0;
+    `Sat m
+
+let solve_assuming ?limits ?proof ?heuristic ?restarts ?reduce_base
+    ?reduce_inc ?interrupt ?snapshot ~assumptions f =
+  let session = Incremental.create () in
+  Incremental.ensure_capacity session f.Cnf.Formula.num_vars;
+  Incremental.add_formula session f;
+  let result, stats =
+    Incremental.solve ?limits ?proof ?heuristic ?restarts ?reduce_base
+      ?reduce_inc ?interrupt ~assumptions session
+  in
+  (* Cube-aware snapshot guard: a seed captured under assumptions bakes
+     the cube's phases and activity order into what a warm start would
+     replay on the *base* formula, so the hook only fires for an
+     assumption-free call. *)
+  (match snapshot with
+   | Some hook when Array.length assumptions = 0 ->
+     hook (capture_seed session.Incremental.s)
+   | _ -> ());
+  (result, stats, Incremental.last_core session)

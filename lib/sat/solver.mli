@@ -315,3 +315,70 @@ module Incremental : sig
       [Unsat]).  Returns a fresh array on every call — the caller may
       mutate it freely. *)
 end
+
+(** {1 Cube-and-conquer surface}
+
+    The lookahead prober and the assumption-job entry point the
+    portfolio cuber builds on (see [lib/portfolio/cuber.ml]). *)
+
+type prober
+(** A prepared solver specialized for level-0 lookahead: clauses loaded
+    and level-0 units propagated, plus a deterministic candidate order
+    (most-occurring variables first, ties on index).  Not thread-safe —
+    one domain at a time. *)
+
+val prober : Cnf.Formula.t -> [ `Prober of prober | `Unsat ]
+(** Prepare a formula for probing.  [`Unsat] when the formula is
+    refuted by normalization or level-0 unit propagation alone (the
+    empty clause is RUP against it). *)
+
+val probe_split :
+  prober -> prefix:int array -> limit:int ->
+  [ `Sat of bool array | `Split of int | `Unsat ]
+(** Score a split variable for the cube [prefix] (DIMACS literals).
+    The prefix is placed on pseudo decision levels with unit
+    propagation after each literal; then up to [limit] unassigned
+    candidate variables are probed in both phases, scoring each by
+    propagation lookahead (march-style product of the two trail
+    growths, a conflicting phase scoring highest — splitting there
+    hands one child a free UP refutation).
+
+    - [`Unsat]: the prefix is refuted by unit propagation alone, so
+      the clause [¬prefix] is RUP against the original formula.
+    - [`Sat m]: propagation completed the assignment with no conflict;
+      [m] is a model of the formula.
+    - [`Split v]: the chosen split variable, as a positive DIMACS
+      index.
+
+    Deterministic for a given (prober, prefix, limit).  The prober is
+    reset to level 0 before and after each call, so calls may be made
+    in any prefix order. *)
+
+val solve_assuming :
+  ?limits:limits -> ?proof:Proof.t -> ?heuristic:[ `Evsids | `Lrb ] ->
+  ?restarts:[ `Luby | `Glucose ] ->
+  ?reduce_base:int -> ?reduce_inc:int ->
+  ?interrupt:Interrupt.t ->
+  ?snapshot:(seed -> unit) ->
+  assumptions:int array -> Cnf.Formula.t ->
+  result * stats * int array
+(** Solve [f] under the assumption literals (DIMACS) in a fresh
+    one-shot session — the cube-job entry point.  Returns
+    [(result, stats, core)] where [core] is {!Incremental.last_core}'s
+    answer: on [Unsat] {e under the assumptions}, a subset of them
+    sufficient for the contradiction; empty when the formula is
+    unsatisfiable outright (in which case a supplied [proof] has been
+    sealed with the empty clause by the solver itself).
+
+    Proof discipline is the incremental one: learned clauses logged to
+    [proof] never depend on the assumptions, so one shared recorder
+    accumulating the logs of many cube jobs over the same formula
+    stays RUP-checkable against that formula; an [Unsat] under
+    assumptions leaves the log open for the caller to stitch (log
+    [¬core], which is RUP given this call's learned clauses).
+
+    {b Cube-aware snapshot guard}: [snapshot] fires only when
+    [assumptions] is empty.  A seed captured mid-cube would bake
+    cube-local phases and activity into a warm start of the {e base}
+    formula — silently skipping the capture keeps the warm cache
+    sound (see the warm-start contract on {!seed}). *)

@@ -23,6 +23,21 @@ type mode =
   | Simplify
   | Portfolio of { jobs : int; share_lbd : int }
 
+(* Hardness-triggered cube-and-conquer (Direct mode): a job whose
+   first solve slice hits [cube_trigger] conflicts without an answer
+   escalates to [Portfolio.Cuber] on the worker's cube pool.  Small
+   jobs answer inside the slice and never pay for the machinery. *)
+type cube_config = {
+  cube_trigger : int;     (* conflicts before a job escalates *)
+  cube_count : int;       (* max cubes per escalated job *)
+  cube_jobs : int;        (* cube pool domains per worker *)
+  cube_probe_limit : int; (* lookahead probes per split node *)
+}
+
+let default_cube_config =
+  { cube_trigger = 10_000; cube_count = 8; cube_jobs = 4;
+    cube_probe_limit = 32 }
+
 type config = {
   workers : int;
   queue_capacity : int;
@@ -33,6 +48,7 @@ type config = {
   default_deadline : float option;
   session_capacity : int;
   session_ttl : float option;
+  cube : cube_config option;
 }
 
 let default_config =
@@ -46,6 +62,7 @@ let default_config =
     default_deadline = None;
     session_capacity = 64;
     session_ttl = Some 600.0;
+    cube = None;
   }
 
 (* A submitted formula: the classic array-of-arrays view, or the flat
@@ -245,12 +262,17 @@ let finalize t job ?snapshot ~verdict ~stats ~solve_wall () =
 
 (* --- solving --------------------------------------------------------- *)
 
+let deadline_passed job now =
+  match job.deadline with Some d -> now >= d | None -> false
+
 (* Run one job's solve.  In [Direct] mode the solve is warm-start
    aware: a snapshot found at submit time seeds it, and the state at
    exit is captured for the warm cache (returned as the third
    component).  Flat inputs load through [solve_flat]'s zero-copy
    path.  [Simplify]/[Portfolio] solve a transformed formula or race
-   diversified lanes; neither seeds nor captures. *)
+   diversified lanes; neither seeds nor captures.  The fourth
+   component is the cube report when the job escalated to
+   cube-and-conquer. *)
 let solve_job t pool job =
   let limits = { t.cfg.limits with Sat.Solver.deadline = job.deadline } in
   match t.cfg.mode with
@@ -264,16 +286,62 @@ let solve_job t pool job =
       | Some _ -> Some (fun sd -> snap := Some sd)
       | None -> None
     in
+    (* With cubing configured, the first slice is capped at the
+       hardness trigger: a job that answers inside the slice took the
+       exact path it would have without cubing. *)
+    let trigger_limits =
+      match t.cfg.cube with
+      | None -> limits
+      | Some cc ->
+        let cap =
+          match limits.Sat.Solver.max_conflicts with
+          | Some m -> min m cc.cube_trigger
+          | None -> cc.cube_trigger
+        in
+        { limits with Sat.Solver.max_conflicts = Some cap }
+    in
     let result, stats =
       match job.input with
       | Formula f ->
-        Sat.Solver.solve ~limits ~interrupt:job.interrupt ?seed:job.warm
-          ?snapshot f
+        Sat.Solver.solve ~limits:trigger_limits ~interrupt:job.interrupt
+          ?seed:job.warm ?snapshot f
       | Flat fl ->
-        Sat.Solver.solve_flat ~limits ~interrupt:job.interrupt
-          ?seed:job.warm ?snapshot fl
+        Sat.Solver.solve_flat ~limits:trigger_limits
+          ~interrupt:job.interrupt ?seed:job.warm ?snapshot fl
     in
-    (result, stats, !snap)
+    (match (result, t.cfg.cube) with
+     | Sat.Solver.Unknown, Some cc
+       when stats.Sat.Solver.conflicts >= cc.cube_trigger
+            && (match limits.Sat.Solver.max_conflicts with
+                | Some m -> cc.cube_trigger < m
+                | None -> true)
+            && (not job.timed_out)
+            && (not (deadline_passed job (Sat.Wall.now ())))
+            && (not (Sat.Solver.Interrupt.is_set job.interrupt))
+            && not (Atomic.get t.stopping) ->
+       (* Hardness trigger crossed: escalate to cube-and-conquer under
+          the job's own deadline and interrupt.  The slice's snapshot
+          is dropped — a cube job must not feed the warm cache (the
+          cube solves bake assumption-local phases and activity into
+          their state; see the warm-start soundness contract). *)
+       let rep =
+         let f = input_formula job.input in
+         match pool with
+         | Some p ->
+           Portfolio.Cuber.solve_in ~cubes:cc.cube_count
+             ~probe_limit:cc.cube_probe_limit ~limits
+             ~interrupt:job.interrupt p f
+         | None ->
+           Portfolio.Cuber.solve ~cubes:cc.cube_count
+             ~probe_limit:cc.cube_probe_limit ~jobs:1 ~limits
+             ~interrupt:job.interrupt f
+       in
+       Metrics.record_cubed t.metrics
+         ~cubes_solved:rep.Portfolio.Cuber.solved
+         ~steals:rep.Portfolio.Cuber.steals;
+       (rep.Portfolio.Cuber.result, rep.Portfolio.Cuber.stats, None,
+        Some rep)
+     | _ -> (result, stats, !snap, None))
   | Simplify ->
     let inst =
       Eda4sat.Instance.of_cnf
@@ -284,7 +352,8 @@ let solve_job t pool job =
       Eda4sat.Pipeline.solve_direct ~limits ~interrupt:job.interrupt
         ~simplify:true inst
     in
-    (rep.Eda4sat.Pipeline.result, rep.Eda4sat.Pipeline.solver_stats, None)
+    (rep.Eda4sat.Pipeline.result, rep.Eda4sat.Pipeline.solver_stats, None,
+     None)
   | Portfolio { share_lbd; _ } ->
     let pool = Option.get pool in
     let strategies =
@@ -295,12 +364,9 @@ let solve_job t pool job =
       Portfolio.Runner.run_in ~share_lbd ~limits ~interrupt:job.interrupt
         pool strategies (input_formula job.input)
     in
-    (o.Portfolio.Runner.result, o.Portfolio.Runner.stats, None)
+    (o.Portfolio.Runner.result, o.Portfolio.Runner.stats, None, None)
 
-let deadline_passed job now =
-  match job.deadline with Some d -> now >= d | None -> false
-
-let classify t job result stats solve_wall snapshot =
+let classify t job result stats solve_wall snapshot ~cube =
   let verdict =
     match result with
     | Sat.Solver.Sat m ->
@@ -318,11 +384,33 @@ let classify t job result stats solve_wall snapshot =
       in
       if input_eval job.input m then Sat m
       else Failed "model verification failed"
-    | Sat.Solver.Unsat -> Unsat
-    | Sat.Solver.Unknown ->
-      if job.timed_out || deadline_passed job (Sat.Wall.now ()) then Timeout
-      else if Atomic.get t.stopping then Failed "server shutdown"
-      else Timeout (* a configured base limit: still a resource answer *)
+    | Sat.Solver.Unsat -> (
+      (* Claim→publish soundness guard: an UNSAT assembled from cube
+         jobs is only publishable — and verdict-cacheable — for the
+         base fingerprint when every cube was refuted (equivalently,
+         when the stitched proof could be sealed).  A partial conquest
+         must never launder an assumption-relative UNSAT into a cached
+         verdict. *)
+      match cube with
+      | Some rep when not rep.Portfolio.Cuber.refutation_complete ->
+        Failed "incomplete cube refutation"
+      | _ -> Unsat)
+    | Sat.Solver.Unknown -> (
+      match cube with
+      | Some rep
+        when rep.Portfolio.Cuber.failure <> None
+             && not (job.timed_out || deadline_passed job (Sat.Wall.now ()))
+        ->
+        (* A cube race that died mid-way resolves FAILED, not a
+           resource answer — and certainly not UNSAT. *)
+        Failed
+          (Printf.sprintf "cube job failed: %s"
+             (Option.value ~default:"?" rep.Portfolio.Cuber.failure))
+      | _ ->
+        if job.timed_out || deadline_passed job (Sat.Wall.now ()) then
+          Timeout
+        else if Atomic.get t.stopping then Failed "server shutdown"
+        else Timeout (* a configured base limit: still a resource answer *))
   in
   finalize t job ?snapshot ~verdict ~stats ~solve_wall ()
 
@@ -369,7 +457,14 @@ let worker_loop t () =
   let pool =
     match t.cfg.mode with
     | Portfolio { jobs; _ } -> Some (Portfolio.Runner.create_pool ~jobs ())
-    | Direct | Simplify -> None
+    | Direct -> (
+      (* The worker's cube pool: idle until a job crosses the hardness
+         trigger, so small-job throughput is untouched. *)
+      match t.cfg.cube with
+      | Some cc when cc.cube_jobs > 1 ->
+        Some (Portfolio.Runner.create_pool ~jobs:cc.cube_jobs ())
+      | _ -> None)
+    | Simplify -> None
   in
   let rec loop () =
     match Job_queue.pop t.queue with
@@ -392,8 +487,8 @@ let worker_loop t () =
        else begin
          let t0 = Sat.Wall.now () in
          match solve_job t pool job with
-         | result, stats, snapshot ->
-           classify t job result stats (Sat.Wall.now () -. t0) snapshot
+         | result, stats, snapshot, cube ->
+           classify t job result stats (Sat.Wall.now () -. t0) snapshot ~cube
          | exception e ->
            finalize t job
              ~verdict:(Failed (Printexc.to_string e))

@@ -106,6 +106,32 @@ type mode =
           [jobs] domains and races the direct strategy pool with
           clause sharing ({!Portfolio.Strategy.default_pool}) *)
 
+(** Hardness-triggered cube-and-conquer, [Direct] mode only.  A job
+    whose first solve slice hits [cube_trigger] conflicts without an
+    answer escalates to {!Portfolio.Cuber} on the worker's private
+    cube pool ([cube_jobs] domains, idle otherwise): the formula is
+    split into up to [cube_count] cubes by propagation lookahead
+    ([cube_probe_limit] probes per split node) and conquered with work
+    stealing.  Small jobs answer inside the slice and take exactly the
+    path they would without cubing.
+
+    Soundness guards on the escalated path (see DESIGN.md):
+    an [Unsat] is published — and verdict-cached — only when the
+    conquest refuted {e every} cube; a cube race that dies mid-way
+    resolves [Failed], never [Unsat]; and an escalated job stores no
+    warm snapshot (cube solves bake assumption-local phases and
+    activity into their state). *)
+type cube_config = {
+  cube_trigger : int;     (** conflicts before a job escalates *)
+  cube_count : int;       (** max cubes per escalated job *)
+  cube_jobs : int;        (** cube pool domains per worker *)
+  cube_probe_limit : int; (** lookahead probes per split node *)
+}
+
+val default_cube_config : cube_config
+(** [{ cube_trigger = 10_000; cube_count = 8; cube_jobs = 4;
+      cube_probe_limit = 32 }] *)
+
 type config = {
   workers : int;         (** worker domains (default 4) *)
   queue_capacity : int;  (** admission bound (default 64) *)
@@ -125,6 +151,9 @@ type config = {
   session_ttl : float option;
       (** idle seconds before the monitor evicts a session
           (default 600); [None] disables TTL eviction *)
+  cube : cube_config option;
+      (** hardness-triggered cube-and-conquer (default [None]:
+          disabled) *)
 }
 
 val default_config : config

@@ -15,6 +15,9 @@ type snapshot = {
   cache_hits : int;
   warm_hits : int;
   warm_seeded : int;
+  cubed : int;         (** jobs escalated to cube-and-conquer *)
+  cubes_solved : int;  (** cubes refuted or satisfied across those jobs *)
+  cube_steals : int;   (** cube claims by a non-owner pool worker *)
   dedup_joins : int;
   session_ops : int;
   sessions_opened : int;
@@ -55,6 +58,9 @@ type t = {
   mutable cache_hits : int;
   mutable warm_hits : int;
   mutable warm_seeded : int;
+  mutable cubed : int;
+  mutable cubes_solved : int;
+  mutable cube_steals : int;
   mutable dedup_joins : int;
   mutable session_ops : int;
   mutable sessions_opened : int;
@@ -92,6 +98,9 @@ let create () =
     cache_hits = 0;
     warm_hits = 0;
     warm_seeded = 0;
+    cubed = 0;
+    cubes_solved = 0;
+    cube_steals = 0;
     dedup_joins = 0;
     session_ops = 0;
     sessions_opened = 0;
@@ -134,6 +143,12 @@ let record_warm_hit t = locked t (fun () -> t.warm_hits <- t.warm_hits + 1)
 
 let record_warm_seeded t =
   locked t (fun () -> t.warm_seeded <- t.warm_seeded + 1)
+
+let record_cubed t ~cubes_solved ~steals =
+  locked t (fun () ->
+      t.cubed <- t.cubed + 1;
+      t.cubes_solved <- t.cubes_solved + max 0 cubes_solved;
+      t.cube_steals <- t.cube_steals + max 0 steals)
 
 let record_parse t ~latency_s =
   locked t (fun () ->
@@ -227,6 +242,9 @@ let snapshot t ~queue_depth ~inflight ~cache_entries ~sessions_live =
         cache_hits = t.cache_hits;
         warm_hits = t.warm_hits;
         warm_seeded = t.warm_seeded;
+        cubed = t.cubed;
+        cubes_solved = t.cubes_solved;
+        cube_steals = t.cube_steals;
         dedup_joins = t.dedup_joins;
         session_ops = t.session_ops;
         sessions_opened = t.sessions_opened;
@@ -292,7 +310,8 @@ let to_json (s : snapshot) =
     "{\"submitted\": %d, \"completed\": %d, \"solved_sat\": %d, \
      \"solved_unsat\": %d, \"timeouts\": %d, \"failures\": %d, \
      \"rejected\": %d, \"cache_hits\": %d, \"warm_hits\": %d, \
-     \"warm_seeded\": %d, \"dedup_joins\": %d, \
+     \"warm_seeded\": %d, \"cubed\": %d, \"cubes_solved\": %d, \
+     \"cube_steals\": %d, \"dedup_joins\": %d, \
      \"session_ops\": %d, \"sessions_opened\": %d, \
      \"sessions_closed\": %d, \"sessions_evicted\": %d, \
      \"session_solves\": %d, \"sessions_live\": %d, \
@@ -302,18 +321,21 @@ let to_json (s : snapshot) =
      \"parse_p95_ms\": %.3f, \"parse_max_ms\": %.3f, \
      \"clients\": %s}"
     s.submitted s.completed s.solved_sat s.solved_unsat s.timeouts s.failures
-    s.rejected s.cache_hits s.warm_hits s.warm_seeded s.dedup_joins
-    s.session_ops s.sessions_opened s.sessions_closed s.sessions_evicted
-    s.session_solves s.sessions_live s.queue_depth s.inflight s.cache_entries
-    s.latency_count s.p50_ms s.p95_ms s.max_ms s.parse_count s.parse_p50_ms
-    s.parse_p95_ms s.parse_max_ms (clients_json s.clients)
+    s.rejected s.cache_hits s.warm_hits s.warm_seeded s.cubed s.cubes_solved
+    s.cube_steals s.dedup_joins s.session_ops s.sessions_opened
+    s.sessions_closed s.sessions_evicted s.session_solves s.sessions_live
+    s.queue_depth s.inflight s.cache_entries s.latency_count s.p50_ms
+    s.p95_ms s.max_ms s.parse_count s.parse_p50_ms s.parse_p95_ms
+    s.parse_max_ms (clients_json s.clients)
 
 let pp ppf (s : snapshot) =
   Format.fprintf ppf
     "submitted=%d completed=%d sat=%d unsat=%d timeout=%d failed=%d \
-     rejected=%d cache_hits=%d warm=%d/%d dedup_joins=%d session_ops=%d \
-     sessions=%d/%d/%d queue=%d inflight=%d p50=%.1fms p95=%.1fms"
+     rejected=%d cache_hits=%d warm=%d/%d cubed=%d/%d/%d dedup_joins=%d \
+     session_ops=%d sessions=%d/%d/%d queue=%d inflight=%d p50=%.1fms \
+     p95=%.1fms"
     s.submitted s.completed s.solved_sat s.solved_unsat s.timeouts s.failures
-    s.rejected s.cache_hits s.warm_hits s.warm_seeded s.dedup_joins
-    s.session_ops s.sessions_opened s.sessions_closed s.sessions_evicted
-    s.queue_depth s.inflight s.p50_ms s.p95_ms
+    s.rejected s.cache_hits s.warm_hits s.warm_seeded s.cubed s.cubes_solved
+    s.cube_steals s.dedup_joins s.session_ops s.sessions_opened
+    s.sessions_closed s.sessions_evicted s.queue_depth s.inflight s.p50_ms
+    s.p95_ms

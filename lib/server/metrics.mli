@@ -45,6 +45,13 @@ type snapshot = {
       (** solves that actually started from a snapshot — at most
           [warm_hits]; a warm job cancelled before it ran never
           seeds *)
+  cubed : int;
+      (** jobs that crossed the hardness trigger and escalated to
+          cube-and-conquer (orthogonal to the request ledger: a cubed
+          job still completes exactly once) *)
+  cubes_solved : int;  (** cubes refuted or satisfied across those jobs *)
+  cube_steals : int;
+      (** cube claims by a non-owner pool worker (work stealing) *)
   dedup_joins : int;
   session_ops : int;      (** session operations accepted *)
   sessions_opened : int;
@@ -87,6 +94,10 @@ val record_warm_hit : t -> unit
 
 val record_warm_seeded : t -> unit
 (** A solve that actually started from a snapshot. *)
+
+val record_cubed : t -> cubes_solved:int -> steals:int -> unit
+(** One job escalated to cube-and-conquer, with its conquest's solved
+    cube and steal counts. *)
 
 val record_parse : t -> latency_s:float -> unit
 (** One formula load (file read + parse) at a transport front-end;

@@ -386,6 +386,78 @@ let test_loop_unix_socket_and_eof () =
         (List.exists (fun l -> l = "SAT") lines));
   check_bool "socket path unlinked after drain" false (Sys.file_exists path)
 
+(* --- fd budget / max-clients ----------------------------------------- *)
+
+(* Unix.select cannot watch fds numbered >= FD_SETSIZE (1024): a
+   --max-clients large enough to accept fd 1024 used to crash the loop
+   on the next select.  The bound must be clamped to the fd budget at
+   create time. *)
+let test_fd_budget_clamp () =
+  let engine =
+    Server.create ~config:{ Server.default_config with workers = 1 } ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Server.shutdown engine)
+    (fun () ->
+      let big =
+        Net.Event_loop.create
+          ~config:{ Net.Event_loop.default_config with max_clients = 100_000 }
+          engine
+      in
+      let eff = Net.Event_loop.effective_max_clients big in
+      check_bool "clamped below FD_SETSIZE" true (eff < 1024);
+      check_bool "budget leaves fd head room" true (eff <= 1024 - 32);
+      check_bool "budget is not degenerate" true (eff >= 512);
+      let small =
+        Net.Event_loop.create
+          ~config:{ Net.Event_loop.default_config with max_clients = 2 }
+          engine
+      in
+      check_int "small bound passes through" 2
+        (Net.Event_loop.effective_max_clients small))
+
+let test_loop_max_clients_refused () =
+  let net_config = { Net.Event_loop.default_config with max_clients = 2 } in
+  with_loop ~net_config (fun _engine loop port ->
+      check_int "configured bound enforced as-is" 2
+        (Net.Event_loop.effective_max_clients loop);
+      (* Fill both slots; a PING round-trip proves each connection is
+         registered (accept is asynchronous to connect). *)
+      let c1 = connect port in
+      send c1 "PING\n";
+      ignore (expect_line "c1 accepted" c1 (fun l -> l = "PONG"));
+      let c2 = connect port in
+      send c2 "PING\n";
+      ignore (expect_line "c2 accepted" c2 (fun l -> l = "PONG"));
+      (* The third connection is refused with an answer, not left
+         hanging in the backlog and not crashing the loop. *)
+      let c3 = connect port in
+      ignore
+        (expect_line "third connection refused" c3 (fun l ->
+             l = "REJECTED overloaded"));
+      check_bool "refused connection closed" true (next_line c3 = None);
+      close_client c3;
+      (* Closing one held slot frees it for a newcomer. *)
+      send c1 "QUIT\n";
+      ignore (read_to_eof c1);
+      close_client c1;
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      let rec wait_for_slot () =
+        if Net.Event_loop.connections loop < 2 then ()
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.fail "slot never freed"
+        else (Unix.sleepf 0.01; wait_for_slot ())
+      in
+      wait_for_slot ();
+      let c4 = connect port in
+      send c4 "PING\nQUIT\n";
+      ignore (expect_line "freed slot reusable" c4 (fun l -> l = "PONG"));
+      ignore (read_to_eof c4);
+      close_client c4;
+      send c2 "QUIT\n";
+      ignore (read_to_eof c2);
+      close_client c2)
+
 let suite =
   [
     ("framing chunks and crlf", `Quick, test_framing_chunks);
@@ -400,4 +472,7 @@ let suite =
      test_loop_drain_keeps_inflight);
     ("loop: unix socket and eof dispatch", `Quick,
      test_loop_unix_socket_and_eof);
+    ("fd budget clamps max-clients", `Quick, test_fd_budget_clamp);
+    ("loop: surplus connections refused and slots recycled", `Quick,
+     test_loop_max_clients_refused);
   ]

@@ -363,3 +363,155 @@ let suite =
       ("pool contains simplify lanes", `Quick, test_pool_has_simplify_lanes);
       ("race-level cpu reported once", `Quick, test_race_cpu_reported_once);
     ]
+
+(* --- cube-and-conquer ----------------------------------------------- *)
+
+let cube_check_unsat_proof name f =
+  let proof = Sat.Proof.create () in
+  let report = Portfolio.Cuber.solve ~cubes:4 ~jobs:2 ~proof f in
+  check_bool (name ^ ": UNSAT") true
+    (report.Portfolio.Cuber.result = Sat.Solver.Unsat);
+  check_bool (name ^ ": refutation complete") true
+    report.Portfolio.Cuber.refutation_complete;
+  check_bool (name ^ ": stitched proof sealed") true (Sat.Proof.sealed proof);
+  check_bool (name ^ ": stitched proof checks") true (Sat.Proof.check f proof)
+
+let test_cuber_fuzz_differential () =
+  (* Cube-and-conquer verdict must agree with the sequential solver on
+     random CNFs; every UNSAT must come with a checkable stitched
+     proof; every SAT model must satisfy the input formula. *)
+  let rng = Aig.Rng.create 777001 in
+  for i = 1 to 40 do
+    let f = random_formula rng in
+    let expected, _ = Sat.Solver.solve f in
+    let proof = Sat.Proof.create () in
+    let report =
+      Portfolio.Cuber.solve ~cubes:4 ~jobs:(1 + (i mod 3)) ~proof f
+    in
+    (match (expected, report.Portfolio.Cuber.result) with
+     | Sat.Solver.Sat _, Sat.Solver.Sat m ->
+       if not (Cnf.Formula.eval f m) then
+         Alcotest.failf "case %d: cube model does not satisfy" i
+     | Sat.Solver.Unsat, Sat.Solver.Unsat ->
+       if not report.Portfolio.Cuber.refutation_complete then
+         Alcotest.failf "case %d: UNSAT without complete refutation" i;
+       if not (Sat.Proof.sealed proof) then
+         Alcotest.failf "case %d: UNSAT but stitched proof not sealed" i;
+       if not (Sat.Proof.check f proof) then
+         Alcotest.failf "case %d: stitched DRAT proof fails" i
+     | e, g ->
+       let name = function
+         | Sat.Solver.Sat _ -> "SAT"
+         | Sat.Solver.Unsat -> "UNSAT"
+         | Sat.Solver.Unknown -> "UNKNOWN"
+       in
+       Alcotest.failf "case %d: solver %s, cuber %s" i (name e) (name g))
+  done;
+  check_bool "cuber fuzz 40/40" true true
+
+let test_cuber_php_and_lec () =
+  cube_check_unsat_proof "php(6,5)"
+    (Workloads.Satcomp.pigeonhole ~pigeons:6 ~holes:5);
+  cube_check_unsat_proof "lec miter"
+    (Workloads.Suites.miter_cnf ~seed:5 ~num_ands:40)
+
+let test_cuber_jobs1_deterministic () =
+  (* jobs = 1 conquers sequentially in cube order: two runs must agree
+     bit-for-bit — same cubes, same outcomes, same stitched proof,
+     same search trajectory. *)
+  let f = Workloads.Satcomp.pigeonhole ~pigeons:6 ~holes:5 in
+  let run () =
+    let proof = Sat.Proof.create () in
+    let report = Portfolio.Cuber.solve ~cubes:8 ~jobs:1 ~proof f in
+    (report, Sat.Proof.steps proof)
+  in
+  let r1, p1 = run () in
+  let r2, p2 = run () in
+  check_bool "same cube partition" true
+    (r1.Portfolio.Cuber.cubes = r2.Portfolio.Cuber.cubes);
+  check_bool "same outcomes" true
+    (r1.Portfolio.Cuber.outcomes = r2.Portfolio.Cuber.outcomes);
+  check_bool "no steals at jobs=1" true (r1.Portfolio.Cuber.steals = 0);
+  check_bool "same stitched proof" true (p1 = p2);
+  check_int "same decisions"
+    r1.Portfolio.Cuber.stats.Sat.Solver.decisions
+    r2.Portfolio.Cuber.stats.Sat.Solver.decisions
+
+let test_cuber_first_sat_cancels_siblings () =
+  (* An under-constrained satisfiable formula: at jobs = 1 the first
+     live cube answers Sat, so every later cube must be observed
+     cancelled through the shared interrupt. *)
+  let f =
+    Cnf.Formula.create ~num_vars:12
+      (List.init 6 (fun i -> [| (2 * i) + 1; (2 * i) + 2 |]))
+  in
+  let report = Portfolio.Cuber.solve ~cubes:8 ~jobs:1 f in
+  (match report.Portfolio.Cuber.result with
+   | Sat.Solver.Sat m ->
+     check_bool "model satisfies" true (Cnf.Formula.eval f m)
+   | _ -> Alcotest.fail "expected SAT");
+  let cancelled =
+    Array.fold_left
+      (fun acc o ->
+        if o = Portfolio.Cuber.Cube_cancelled then acc + 1 else acc)
+      0 report.Portfolio.Cuber.outcomes
+  in
+  check_bool "sibling cubes observed cancelled" true (cancelled > 0)
+
+let test_cuber_partial_failure_is_not_unsat () =
+  (* A cube job that dies mid-race must leave the conquest inconclusive
+     — never a published UNSAT — and must not seal (or pollute) the
+     caller's proof recorder. *)
+  let f = Workloads.Satcomp.pigeonhole ~pigeons:6 ~holes:5 in
+  let proof = Sat.Proof.create () in
+  let claimed = ref 0 in
+  let report =
+    Portfolio.Cuber.solve ~cubes:8 ~jobs:1 ~proof
+      ~on_cube:(fun _ ->
+        incr claimed;
+        if !claimed = 2 then failwith "boom")
+      f
+  in
+  check_bool "result is not UNSAT" true
+    (report.Portfolio.Cuber.result <> Sat.Solver.Unsat);
+  check_bool "refutation not complete" true
+    (not report.Portfolio.Cuber.refutation_complete);
+  check_bool "failure recorded" true
+    (report.Portfolio.Cuber.failure <> None);
+  check_bool "caller proof untouched" true
+    (not (Sat.Proof.sealed proof) && Sat.Proof.steps proof = []);
+  let failed =
+    Array.exists
+      (function Portfolio.Cuber.Cube_failed _ -> true | _ -> false)
+      report.Portfolio.Cuber.outcomes
+  in
+  check_bool "failed cube outcome recorded" true failed
+
+let test_cuber_external_interrupt () =
+  (* A pre-set external interrupt cancels the whole conquest before any
+     cube solves: Unknown, nothing refuted, proof left open. *)
+  let f = Workloads.Satcomp.pigeonhole ~pigeons:6 ~holes:5 in
+  let interrupt = Sat.Solver.Interrupt.create () in
+  Sat.Solver.Interrupt.set interrupt;
+  let proof = Sat.Proof.create () in
+  let report = Portfolio.Cuber.solve ~cubes:4 ~jobs:2 ~proof ~interrupt f in
+  check_bool "interrupted conquest is Unknown" true
+    (report.Portfolio.Cuber.result = Sat.Solver.Unknown);
+  check_bool "proof left open" true (not (Sat.Proof.sealed proof))
+
+let suite =
+  suite
+  @ [
+      ("cuber fuzz: verdict ≡ sequential solver + stitched DRAT", `Quick,
+       test_cuber_fuzz_differential);
+      ("cuber: php and LEC miters refute with checkable proofs", `Quick,
+       test_cuber_php_and_lec);
+      ("cuber: jobs=1 is deterministic (bit-identical cubes)", `Quick,
+       test_cuber_jobs1_deterministic);
+      ("cuber: first SAT cancels sibling cubes", `Quick,
+       test_cuber_first_sat_cancels_siblings);
+      ("cuber: a dying cube never yields UNSAT", `Quick,
+       test_cuber_partial_failure_is_not_unsat);
+      ("cuber: external interrupt cancels the conquest", `Quick,
+       test_cuber_external_interrupt);
+    ]

@@ -7,7 +7,7 @@ let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
 let config ?(workers = 2) ?(queue = 64) ?(cache = 64) ?(warm = 64)
-    ?(sessions = 64) ?session_ttl () =
+    ?(sessions = 64) ?session_ttl ?cube () =
   {
     Server.workers;
     queue_capacity = queue;
@@ -18,12 +18,14 @@ let config ?(workers = 2) ?(queue = 64) ?(cache = 64) ?(warm = 64)
     default_deadline = None;
     session_capacity = sessions;
     session_ttl;
+    cube;
   }
 
-let with_engine ?workers ?queue ?cache ?warm ?sessions ?session_ttl f =
+let with_engine ?workers ?queue ?cache ?warm ?sessions ?session_ttl ?cube f =
   let e =
     Server.create
-      ~config:(config ?workers ?queue ?cache ?warm ?sessions ?session_ttl ())
+      ~config:
+        (config ?workers ?queue ?cache ?warm ?sessions ?session_ttl ?cube ())
       ()
   in
   Fun.protect ~finally:(fun () -> Server.shutdown e) (fun () -> f e)
@@ -769,6 +771,141 @@ let test_warm_fuzz () =
       check_bool "the second pass warm-resumed" true
         (s.Server.Metrics.warm_hits > 0))
 
+(* --- cube-and-conquer escalation ------------------------------------- *)
+
+let cube_cc ?(trigger = 50) ?(jobs = 2) () =
+  {
+    Server.cube_trigger = trigger;
+    cube_count = 8;
+    cube_jobs = jobs;
+    cube_probe_limit = 16;
+  }
+
+let test_cube_escalation_refutes () =
+  with_engine ~workers:1 ~cube:(cube_cc ()) (fun e ->
+      (* php(8,7) burns far more than 50 conflicts: the first slice
+         trips the hardness trigger and the job escalates to
+         cube-and-conquer, which must still answer plain UNSAT. *)
+      let f = php 8 in
+      (match Server.solve e f with
+       | Ok { Server.verdict = Server.Unsat; source = Server.Solved; _ } -> ()
+       | Ok _ -> Alcotest.fail "cubed php(8,7) must answer fresh UNSAT"
+       | Error r -> Alcotest.failf "rejected: %s" r);
+      let s = Server.stats e in
+      check_int "the job was cubed" 1 s.Server.Metrics.cubed;
+      check_bool "cubes were solved" true (s.Server.Metrics.cubes_solved > 0);
+      (* An easy formula answers inside the trigger slice and must not
+         cube. *)
+      let easy = Cnf.Formula.create ~num_vars:3 [ [| 1; 2 |]; [| -1; 3 |] ] in
+      (match Server.solve e easy with
+       | Ok { Server.verdict = Server.Sat m; _ } ->
+         check_bool "model satisfies" true (Cnf.Formula.eval easy m)
+       | _ -> Alcotest.fail "easy formula must answer SAT");
+      let s = Server.stats e in
+      check_int "easy job did not cube" 1 s.Server.Metrics.cubed;
+      (* Cube jobs must not feed the warm cache: with the verdict
+         forgotten, the resubmission is a cold solve (which cubes
+         again), never a warm resume of cube-local state. *)
+      Server.forget_verdict e (Cnf.Fingerprint.of_formula f);
+      (match Server.solve e f with
+       | Ok { Server.verdict = Server.Unsat; source = Server.Solved; _ } -> ()
+       | _ -> Alcotest.fail "resubmission must re-solve fresh");
+      let s = Server.stats e in
+      check_int "no warm hit from a cubed job" 0 s.Server.Metrics.warm_hits;
+      check_int "no warm seed from a cubed job" 0
+        s.Server.Metrics.warm_seeded;
+      check_int "the resubmission cubed too" 2 s.Server.Metrics.cubed;
+      (* The request ledger still reconciles with cube answers in it. *)
+      check_int "every job completed"
+        (s.Server.Metrics.submitted + s.Server.Metrics.warm_hits)
+        s.Server.Metrics.completed;
+      check_int "all answers decisive" s.Server.Metrics.completed
+        (s.Server.Metrics.solved_sat + s.Server.Metrics.solved_unsat))
+
+let test_cube_partial_never_cached () =
+  with_engine ~workers:1 ~cube:(cube_cc ~trigger:10 ()) (fun e ->
+      let f = php 9 in
+      match Server.solve e ~deadline:0.02 f with
+      | Error r -> Alcotest.failf "rejected: %s" r
+      | Ok { Server.verdict = Server.Unsat; _ } ->
+        (* The machine finished inside the deadline — the race this
+           test provokes did not happen. *)
+        ()
+      | Ok a ->
+        (* The deadline fired mid-conquest: a partially refuted cube
+           run must resolve as a resource answer (or an explicit
+           failure), never as UNSAT for the base formula. *)
+        (match a.Server.verdict with
+         | Server.Timeout | Server.Failed _ -> ()
+         | Server.Sat _ -> Alcotest.fail "php(9,8) has no model"
+         | Server.Unsat ->
+           Alcotest.fail "partial cube conquest published UNSAT");
+        (* Nothing may have entered the verdict cache: the resubmission
+           solves fresh and gets the real answer. *)
+        (match Server.solve e f with
+         | Ok { Server.verdict = Server.Unsat; source = Server.Solved; _ } ->
+           ()
+         | Ok { Server.source = Server.Cache_hit; _ } ->
+           Alcotest.fail "partial cube answer was cached"
+         | Ok _ -> Alcotest.fail "resubmitted php(9,8) must refute fresh"
+         | Error r -> Alcotest.failf "resubmit rejected: %s" r);
+        (* And nothing may have entered the warm cache either — the
+           interrupted run was a cube job. *)
+        let s = Server.stats e in
+        check_int "no warm resume from the aborted cube run" 0
+          s.Server.Metrics.warm_hits)
+
+(* The warm two-pass fuzz with cubing enabled: hard members escalate,
+   easy ones take the plain path, and the ledger still reconciles —
+   with no warm entry ever coming out of a cubed job. *)
+let test_warm_fuzz_with_cubes () =
+  with_engine ~workers:3 ~cache:256 ~warm:256 ~cube:(cube_cc ~trigger:20 ())
+    (fun e ->
+      let rng = Aig.Rng.create 20260809 in
+      let formulas = php 7 :: php 8 :: List.init 20 (fun _ -> random_formula rng) in
+      let pass () =
+        List.map (fun f -> (f, submit_ok e f)) formulas
+        |> List.map (fun (f, t) -> (f, Server.await e t))
+      in
+      let verify (f, (a : Server.answer)) =
+        match a.Server.verdict with
+        | Server.Sat m ->
+          check_bool "model satisfies" true (Cnf.Formula.eval f m)
+        | Server.Unsat ->
+          if f.Cnf.Formula.num_vars <= 14 then
+            check_bool "brute force agrees UNSAT" false (brute_force_sat f)
+        | _ -> Alcotest.fail "unexpected non-answer"
+      in
+      let first = pass () in
+      List.iter verify first;
+      List.iter
+        (fun f -> Server.forget_verdict e (Cnf.Fingerprint.of_formula f))
+        formulas;
+      let second = pass () in
+      List.iter verify second;
+      List.iter2
+        (fun (_, (a : Server.answer)) (_, (b : Server.answer)) ->
+          check_bool "second pass agrees with first" true
+            (match (a.Server.verdict, b.Server.verdict) with
+             | Server.Sat _, Server.Sat _ -> true
+             | Server.Unsat, Server.Unsat -> true
+             | _ -> false))
+        first second;
+      let s = Server.stats e in
+      check_bool "the php members cubed" true (s.Server.Metrics.cubed >= 2);
+      check_int "every request accounted"
+        (2 * List.length formulas)
+        (s.Server.Metrics.submitted + s.Server.Metrics.cache_hits
+        + s.Server.Metrics.warm_hits + s.Server.Metrics.dedup_joins
+        + s.Server.Metrics.rejected);
+      check_int "every job completed"
+        (s.Server.Metrics.submitted + s.Server.Metrics.warm_hits)
+        s.Server.Metrics.completed;
+      check_int "all answers decisive" s.Server.Metrics.completed
+        (s.Server.Metrics.solved_sat + s.Server.Metrics.solved_unsat);
+      check_bool "seeds never exceed hits" true
+        (s.Server.Metrics.warm_seeded <= s.Server.Metrics.warm_hits))
+
 (* --- job queue ------------------------------------------------------- *)
 
 let test_job_queue_ordering () =
@@ -805,6 +942,11 @@ let suite =
     ("timeout snapshot resumes warm", `Quick, test_warm_timeout_resume);
     ("flat and formula share the cache", `Quick, test_flat_bridges_verdict_cache);
     ("warm two-pass fuzz reconciles", `Quick, test_warm_fuzz);
+    ("cube escalation refutes and skips warm", `Quick,
+     test_cube_escalation_refutes);
+    ("partial cube conquest never cached", `Quick,
+     test_cube_partial_never_cached);
+    ("warm fuzz with cubes reconciles", `Quick, test_warm_fuzz_with_cubes);
     ("job queue ordering", `Quick, test_job_queue_ordering);
     ("job queue backpressure", `Quick, test_job_queue_backpressure);
     ("session basics", `Quick, test_session_basics);
