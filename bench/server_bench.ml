@@ -128,6 +128,7 @@ let () =
       session_capacity = 64;
       session_ttl = None;
       cube = None;
+      dispatch = None;
     }
   in
   let engine = Server.create ~config () in

@@ -176,6 +176,7 @@ let () =
       session_capacity = max 8 (List.length suite);
       session_ttl = None;
       cube = None;
+      dispatch = None;
     }
   in
   let engine = Server.create ~config () in

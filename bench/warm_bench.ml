@@ -172,6 +172,7 @@ let () =
       session_capacity = 8;
       session_ttl = None;
       cube = None;
+      dispatch = None;
     }
   in
   let engine = Server.create ~config () in

@@ -1,0 +1,230 @@
+type decision = {
+  lanes : int;
+  simplify : bool;
+  cube_trigger : int option;
+  predicted_ms : float;
+}
+
+let static_default =
+  { lanes = 1; simplify = false; cube_trigger = None; predicted_ms = Float.nan }
+
+let lane_classes = [| 1; 2; 4 |]
+let cube_classes = [| 0; 2_000; 10_000; 50_000 |]
+let max_lanes = lane_classes.(Array.length lane_classes - 1)
+
+(* Output layout. *)
+let o_hard = 0
+let o_simplify = 1
+let o_lanes = o_simplify + 2
+let o_cube = o_lanes + Array.length lane_classes
+let out_dim = o_cube + Array.length cube_classes
+
+type t = {
+  net : Rl.Mlp.t;
+  mean : float array; (* feature normalization, fitted at train time *)
+  std : float array;
+  visits : int array; (* training samples per output coordinate *)
+}
+
+let create ?(hidden = [| 32; 32 |]) ?(seed = 12345) () =
+  let sizes = Array.concat [ [| Features.dim |]; hidden; [| out_dim |] ] in
+  {
+    net = Rl.Mlp.create ~sizes ~seed;
+    mean = Array.make Features.dim 0.0;
+    std = Array.make Features.dim 1.0;
+    visits = Array.make out_dim 0;
+  }
+
+let normalize t x =
+  Array.init Features.dim (fun i ->
+      (x.(i) -. t.mean.(i)) /. Float.max t.std.(i) 1e-9)
+
+let predict t x =
+  if Array.length x <> Features.dim then
+    invalid_arg "Policy.predict: bad feature dimension";
+  Rl.Mlp.forward t.net (normalize t x)
+
+(* Argmax over a head's classes, restricted to classes seen in
+   training; None when the whole head is unvisited. *)
+let head_argmax t out ~offset ~count =
+  let best = ref (-1) in
+  for i = 0 to count - 1 do
+    if t.visits.(offset + i) > 0 then
+      if !best < 0 || out.(offset + i) > out.(offset + !best) then best := i
+  done;
+  if !best < 0 then None else Some !best
+
+let decide t x =
+  let out = predict t x in
+  let predicted_ms =
+    if t.visits.(o_hard) > 0 then
+      Float.min (Float.exp2 (Float.max 0.0 out.(o_hard)) -. 1.0) 1e12
+    else Float.nan
+  in
+  let simplify =
+    match head_argmax t out ~offset:o_simplify ~count:2 with
+    | Some 1 -> true
+    | _ -> false
+  in
+  let lanes =
+    match head_argmax t out ~offset:o_lanes ~count:(Array.length lane_classes)
+    with
+    | Some i -> lane_classes.(i)
+    | None -> 1
+  in
+  let cube_trigger =
+    match head_argmax t out ~offset:o_cube ~count:(Array.length cube_classes)
+    with
+    | Some 0 | None -> None
+    | Some i -> Some cube_classes.(i)
+  in
+  { lanes; simplify; cube_trigger; predicted_ms }
+
+let visits t = Array.copy t.visits
+
+(* Nearest class index for a recorded decision value. *)
+let class_index classes v =
+  let best = ref 0 in
+  Array.iteri
+    (fun i c -> if abs (c - v) < abs (classes.(!best) - v) then best := i)
+    classes;
+  !best
+
+let entry_reward (e : Tracelog.entry) =
+  let base = -.Float.log2 (1.0 +. Float.max 0.0 e.solve_ms) in
+  match e.outcome with
+  | "sat" | "unsat" -> base
+  | _ -> base -. 10.0
+
+let entry_hardness (e : Tracelog.entry) =
+  Float.log2 (1.0 +. Float.max 0.0 e.solve_ms)
+
+let fit_normalization t entries =
+  let n = float_of_int (List.length entries) in
+  Array.fill t.mean 0 Features.dim 0.0;
+  List.iter
+    (fun (e : Tracelog.entry) ->
+      Array.iteri
+        (fun i x -> if i < Features.dim then t.mean.(i) <- t.mean.(i) +. x)
+        e.features)
+    entries;
+  Array.iteri (fun i s -> t.mean.(i) <- s /. n) t.mean;
+  let var = Array.make Features.dim 0.0 in
+  List.iter
+    (fun (e : Tracelog.entry) ->
+      Array.iteri
+        (fun i x ->
+          if i < Features.dim then begin
+            let d = x -. t.mean.(i) in
+            var.(i) <- var.(i) +. (d *. d)
+          end)
+        e.features)
+    entries;
+  Array.iteri
+    (fun i v ->
+      let s = sqrt (v /. n) in
+      t.std.(i) <- (if s > 1e-9 then s else 1.0))
+    var
+
+let train ?(epochs = 200) ?(lr = 1e-3) ?(seed = 1) t entries =
+  if entries = [] then invalid_arg "Policy.train: no entries";
+  List.iter
+    (fun (e : Tracelog.entry) ->
+      if Array.length e.features <> Features.dim then
+        invalid_arg "Policy.train: bad feature dimension in trace")
+    entries;
+  fit_normalization t entries;
+  let samples =
+    List.concat_map
+      (fun (e : Tracelog.entry) ->
+        let x = normalize t e.features in
+        let r = entry_reward e in
+        [
+          (x, o_hard, entry_hardness e);
+          (x, o_simplify + (if e.simplify then 1 else 0), r);
+          (x, o_lanes + class_index lane_classes e.lanes, r);
+          (x, o_cube + class_index cube_classes e.cube_trigger, r);
+        ])
+      entries
+    |> Array.of_list
+  in
+  Array.iter (fun (_, o, _) -> t.visits.(o) <- t.visits.(o) + 1) samples;
+  let rng = Aig.Rng.create seed in
+  let batch = 32 in
+  let last = ref 0.0 in
+  for _epoch = 1 to epochs do
+    Aig.Rng.shuffle rng samples;
+    let total = ref 0.0 and nb = ref 0 in
+    let i = ref 0 in
+    while !i < Array.length samples do
+      let len = min batch (Array.length samples - !i) in
+      let b = Array.sub samples !i len in
+      total := !total +. Rl.Mlp.train_batch t.net ~lr b;
+      incr nb;
+      i := !i + len
+    done;
+    last := !total /. float_of_int (max 1 !nb)
+  done;
+  !last
+
+(* Serialization: a small header (visits + normalization, floats as
+   hex literals) followed by the Mlp's own text format. *)
+let magic = "eda4sat-dispatch-policy 1"
+
+let save_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "dims %d %d\n" Features.dim out_dim);
+  Buffer.add_string buf "visits";
+  Array.iter (fun v -> Buffer.add_string buf (Printf.sprintf " %d" v)) t.visits;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf "mean";
+  Array.iter (fun x -> Buffer.add_string buf (Printf.sprintf " %h" x)) t.mean;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf "std";
+  Array.iter (fun x -> Buffer.add_string buf (Printf.sprintf " %h" x)) t.std;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Rl.Mlp.save_string t.net);
+  Buffer.contents buf
+
+let load_string s =
+  let fail msg = failwith ("Policy.load_string: " ^ msg) in
+  match String.split_on_char '\n' s with
+  | m :: dims :: visits :: mean :: std :: net_lines ->
+    if String.trim m <> magic then fail "bad magic";
+    (match
+       String.split_on_char ' ' (String.trim dims)
+       |> List.filter (fun t -> t <> "")
+     with
+    | [ "dims"; fd; od ] -> (
+      match (int_of_string_opt fd, int_of_string_opt od) with
+      | Some fd, Some od ->
+        if fd <> Features.dim || od <> out_dim then
+          fail "dimension mismatch (model built for another layout)"
+      | _ -> fail "bad dims line")
+    | _ -> fail "bad dims line");
+    let tagged_row tag line conv =
+      match
+        String.split_on_char ' ' (String.trim line)
+        |> List.filter (fun t -> t <> "")
+      with
+      | tg :: rest when tg = tag -> (
+        try Array.of_list (List.map conv rest)
+        with Failure _ -> fail ("bad " ^ tag ^ " line"))
+      | _ -> fail ("bad " ^ tag ^ " line")
+    in
+    let visits = tagged_row "visits" visits int_of_string in
+    let mean = tagged_row "mean" mean float_of_string in
+    let std = tagged_row "std" std float_of_string in
+    if Array.length visits <> out_dim then fail "bad visits length";
+    if Array.length mean <> Features.dim then fail "bad mean length";
+    if Array.length std <> Features.dim then fail "bad std length";
+    let net = Rl.Mlp.load_string (String.concat "\n" net_lines) in
+    if
+      Rl.Mlp.input_dim net <> Features.dim
+      || Rl.Mlp.output_dim net <> out_dim
+    then fail "network shape mismatch";
+    { net; mean; std; visits }
+  | _ -> fail "truncated"

@@ -1,0 +1,75 @@
+(** The learned dispatch policy: one {!Rl.Mlp} with a
+    hardness-regression head and three decision heads, trained offline
+    from {!Tracelog} entries.
+
+    Output layout (10 coordinates):
+    - [0] — predicted hardness, as log2(1 + solve_ms);
+    - [1..2] — expected reward of simplify off / on;
+    - [3..5] — expected reward of racing 1 / 2 / 4 portfolio lanes;
+    - [6..9] — expected reward of a cube-escalation conflict budget of
+      off / 2k / 10k / 50k.
+
+    Rewards are [-log2(1 + solve_ms)], minus a constant penalty for
+    timeouts and failures, so "larger is better" uniformly.  At
+    serving time each decision head takes the argmax over its classes
+    — restricted to classes actually visited in training, so a head
+    that never saw (say) a 4-lane race can never recommend it — and a
+    head with no visited class at all falls back to the static
+    default (1 lane, no simplify, no cube override).
+
+    [decide]/[predict] only read the model and are safe to call
+    concurrently from worker domains; [train] mutates it and must be
+    exclusive (the engine never trains — training is the offline
+    [eda4sat dispatch train]). *)
+
+type decision = {
+  lanes : int;  (** portfolio lanes to race; 1 = plain direct lane *)
+  simplify : bool;
+  cube_trigger : int option;
+      (** conflict budget that triggers cube-and-conquer escalation;
+          [None] leaves the engine's configured cube setting alone *)
+  predicted_ms : float;
+      (** predicted solve latency; [nan] when the hardness head is
+          untrained *)
+}
+
+val static_default : decision
+(** 1 lane, no simplify, no cube override, [nan] prediction — what an
+    engine without a model does. *)
+
+val lane_classes : int array
+val cube_classes : int array
+(** Class values of the lane and cube heads ([0] meaning no cubing). *)
+
+val max_lanes : int
+(** Largest lane count a decision can request (last lane class). *)
+
+type t
+
+val create : ?hidden:int array -> ?seed:int -> unit -> t
+(** Fresh untrained policy ([hidden] defaults to [[|32; 32|]]); until
+    [train] runs, [decide] returns {!static_default}. *)
+
+val decide : t -> float array -> decision
+(** [decide t features] — [features] must have {!Features.dim}
+    coordinates. *)
+
+val predict : t -> float array -> float array
+(** Raw head outputs on the normalized features (for inspection). *)
+
+val visits : t -> int array
+(** Training samples seen per output coordinate. *)
+
+val train :
+  ?epochs:int -> ?lr:float -> ?seed:int -> t -> Tracelog.entry list -> float
+(** Fit feature normalization, then minibatch-Adam over the entries'
+    (hardness, decision-reward) samples; [epochs] defaults to 200,
+    [lr] to 1e-3.  Returns the final epoch's mean loss.
+    @raise Invalid_argument on an empty entry list. *)
+
+val save_string : t -> string
+(** Text serialization; floats as hex literals, so load/save
+    round-trips bit-for-bit. *)
+
+val load_string : string -> t
+(** @raise Failure on malformed input. *)

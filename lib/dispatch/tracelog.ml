@@ -1,0 +1,223 @@
+type entry = {
+  fingerprint : string;
+  features : float array;
+  lanes : int;
+  simplify : bool;
+  cube_trigger : int;
+  outcome : string;
+  conflicts : int;
+  solve_ms : float;
+  wall_ms : float;
+  decided : bool;
+}
+
+type t = {
+  path : string;
+  max_bytes : int;
+  m : Mutex.t;
+  mutable oc : out_channel option;
+  mutable bytes : int;
+  mutable written : int;
+  mutable dropped : int;
+}
+
+(* %.17g round-trips every finite double through float_of_string; the
+   non-finite values JSON cannot carry are clamped to 0 (they never
+   arise from the engine's measurements). *)
+let json_float x =
+  if Float.is_finite x then Printf.sprintf "%.17g" x else "0"
+
+let entry_to_line e =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\"fp\":\"";
+  Buffer.add_string buf e.fingerprint;
+  Buffer.add_string buf "\",\"lanes\":";
+  Buffer.add_string buf (string_of_int e.lanes);
+  Buffer.add_string buf ",\"simplify\":";
+  Buffer.add_string buf (if e.simplify then "true" else "false");
+  Buffer.add_string buf ",\"cube\":";
+  Buffer.add_string buf (string_of_int e.cube_trigger);
+  Buffer.add_string buf ",\"outcome\":\"";
+  Buffer.add_string buf e.outcome;
+  Buffer.add_string buf "\",\"conflicts\":";
+  Buffer.add_string buf (string_of_int e.conflicts);
+  Buffer.add_string buf ",\"solve_ms\":";
+  Buffer.add_string buf (json_float e.solve_ms);
+  Buffer.add_string buf ",\"wall_ms\":";
+  Buffer.add_string buf (json_float e.wall_ms);
+  Buffer.add_string buf ",\"decided\":";
+  Buffer.add_string buf (if e.decided then "true" else "false");
+  Buffer.add_string buf ",\"feat\":[";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (json_float x))
+    e.features;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+(* Minimal parser for exactly the shape entry_to_line writes (flat
+   object, known keys, no escapes in strings). *)
+let field line key =
+  let pat = "\"" ^ key ^ "\":" in
+  let n = String.length line and pn = String.length pat in
+  let rec find i =
+    if i + pn > n then
+      failwith (Printf.sprintf "Tracelog: missing field %S" key)
+    else if String.sub line i pn = pat then i + pn
+    else find (i + 1)
+  in
+  find 0
+
+let string_field line key =
+  let i = field line key in
+  if i >= String.length line || line.[i] <> '"' then
+    failwith (Printf.sprintf "Tracelog: field %S is not a string" key);
+  let j = try String.index_from line (i + 1) '"' with Not_found ->
+    failwith "Tracelog: unterminated string"
+  in
+  String.sub line (i + 1) (j - i - 1)
+
+let scalar_field line key =
+  let i = field line key in
+  let n = String.length line in
+  let j = ref i in
+  while
+    !j < n && (match line.[!j] with ',' | '}' | ']' -> false | _ -> true)
+  do
+    incr j
+  done;
+  String.sub line i (!j - i)
+
+let int_field line key =
+  try int_of_string (scalar_field line key)
+  with Failure _ -> failwith (Printf.sprintf "Tracelog: bad int %S" key)
+
+let float_field line key =
+  try float_of_string (scalar_field line key)
+  with Failure _ -> failwith (Printf.sprintf "Tracelog: bad float %S" key)
+
+let bool_field line key =
+  match scalar_field line key with
+  | "true" -> true
+  | "false" -> false
+  | _ -> failwith (Printf.sprintf "Tracelog: bad bool %S" key)
+
+let float_array_field line key =
+  let i = field line key in
+  let n = String.length line in
+  if i >= n || line.[i] <> '[' then
+    failwith (Printf.sprintf "Tracelog: field %S is not an array" key);
+  let j = try String.index_from line i ']' with Not_found ->
+    failwith "Tracelog: unterminated array"
+  in
+  let body = String.sub line (i + 1) (j - i - 1) in
+  if String.trim body = "" then [||]
+  else
+    String.split_on_char ',' body
+    |> List.map (fun s ->
+           try float_of_string (String.trim s)
+           with Failure _ -> failwith "Tracelog: bad array element")
+    |> Array.of_list
+
+let entry_of_line line =
+  {
+    fingerprint = string_field line "fp";
+    features = float_array_field line "feat";
+    lanes = int_field line "lanes";
+    simplify = bool_field line "simplify";
+    cube_trigger = int_field line "cube";
+    outcome = string_field line "outcome";
+    conflicts = int_field line "conflicts";
+    solve_ms = float_field line "solve_ms";
+    wall_ms = float_field line "wall_ms";
+    decided = bool_field line "decided";
+  }
+
+let open_channel path =
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+  in
+  (oc, out_channel_length oc)
+
+let open_file ?(max_bytes = 64 * 1024 * 1024) path =
+  let oc, len = open_channel path in
+  {
+    path;
+    max_bytes = max max_bytes 4096;
+    m = Mutex.create ();
+    oc = Some oc;
+    bytes = len;
+    written = 0;
+    dropped = 0;
+  }
+
+let rotate t =
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+    close_out_noerr oc;
+    t.oc <- None;
+    let old = t.path ^ ".1" in
+    (try if Sys.file_exists old then Sys.remove old with Sys_error _ -> ());
+    (try Sys.rename t.path old with Sys_error _ -> ());
+    let oc, len = open_channel t.path in
+    t.oc <- Some oc;
+    t.bytes <- len
+
+let append t e =
+  let line = entry_to_line e in
+  Mutex.lock t.m;
+  (try
+     (match t.oc with
+     | None -> t.dropped <- t.dropped + 1
+     | Some _ ->
+       if t.bytes > 0 && t.bytes + String.length line + 1 > t.max_bytes then
+         rotate t;
+       (match t.oc with
+       | None -> t.dropped <- t.dropped + 1
+       | Some oc ->
+         output_string oc line;
+         output_char oc '\n';
+         flush oc;
+         t.bytes <- t.bytes + String.length line + 1;
+         t.written <- t.written + 1))
+   with Sys_error _ -> t.dropped <- t.dropped + 1);
+  Mutex.unlock t.m
+
+let entries_written t =
+  Mutex.lock t.m;
+  let n = t.written in
+  Mutex.unlock t.m;
+  n
+
+let dropped t =
+  Mutex.lock t.m;
+  let n = t.dropped in
+  Mutex.unlock t.m;
+  n
+
+let path t = t.path
+
+let close t =
+  Mutex.lock t.m;
+  (match t.oc with
+  | Some oc ->
+    close_out_noerr oc;
+    t.oc <- None
+  | None -> ());
+  Mutex.unlock t.m
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec loop acc =
+        match input_line ic with
+        | line ->
+          if String.trim line = "" then loop acc
+          else loop (entry_of_line line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      loop [])

@@ -1,0 +1,51 @@
+(** Append-only JSONL training log for learned dispatch.
+
+    The engine appends one entry per completed one-shot job: the
+    feature vector it extracted, the decisions it took (lanes raced,
+    simplify, cube budget), and the outcome (verdict, conflicts, solve
+    and wall latency), keyed by the canonical fingerprint.  The offline
+    trainer ([eda4sat dispatch train]) reads these files back.
+
+    Writes are serialized on an internal mutex, flushed per line, and
+    rotated at a size bound: when the next entry would push the file
+    past [max_bytes], the current file is renamed to [path ^ ".1"]
+    (replacing any previous rotation) and a fresh file is started.
+    Write errors are swallowed after incrementing {!dropped} — tracing
+    must never take the serving path down. *)
+
+type entry = {
+  fingerprint : string;  (** canonical fingerprint, hex *)
+  features : float array;  (** {!Features.dim} coordinates *)
+  lanes : int;  (** portfolio lanes raced (1 = single direct lane) *)
+  simplify : bool;  (** simplify-then-solve leg taken *)
+  cube_trigger : int;  (** cube-escalation conflict budget, 0 = off *)
+  outcome : string;  (** ["sat"], ["unsat"], ["timeout"], ["failed"] *)
+  conflicts : int;
+  solve_ms : float;  (** solver wall time *)
+  wall_ms : float;  (** submit-to-completion wall time *)
+  decided : bool;  (** true when a model picked the decisions *)
+}
+
+type t
+
+val open_file : ?max_bytes:int -> string -> t
+(** Open [path] for appending (created if missing); [max_bytes]
+    defaults to 64 MiB. @raise Sys_error when the path is unwritable. *)
+
+val append : t -> entry -> unit
+val entries_written : t -> int
+val dropped : t -> int
+val path : t -> string
+
+val close : t -> unit
+
+val entry_to_line : entry -> string
+(** One JSON object, no trailing newline. *)
+
+val entry_of_line : string -> entry
+(** @raise Failure on lines not produced by [entry_to_line]. *)
+
+val read_file : string -> entry list
+(** All entries of a trace file, in order; blank lines are skipped.
+    @raise Failure on a malformed line, [Sys_error] on a missing
+    file. *)

@@ -35,6 +35,11 @@ type t = {
   target : Mlp.t;
   replay : Replay.t;
   rng : Aig.Rng.t;
+  (* The agent is shared across worker domains at serving time; every
+     entry point that touches the RNG, the replay buffer, the counters
+     or the networks takes this lock.  Single-domain behavior is
+     unchanged (an uncontended Mutex.lock is a few ns). *)
+  m : Mutex.t;
   mutable action_count : int;
   mutable train_count : int;
   mutable loss : float;
@@ -52,15 +57,21 @@ let create cfg =
     target;
     replay = Replay.create ~capacity:cfg.buffer_capacity ~seed:(cfg.seed + 1);
     rng = Aig.Rng.create (cfg.seed + 2);
+    m = Mutex.create ();
     action_count = 0;
     train_count = 0;
     loss = 0.0;
   }
 
+let locked agent f =
+  Mutex.lock agent.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock agent.m) f
+
 let config agent = agent.cfg
-let q_values agent state = Mlp.forward agent.qnet state
-let training_steps agent = agent.train_count
-let last_loss agent = agent.loss
+let q_values_unlocked agent state = Mlp.forward agent.qnet state
+let q_values agent state = locked agent (fun () -> q_values_unlocked agent state)
+let training_steps agent = locked agent (fun () -> agent.train_count)
+let last_loss agent = locked agent (fun () -> agent.loss)
 
 let argmax v =
   let best = ref 0 in
@@ -75,10 +86,11 @@ let epsilon agent =
   cfg.eps_start +. ((cfg.eps_end -. cfg.eps_start) *. progress)
 
 let select_action agent ?(explore = false) state =
-  agent.action_count <- agent.action_count + 1;
-  if explore && Aig.Rng.float agent.rng < epsilon agent then
-    Aig.Rng.int agent.rng agent.cfg.num_actions
-  else argmax (q_values agent state)
+  locked agent (fun () ->
+      agent.action_count <- agent.action_count + 1;
+      if explore && Aig.Rng.float agent.rng < epsilon agent then
+        Aig.Rng.int agent.rng agent.cfg.num_actions
+      else argmax (q_values_unlocked agent state))
 
 let train_step agent =
   let cfg = agent.cfg in
@@ -102,8 +114,9 @@ let train_step agent =
     Mlp.copy_weights ~src:agent.qnet ~dst:agent.target
 
 let observe agent tr =
-  Replay.push agent.replay tr;
-  if Replay.size agent.replay >= agent.cfg.batch_size then train_step agent
+  locked agent (fun () ->
+      Replay.push agent.replay tr;
+      if Replay.size agent.replay >= agent.cfg.batch_size then train_step agent)
 
 type env = {
   reset : unit -> float array;
@@ -133,9 +146,10 @@ let run_episode agent env ~max_steps ~learn =
   done;
   !total
 
-let save_string agent = Mlp.save_string agent.qnet
+let save_string agent = locked agent (fun () -> Mlp.save_string agent.qnet)
 
 let load_weights_string agent s =
   let net = Mlp.load_string s in
-  Mlp.copy_weights ~src:net ~dst:agent.qnet;
-  Mlp.copy_weights ~src:net ~dst:agent.target
+  locked agent (fun () ->
+      Mlp.copy_weights ~src:net ~dst:agent.qnet;
+      Mlp.copy_weights ~src:net ~dst:agent.target)

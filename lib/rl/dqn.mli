@@ -3,7 +3,11 @@
     An MLP estimates Q(s, a); the policy is greedy over actions (Eq. 4);
     training minimizes the temporal-difference loss of Eq. (5) against
     a periodically synchronized target network, with epsilon-greedy
-    exploration and experience replay. *)
+    exploration and experience replay.
+
+    Agents may be shared across domains: every entry point that touches
+    the agent's mutable state (RNG, replay buffer, counters, networks)
+    is serialized on an internal mutex. *)
 
 type config = {
   state_dim : int;

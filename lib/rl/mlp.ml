@@ -105,68 +105,97 @@ let adam_update net ~lr grads_w grads_b =
         layer.w)
     net.layers
 
-let train_batch net ~lr batch =
+(* Backprop over a batch: accumulated weight/bias gradients of the
+   mean per-sample loss, plus that mean loss.  Pure with respect to the
+   network (no parameter or Adam-state mutation), so the same code
+   serves both [train_batch] and the finite-difference gradient
+   check. *)
+let gradients net batch =
   let nlayers = Array.length net.layers in
-  if Array.length batch = 0 then 0.0
-  else begin
-    (* Zero gradients. *)
-    let grads_w =
-      Array.map
-        (fun layer ->
-          Array.init (Array.length layer.w) (fun o ->
-              Array.make (Array.length layer.w.(o)) 0.0))
-        net.layers
-    and grads_b =
-      Array.map (fun layer -> Array.make (Array.length layer.b) 0.0) net.layers
-    in
-    let total_loss = ref 0.0 in
-    let bsize = float_of_int (Array.length batch) in
-    Array.iter
-      (fun (x, action, target) ->
-        let acts, pre = forward_cached net x in
-        let out = acts.(nlayers) in
-        let err = out.(action) -. target in
-        total_loss := !total_loss +. (0.5 *. err *. err);
-        (* Delta at the output layer: only the taken action. *)
-        let delta = ref (Array.make (Array.length out) 0.0) in
-        !delta.(action) <- err /. bsize;
-        for l = nlayers - 1 downto 0 do
-          let layer = net.layers.(l) in
-          let d = !delta in
-          (* Accumulate gradients for this layer. *)
+  let grads_w =
+    Array.map
+      (fun layer ->
+        Array.init (Array.length layer.w) (fun o ->
+            Array.make (Array.length layer.w.(o)) 0.0))
+      net.layers
+  and grads_b =
+    Array.map (fun layer -> Array.make (Array.length layer.b) 0.0) net.layers
+  in
+  let total_loss = ref 0.0 in
+  let bsize = float_of_int (max 1 (Array.length batch)) in
+  Array.iter
+    (fun (x, action, target) ->
+      let acts, pre = forward_cached net x in
+      let out = acts.(nlayers) in
+      let err = out.(action) -. target in
+      total_loss := !total_loss +. (0.5 *. err *. err);
+      (* Delta at the output layer: only the taken action. *)
+      let delta = ref (Array.make (Array.length out) 0.0) in
+      !delta.(action) <- err /. bsize;
+      for l = nlayers - 1 downto 0 do
+        let layer = net.layers.(l) in
+        let d = !delta in
+        (* Accumulate gradients for this layer. *)
+        Array.iteri
+          (fun o dout ->
+            if dout <> 0.0 then begin
+              grads_b.(l).(o) <- grads_b.(l).(o) +. dout;
+              let input = acts.(l) in
+              let gw = grads_w.(l).(o) in
+              Array.iteri
+                (fun i xi -> gw.(i) <- gw.(i) +. (dout *. xi))
+                input
+            end)
+          d;
+        (* Propagate to the previous layer. *)
+        if l > 0 then begin
+          let din = Array.make net.sizes.(l) 0.0 in
           Array.iteri
             (fun o dout ->
-              if dout <> 0.0 then begin
-                grads_b.(l).(o) <- grads_b.(l).(o) +. dout;
-                let input = acts.(l) in
-                let gw = grads_w.(l).(o) in
+              if dout <> 0.0 then
                 Array.iteri
-                  (fun i xi -> gw.(i) <- gw.(i) +. (dout *. xi))
-                  input
-              end)
+                  (fun i wij -> din.(i) <- din.(i) +. (dout *. wij))
+                  layer.w.(o))
             d;
-          (* Propagate to the previous layer. *)
-          if l > 0 then begin
-            let din = Array.make net.sizes.(l) 0.0 in
-            Array.iteri
-              (fun o dout ->
-                if dout <> 0.0 then
-                  Array.iteri
-                    (fun i wij -> din.(i) <- din.(i) +. (dout *. wij))
-                    layer.w.(o))
-              d;
-            (* Through the ReLU of layer l-1. *)
-            let z = pre.(l - 1) in
-            Array.iteri
-              (fun i zi -> if zi <= 0.0 then din.(i) <- 0.0)
-              z;
-            delta := din
-          end
-        done)
+          (* Through the ReLU of layer l-1. *)
+          let z = pre.(l - 1) in
+          Array.iteri
+            (fun i zi -> if zi <= 0.0 then din.(i) <- 0.0)
+            z;
+          delta := din
+        end
+      done)
+    batch;
+  (grads_w, grads_b, !total_loss /. bsize)
+
+let loss_batch net batch =
+  if Array.length batch = 0 then 0.0
+  else begin
+    let total = ref 0.0 in
+    Array.iter
+      (fun (x, action, target) ->
+        let out = forward net x in
+        let err = out.(action) -. target in
+        total := !total +. (0.5 *. err *. err))
       batch;
-    adam_update net ~lr grads_w grads_b;
-    !total_loss /. bsize
+    !total /. float_of_int (Array.length batch)
   end
+
+let train_batch net ~lr batch =
+  if Array.length batch = 0 then 0.0
+  else begin
+    let grads_w, grads_b, loss = gradients net batch in
+    adam_update net ~lr grads_w grads_b;
+    loss
+  end
+
+let nudge_weight net ~layer ~out ~idx delta =
+  let l = net.layers.(layer) in
+  l.w.(out).(idx) <- l.w.(out).(idx) +. delta
+
+let nudge_bias net ~layer ~out delta =
+  let l = net.layers.(layer) in
+  l.b.(out) <- l.b.(out) +. delta
 
 let copy_weights ~src ~dst =
   if src.sizes <> dst.sizes then
@@ -197,14 +226,17 @@ let save_string net =
   Buffer.add_string buf
     (String.concat " " (Array.to_list (Array.map string_of_int net.sizes)));
   Buffer.add_char buf '\n';
+  (* Hex float literals (%h) round-trip every finite double exactly;
+     [float_of_string] parses both this and the legacy %.17g decimal
+     form, so models saved before the switch still load. *)
   Array.iter
     (fun layer ->
       Array.iter
         (fun row ->
-          Array.iter (fun x -> Buffer.add_string buf (Printf.sprintf "%.17g " x)) row;
+          Array.iter (fun x -> Buffer.add_string buf (Printf.sprintf "%h " x)) row;
           Buffer.add_char buf '\n')
         layer.w;
-      Array.iter (fun x -> Buffer.add_string buf (Printf.sprintf "%.17g " x))
+      Array.iter (fun x -> Buffer.add_string buf (Printf.sprintf "%h " x))
         layer.b;
       Buffer.add_char buf '\n')
     net.layers;

@@ -21,6 +21,27 @@ val train_batch : t -> lr:float -> (float array * int * float) array -> float
 (** One Adam step on the mean of per-sample losses
     [0.5 (forward x).(a) - target)^2]; returns the mean loss. *)
 
+val gradients :
+  t ->
+  (float array * int * float) array ->
+  float array array array * float array array * float
+(** Backprop only: [(grads_w, grads_b, mean_loss)] of the batch loss
+    with respect to every weight and bias, without touching parameters
+    or Adam state.  [grads_w.(l).(o).(i)] pairs with weight
+    [(l, o, i)], [grads_b.(l).(o)] with the matching bias.  Exposed so
+    tests can finite-difference-check the backward pass. *)
+
+val loss_batch : t -> (float array * int * float) array -> float
+(** Mean per-sample loss of the batch under the current parameters —
+    the scalar whose gradient [gradients] computes. *)
+
+val nudge_weight : t -> layer:int -> out:int -> idx:int -> float -> unit
+(** Add a delta to weight [(layer, out, idx)] in place (test hook for
+    finite differences). *)
+
+val nudge_bias : t -> layer:int -> out:int -> float -> unit
+(** Add a delta to bias [(layer, out)] in place (test hook). *)
+
 val copy_weights : src:t -> dst:t -> unit
 (** Target-network synchronization.  Shapes must match. *)
 
@@ -29,7 +50,10 @@ val clone : t -> t
 val parameter_count : t -> int
 
 val save_string : t -> string
-(** Text serialization (sizes + weights). *)
+(** Text serialization (sizes + weights).  Weights are written as hex
+    float literals, so [load_string (save_string net)] reproduces every
+    parameter bit-for-bit. *)
 
 val load_string : string -> t
-(** @raise Failure on malformed input. *)
+(** Inverse of [save_string]; also accepts the legacy decimal format.
+    @raise Failure on malformed input. *)

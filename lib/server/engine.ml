@@ -38,6 +38,22 @@ let default_cube_config =
   { cube_trigger = 10_000; cube_count = 8; cube_jobs = 4;
     cube_probe_limit = 32 }
 
+(* Learned dispatch (Direct mode): a policy picks per-job decisions at
+   submit time — lanes to race, simplify on/off, cube-trigger override
+   — from cheap features of the clause store, and (with [admission]
+   on) predicts hopeless jobs out of the queue.  [trace] logs every
+   one-shot completion for offline training, model or not. *)
+type dispatch_config = {
+  policy : Dispatch.Policy.t option;
+  trace : Dispatch.Tracelog.t option;
+  admission : bool;
+}
+
+(* A predicted-timeout rejection needs high confidence: only jobs whose
+   predicted latency exceeds this multiple of their deadline are
+   refused admission. *)
+let admission_margin = 4.0
+
 type config = {
   workers : int;
   queue_capacity : int;
@@ -49,6 +65,7 @@ type config = {
   session_capacity : int;
   session_ttl : float option;
   cube : cube_config option;
+  dispatch : dispatch_config option;
 }
 
 let default_config =
@@ -63,6 +80,7 @@ let default_config =
     session_capacity = 64;
     session_ttl = Some 600.0;
     cube = None;
+    dispatch = None;
   }
 
 (* A submitted formula: the classic array-of-arrays view, or the flat
@@ -131,6 +149,8 @@ type job = {
   input : input;
   fp : Cnf.Fingerprint.t;
   warm : Sat.Solver.seed option;  (* snapshot found at submit time *)
+  features : float array option;  (* extracted when dispatch is on *)
+  decision : Dispatch.Policy.decision option;  (* model's pick, if any *)
   deadline : float option;  (* absolute Wall.now instant *)
   submitted_at : float;
   interrupt : Sat.Solver.Interrupt.t;
@@ -217,6 +237,52 @@ let publish job core =
      other waiters still deserve their wake-up. *)
   List.iter (fun k -> try k core with _ -> ()) waiters
 
+(* What an engine without a model does with a job — recorded in trace
+   entries so a model-less serving fleet still produces labeled
+   training data for exactly the decisions it took. *)
+let static_decision t =
+  {
+    Dispatch.Policy.lanes =
+      (match t.cfg.mode with Portfolio { jobs; _ } -> jobs | _ -> 1);
+    simplify = t.cfg.mode = Simplify;
+    cube_trigger = Option.map (fun cc -> cc.cube_trigger) t.cfg.cube;
+    predicted_ms = Float.nan;
+  }
+
+let trace_completion t job core =
+  match t.cfg.dispatch with
+  | Some { trace = Some tl; _ } -> (
+    match job.features with
+    | None -> ()
+    | Some feat ->
+      let d =
+        match job.decision with Some d -> d | None -> static_decision t
+      in
+      let outcome =
+        match core.d_verdict with
+        | Sat _ -> "sat"
+        | Unsat -> "unsat"
+        | Timeout -> "timeout"
+        | Failed _ -> "failed"
+      in
+      Dispatch.Tracelog.append tl
+        {
+          Dispatch.Tracelog.fingerprint = Cnf.Fingerprint.to_hex job.fp;
+          features = feat;
+          lanes = d.Dispatch.Policy.lanes;
+          simplify = d.Dispatch.Policy.simplify;
+          cube_trigger =
+            (match d.Dispatch.Policy.cube_trigger with
+            | Some n -> n
+            | None -> 0);
+          outcome;
+          conflicts = core.d_stats.Sat.Solver.conflicts;
+          solve_ms = 1000.0 *. core.d_solve_wall;
+          wall_ms = 1000.0 *. (core.d_done_at -. job.submitted_at);
+          decided = job.decision <> None;
+        })
+  | _ -> ()
+
 let finalize t job ?snapshot ~verdict ~stats ~solve_wall () =
   if try_claim job then begin
     let core =
@@ -257,6 +323,7 @@ let finalize t job ?snapshot ~verdict ~stats ~solve_wall () =
         Metrics.record_join_latency t.metrics
           ~latency_s:(core.d_done_at -. ts))
       joins;
+    trace_completion t job core;
     publish job core
   end
 
@@ -273,98 +340,131 @@ let deadline_passed job now =
    diversified lanes; neither seeds nor captures.  The fourth
    component is the cube report when the job escalated to
    cube-and-conquer. *)
+(* The plain CDCL lane, warm-start aware, with optional hardness-
+   triggered cube-and-conquer escalation.  [cube] is per-job: the
+   static config in plain Direct mode, possibly overridden by a
+   dispatch decision. *)
+let direct_leg t pool (job : job) limits ~cube =
+  (match job.warm with
+   | Some _ -> Metrics.record_warm_seeded t.metrics
+   | None -> ());
+  let snap = ref None in
+  let snapshot =
+    match t.warm with
+    | Some _ -> Some (fun sd -> snap := Some sd)
+    | None -> None
+  in
+  (* With cubing configured, the first slice is capped at the
+     hardness trigger: a job that answers inside the slice took the
+     exact path it would have without cubing. *)
+  let trigger_limits =
+    match cube with
+    | None -> limits
+    | Some cc ->
+      let cap =
+        match limits.Sat.Solver.max_conflicts with
+        | Some m -> min m cc.cube_trigger
+        | None -> cc.cube_trigger
+      in
+      { limits with Sat.Solver.max_conflicts = Some cap }
+  in
+  let result, stats =
+    match job.input with
+    | Formula f ->
+      Sat.Solver.solve ~limits:trigger_limits ~interrupt:job.interrupt
+        ?seed:job.warm ?snapshot f
+    | Flat fl ->
+      Sat.Solver.solve_flat ~limits:trigger_limits
+        ~interrupt:job.interrupt ?seed:job.warm ?snapshot fl
+  in
+  match (result, cube) with
+  | Sat.Solver.Unknown, Some cc
+    when stats.Sat.Solver.conflicts >= cc.cube_trigger
+         && (match limits.Sat.Solver.max_conflicts with
+             | Some m -> cc.cube_trigger < m
+             | None -> true)
+         && (not job.timed_out)
+         && (not (deadline_passed job (Sat.Wall.now ())))
+         && (not (Sat.Solver.Interrupt.is_set job.interrupt))
+         && not (Atomic.get t.stopping) ->
+    (* Hardness trigger crossed: escalate to cube-and-conquer under
+       the job's own deadline and interrupt.  The slice's snapshot
+       is dropped — a cube job must not feed the warm cache (the
+       cube solves bake assumption-local phases and activity into
+       their state; see the warm-start soundness contract). *)
+    let rep =
+      let f = input_formula job.input in
+      match pool with
+      | Some p ->
+        Portfolio.Cuber.solve_in ~cubes:cc.cube_count
+          ~probe_limit:cc.cube_probe_limit ~limits
+          ~interrupt:job.interrupt p f
+      | None ->
+        Portfolio.Cuber.solve ~cubes:cc.cube_count
+          ~probe_limit:cc.cube_probe_limit ~jobs:1 ~limits
+          ~interrupt:job.interrupt f
+    in
+    Metrics.record_cubed t.metrics
+      ~cubes_solved:rep.Portfolio.Cuber.solved
+      ~steals:rep.Portfolio.Cuber.steals;
+    (rep.Portfolio.Cuber.result, rep.Portfolio.Cuber.stats, None,
+     Some rep)
+  | _ -> (result, stats, !snap, None)
+
+let simplify_leg (job : job) limits =
+  let inst =
+    Eda4sat.Instance.of_cnf
+      ~name:(Printf.sprintf "job-%d" job.id)
+      (input_formula job.input)
+  in
+  let rep =
+    Eda4sat.Pipeline.solve_direct ~limits ~interrupt:job.interrupt
+      ~simplify:true inst
+  in
+  (rep.Eda4sat.Pipeline.result, rep.Eda4sat.Pipeline.solver_stats, None,
+   None)
+
+(* Race [lanes] diversified strategies on the worker's pool (a
+   dispatch decision in Direct mode, or Portfolio mode racing the full
+   pool).  No warm seeding or snapshot capture — lanes run diversified
+   configurations the snapshot contract does not cover. *)
+let race_leg ?share_lbd (job : job) limits ~lanes ~pool =
+  let strategies = Portfolio.Strategy.default_pool ~jobs:lanes in
+  let f = input_formula job.input in
+  let o =
+    match pool with
+    | Some p ->
+      Portfolio.Runner.run_in ?share_lbd ~limits ~interrupt:job.interrupt
+        p strategies f
+    | None ->
+      Portfolio.Runner.run ?share_lbd ~jobs:lanes ~limits
+        ~interrupt:job.interrupt strategies f
+  in
+  (o.Portfolio.Runner.result, o.Portfolio.Runner.stats, None, None)
+
+(* Per-job cube config under a dispatch decision: the decision's
+   trigger overrides the static one, inheriting the remaining knobs. *)
+let decided_cube t (d : Dispatch.Policy.decision) =
+  match d.Dispatch.Policy.cube_trigger with
+  | None -> t.cfg.cube
+  | Some trig ->
+    let base = Option.value t.cfg.cube ~default:default_cube_config in
+    Some { base with cube_trigger = trig }
+
 let solve_job t pool job =
   let limits = { t.cfg.limits with Sat.Solver.deadline = job.deadline } in
   match t.cfg.mode with
-  | Direct ->
-    (match job.warm with
-     | Some _ -> Metrics.record_warm_seeded t.metrics
-     | None -> ());
-    let snap = ref None in
-    let snapshot =
-      match t.warm with
-      | Some _ -> Some (fun sd -> snap := Some sd)
-      | None -> None
-    in
-    (* With cubing configured, the first slice is capped at the
-       hardness trigger: a job that answers inside the slice took the
-       exact path it would have without cubing. *)
-    let trigger_limits =
-      match t.cfg.cube with
-      | None -> limits
-      | Some cc ->
-        let cap =
-          match limits.Sat.Solver.max_conflicts with
-          | Some m -> min m cc.cube_trigger
-          | None -> cc.cube_trigger
-        in
-        { limits with Sat.Solver.max_conflicts = Some cap }
-    in
-    let result, stats =
-      match job.input with
-      | Formula f ->
-        Sat.Solver.solve ~limits:trigger_limits ~interrupt:job.interrupt
-          ?seed:job.warm ?snapshot f
-      | Flat fl ->
-        Sat.Solver.solve_flat ~limits:trigger_limits
-          ~interrupt:job.interrupt ?seed:job.warm ?snapshot fl
-    in
-    (match (result, t.cfg.cube) with
-     | Sat.Solver.Unknown, Some cc
-       when stats.Sat.Solver.conflicts >= cc.cube_trigger
-            && (match limits.Sat.Solver.max_conflicts with
-                | Some m -> cc.cube_trigger < m
-                | None -> true)
-            && (not job.timed_out)
-            && (not (deadline_passed job (Sat.Wall.now ())))
-            && (not (Sat.Solver.Interrupt.is_set job.interrupt))
-            && not (Atomic.get t.stopping) ->
-       (* Hardness trigger crossed: escalate to cube-and-conquer under
-          the job's own deadline and interrupt.  The slice's snapshot
-          is dropped — a cube job must not feed the warm cache (the
-          cube solves bake assumption-local phases and activity into
-          their state; see the warm-start soundness contract). *)
-       let rep =
-         let f = input_formula job.input in
-         match pool with
-         | Some p ->
-           Portfolio.Cuber.solve_in ~cubes:cc.cube_count
-             ~probe_limit:cc.cube_probe_limit ~limits
-             ~interrupt:job.interrupt p f
-         | None ->
-           Portfolio.Cuber.solve ~cubes:cc.cube_count
-             ~probe_limit:cc.cube_probe_limit ~jobs:1 ~limits
-             ~interrupt:job.interrupt f
-       in
-       Metrics.record_cubed t.metrics
-         ~cubes_solved:rep.Portfolio.Cuber.solved
-         ~steals:rep.Portfolio.Cuber.steals;
-       (rep.Portfolio.Cuber.result, rep.Portfolio.Cuber.stats, None,
-        Some rep)
-     | _ -> (result, stats, !snap, None))
-  | Simplify ->
-    let inst =
-      Eda4sat.Instance.of_cnf
-        ~name:(Printf.sprintf "job-%d" job.id)
-        (input_formula job.input)
-    in
-    let rep =
-      Eda4sat.Pipeline.solve_direct ~limits ~interrupt:job.interrupt
-        ~simplify:true inst
-    in
-    (rep.Eda4sat.Pipeline.result, rep.Eda4sat.Pipeline.solver_stats, None,
-     None)
+  | Direct -> (
+    match job.decision with
+    | Some d when d.Dispatch.Policy.lanes > 1 ->
+      race_leg job limits ~lanes:d.Dispatch.Policy.lanes ~pool
+    | Some d when d.Dispatch.Policy.simplify -> simplify_leg job limits
+    | Some d -> direct_leg t pool job limits ~cube:(decided_cube t d)
+    | None -> direct_leg t pool job limits ~cube:t.cfg.cube)
+  | Simplify -> simplify_leg job limits
   | Portfolio { share_lbd; _ } ->
-    let pool = Option.get pool in
-    let strategies =
-      Portfolio.Strategy.default_pool
-        ~jobs:(Portfolio.Runner.pool_size pool)
-    in
-    let o =
-      Portfolio.Runner.run_in ~share_lbd ~limits ~interrupt:job.interrupt
-        pool strategies (input_formula job.input)
-    in
-    (o.Portfolio.Runner.result, o.Portfolio.Runner.stats, None, None)
+    let lanes = Portfolio.Runner.pool_size (Option.get pool) in
+    race_leg ~share_lbd job limits ~lanes ~pool
 
 let classify t job result stats solve_wall snapshot ~cube =
   let verdict =
@@ -457,13 +557,22 @@ let worker_loop t () =
   let pool =
     match t.cfg.mode with
     | Portfolio { jobs; _ } -> Some (Portfolio.Runner.create_pool ~jobs ())
-    | Direct -> (
-      (* The worker's cube pool: idle until a job crosses the hardness
-         trigger, so small-job throughput is untouched. *)
-      match t.cfg.cube with
-      | Some cc when cc.cube_jobs > 1 ->
-        Some (Portfolio.Runner.create_pool ~jobs:cc.cube_jobs ())
-      | _ -> None)
+    | Direct ->
+      (* The worker's auxiliary pool: idle until a job crosses the
+         cube hardness trigger or a dispatch decision races lanes, so
+         small-job throughput is untouched.  Sized for the larger of
+         the two consumers. *)
+      let cube_jobs =
+        match t.cfg.cube with Some cc -> cc.cube_jobs | None -> 1
+      in
+      let lane_jobs =
+        match t.cfg.dispatch with
+        | Some { policy = Some _; _ } -> Dispatch.Policy.max_lanes
+        | _ -> 1
+      in
+      let jobs = max cube_jobs lane_jobs in
+      if jobs > 1 then Some (Portfolio.Runner.create_pool ~jobs ())
+      else None
     | Simplify -> None
   in
   let rec loop () =
@@ -582,6 +691,12 @@ let create ?(config = default_config) () =
    | Some ttl when not (Float.is_finite ttl && ttl > 0.0) ->
      invalid_arg "Engine.create: bad session_ttl"
    | _ -> ());
+  (* A policy only routes Direct-mode jobs (the other modes are a
+     fixed leg already); a trace may be attached to any mode. *)
+  (match config.dispatch with
+   | Some { policy = Some _; _ } when config.mode <> Direct ->
+     invalid_arg "Engine.create: dispatch policy requires Direct mode"
+   | _ -> ());
   let t =
     {
       cfg = config;
@@ -645,6 +760,66 @@ let submit_live t ?deadline ~priority input =
            fingerprint = fp;
          })
   | None ->
+    (* Learned dispatch: features and the model's decision are
+       computed after the cache lookup (a hit never needs them) and
+       outside every engine lock — O(|F|) work must not serialize
+       concurrent submits. *)
+    let t_feat = Sat.Wall.now () in
+    let features =
+      match t.cfg.dispatch with
+      | Some _ ->
+        Some
+          (match input with
+          | Formula f -> Dispatch.Features.of_formula f
+          | Flat fl -> Dispatch.Features.of_flat fl)
+      | None -> None
+    in
+    let decision, infer_s =
+      match t.cfg.dispatch with
+      | Some { policy = Some p; _ } ->
+        let d = Dispatch.Policy.decide p (Option.get features) in
+        (Some d, Sat.Wall.now () -. t_feat)
+      | _ -> (None, 0.0)
+    in
+    (* Deadline-aware admission: refuse a job whose predicted latency
+       exceeds [admission_margin] times its (explicit or default)
+       deadline — it would only burn a queue slot on the way to
+       [Timeout].  Conservative by construction: an untrained hardness
+       head predicts [nan], which never rejects. *)
+    let admission_reject =
+      match (t.cfg.dispatch, decision) with
+      | Some { admission = true; _ }, Some d -> (
+        match
+          (match deadline with
+          | Some s -> Some s
+          | None -> t.cfg.default_deadline)
+        with
+        | Some dl ->
+          Float.is_finite d.Dispatch.Policy.predicted_ms
+          && d.Dispatch.Policy.predicted_ms
+             > admission_margin *. dl *. 1000.0
+        | None -> false)
+      | _ -> false
+    in
+    if admission_reject then begin
+      Metrics.record_dispatch t.metrics ~leg:`Rejected ~infer_s;
+      Metrics.record_rejected t.metrics;
+      Error "predicted-timeout"
+    end
+    else begin
+    (* Every decision lands on exactly one leg counter here at submit
+       time, so [dispatch_decided = direct + simplify + raced +
+       rejected] holds whatever later happens to the job (dedup join,
+       queue-full bounce, shutdown drain). *)
+    (match decision with
+    | Some d ->
+      let leg =
+        if d.Dispatch.Policy.lanes > 1 then `Raced
+        else if d.Dispatch.Policy.simplify then `Simplify
+        else `Direct
+      in
+      Metrics.record_dispatch t.metrics ~leg ~infer_s
+    | None -> ());
     Mutex.lock t.gm;
     if Atomic.get t.stopping then begin
       Mutex.unlock t.gm;
@@ -675,6 +850,8 @@ let submit_live t ?deadline ~priority input =
             input;
             fp;
             warm;
+            features;
+            decision;
             deadline =
               (match deadline with
                | Some s -> Some (now +. s)
@@ -713,6 +890,7 @@ let submit_live t ?deadline ~priority input =
             (Printf.sprintf "queue full (capacity %d)"
                (Job_queue.capacity t.queue))
         end
+    end
     end
 
 (* The stopping check comes before the cache lookup: a shut-down

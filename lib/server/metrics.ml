@@ -18,6 +18,13 @@ type snapshot = {
   cubed : int;         (** jobs escalated to cube-and-conquer *)
   cubes_solved : int;  (** cubes refuted or satisfied across those jobs *)
   cube_steals : int;   (** cube claims by a non-owner pool worker *)
+  dispatch_decided : int;
+      (** submits a dispatch policy decided (= sum of the four legs) *)
+  dispatch_direct : int;
+  dispatch_simplify : int;
+  dispatch_raced : int;
+  dispatch_rejected : int;  (** admission refusals: predicted-timeout *)
+  dispatch_infer_max_ms : float;
   dedup_joins : int;
   session_ops : int;
   sessions_opened : int;
@@ -61,6 +68,11 @@ type t = {
   mutable cubed : int;
   mutable cubes_solved : int;
   mutable cube_steals : int;
+  mutable dispatch_direct : int;
+  mutable dispatch_simplify : int;
+  mutable dispatch_raced : int;
+  mutable dispatch_rejected : int;
+  mutable dispatch_infer_max : float; (* seconds *)
   mutable dedup_joins : int;
   mutable session_ops : int;
   mutable sessions_opened : int;
@@ -101,6 +113,11 @@ let create () =
     cubed = 0;
     cubes_solved = 0;
     cube_steals = 0;
+    dispatch_direct = 0;
+    dispatch_simplify = 0;
+    dispatch_raced = 0;
+    dispatch_rejected = 0;
+    dispatch_infer_max = 0.0;
     dedup_joins = 0;
     session_ops = 0;
     sessions_opened = 0;
@@ -158,6 +175,15 @@ let record_parse t ~latency_s =
       if t.parse_len < ring_capacity then t.parse_len <- t.parse_len + 1;
       t.parse_count <- t.parse_count + 1;
       if s > t.parse_max then t.parse_max <- s)
+
+let record_dispatch t ~leg ~infer_s =
+  locked t (fun () ->
+      (match leg with
+      | `Direct -> t.dispatch_direct <- t.dispatch_direct + 1
+      | `Simplify -> t.dispatch_simplify <- t.dispatch_simplify + 1
+      | `Raced -> t.dispatch_raced <- t.dispatch_raced + 1
+      | `Rejected -> t.dispatch_rejected <- t.dispatch_rejected + 1);
+      if infer_s > t.dispatch_infer_max then t.dispatch_infer_max <- infer_s)
 
 let record_dedup_join t =
   locked t (fun () -> t.dedup_joins <- t.dedup_joins + 1)
@@ -245,6 +271,14 @@ let snapshot t ~queue_depth ~inflight ~cache_entries ~sessions_live =
         cubed = t.cubed;
         cubes_solved = t.cubes_solved;
         cube_steals = t.cube_steals;
+        dispatch_decided =
+          t.dispatch_direct + t.dispatch_simplify + t.dispatch_raced
+          + t.dispatch_rejected;
+        dispatch_direct = t.dispatch_direct;
+        dispatch_simplify = t.dispatch_simplify;
+        dispatch_raced = t.dispatch_raced;
+        dispatch_rejected = t.dispatch_rejected;
+        dispatch_infer_max_ms = 1000.0 *. t.dispatch_infer_max;
         dedup_joins = t.dedup_joins;
         session_ops = t.session_ops;
         sessions_opened = t.sessions_opened;
@@ -311,7 +345,10 @@ let to_json (s : snapshot) =
      \"solved_unsat\": %d, \"timeouts\": %d, \"failures\": %d, \
      \"rejected\": %d, \"cache_hits\": %d, \"warm_hits\": %d, \
      \"warm_seeded\": %d, \"cubed\": %d, \"cubes_solved\": %d, \
-     \"cube_steals\": %d, \"dedup_joins\": %d, \
+     \"cube_steals\": %d, \"dispatch_decided\": %d, \
+     \"dispatch_direct\": %d, \"dispatch_simplify\": %d, \
+     \"dispatch_raced\": %d, \"dispatch_rejected\": %d, \
+     \"dispatch_infer_max_ms\": %.3f, \"dedup_joins\": %d, \
      \"session_ops\": %d, \"sessions_opened\": %d, \
      \"sessions_closed\": %d, \"sessions_evicted\": %d, \
      \"session_solves\": %d, \"sessions_live\": %d, \
@@ -322,7 +359,9 @@ let to_json (s : snapshot) =
      \"clients\": %s}"
     s.submitted s.completed s.solved_sat s.solved_unsat s.timeouts s.failures
     s.rejected s.cache_hits s.warm_hits s.warm_seeded s.cubed s.cubes_solved
-    s.cube_steals s.dedup_joins s.session_ops s.sessions_opened
+    s.cube_steals s.dispatch_decided s.dispatch_direct s.dispatch_simplify
+    s.dispatch_raced s.dispatch_rejected s.dispatch_infer_max_ms
+    s.dedup_joins s.session_ops s.sessions_opened
     s.sessions_closed s.sessions_evicted s.session_solves s.sessions_live
     s.queue_depth s.inflight s.cache_entries s.latency_count s.p50_ms
     s.p95_ms s.max_ms s.parse_count s.parse_p50_ms s.parse_p95_ms

@@ -52,6 +52,19 @@ type snapshot = {
   cubes_solved : int;  (** cubes refuted or satisfied across those jobs *)
   cube_steals : int;
       (** cube claims by a non-owner pool worker (work stealing) *)
+  dispatch_decided : int;
+      (** submits a dispatch policy decided — always the exact sum
+          [dispatch_direct + dispatch_simplify + dispatch_raced +
+          dispatch_rejected]; each decision is counted on exactly one
+          leg at submit time *)
+  dispatch_direct : int;   (** decisions routed to the plain direct lane *)
+  dispatch_simplify : int; (** decisions routed through simplify *)
+  dispatch_raced : int;    (** decisions racing > 1 portfolio lanes *)
+  dispatch_rejected : int;
+      (** deadline-aware admission refusals ([REJECTED
+          predicted-timeout]); these are also counted in [rejected] *)
+  dispatch_infer_max_ms : float;
+      (** worst per-job feature-extraction + inference cost observed *)
   dedup_joins : int;
   session_ops : int;      (** session operations accepted *)
   sessions_opened : int;
@@ -98,6 +111,14 @@ val record_warm_seeded : t -> unit
 val record_cubed : t -> cubes_solved:int -> steals:int -> unit
 (** One job escalated to cube-and-conquer, with its conquest's solved
     cube and steal counts. *)
+
+val record_dispatch :
+  t ->
+  leg:[ `Direct | `Simplify | `Raced | `Rejected ] ->
+  infer_s:float ->
+  unit
+(** One dispatch-policy decision, attributed to the route it chose,
+    with the feature-extraction + inference wall cost. *)
 
 val record_parse : t -> latency_s:float -> unit
 (** One formula load (file read + parse) at a transport front-end;

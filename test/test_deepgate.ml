@@ -146,9 +146,27 @@ let test_rounds_effect () =
   in
   check_bool "rounds matter" true (Deepgate.Embedding.distance e1 e3 > 1e-9)
 
+let test_concurrent_embeddings () =
+  (* The dispatch path may embed circuits from several worker domains
+     on a shared graph; the computation only reads the AIG and must
+     stay bitwise deterministic under contention. *)
+  let g = xor_graph () in
+  let expect = Deepgate.Embedding.po_embedding g in
+  let mismatches = Atomic.make 0 in
+  let worker () =
+    for _ = 1 to 100 do
+      if Deepgate.Embedding.po_embedding g <> expect then
+        Atomic.incr mismatches
+    done
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join domains;
+  check "deterministic under contention" 0 (Atomic.get mismatches)
+
 let suite =
   suite
   @ [
       ("config sensitivity", `Quick, test_config_sensitivity);
       ("rounds effect", `Quick, test_rounds_effect);
+      ("concurrent embeddings agree", `Quick, test_concurrent_embeddings);
     ]

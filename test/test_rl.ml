@@ -232,10 +232,138 @@ let test_dqn_epsilon_annealing () =
     check "greedy after decay" a0 (Rl.Dqn.select_action agent s)
   done
 
+let test_mlp_save_load_exact () =
+  (* Hex-float serialization must round-trip bit-for-bit: the reloaded
+     net re-serializes to the identical string and its forward pass is
+     bitwise equal, including after training perturbs the weights. *)
+  let a = Rl.Mlp.create ~sizes:[| 4; 9; 5 |] ~seed:7 in
+  for i = 1 to 50 do
+    ignore
+      (Rl.Mlp.train_batch a ~lr:1e-2
+         [| ([| float i; 0.3; -1.7; 0.01 |], i mod 5, sin (float i)) |])
+  done;
+  let s = Rl.Mlp.save_string a in
+  let b = Rl.Mlp.load_string s in
+  check_bool "re-serialization identical" true (Rl.Mlp.save_string b = s);
+  let x = [| 0.123; -4.56; 7.89; -0.001 |] in
+  check_bool "forward bitwise equal" true
+    (Rl.Mlp.forward a x = Rl.Mlp.forward b x)
+
+let test_mlp_finite_difference_gradients () =
+  (* Central finite differences on a handful of coordinates must match
+     the analytic backward pass.  Inputs and targets keep every ReLU
+     pre-activation away from 0, so the loss is smooth at the probe. *)
+  let net = Rl.Mlp.create ~sizes:[| 3; 6; 4 |] ~seed:23 in
+  let batch =
+    [|
+      ([| 0.8; -0.4; 1.3 |], 0, 0.9);
+      ([| -1.1; 0.6; 0.2 |], 2, -0.5);
+      ([| 0.3; 0.9; -0.7 |], 3, 1.4);
+    |]
+  in
+  let _, _, loss = Rl.Mlp.gradients net batch in
+  Alcotest.(check (float 1e-12))
+    "gradients' loss matches loss_batch" (Rl.Mlp.loss_batch net batch) loss;
+  let grads_w, grads_b, _ = Rl.Mlp.gradients net batch in
+  let eps = 1e-5 in
+  let probe_weight layer out idx =
+    Rl.Mlp.nudge_weight net ~layer ~out ~idx eps;
+    let up = Rl.Mlp.loss_batch net batch in
+    Rl.Mlp.nudge_weight net ~layer ~out ~idx (-2.0 *. eps);
+    let dn = Rl.Mlp.loss_batch net batch in
+    Rl.Mlp.nudge_weight net ~layer ~out ~idx eps;
+    let numeric = (up -. dn) /. (2.0 *. eps) in
+    let analytic = grads_w.(layer).(out).(idx) in
+    let scale = Float.max 1.0 (Float.abs numeric) in
+    check_bool
+      (Printf.sprintf "dW[%d][%d][%d]: %.8g vs %.8g" layer out idx numeric
+         analytic)
+      true
+      (Float.abs (numeric -. analytic) /. scale < 1e-6)
+  in
+  let probe_bias layer out =
+    Rl.Mlp.nudge_bias net ~layer ~out eps;
+    let up = Rl.Mlp.loss_batch net batch in
+    Rl.Mlp.nudge_bias net ~layer ~out (-2.0 *. eps);
+    let dn = Rl.Mlp.loss_batch net batch in
+    Rl.Mlp.nudge_bias net ~layer ~out eps;
+    let numeric = (up -. dn) /. (2.0 *. eps) in
+    let analytic = grads_b.(layer).(out) in
+    let scale = Float.max 1.0 (Float.abs numeric) in
+    check_bool
+      (Printf.sprintf "dB[%d][%d]: %.8g vs %.8g" layer out numeric analytic)
+      true
+      (Float.abs (numeric -. analytic) /. scale < 1e-6)
+  in
+  for out = 0 to 5 do
+    probe_weight 0 out 0;
+    probe_weight 0 out 2;
+    probe_bias 0 out
+  done;
+  for out = 0 to 3 do
+    probe_weight 1 out 1;
+    probe_weight 1 out 5;
+    probe_bias 1 out
+  done
+
+let test_dqn_concurrent_domains () =
+  (* One shared agent hammered from several domains: selection,
+     observation/training and serialization must never tear or raise.
+     The mutex audit this guards is Dqn's [locked] wrapper. *)
+  let cfg =
+    { Rl.Dqn.default_config with
+      Rl.Dqn.state_dim = 4; num_actions = 3; hidden = [| 8 |];
+      batch_size = 8; buffer_capacity = 256; target_sync = 20;
+      eps_decay_steps = 100; seed = 9 }
+  in
+  let agent = Rl.Dqn.create cfg in
+  let errors = Atomic.make 0 in
+  let worker k () =
+    try
+      for i = 1 to 200 do
+        let s = Array.init 4 (fun j -> float ((i + j + k) mod 7) /. 7.0) in
+        let a = Rl.Dqn.select_action agent ~explore:(k mod 2 = 0) s in
+        if a < 0 || a >= 3 then Atomic.incr errors;
+        Rl.Dqn.observe agent
+          { Rl.Replay.state = s; action = a; reward = float (i mod 3);
+            next_state = (if i mod 5 = 0 then None else Some s) };
+        if i mod 50 = 0 then ignore (Rl.Dqn.save_string agent);
+        ignore (Rl.Dqn.q_values agent s);
+        ignore (Rl.Dqn.last_loss agent)
+      done
+    with _ -> Atomic.incr errors
+  in
+  let domains = List.init 4 (fun k -> Domain.spawn (worker k)) in
+  List.iter Domain.join domains;
+  check "no concurrent errors" 0 (Atomic.get errors);
+  check_bool "trained under contention" true (Rl.Dqn.training_steps agent > 0)
+
+let test_mlp_concurrent_readers () =
+  (* Inference on a frozen net is lock-free and must be deterministic
+     across domains (the dispatch engine calls Policy.decide — Mlp
+     forward — from every worker). *)
+  let net = Rl.Mlp.create ~sizes:[| 5; 12; 6 |] ~seed:31 in
+  let x = [| 0.2; -0.4; 0.8; -1.6; 3.2 |] in
+  let expect = Rl.Mlp.forward net x in
+  let mismatches = Atomic.make 0 in
+  let reader () =
+    for _ = 1 to 500 do
+      if Rl.Mlp.forward net x <> expect then Atomic.incr mismatches
+    done
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn reader) in
+  List.iter Domain.join domains;
+  check "deterministic across domains" 0 (Atomic.get mismatches)
+
 let suite =
   suite
   @ [
       ("mlp rejects bad shapes", `Quick, test_mlp_rejects_bad_shapes);
       ("mlp empty batch", `Quick, test_mlp_train_empty_batch);
       ("dqn epsilon annealing", `Quick, test_dqn_epsilon_annealing);
+      ("mlp save/load bit-exact", `Quick, test_mlp_save_load_exact);
+      ("mlp finite-difference gradient check", `Quick,
+       test_mlp_finite_difference_gradients);
+      ("dqn shared across domains", `Quick, test_dqn_concurrent_domains);
+      ("mlp concurrent readers agree", `Quick, test_mlp_concurrent_readers);
     ]

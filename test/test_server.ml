@@ -7,7 +7,7 @@ let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
 let config ?(workers = 2) ?(queue = 64) ?(cache = 64) ?(warm = 64)
-    ?(sessions = 64) ?session_ttl ?cube () =
+    ?(sessions = 64) ?session_ttl ?cube ?dispatch () =
   {
     Server.workers;
     queue_capacity = queue;
@@ -19,13 +19,16 @@ let config ?(workers = 2) ?(queue = 64) ?(cache = 64) ?(warm = 64)
     session_capacity = sessions;
     session_ttl;
     cube;
+    dispatch;
   }
 
-let with_engine ?workers ?queue ?cache ?warm ?sessions ?session_ttl ?cube f =
+let with_engine ?workers ?queue ?cache ?warm ?sessions ?session_ttl ?cube
+    ?dispatch f =
   let e =
     Server.create
       ~config:
-        (config ?workers ?queue ?cache ?warm ?sessions ?session_ttl ?cube ())
+        (config ?workers ?queue ?cache ?warm ?sessions ?session_ttl ?cube
+           ?dispatch ())
       ()
   in
   Fun.protect ~finally:(fun () -> Server.shutdown e) (fun () -> f e)
@@ -906,6 +909,240 @@ let test_warm_fuzz_with_cubes () =
       check_bool "seeds never exceed hits" true
         (s.Server.Metrics.warm_seeded <= s.Server.Metrics.warm_hits))
 
+(* --- learned dispatch ------------------------------------------------ *)
+
+let with_trace_file f =
+  let path = Filename.temp_file "eda4sat_server_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove path with Sys_error _ -> ());
+      try Sys.remove (path ^ ".1") with Sys_error _ -> ())
+    (fun () -> f path)
+
+(* A policy whose every head saw exactly one class: [decide] is forced
+   to that class regardless of what the untrained net outputs, so a
+   test can steer every job down one chosen leg.  [hard] picks the
+   hardness target the admission test regresses toward. *)
+let forced_policy ?(epochs = 5) ?lr ?(hard = 10.0) ~features ~lanes ~simplify
+    ~cube () =
+  let p = Dispatch.Policy.create ~hidden:[| 8 |] () in
+  let entries =
+    List.map
+      (fun feat ->
+        { Dispatch.Tracelog.fingerprint = "00";
+          features = feat;
+          lanes;
+          simplify;
+          cube_trigger = cube;
+          outcome = "sat";
+          conflicts = 1;
+          solve_ms = hard;
+          wall_ms = hard;
+          decided = false })
+      features
+  in
+  ignore (Dispatch.Policy.train ~epochs ?lr p entries);
+  p
+
+let test_dispatch_requires_direct () =
+  let p = Dispatch.Policy.create () in
+  let cfg =
+    { (config ()) with
+      Server.mode = Server.Simplify;
+      dispatch =
+        Some { Server.policy = Some p; trace = None; admission = false } }
+  in
+  Alcotest.check_raises "policy needs direct mode"
+    (Invalid_argument "Engine.create: dispatch policy requires Direct mode")
+    (fun () -> ignore (Server.create ~config:cfg ()))
+
+(* With no model, a dispatch block that only traces must leave serving
+   behavior byte-identical to a plain engine: same verdicts, same
+   models, same solver statistics, and no dispatch counters. *)
+let test_dispatch_traceonly_is_static () =
+  with_trace_file (fun path ->
+      let rng = Aig.Rng.create 4242 in
+      let formulas = php 6 :: List.init 12 (fun _ -> random_formula rng) in
+      let run_batch e = List.map (fun f -> Server.solve e f) formulas in
+      let plain = with_engine ~workers:1 run_batch in
+      let tl = Dispatch.Tracelog.open_file path in
+      let traced =
+        with_engine ~workers:1
+          ~dispatch:
+            { Server.policy = None; trace = Some tl; admission = false }
+          run_batch
+      in
+      Dispatch.Tracelog.close tl;
+      List.iter2
+        (fun a b ->
+          match (a, b) with
+          | Ok (a : Server.answer), Ok (b : Server.answer) ->
+            check_bool "identical verdict" true
+              (a.Server.verdict = b.Server.verdict);
+            (* The wall/cpu fields are timing; every search counter
+               must match exactly. *)
+            let sa = a.Server.stats and sb = b.Server.stats in
+            check_int "same decisions" sa.Sat.Solver.decisions
+              sb.Sat.Solver.decisions;
+            check_int "same conflicts" sa.Sat.Solver.conflicts
+              sb.Sat.Solver.conflicts;
+            check_int "same propagations" sa.Sat.Solver.propagations
+              sb.Sat.Solver.propagations;
+            check_int "same restarts" sa.Sat.Solver.restarts
+              sb.Sat.Solver.restarts;
+            check_int "same learned" sa.Sat.Solver.learned
+              sb.Sat.Solver.learned
+          | _ -> Alcotest.fail "a batch member was rejected")
+        plain traced;
+      (* The trace recorded each completion, labeled as a static (not
+         model-driven) decision on the single direct lane. *)
+      let entries = Dispatch.Tracelog.read_file path in
+      check_int "one entry per solve" (List.length formulas)
+        (List.length entries);
+      List.iter
+        (fun (en : Dispatch.Tracelog.entry) ->
+          check_bool "static decision recorded" false en.decided;
+          check_int "single lane" 1 en.lanes;
+          check_bool "no simplify" false en.simplify;
+          check_bool "decisive outcome" true
+            (en.outcome = "sat" || en.outcome = "unsat"))
+        entries)
+
+(* Every leg a policy can choose, one at a time, against the same
+   batch: answers stay correct and the dispatch ledger reconciles
+   exactly — each decision on exactly one leg, counted once even when
+   the request later cache-hits or dedup-joins. *)
+let test_dispatch_legs_reconcile () =
+  let rng = Aig.Rng.create 999 in
+  let formulas = php 5 :: List.init 10 (fun _ -> random_formula rng) in
+  let features = List.map Dispatch.Features.of_formula formulas in
+  let run ~lanes ~simplify check_leg =
+    let p = forced_policy ~features ~lanes ~simplify ~cube:0 () in
+    with_engine ~workers:2
+      ~dispatch:{ Server.policy = Some p; trace = None; admission = false }
+      (fun e ->
+        let pass () =
+          List.map (fun f -> (f, submit_ok e f)) formulas
+          |> List.map (fun (f, t) -> (f, Server.await e t))
+        in
+        (* Two passes: the second answers from the cache and must not
+           re-count dispatch decisions. *)
+        let first = pass () in
+        let second = pass () in
+        List.iter
+          (fun (f, (a : Server.answer)) ->
+            match a.Server.verdict with
+            | Server.Sat m ->
+              check_bool "model satisfies" true (Cnf.Formula.eval f m)
+            | Server.Unsat ->
+              if f.Cnf.Formula.num_vars <= 14 then
+                check_bool "brute force agrees" false (brute_force_sat f)
+            | _ -> Alcotest.fail "unexpected non-answer")
+          (first @ second);
+        let s = Server.stats e in
+        let n = List.length formulas in
+        check_int "requests reconcile" (2 * n)
+          (s.Server.Metrics.submitted + s.Server.Metrics.cache_hits
+          + s.Server.Metrics.warm_hits + s.Server.Metrics.dedup_joins
+          + s.Server.Metrics.rejected);
+        check_int "legs sum to decided" s.Server.Metrics.dispatch_decided
+          (s.Server.Metrics.dispatch_direct
+          + s.Server.Metrics.dispatch_simplify
+          + s.Server.Metrics.dispatch_raced
+          + s.Server.Metrics.dispatch_rejected);
+        (* Cache hits skip the policy; everything that got a decision
+           was submitted or joined an in-flight twin. *)
+        check_int "decided = submitted + joins"
+          (s.Server.Metrics.submitted + s.Server.Metrics.dedup_joins)
+          s.Server.Metrics.dispatch_decided;
+        check_int "no admission rejections" 0
+          s.Server.Metrics.dispatch_rejected;
+        check_leg s)
+  in
+  run ~lanes:1 ~simplify:false (fun s ->
+      check_int "all direct" s.Server.Metrics.dispatch_decided
+        s.Server.Metrics.dispatch_direct);
+  run ~lanes:1 ~simplify:true (fun s ->
+      check_int "all simplify" s.Server.Metrics.dispatch_decided
+        s.Server.Metrics.dispatch_simplify);
+  run ~lanes:4 ~simplify:false (fun s ->
+      check_int "all raced" s.Server.Metrics.dispatch_decided
+        s.Server.Metrics.dispatch_raced)
+
+(* A decided cube budget escalates a hard job even though the engine's
+   static cube config is off. *)
+let test_dispatch_decided_cube () =
+  let f = php 8 in
+  let features = [ Dispatch.Features.of_formula f ] in
+  let p = forced_policy ~features ~lanes:1 ~simplify:false ~cube:2000 () in
+  with_engine ~workers:1
+    ~dispatch:{ Server.policy = Some p; trace = None; admission = false }
+    (fun e ->
+      (match Server.solve e f with
+       | Ok { Server.verdict = Server.Unsat; _ } -> ()
+       | Ok _ -> Alcotest.fail "php(8,7) must refute"
+       | Error r -> Alcotest.failf "rejected: %s" r);
+      let s = Server.stats e in
+      check_int "decision escalated to cubes" 1 s.Server.Metrics.cubed;
+      check_int "decision counted direct" 1 s.Server.Metrics.dispatch_direct)
+
+(* Admission control: a policy regressed onto an enormous hardness
+   target must reject deadlined jobs as predicted timeouts — and only
+   deadlined ones; with no deadline there is nothing to miss. *)
+let test_dispatch_admission () =
+  let f = php 5 in
+  (* Every training entry claims a ~1e9 ms solve; with the target
+     formula's own features in the training set, the hardness head
+     must regress far past a 50 ms deadline's 4x margin (200 ms). *)
+  let rng = Aig.Rng.create 31337 in
+  let features =
+    Dispatch.Features.of_formula f
+    :: List.init 15 (fun _ ->
+           Dispatch.Features.of_formula (random_formula rng))
+  in
+  let p =
+    forced_policy ~epochs:800 ~lr:0.02 ~hard:1e9 ~features ~lanes:1
+      ~simplify:false ~cube:0 ()
+  in
+  let d = Dispatch.Policy.decide p (List.hd features) in
+  check_bool
+    (Printf.sprintf "policy predicts hopeless (%.0f ms)" d.predicted_ms)
+    true
+    (Float.is_finite d.predicted_ms && d.predicted_ms > 1e3);
+  with_engine ~workers:1
+    ~dispatch:{ Server.policy = Some p; trace = None; admission = true }
+    (fun e ->
+      (match Server.submit e ~deadline:0.05 f with
+       | Error "predicted-timeout" -> ()
+       | Error r -> Alcotest.failf "wrong rejection: %s" r
+       | Ok _ -> Alcotest.fail "hopeless deadlined job must be refused");
+      (* No deadline: admitted and solved despite the grim prediction. *)
+      (match Server.solve e f with
+       | Ok { Server.verdict = Server.Unsat; _ } -> ()
+       | _ -> Alcotest.fail "php(5,4) must still refute without deadline");
+      let s = Server.stats e in
+      check_int "one admission rejection" 1
+        s.Server.Metrics.dispatch_rejected;
+      check_int "also in the request ledger" 1 s.Server.Metrics.rejected;
+      check_int "requests reconcile" 2
+        (s.Server.Metrics.submitted + s.Server.Metrics.cache_hits
+        + s.Server.Metrics.warm_hits + s.Server.Metrics.dedup_joins
+        + s.Server.Metrics.rejected);
+      check_int "legs sum to decided" s.Server.Metrics.dispatch_decided
+        (s.Server.Metrics.dispatch_direct
+        + s.Server.Metrics.dispatch_simplify
+        + s.Server.Metrics.dispatch_raced
+        + s.Server.Metrics.dispatch_rejected));
+  (* An untrained policy predicts nan and must never reject. *)
+  let fresh = Dispatch.Policy.create () in
+  with_engine ~workers:1
+    ~dispatch:
+      { Server.policy = Some fresh; trace = None; admission = true }
+    (fun e ->
+      match Server.solve e ~deadline:0.001 f with
+      | Ok _ -> ()
+      | Error r -> Alcotest.failf "untrained policy rejected: %s" r)
+
 (* --- job queue ------------------------------------------------------- *)
 
 let test_job_queue_ordering () =
@@ -947,6 +1184,13 @@ let suite =
     ("partial cube conquest never cached", `Quick,
      test_cube_partial_never_cached);
     ("warm fuzz with cubes reconciles", `Quick, test_warm_fuzz_with_cubes);
+    ("dispatch policy requires direct mode", `Quick,
+     test_dispatch_requires_direct);
+    ("trace-only dispatch is static", `Quick,
+     test_dispatch_traceonly_is_static);
+    ("dispatch legs reconcile", `Quick, test_dispatch_legs_reconcile);
+    ("dispatch decided cube escalates", `Quick, test_dispatch_decided_cube);
+    ("dispatch admission control", `Quick, test_dispatch_admission);
     ("job queue ordering", `Quick, test_job_queue_ordering);
     ("job queue backpressure", `Quick, test_job_queue_backpressure);
     ("session basics", `Quick, test_session_basics);
